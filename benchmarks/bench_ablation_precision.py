@@ -1,0 +1,99 @@
+"""Ablation: the precision spectrum — Wilson-Lam vs Andersen vs Steensgaard
+and the cost of the paper's design choices (strong updates, subsumption).
+
+The paper's context (§1, §6): context-insensitive analyses merge
+information across call sites (unrealizable paths); unification merges even
+more.  Measured: average points-to set sizes and specific query precision
+across the spectrum, plus analysis time for each.
+"""
+
+import pytest
+
+from repro import AnalyzerOptions, load_program
+from repro.baselines import andersen_analyze, steensgaard_analyze
+from repro.bench import analyze_benchmark
+from repro.bench.programs import load_source
+
+SUBSET = ["grep", "diff", "compress", "eqntott"]
+
+SMEAR = """
+int a, b;
+int *id(int *p) { return p; }
+int main(void) {
+    int *pa = id(&a);
+    int *pb = id(&b);
+    return 0;
+}
+"""
+
+
+@pytest.mark.parametrize("name", SUBSET)
+def test_andersen_time(benchmark, name):
+    program = load_program(load_source(name), f"{name}.c", name)
+    result = benchmark(andersen_analyze, program)
+    benchmark.extra_info["avg_set_size"] = round(result.average_points_to_size(), 2)
+
+
+@pytest.mark.parametrize("name", SUBSET)
+def test_steensgaard_time(benchmark, name):
+    program = load_program(load_source(name), f"{name}.c", name)
+    result = benchmark(steensgaard_analyze, program)
+    benchmark.extra_info["classes"] = result.class_count()
+
+
+def test_context_sensitivity_precision_gap(benchmark):
+    """The unrealizable-path query: Wilson-Lam gives singletons where the
+    baselines smear."""
+    from repro import analyze_source
+
+    wl = benchmark(analyze_source, SMEAR)
+    ai = andersen_analyze(load_program(SMEAR, "smear.c"))
+    st = steensgaard_analyze(load_program(SMEAR, "smear.c"))
+
+    wl_pa = wl.points_to_names("main", "pa")
+    ai_pa = ai.points_to_names("main", "pa")
+    st_pa = st.points_to_names("main", "pa")
+    assert wl_pa == {"a"}
+    assert ai_pa == {"a", "b"}
+    assert st_pa >= ai_pa
+    # the spectrum is ordered
+    assert len(wl_pa) <= len(ai_pa) <= len(st_pa)
+
+
+@pytest.mark.parametrize("name", ["grep", "compress"])
+def test_strong_updates_ablation(benchmark, name):
+    """Strong updates (§4.1) tighten points-to sets; turning them off must
+    never shrink any set (soundness) and typically grows some."""
+    with_updates = analyze_benchmark(name, AnalyzerOptions(strong_updates=True))
+    without = benchmark(
+        analyze_benchmark, name, AnalyzerOptions(strong_updates=False)
+    )
+    grew = 0
+    for var in with_updates.program.globals:
+        a = with_updates.points_to_names("main", var)
+        b = without.points_to_names("main", var)
+        assert a <= b, f"{var}: strong updates must only remove values"
+        if len(b) > len(a):
+            grew += 1
+    benchmark.extra_info["sets_grown"] = grew
+
+
+@pytest.mark.parametrize("name", ["loader", "eqntott"])
+def test_subsumption_ablation(benchmark, name):
+    """Disabling offset-based parameter reuse (§3.2) still analyzes
+    correctly but creates more extended parameters."""
+    normal = analyze_benchmark(name, AnalyzerOptions(subsumption=True))
+    merged = benchmark(
+        analyze_benchmark, name, AnalyzerOptions(subsumption=False)
+    )
+
+    def param_count(result):
+        return sum(
+            len(ptf.params)
+            for ptfs in result.analyzer.ptfs.values()
+            for ptf in ptfs
+        )
+
+    benchmark.extra_info["params_normal"] = param_count(normal)
+    benchmark.extra_info["params_merged"] = param_count(merged)
+    assert merged.stats().procedures == normal.stats().procedures

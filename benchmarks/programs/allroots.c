@@ -1,0 +1,90 @@
+/* allroots - find all roots of a real polynomial by Newton iteration with
+ * deflation.  Mirrors the smallest Landi-Ryder benchmark: a handful of
+ * procedures, arrays of doubles, pointer-based output parameters. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+
+#define MAXDEG 16
+#define EPS 1e-9
+#define MAXITER 60
+
+static double coeffs[MAXDEG + 1];
+static double work[MAXDEG + 1];
+static double roots[MAXDEG];
+static int degree;
+
+/* Evaluate polynomial p (degree n) and its derivative at x. */
+void eval_poly(double *p, int n, double x, double *val, double *dval)
+{
+    int i;
+    double v = p[n];
+    double d = 0.0;
+    for (i = n - 1; i >= 0; i--) {
+        d = d * x + v;
+        v = v * x + p[i];
+    }
+    *val = v;
+    *dval = d;
+}
+
+/* One Newton solve starting from x0; returns 1 on convergence. */
+int newton(double *p, int n, double x0, double *root)
+{
+    int iter;
+    double x = x0;
+    for (iter = 0; iter < MAXITER; iter++) {
+        double v, d;
+        eval_poly(p, n, x, &v, &d);
+        if (fabs(v) < EPS) {
+            *root = x;
+            return 1;
+        }
+        if (fabs(d) < EPS)
+            break;
+        x = x - v / d;
+    }
+    *root = x;
+    return fabs(x) < 1e6;
+}
+
+/* Divide p by (x - r), leaving the quotient in q. */
+void deflate(double *p, int n, double r, double *q)
+{
+    int i;
+    double carry = p[n];
+    for (i = n - 1; i >= 0; i--) {
+        double next = p[i] + carry * r;
+        q[i] = carry;
+        carry = next;
+    }
+}
+
+int find_roots(double *p, int n, double *out)
+{
+    int found = 0;
+    int i;
+    for (i = 0; i <= n; i++)
+        work[i] = p[i];
+    while (n > 0) {
+        double r;
+        if (!newton(work, n, 0.5 + 0.1 * found, &r))
+            break;
+        out[found++] = r;
+        deflate(work, n, r, work);
+        n--;
+    }
+    return found;
+}
+
+int main(void)
+{
+    int i, nroots;
+    degree = 5;
+    coeffs[0] = -120.0; coeffs[1] = 274.0; coeffs[2] = -225.0;
+    coeffs[3] = 85.0; coeffs[4] = -15.0; coeffs[5] = 1.0;
+    nroots = find_roots(coeffs, degree, roots);
+    for (i = 0; i < nroots; i++)
+        printf("root %d = %f\n", i, roots[i]);
+    return nroots == degree ? 0 : 1;
+}

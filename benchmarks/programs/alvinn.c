@@ -1,0 +1,143 @@
+/* alvinn - backpropagation network training, modelled on the SPECfp92
+ * benchmark (the autonomous land vehicle net).  Dense FP loops over weight
+ * matrices; this is one of the two programs the paper parallelizes
+ * (Table 3: 97.7% parallel, 7.4 ms/loop, speedups 1.95 / 3.50). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+
+#define NUM_INPUT 1220
+#define NUM_HIDDEN 30
+#define NUM_OUTPUT 30
+#define NUM_EPOCHS 4
+#define ETA 0.1
+#define MOMENTUM 0.9
+
+static double input_units[NUM_INPUT];
+static double hidden_units[NUM_HIDDEN];
+static double output_units[NUM_OUTPUT];
+static double target_units[NUM_OUTPUT];
+
+static double in_to_hid[NUM_HIDDEN][NUM_INPUT];
+static double hid_to_out[NUM_OUTPUT][NUM_HIDDEN];
+static double in_to_hid_delta[NUM_HIDDEN][NUM_INPUT];
+static double hid_to_out_delta[NUM_OUTPUT][NUM_HIDDEN];
+
+static double hidden_errors[NUM_HIDDEN];
+static double output_errors[NUM_OUTPUT];
+
+double squash(double x)
+{
+    return 1.0 / (1.0 + exp(-x));
+}
+
+/* forward pass: input -> hidden */
+void input_to_hidden(double *in, double *hid)
+{
+    int h, i;
+    for (h = 0; h < NUM_HIDDEN; h++) {
+        double sum = 0.0;
+        double *w = in_to_hid[h];
+        for (i = 0; i < NUM_INPUT; i++)
+            sum += w[i] * in[i];
+        hid[h] = squash(sum);
+    }
+}
+
+/* forward pass: hidden -> output */
+void hidden_to_output(double *hid, double *out)
+{
+    int o, h;
+    for (o = 0; o < NUM_OUTPUT; o++) {
+        double sum = 0.0;
+        double *w = hid_to_out[o];
+        for (h = 0; h < NUM_HIDDEN; h++)
+            sum += w[h] * hid[h];
+        out[o] = squash(sum);
+    }
+}
+
+void output_error(double *out, double *target, double *err)
+{
+    int o;
+    for (o = 0; o < NUM_OUTPUT; o++) {
+        double t = target[o] - out[o];
+        err[o] = t * out[o] * (1.0 - out[o]);
+    }
+}
+
+void hidden_error(double *hid, double *oerr, double *herr)
+{
+    int h, o;
+    for (h = 0; h < NUM_HIDDEN; h++) {
+        double sum = 0.0;
+        for (o = 0; o < NUM_OUTPUT; o++)
+            sum += oerr[o] * hid_to_out[o][h];
+        herr[h] = sum * hid[h] * (1.0 - hid[h]);
+    }
+}
+
+void adjust_hid_to_out(double *hid, double *oerr)
+{
+    int o, h;
+    for (o = 0; o < NUM_OUTPUT; o++) {
+        double *w = hid_to_out[o];
+        double *d = hid_to_out_delta[o];
+        for (h = 0; h < NUM_HIDDEN; h++) {
+            double delta = ETA * oerr[o] * hid[h] + MOMENTUM * d[h];
+            w[h] += delta;
+            d[h] = delta;
+        }
+    }
+}
+
+void adjust_in_to_hid(double *in, double *herr)
+{
+    int h, i;
+    for (h = 0; h < NUM_HIDDEN; h++) {
+        double *w = in_to_hid[h];
+        double *d = in_to_hid_delta[h];
+        for (i = 0; i < NUM_INPUT; i++) {
+            double delta = ETA * herr[h] * in[i] + MOMENTUM * d[i];
+            w[i] += delta;
+            d[i] = delta;
+        }
+    }
+}
+
+void load_pattern(int seed)
+{
+    int i;
+    for (i = 0; i < NUM_INPUT; i++)
+        input_units[i] = ((seed * 37 + i * 13) % 100) / 100.0;
+    for (i = 0; i < NUM_OUTPUT; i++)
+        target_units[i] = ((seed + i) % 2) ? 0.9 : 0.1;
+}
+
+double train_epoch(int seed)
+{
+    int o;
+    double err = 0.0;
+    load_pattern(seed);
+    input_to_hidden(input_units, hidden_units);
+    hidden_to_output(hidden_units, output_units);
+    output_error(output_units, target_units, output_errors);
+    hidden_error(hidden_units, output_errors, hidden_errors);
+    adjust_hid_to_out(hidden_units, output_errors);
+    adjust_in_to_hid(input_units, hidden_errors);
+    for (o = 0; o < NUM_OUTPUT; o++) {
+        double t = target_units[o] - output_units[o];
+        err += t * t;
+    }
+    return err;
+}
+
+int main(void)
+{
+    int epoch;
+    double err = 0.0;
+    for (epoch = 0; epoch < NUM_EPOCHS; epoch++)
+        err = train_epoch(epoch);
+    printf("final error %f\n", err);
+    return err < 100.0 ? 0 : 1;
+}

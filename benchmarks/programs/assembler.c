@@ -1,0 +1,280 @@
+/* assembler - a two-pass assembler for a toy RISC instruction set: opcode
+ * table lookups, a chained-hash symbol table, forward-reference fixups,
+ * expression evaluation in operands, and binary emission. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ctype.h>
+
+#define SYMHASH 97
+#define MAXOUT 1024
+#define MAXLINE 96
+
+/* ----- instruction set ----- */
+
+struct opdef {
+    const char *mnemonic;
+    int opcode;
+    int operands;           /* number of operands */
+    int has_target;         /* last operand is a label/address */
+};
+
+static struct opdef opcodes[] = {
+    { "nop",  0x00, 0, 0 },
+    { "mov",  0x01, 2, 0 },
+    { "add",  0x02, 2, 0 },
+    { "sub",  0x03, 2, 0 },
+    { "mul",  0x04, 2, 0 },
+    { "load", 0x05, 2, 1 },
+    { "store",0x06, 2, 1 },
+    { "jmp",  0x07, 1, 1 },
+    { "jz",   0x08, 2, 1 },
+    { "call", 0x09, 1, 1 },
+    { "ret",  0x0a, 0, 0 },
+    { "halt", 0x0f, 0, 0 },
+    { 0, 0, 0, 0 },
+};
+
+/* ----- symbols ----- */
+
+struct asym {
+    struct asym *next;
+    char name[20];
+    int value;
+    int defined;
+};
+
+struct fixup {
+    struct fixup *next;
+    int location;            /* word index to patch */
+    struct asym *sym;
+};
+
+static struct asym *symtab[SYMHASH];
+static struct fixup *fixups;
+static int out_words[MAXOUT];
+static int out_len;
+static int pass_errors;
+
+unsigned hashname(const char *s)
+{
+    unsigned h = 0;
+    while (*s)
+        h = (h << 4) + (unsigned char)*s++;
+    return h % SYMHASH;
+}
+
+struct asym *lookup(const char *name, int create)
+{
+    unsigned h = hashname(name);
+    struct asym *s;
+    for (s = symtab[h]; s != 0; s = s->next)
+        if (strcmp(s->name, name) == 0)
+            return s;
+    if (!create)
+        return 0;
+    s = malloc(sizeof(struct asym));
+    strncpy(s->name, name, sizeof(s->name) - 1);
+    s->name[sizeof(s->name) - 1] = '\0';
+    s->value = 0;
+    s->defined = 0;
+    s->next = symtab[h];
+    symtab[h] = s;
+    return s;
+}
+
+void define_label(const char *name, int value)
+{
+    struct asym *s = lookup(name, 1);
+    if (s->defined)
+        pass_errors++;
+    s->defined = 1;
+    s->value = value;
+}
+
+void note_fixup(int location, struct asym *sym)
+{
+    struct fixup *f = malloc(sizeof(struct fixup));
+    f->location = location;
+    f->sym = sym;
+    f->next = fixups;
+    fixups = f;
+}
+
+/* ----- parsing helpers ----- */
+
+const char *skip_ws(const char *p)
+{
+    while (*p == ' ' || *p == '\t')
+        p++;
+    return p;
+}
+
+const char *get_word(const char *p, char *out, int cap)
+{
+    int n = 0;
+    p = skip_ws(p);
+    while ((isalnum((unsigned char)*p) || *p == '_') && n < cap - 1)
+        out[n++] = *p++;
+    out[n] = '\0';
+    return p;
+}
+
+struct opdef *find_op(const char *mnemonic)
+{
+    struct opdef *op;
+    for (op = opcodes; op->mnemonic != 0; op++)
+        if (strcmp(op->mnemonic, mnemonic) == 0)
+            return op;
+    return 0;
+}
+
+int parse_number(const char *word, int *ok)
+{
+    int v = 0;
+    const char *p = word;
+    *ok = 1;
+    if (*p == '\0') {
+        *ok = 0;
+        return 0;
+    }
+    while (*p) {
+        if (!isdigit((unsigned char)*p)) {
+            *ok = 0;
+            return 0;
+        }
+        v = v * 10 + (*p++ - '0');
+    }
+    return v;
+}
+
+/* operand: register (rN), number, or symbol */
+int eval_operand(const char *word, int location, int is_target)
+{
+    int ok;
+    int v;
+    if (word[0] == 'r' && isdigit((unsigned char)word[1]))
+        return word[1] - '0';
+    v = parse_number(word, &ok);
+    if (ok)
+        return v;
+    {
+        struct asym *s = lookup(word, 1);
+        if (s->defined)
+            return s->value;
+        if (is_target) {
+            note_fixup(location, s);
+            return 0;
+        }
+        pass_errors++;
+        return 0;
+    }
+}
+
+void emit_word(int w)
+{
+    if (out_len < MAXOUT)
+        out_words[out_len] = w;
+    out_len++;
+}
+
+/* ----- assembly of one line ----- */
+
+void assemble_line(const char *line)
+{
+    char word[32];
+    const char *p = line;
+    struct opdef *op;
+    int i;
+    p = skip_ws(p);
+    if (*p == '\0' || *p == ';')
+        return;
+    p = get_word(p, word, sizeof(word));
+    p = skip_ws(p);
+    if (*p == ':') {
+        define_label(word, out_len);
+        p++;
+        p = get_word(p, word, sizeof(word));
+    }
+    if (word[0] == '\0')
+        return;
+    op = find_op(word);
+    if (op == 0) {
+        pass_errors++;
+        return;
+    }
+    emit_word(op->opcode);
+    for (i = 0; i < op->operands; i++) {
+        int is_target = op->has_target && i == op->operands - 1;
+        p = get_word(p, word, sizeof(word));
+        emit_word(eval_operand(word, out_len, is_target));
+        p = skip_ws(p);
+        if (*p == ',')
+            p++;
+    }
+}
+
+void apply_fixups(void)
+{
+    struct fixup *f;
+    for (f = fixups; f != 0; f = f->next) {
+        if (!f->sym->defined) {
+            pass_errors++;
+            continue;
+        }
+        if (f->location < MAXOUT)
+            out_words[f->location] = f->sym->value;
+    }
+}
+
+int checksum(void)
+{
+    int i, sum = 0;
+    for (i = 0; i < out_len && i < MAXOUT; i++)
+        sum = sum * 31 + out_words[i];
+    return sum;
+}
+
+void release(void)
+{
+    int i;
+    struct fixup *f = fixups;
+    while (f != 0) {
+        struct fixup *n = f->next;
+        free(f);
+        f = n;
+    }
+    for (i = 0; i < SYMHASH; i++) {
+        struct asym *s = symtab[i];
+        while (s != 0) {
+            struct asym *n = s->next;
+            free(s);
+            s = n;
+        }
+    }
+}
+
+static const char *source_lines[] = {
+    "        mov r1, 0",
+    "        mov r2, 10",
+    "loop:   add r1, r2",
+    "        sub r2, 1",
+    "        jz r2, done",
+    "        jmp loop",
+    "done:   store r1, total",
+    "        halt",
+    "total:  nop",
+    0,
+};
+
+int main(void)
+{
+    const char **lp;
+    for (lp = source_lines; *lp != 0; lp++)
+        assemble_line(*lp);
+    apply_fixups();
+    printf("words=%d errors=%d checksum=%08x\n",
+           out_len, pass_errors, checksum());
+    release();
+    return pass_errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,558 @@
+/* compiler - a small compiler for a C-like expression/statement language:
+ * lexer, recursive-descent parser building a heap AST, a constant-folding
+ * pass, and stack-machine code generation.  This is the shape that blows
+ * Emami-style invocation graphs past 700,000 nodes for 37 procedures (§7)
+ * while the PTF approach stays near one PTF per procedure: deeply mutually
+ * recursive procedures, each with several call sites. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ctype.h>
+
+/* ----- tokens ----- */
+
+enum tok {
+    T_EOF, T_NUM, T_IDENT, T_PLUS, T_MINUS, T_STAR, T_SLASH,
+    T_LPAREN, T_RPAREN, T_LBRACE, T_RBRACE, T_SEMI, T_ASSIGN,
+    T_IF, T_ELSE, T_WHILE, T_LT, T_GT, T_EQ, T_PRINT,
+};
+
+static char *src;
+static enum tok cur_tok;
+static long cur_num;
+static char cur_ident[32];
+static int parse_errors;
+
+/* ----- AST ----- */
+
+enum nkind {
+    N_NUM, N_VAR, N_BINOP, N_ASSIGN, N_SEQ, N_IF, N_WHILE, N_PRINT,
+};
+
+struct node {
+    enum nkind kind;
+    int op;                    /* for N_BINOP: token of the operator */
+    long value;                /* for N_NUM */
+    char name[32];             /* for N_VAR / N_ASSIGN */
+    struct node *left;
+    struct node *right;
+    struct node *third;        /* else arm */
+};
+
+/* ----- code ----- */
+
+enum opcode { OP_PUSH, OP_LOAD, OP_STORE, OP_ADD, OP_SUB, OP_MUL,
+              OP_DIV, OP_LT, OP_GT, OP_EQ, OP_JZ, OP_JMP, OP_PRINT, OP_HALT };
+
+struct insn {
+    enum opcode op;
+    long arg;
+};
+
+#define MAXCODE 1024
+static struct insn code[MAXCODE];
+static int code_len;
+
+/* ----- lexer ----- */
+
+void next_token(void)
+{
+    while (isspace((unsigned char)*src))
+        src++;
+    if (*src == '\0') { cur_tok = T_EOF; return; }
+    if (isdigit((unsigned char)*src)) {
+        cur_num = 0;
+        while (isdigit((unsigned char)*src))
+            cur_num = cur_num * 10 + (*src++ - '0');
+        cur_tok = T_NUM;
+        return;
+    }
+    if (isalpha((unsigned char)*src)) {
+        int n = 0;
+        while (isalnum((unsigned char)*src) && n < 31)
+            cur_ident[n++] = *src++;
+        cur_ident[n] = '\0';
+        if (strcmp(cur_ident, "if") == 0) cur_tok = T_IF;
+        else if (strcmp(cur_ident, "else") == 0) cur_tok = T_ELSE;
+        else if (strcmp(cur_ident, "while") == 0) cur_tok = T_WHILE;
+        else if (strcmp(cur_ident, "print") == 0) cur_tok = T_PRINT;
+        else cur_tok = T_IDENT;
+        return;
+    }
+    switch (*src++) {
+    case '+': cur_tok = T_PLUS; break;
+    case '-': cur_tok = T_MINUS; break;
+    case '*': cur_tok = T_STAR; break;
+    case '/': cur_tok = T_SLASH; break;
+    case '(': cur_tok = T_LPAREN; break;
+    case ')': cur_tok = T_RPAREN; break;
+    case '{': cur_tok = T_LBRACE; break;
+    case '}': cur_tok = T_RBRACE; break;
+    case ';': cur_tok = T_SEMI; break;
+    case '<': cur_tok = T_LT; break;
+    case '>': cur_tok = T_GT; break;
+    case '=':
+        if (*src == '=') { src++; cur_tok = T_EQ; }
+        else cur_tok = T_ASSIGN;
+        break;
+    default:
+        parse_errors++;
+        cur_tok = T_EOF;
+    }
+}
+
+int expect(enum tok t)
+{
+    if (cur_tok != t) {
+        parse_errors++;
+        return 0;
+    }
+    next_token();
+    return 1;
+}
+
+/* ----- parser (mutually recursive) ----- */
+
+struct node *parse_expr(void);
+struct node *parse_stmt(void);
+
+struct node *new_node(enum nkind kind)
+{
+    struct node *n = malloc(sizeof(struct node));
+    n->kind = kind;
+    n->op = 0;
+    n->value = 0;
+    n->name[0] = '\0';
+    n->left = n->right = n->third = 0;
+    return n;
+}
+
+struct node *parse_primary(void)
+{
+    struct node *n;
+    if (cur_tok == T_NUM) {
+        n = new_node(N_NUM);
+        n->value = cur_num;
+        next_token();
+        return n;
+    }
+    if (cur_tok == T_IDENT) {
+        n = new_node(N_VAR);
+        strcpy(n->name, cur_ident);
+        next_token();
+        return n;
+    }
+    if (cur_tok == T_LPAREN) {
+        next_token();
+        n = parse_expr();
+        expect(T_RPAREN);
+        return n;
+    }
+    parse_errors++;
+    return new_node(N_NUM);
+}
+
+struct node *parse_unary(void)
+{
+    if (cur_tok == T_MINUS) {
+        struct node *n = new_node(N_BINOP);
+        next_token();
+        n->op = T_MINUS;
+        n->left = new_node(N_NUM);
+        n->right = parse_unary();
+        return n;
+    }
+    return parse_primary();
+}
+
+/* The expression grammar uses the full C-style precedence ladder; each
+ * level calls the next one from several sites, which is exactly the shape
+ * that makes per-context invocation graphs explode (§7). */
+
+struct node *binop_level(struct node *left, int op, struct node *right)
+{
+    struct node *n = new_node(N_BINOP);
+    n->op = op;
+    n->left = left;
+    n->right = right;
+    return n;
+}
+
+struct node *parse_postfix(void)
+{
+    struct node *n = parse_unary();
+    /* (no postfix operators in this language, but the level exists) */
+    return n;
+}
+
+struct node *parse_term(void)
+{
+    struct node *left = parse_postfix();
+    while (cur_tok == T_STAR || cur_tok == T_SLASH) {
+        int op = cur_tok;
+        next_token();
+        left = binop_level(left, op, parse_postfix());
+    }
+    return left;
+}
+
+struct node *parse_additive(void)
+{
+    struct node *left = parse_term();
+    while (cur_tok == T_PLUS || cur_tok == T_MINUS) {
+        int op = cur_tok;
+        next_token();
+        left = binop_level(left, op, parse_term());
+    }
+    return left;
+}
+
+struct node *parse_shift(void)
+{
+    struct node *left = parse_additive();
+    if (cur_tok == T_EOF)
+        return left;
+    while (0)
+        left = binop_level(left, 0, parse_additive());
+    return left;
+}
+
+struct node *parse_relational(void)
+{
+    struct node *left = parse_shift();
+    while (cur_tok == T_LT || cur_tok == T_GT) {
+        int op = cur_tok;
+        next_token();
+        left = binop_level(left, op, parse_shift());
+    }
+    return left;
+}
+
+struct node *parse_equality(void)
+{
+    struct node *left = parse_relational();
+    while (cur_tok == T_EQ) {
+        int op = cur_tok;
+        next_token();
+        left = binop_level(left, op, parse_relational());
+    }
+    return left;
+}
+
+struct node *parse_logical_and(void)
+{
+    struct node *left = parse_equality();
+    if (parse_errors > 1000)
+        left = binop_level(left, T_EQ, parse_equality());
+    return left;
+}
+
+struct node *parse_logical_or(void)
+{
+    struct node *left = parse_logical_and();
+    if (parse_errors > 1000)
+        left = binop_level(left, T_EQ, parse_logical_and());
+    return left;
+}
+
+struct node *parse_conditional(void)
+{
+    struct node *cond = parse_logical_or();
+    if (parse_errors > 1000) {
+        struct node *a = parse_logical_or();
+        struct node *b = parse_logical_or();
+        cond = binop_level(a, T_EQ, b);
+    }
+    return cond;
+}
+
+struct node *parse_expr(void)
+{
+    return parse_conditional();
+}
+
+struct node *parse_block(void)
+{
+    struct node *head = 0;
+    struct node **tail = &head;
+    expect(T_LBRACE);
+    while (cur_tok != T_RBRACE && cur_tok != T_EOF) {
+        struct node *seq = new_node(N_SEQ);
+        seq->left = parse_stmt();
+        *tail = seq;
+        tail = &seq->right;
+    }
+    expect(T_RBRACE);
+    return head == 0 ? new_node(N_SEQ) : head;
+}
+
+struct node *parse_if(void)
+{
+    struct node *n = new_node(N_IF);
+    expect(T_IF);
+    expect(T_LPAREN);
+    n->left = parse_expr();
+    expect(T_RPAREN);
+    n->right = parse_stmt();
+    if (cur_tok == T_ELSE) {
+        next_token();
+        n->third = parse_stmt();
+    }
+    return n;
+}
+
+struct node *parse_while(void)
+{
+    struct node *n = new_node(N_WHILE);
+    expect(T_WHILE);
+    expect(T_LPAREN);
+    n->left = parse_expr();
+    expect(T_RPAREN);
+    n->right = parse_stmt();
+    return n;
+}
+
+struct node *parse_stmt(void)
+{
+    struct node *n;
+    if (cur_tok == T_LBRACE)
+        return parse_block();
+    if (cur_tok == T_IF)
+        return parse_if();
+    if (cur_tok == T_WHILE)
+        return parse_while();
+    if (cur_tok == T_PRINT) {
+        next_token();
+        n = new_node(N_PRINT);
+        n->left = parse_expr();
+        expect(T_SEMI);
+        return n;
+    }
+    if (cur_tok == T_IDENT) {
+        n = new_node(N_ASSIGN);
+        strcpy(n->name, cur_ident);
+        next_token();
+        expect(T_ASSIGN);
+        n->left = parse_expr();
+        expect(T_SEMI);
+        return n;
+    }
+    parse_errors++;
+    next_token();
+    return new_node(N_SEQ);
+}
+
+struct node *parse_program(char *text)
+{
+    src = text;
+    next_token();
+    return parse_block();
+}
+
+/* ----- constant folding (recursive rewrite) ----- */
+
+int is_const(struct node *n)
+{
+    return n != 0 && n->kind == N_NUM;
+}
+
+long fold_op(int op, long a, long b)
+{
+    switch (op) {
+    case T_PLUS: return a + b;
+    case T_MINUS: return a - b;
+    case T_STAR: return a * b;
+    case T_SLASH: return b != 0 ? a / b : 0;
+    case T_LT: return a < b;
+    case T_GT: return a > b;
+    case T_EQ: return a == b;
+    }
+    return 0;
+}
+
+struct node *fold(struct node *n)
+{
+    if (n == 0)
+        return 0;
+    n->left = fold(n->left);
+    n->right = fold(n->right);
+    n->third = fold(n->third);
+    if (n->kind == N_BINOP && is_const(n->left) && is_const(n->right)) {
+        struct node *c = new_node(N_NUM);
+        c->value = fold_op(n->op, n->left->value, n->right->value);
+        free(n->left);
+        free(n->right);
+        free(n);
+        return c;
+    }
+    return n;
+}
+
+/* ----- symbol slots ----- */
+
+static char var_names[32][32];
+static int nvars;
+
+int slot_of(const char *name)
+{
+    int i;
+    for (i = 0; i < nvars; i++)
+        if (strcmp(var_names[i], name) == 0)
+            return i;
+    strcpy(var_names[nvars], name);
+    return nvars++;
+}
+
+/* ----- code generation (recursive) ----- */
+
+void emit(enum opcode op, long arg)
+{
+    if (code_len < MAXCODE) {
+        code[code_len].op = op;
+        code[code_len].arg = arg;
+        code_len++;
+    }
+}
+
+void gen_expr(struct node *n);
+
+void gen_binop(struct node *n)
+{
+    gen_expr(n->left);
+    gen_expr(n->right);
+    switch (n->op) {
+    case T_PLUS: emit(OP_ADD, 0); break;
+    case T_MINUS: emit(OP_SUB, 0); break;
+    case T_STAR: emit(OP_MUL, 0); break;
+    case T_SLASH: emit(OP_DIV, 0); break;
+    case T_LT: emit(OP_LT, 0); break;
+    case T_GT: emit(OP_GT, 0); break;
+    case T_EQ: emit(OP_EQ, 0); break;
+    }
+}
+
+void gen_expr(struct node *n)
+{
+    if (n == 0)
+        return;
+    switch (n->kind) {
+    case N_NUM: emit(OP_PUSH, n->value); break;
+    case N_VAR: emit(OP_LOAD, slot_of(n->name)); break;
+    case N_BINOP: gen_binop(n); break;
+    default: break;
+    }
+}
+
+void gen_stmt(struct node *n)
+{
+    int patch, back;
+    if (n == 0)
+        return;
+    switch (n->kind) {
+    case N_SEQ:
+        gen_stmt(n->left);
+        gen_stmt(n->right);
+        break;
+    case N_ASSIGN:
+        gen_expr(n->left);
+        emit(OP_STORE, slot_of(n->name));
+        break;
+    case N_PRINT:
+        gen_expr(n->left);
+        emit(OP_PRINT, 0);
+        break;
+    case N_IF:
+        gen_expr(n->left);
+        patch = code_len;
+        emit(OP_JZ, 0);
+        gen_stmt(n->right);
+        if (n->third != 0) {
+            int over = code_len;
+            emit(OP_JMP, 0);
+            code[patch].arg = code_len;
+            gen_stmt(n->third);
+            code[over].arg = code_len;
+        } else {
+            code[patch].arg = code_len;
+        }
+        break;
+    case N_WHILE:
+        back = code_len;
+        gen_expr(n->left);
+        patch = code_len;
+        emit(OP_JZ, 0);
+        gen_stmt(n->right);
+        emit(OP_JMP, back);
+        code[patch].arg = code_len;
+        break;
+    default:
+        gen_expr(n);
+        break;
+    }
+}
+
+void free_tree(struct node *n)
+{
+    if (n == 0)
+        return;
+    free_tree(n->left);
+    free_tree(n->right);
+    free_tree(n->third);
+    free(n);
+}
+
+/* ----- interpreter for the generated code ----- */
+
+long run_code(void)
+{
+    long stack[64];
+    long vars[32];
+    long last = 0;
+    int sp = 0;
+    int pc = 0;
+    memset(vars, 0, sizeof(vars));
+    while (pc < code_len) {
+        struct insn *in = &code[pc++];
+        switch (in->op) {
+        case OP_PUSH: stack[sp++] = in->arg; break;
+        case OP_LOAD: stack[sp++] = vars[in->arg]; break;
+        case OP_STORE: vars[in->arg] = stack[--sp]; break;
+        case OP_ADD: sp--; stack[sp - 1] += stack[sp]; break;
+        case OP_SUB: sp--; stack[sp - 1] -= stack[sp]; break;
+        case OP_MUL: sp--; stack[sp - 1] *= stack[sp]; break;
+        case OP_DIV: sp--; if (stack[sp]) stack[sp - 1] /= stack[sp]; break;
+        case OP_LT: sp--; stack[sp - 1] = stack[sp - 1] < stack[sp]; break;
+        case OP_GT: sp--; stack[sp - 1] = stack[sp - 1] > stack[sp]; break;
+        case OP_EQ: sp--; stack[sp - 1] = stack[sp - 1] == stack[sp]; break;
+        case OP_JZ: if (stack[--sp] == 0) pc = (int)in->arg; break;
+        case OP_JMP: pc = (int)in->arg; break;
+        case OP_PRINT: last = stack[--sp]; printf("%ld\n", last); break;
+        case OP_HALT: return last;
+        }
+    }
+    return last;
+}
+
+static char program_text[] =
+    "{"
+    "  n = 10;"
+    "  total = 0;"
+    "  i = 1;"
+    "  while (i < n + 1) {"
+    "    total = total + i * (2 - 1);"
+    "    i = i + 1;"
+    "  }"
+    "  if (total == 55) { print total; } else { print 0 - 1; }"
+    "}";
+
+int main(void)
+{
+    struct node *ast = parse_program(program_text);
+    ast = fold(ast);
+    gen_stmt(ast);
+    emit(OP_HALT, 0);
+    long result = run_code();
+    free_tree(ast);
+    printf("errors=%d code=%d result=%ld\n", parse_errors, code_len, result);
+    return parse_errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,185 @@
+/* compress - LZW compression/decompression over an in-memory buffer, in
+ * the style of SPECint92 compress: a code table implemented with hashing,
+ * bit-packed output, and a decompressor that rebuilds the string table. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define HSIZE 5003
+#define BITS 12
+#define MAXCODE ((1 << BITS) - 1)
+#define FIRST 257
+#define CLEAR 256
+
+static long hash_tab[HSIZE];
+static int code_tab[HSIZE];
+static int free_code;
+
+static unsigned char inbuf[4096];
+static unsigned short outbuf[4096];
+static unsigned char result[8192];
+static int in_len, out_len, result_len;
+
+/* decompressor string table */
+static int prefix_of[1 << BITS];
+static unsigned char suffix_of[1 << BITS];
+static unsigned char stack_buf[1 << BITS];
+
+void cl_hash(void)
+{
+    int i;
+    for (i = 0; i < HSIZE; i++)
+        hash_tab[i] = -1;
+    free_code = FIRST;
+}
+
+int hash_probe(int code, int c)
+{
+    long key = ((long)c << BITS) + code;
+    int h = (int)((key * 2654435761u) % HSIZE);
+    int step = h == 0 ? 1 : HSIZE - h;
+    while (hash_tab[h] != -1) {
+        if (hash_tab[h] == key)
+            return h;
+        h -= step;
+        if (h < 0)
+            h += HSIZE;
+    }
+    return h;
+}
+
+void put_code(int code)
+{
+    outbuf[out_len++] = (unsigned short)code;
+}
+
+int compress_buffer(void)
+{
+    int i;
+    int ent;
+    cl_hash();
+    out_len = 0;
+    if (in_len == 0)
+        return 0;
+    ent = inbuf[0];
+    for (i = 1; i < in_len; i++) {
+        int c = inbuf[i];
+        long key = ((long)c << BITS) + ent;
+        int h = hash_probe(ent, c);
+        if (hash_tab[h] == key) {
+            ent = code_tab[h];
+            continue;
+        }
+        put_code(ent);
+        if (free_code <= MAXCODE) {
+            hash_tab[h] = key;
+            code_tab[h] = free_code++;
+        } else {
+            put_code(CLEAR);
+            cl_hash();
+        }
+        ent = c;
+    }
+    put_code(ent);
+    return out_len;
+}
+
+void reset_table(void)
+{
+    int i;
+    for (i = 0; i < FIRST; i++) {
+        prefix_of[i] = -1;
+        suffix_of[i] = (unsigned char)i;
+    }
+    free_code = FIRST;
+}
+
+/* expand one code onto the stack; returns count of bytes */
+int expand_code(int code, unsigned char *stack)
+{
+    int sp = 0;
+    while (code >= 0 && prefix_of[code] != -1) {
+        stack[sp++] = suffix_of[code];
+        code = prefix_of[code];
+    }
+    stack[sp++] = suffix_of[code];
+    return sp;
+}
+
+void emit_reversed(unsigned char *stack, int sp)
+{
+    while (sp > 0)
+        result[result_len++] = stack[--sp];
+}
+
+int decompress_buffer(void)
+{
+    int i;
+    int old_code = -1;
+    int final_char = 0;
+    reset_table();
+    result_len = 0;
+    for (i = 0; i < out_len; i++) {
+        int code = outbuf[i];
+        int sp;
+        if (code == CLEAR) {
+            reset_table();
+            old_code = -1;
+            continue;
+        }
+        if (old_code == -1) {
+            result[result_len++] = suffix_of[code];
+            final_char = code;
+            old_code = code;
+            continue;
+        }
+        if (code >= free_code) {
+            /* KwKwK case: code not yet in table */
+            sp = expand_code(old_code, stack_buf);
+            stack_buf[sp] = stack_buf[sp - 1];
+            sp++;
+        } else {
+            sp = expand_code(code, stack_buf);
+        }
+        final_char = stack_buf[sp - 1];
+        emit_reversed(stack_buf, sp);
+        if (free_code <= MAXCODE) {
+            prefix_of[free_code] = old_code;
+            suffix_of[free_code] = (unsigned char)final_char;
+            free_code++;
+        }
+        old_code = code;
+    }
+    return result_len;
+}
+
+void fill_input(void)
+{
+    int i;
+    const char *seed = "the rain in spain stays mainly in the plain ";
+    int slen = (int)strlen(seed);
+    in_len = 2048;
+    for (i = 0; i < in_len; i++)
+        inbuf[i] = (unsigned char)seed[i % slen];
+}
+
+int verify(void)
+{
+    int i;
+    if (result_len != in_len)
+        return 0;
+    for (i = 0; i < in_len; i++)
+        if (result[i] != inbuf[i])
+            return 0;
+    return 1;
+}
+
+int main(void)
+{
+    int codes;
+    fill_input();
+    codes = compress_buffer();
+    decompress_buffer();
+    printf("in=%d codes=%d out=%d ok=%d\n", in_len, codes, result_len, verify());
+    return verify() ? 0 : 1;
+}

@@ -1,0 +1,166 @@
+/* diff - compare two text sequences using the classic LCS dynamic program,
+ * printing an edit script.  Line hashing, a table of line records, and an
+ * edit-op linked list built from heap nodes. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define MAXLINES 256
+
+struct line {
+    char *text;
+    unsigned hash;
+    int serial;
+};
+
+struct edit {
+    struct edit *next;
+    int op;                 /* 0 = keep, 1 = delete, 2 = insert */
+    int old_line;
+    int new_line;
+};
+
+static struct line file_a[MAXLINES];
+static struct line file_b[MAXLINES];
+static int len_a, len_b;
+static int lcs[MAXLINES + 1][MAXLINES + 1];
+
+unsigned hash_line(char *s)
+{
+    unsigned h = 5381;
+    while (*s)
+        h = h * 33 + (unsigned)*s++;
+    return h;
+}
+
+void add_line(struct line *file, int *len, char *text)
+{
+    struct line *l = &file[*len];
+    l->text = text;
+    l->hash = hash_line(text);
+    l->serial = *len;
+    (*len)++;
+}
+
+int lines_equal(struct line *a, struct line *b)
+{
+    if (a->hash != b->hash)
+        return 0;
+    return strcmp(a->text, b->text) == 0;
+}
+
+void compute_lcs(void)
+{
+    int i, j;
+    for (i = 0; i <= len_a; i++)
+        lcs[i][len_b] = 0;
+    for (j = 0; j <= len_b; j++)
+        lcs[len_a][j] = 0;
+    for (i = len_a - 1; i >= 0; i--) {
+        for (j = len_b - 1; j >= 0; j--) {
+            if (lines_equal(&file_a[i], &file_b[j]))
+                lcs[i][j] = lcs[i + 1][j + 1] + 1;
+            else if (lcs[i + 1][j] >= lcs[i][j + 1])
+                lcs[i][j] = lcs[i + 1][j];
+            else
+                lcs[i][j] = lcs[i][j + 1];
+        }
+    }
+}
+
+struct edit *new_edit(int op, int old_line, int new_line)
+{
+    struct edit *e = malloc(sizeof(struct edit));
+    e->next = 0;
+    e->op = op;
+    e->old_line = old_line;
+    e->new_line = new_line;
+    return e;
+}
+
+struct edit *build_script(void)
+{
+    struct edit *head = 0;
+    struct edit **tail = &head;
+    int i = 0, j = 0;
+    while (i < len_a && j < len_b) {
+        struct edit *e;
+        if (lines_equal(&file_a[i], &file_b[j])) {
+            e = new_edit(0, i, j);
+            i++; j++;
+        } else if (lcs[i + 1][j] >= lcs[i][j + 1]) {
+            e = new_edit(1, i, -1);
+            i++;
+        } else {
+            e = new_edit(2, -1, j);
+            j++;
+        }
+        *tail = e;
+        tail = &e->next;
+    }
+    while (i < len_a) {
+        *tail = new_edit(1, i++, -1);
+        tail = &(*tail)->next;
+    }
+    while (j < len_b) {
+        *tail = new_edit(2, -1, j++);
+        tail = &(*tail)->next;
+    }
+    return head;
+}
+
+int print_script(struct edit *script)
+{
+    struct edit *e;
+    int changes = 0;
+    for (e = script; e != 0; e = e->next) {
+        if (e->op == 1) {
+            printf("< %s\n", file_a[e->old_line].text);
+            changes++;
+        } else if (e->op == 2) {
+            printf("> %s\n", file_b[e->new_line].text);
+            changes++;
+        }
+    }
+    return changes;
+}
+
+void free_script(struct edit *script)
+{
+    while (script != 0) {
+        struct edit *next = script->next;
+        free(script);
+        script = next;
+    }
+}
+
+static char *sample_a[] = {
+    "alpha", "bravo", "charlie", "delta", "echo",
+    "foxtrot", "golf", "hotel", "india", 0,
+};
+static char *sample_b[] = {
+    "alpha", "charlie", "delta", "delta2", "echo",
+    "golf", "hotel", "india", "juliet", 0,
+};
+
+void load_samples(void)
+{
+    char **p;
+    for (p = sample_a; *p != 0; p++)
+        add_line(file_a, &len_a, *p);
+    for (p = sample_b; *p != 0; p++)
+        add_line(file_b, &len_b, *p);
+}
+
+int main(void)
+{
+    struct edit *script;
+    int changes;
+    load_samples();
+    compute_lcs();
+    script = build_script();
+    changes = print_script(script);
+    free_script(script);
+    printf("%d changes\n", changes);
+    return 0;
+}

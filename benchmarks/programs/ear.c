@@ -1,0 +1,158 @@
+/* ear - a human auditory model in the style of SPECfp92 ear: a cascade of
+ * second-order filter sections per cochlea channel, half-wave rectification,
+ * automatic gain control, and short-window energy output.  Lots of *small*
+ * FP loops: the paper's Table 3 shows the parallelized ear achieving only
+ * 1.42/1.63 speedup because each loop invocation is ~0.2 ms. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+
+#define NCHANNELS 64
+#define NSAMPLES 128
+#define AGC_STAGES 3
+#define WINDOW 32
+
+struct biquad {
+    double a1, a2;           /* poles */
+    double b0, b1, b2;       /* zeros */
+    double z1, z2;           /* state */
+};
+
+static double input_wave[NSAMPLES];
+static struct biquad filters[NCHANNELS];
+static double channel_out[NCHANNELS][NSAMPLES];
+static double rectified[NCHANNELS][NSAMPLES];
+static double agc_state[NCHANNELS][AGC_STAGES];
+static double energy[NCHANNELS][NSAMPLES / WINDOW];
+
+void make_input(void)
+{
+    int i;
+    for (i = 0; i < NSAMPLES; i++) {
+        double t = (double)i / NSAMPLES;
+        input_wave[i] = sin(55.0 * t) + 0.5 * sin(220.0 * t) +
+                        0.25 * sin(880.0 * t);
+    }
+}
+
+void design_filters(void)
+{
+    int ch;
+    for (ch = 0; ch < NCHANNELS; ch++) {
+        struct biquad *f = &filters[ch];
+        double cf = 0.45 * exp(-0.03 * ch);    /* center frequency */
+        double q = 4.0;
+        double r = 1.0 - cf / q;
+        f->a1 = -2.0 * r * cos(2.0 * 3.14159265 * cf);
+        f->a2 = r * r;
+        f->b0 = (1.0 - r) * 0.5;
+        f->b1 = 0.0;
+        f->b2 = -(1.0 - r) * 0.5;
+        f->z1 = f->z2 = 0.0;
+    }
+}
+
+/* run one biquad over the input; the per-call work is deliberately small */
+void filter_channel(struct biquad *f, double *in, double *out, int n)
+{
+    int i;
+    double z1 = f->z1, z2 = f->z2;
+    for (i = 0; i < n; i++) {
+        double x = in[i];
+        double y = f->b0 * x + z1;
+        z1 = f->b1 * x - f->a1 * y + z2;
+        z2 = f->b2 * x - f->a2 * y;
+        out[i] = y;
+    }
+    f->z1 = z1;
+    f->z2 = z2;
+}
+
+void rectify_channel(double *in, double *out, int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        out[i] = in[i] > 0.0 ? in[i] : 0.0;
+}
+
+double agc_step(double *state, double x)
+{
+    int s;
+    double v = x;
+    for (s = 0; s < AGC_STAGES; s++) {
+        state[s] = 0.995 * state[s] + 0.005 * v;
+        v = v / (1.0 + state[s]);
+    }
+    return v;
+}
+
+void agc_channel(double *state, double *data, int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        data[i] = agc_step(state, data[i]);
+}
+
+void window_energy(double *data, double *out, int n)
+{
+    int w, i;
+    int windows = n / WINDOW;
+    for (w = 0; w < windows; w++) {
+        double sum = 0.0;
+        double *seg = data + w * WINDOW;
+        for (i = 0; i < WINDOW; i++)
+            sum += seg[i] * seg[i];
+        out[w] = sqrt(sum / WINDOW);
+    }
+}
+
+void process_channel(int ch)
+{
+    filter_channel(&filters[ch], input_wave, channel_out[ch], NSAMPLES);
+    rectify_channel(channel_out[ch], rectified[ch], NSAMPLES);
+    agc_channel(agc_state[ch], rectified[ch], NSAMPLES);
+    window_energy(rectified[ch], energy[ch], NSAMPLES);
+}
+
+void process_all(void)
+{
+    int ch;
+    for (ch = 0; ch < NCHANNELS; ch++)
+        process_channel(ch);
+}
+
+double total_energy(void)
+{
+    int ch, w;
+    double sum = 0.0;
+    for (ch = 0; ch < NCHANNELS; ch++)
+        for (w = 0; w < NSAMPLES / WINDOW; w++)
+            sum += energy[ch][w];
+    return sum;
+}
+
+int peak_channel(void)
+{
+    int ch, best = 0;
+    double best_e = -1.0;
+    for (ch = 0; ch < NCHANNELS; ch++) {
+        double e = 0.0;
+        int w;
+        for (w = 0; w < NSAMPLES / WINDOW; w++)
+            e += energy[ch][w];
+        if (e > best_e) {
+            best_e = e;
+            best = ch;
+        }
+    }
+    return best;
+}
+
+int main(void)
+{
+    make_input();
+    design_filters();
+    process_all();
+    printf("total=%f peak=%d\n", total_energy(), peak_channel());
+    return 0;
+}

@@ -1,0 +1,266 @@
+/* eqntott - boolean equation to truth table conversion in the style of the
+ * SPECint92 benchmark: parse boolean expressions into heap trees, build
+ * truth tables by recursive evaluation, and minimize by merging compatible
+ * rows.  Pointer-chasing over expression nodes dominates. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ctype.h>
+
+#define MAXVARS 8
+#define MAXROWS 256
+
+enum ekind { E_VAR, E_NOT, E_AND, E_OR, E_XOR, E_CONST };
+
+struct expr {
+    enum ekind kind;
+    int var;                 /* E_VAR: variable index; E_CONST: value */
+    struct expr *left;
+    struct expr *right;
+};
+
+struct row {
+    unsigned char inputs[MAXVARS];   /* 0, 1, or 2 = don't care */
+    unsigned char output;
+};
+
+static const char *input_text;
+static int input_pos;
+static char var_names[MAXVARS][8];
+static int nvars;
+static struct row table[MAXROWS];
+static int nrows;
+static int parse_trouble;
+
+/* ----- parsing: or_expr := and_expr {'|' and_expr} ... ----- */
+
+struct expr *parse_or(void);
+
+int peek(void)
+{
+    while (input_text[input_pos] == ' ')
+        input_pos++;
+    return input_text[input_pos];
+}
+
+int advance(void)
+{
+    int c = peek();
+    if (c != '\0')
+        input_pos++;
+    return c;
+}
+
+struct expr *new_expr(enum ekind kind, struct expr *l, struct expr *r)
+{
+    struct expr *e = malloc(sizeof(struct expr));
+    e->kind = kind;
+    e->var = 0;
+    e->left = l;
+    e->right = r;
+    return e;
+}
+
+int var_index(const char *name)
+{
+    int i;
+    for (i = 0; i < nvars; i++)
+        if (strcmp(var_names[i], name) == 0)
+            return i;
+    strncpy(var_names[nvars], name, 7);
+    var_names[nvars][7] = '\0';
+    return nvars++;
+}
+
+struct expr *parse_atom(void)
+{
+    int c = peek();
+    if (c == '(') {
+        struct expr *e;
+        advance();
+        e = parse_or();
+        if (peek() == ')')
+            advance();
+        else
+            parse_trouble++;
+        return e;
+    }
+    if (c == '!') {
+        advance();
+        return new_expr(E_NOT, parse_atom(), 0);
+    }
+    if (c == '0' || c == '1') {
+        struct expr *e = new_expr(E_CONST, 0, 0);
+        e->var = advance() - '0';
+        return e;
+    }
+    if (isalpha(c)) {
+        char name[8];
+        int n = 0;
+        while (isalnum(peek()) && n < 7)
+            name[n++] = (char)advance();
+        name[n] = '\0';
+        {
+            struct expr *e = new_expr(E_VAR, 0, 0);
+            e->var = var_index(name);
+            return e;
+        }
+    }
+    parse_trouble++;
+    advance();
+    return new_expr(E_CONST, 0, 0);
+}
+
+struct expr *parse_xor(void)
+{
+    struct expr *left = parse_atom();
+    while (peek() == '^') {
+        advance();
+        left = new_expr(E_XOR, left, parse_atom());
+    }
+    return left;
+}
+
+struct expr *parse_and(void)
+{
+    struct expr *left = parse_xor();
+    while (peek() == '&') {
+        advance();
+        left = new_expr(E_AND, left, parse_xor());
+    }
+    return left;
+}
+
+struct expr *parse_or(void)
+{
+    struct expr *left = parse_and();
+    while (peek() == '|') {
+        advance();
+        left = new_expr(E_OR, left, parse_and());
+    }
+    return left;
+}
+
+struct expr *parse_equation(const char *text)
+{
+    input_text = text;
+    input_pos = 0;
+    return parse_or();
+}
+
+/* ----- evaluation ----- */
+
+int eval_expr(struct expr *e, unsigned char *assignment)
+{
+    switch (e->kind) {
+    case E_CONST: return e->var;
+    case E_VAR:   return assignment[e->var];
+    case E_NOT:   return !eval_expr(e->left, assignment);
+    case E_AND:   return eval_expr(e->left, assignment) & eval_expr(e->right, assignment);
+    case E_OR:    return eval_expr(e->left, assignment) | eval_expr(e->right, assignment);
+    case E_XOR:   return eval_expr(e->left, assignment) ^ eval_expr(e->right, assignment);
+    }
+    return 0;
+}
+
+void build_table(struct expr *e)
+{
+    int total = 1 << nvars;
+    int i, v;
+    unsigned char assignment[MAXVARS];
+    nrows = 0;
+    for (i = 0; i < total && nrows < MAXROWS; i++) {
+        struct row *r = &table[nrows++];
+        for (v = 0; v < nvars; v++) {
+            assignment[v] = (unsigned char)((i >> v) & 1);
+            r->inputs[v] = assignment[v];
+        }
+        r->output = (unsigned char)eval_expr(e, assignment);
+    }
+}
+
+/* two rows merge when they differ in exactly one input and agree on
+ * output; the differing input becomes a don't-care */
+int try_merge(struct row *a, struct row *b)
+{
+    int v, diff = -1;
+    if (a->output != b->output)
+        return 0;
+    for (v = 0; v < nvars; v++) {
+        if (a->inputs[v] != b->inputs[v]) {
+            if (a->inputs[v] == 2 || b->inputs[v] == 2)
+                return 0;
+            if (diff >= 0)
+                return 0;
+            diff = v;
+        }
+    }
+    if (diff < 0)
+        return 0;
+    a->inputs[diff] = 2;
+    return 1;
+}
+
+int minimize(void)
+{
+    int merged = 1;
+    int rounds = 0;
+    while (merged) {
+        int i, j;
+        merged = 0;
+        rounds++;
+        for (i = 0; i < nrows; i++) {
+            for (j = i + 1; j < nrows; j++) {
+                if (try_merge(&table[i], &table[j])) {
+                    table[j] = table[--nrows];
+                    merged = 1;
+                }
+            }
+        }
+    }
+    return rounds;
+}
+
+int count_ones(void)
+{
+    int i, n = 0;
+    for (i = 0; i < nrows; i++)
+        if (table[i].output)
+            n++;
+    return n;
+}
+
+void print_table(void)
+{
+    int i, v;
+    for (v = 0; v < nvars; v++)
+        printf("%s ", var_names[v]);
+    printf("| out\n");
+    for (i = 0; i < nrows; i++) {
+        for (v = 0; v < nvars; v++) {
+            int c = table[i].inputs[v];
+            printf("%c ", c == 2 ? '-' : '0' + c);
+        }
+        printf("| %d\n", table[i].output);
+    }
+}
+
+void free_expr(struct expr *e)
+{
+    if (e == 0)
+        return;
+    free_expr(e->left);
+    free_expr(e->right);
+    free(e);
+}
+
+int main(void)
+{
+    struct expr *eq = parse_equation("(a & b) | (!a & c) ^ (b & !c) | d");
+    build_table(eq);
+    minimize();
+    print_table();
+    printf("rows=%d ones=%d trouble=%d\n", nrows, count_ones(), parse_trouble);
+    free_expr(eq);
+    return parse_trouble == 0 ? 0 : 1;
+}

@@ -1,0 +1,204 @@
+/* football - a sports statistics program in the style of the Landi-Ryder
+ * benchmark: team and game records, standings computation, ranking with
+ * qsort and comparator function pointers, schedule strength, and report
+ * formatting. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define MAXTEAMS 28
+#define MAXGAMES 256
+
+struct team {
+    char name[24];
+    int wins, losses, ties;
+    int points_for, points_against;
+    double rating;
+    struct team *division_next;
+};
+
+struct game {
+    int home, away;
+    int home_score, away_score;
+    int week;
+};
+
+struct division {
+    char name[16];
+    struct team *members;
+    int count;
+};
+
+static struct team teams[MAXTEAMS];
+static int nteams;
+static struct game games[MAXGAMES];
+static int ngames;
+static struct division divisions[4];
+static int ndivisions;
+static struct team *ranking[MAXTEAMS];
+
+int add_team(const char *name, int division)
+{
+    struct team *t = &teams[nteams];
+    struct division *d = &divisions[division];
+    strncpy(t->name, name, sizeof(t->name) - 1);
+    t->name[sizeof(t->name) - 1] = '\0';
+    t->wins = t->losses = t->ties = 0;
+    t->points_for = t->points_against = 0;
+    t->rating = 0.0;
+    t->division_next = d->members;
+    d->members = t;
+    d->count++;
+    return nteams++;
+}
+
+int add_division(const char *name)
+{
+    struct division *d = &divisions[ndivisions];
+    strncpy(d->name, name, sizeof(d->name) - 1);
+    d->name[sizeof(d->name) - 1] = '\0';
+    d->members = 0;
+    d->count = 0;
+    return ndivisions++;
+}
+
+void add_game(int week, int home, int hs, int away, int as)
+{
+    struct game *g = &games[ngames++];
+    g->week = week;
+    g->home = home;
+    g->away = away;
+    g->home_score = hs;
+    g->away_score = as;
+}
+
+void score_game(struct game *g)
+{
+    struct team *h = &teams[g->home];
+    struct team *a = &teams[g->away];
+    h->points_for += g->home_score;
+    h->points_against += g->away_score;
+    a->points_for += g->away_score;
+    a->points_against += g->home_score;
+    if (g->home_score > g->away_score) {
+        h->wins++;
+        a->losses++;
+    } else if (g->home_score < g->away_score) {
+        a->wins++;
+        h->losses++;
+    } else {
+        h->ties++;
+        a->ties++;
+    }
+}
+
+void compute_standings(void)
+{
+    int i;
+    for (i = 0; i < ngames; i++)
+        score_game(&games[i]);
+}
+
+double win_percentage(struct team *t)
+{
+    int played = t->wins + t->losses + t->ties;
+    if (played == 0)
+        return 0.0;
+    return (t->wins + 0.5 * t->ties) / played;
+}
+
+void compute_ratings(void)
+{
+    int i;
+    for (i = 0; i < nteams; i++) {
+        struct team *t = &teams[i];
+        double pct = win_percentage(t);
+        double margin = (double)(t->points_for - t->points_against);
+        t->rating = 100.0 * pct + margin / 10.0;
+    }
+}
+
+/* comparators for qsort: ranked by rating, or by points scored */
+int by_rating(const void *a, const void *b)
+{
+    struct team *ta = *(struct team **)a;
+    struct team *tb = *(struct team **)b;
+    if (ta->rating < tb->rating) return 1;
+    if (ta->rating > tb->rating) return -1;
+    return 0;
+}
+
+int by_offense(const void *a, const void *b)
+{
+    struct team *ta = *(struct team **)a;
+    struct team *tb = *(struct team **)b;
+    return tb->points_for - ta->points_for;
+}
+
+void rank_teams(int (*cmp)(const void *, const void *))
+{
+    int i;
+    for (i = 0; i < nteams; i++)
+        ranking[i] = &teams[i];
+    qsort(ranking, nteams, sizeof(struct team *), cmp);
+}
+
+struct team *division_leader(struct division *d)
+{
+    struct team *best = 0;
+    struct team *t;
+    for (t = d->members; t != 0; t = t->division_next) {
+        if (best == 0 || t->rating > best->rating)
+            best = t;
+    }
+    return best;
+}
+
+void print_report(void)
+{
+    int i;
+    printf("%-24s %3s %3s %3s %6s\n", "TEAM", "W", "L", "T", "RATING");
+    for (i = 0; i < nteams; i++) {
+        struct team *t = ranking[i];
+        printf("%-24s %3d %3d %3d %6.1f\n",
+               t->name, t->wins, t->losses, t->ties, t->rating);
+    }
+    for (i = 0; i < ndivisions; i++) {
+        struct team *lead = division_leader(&divisions[i]);
+        if (lead != 0)
+            printf("%s leader: %s\n", divisions[i].name, lead->name);
+    }
+}
+
+void build_league(void)
+{
+    int east = add_division("East");
+    int west = add_division("West");
+    int bears = add_team("Bears", east);
+    int lions = add_team("Lions", east);
+    int packers = add_team("Packers", east);
+    int rams = add_team("Rams", west);
+    int hawks = add_team("Seahawks", west);
+    int niners = add_team("49ers", west);
+    add_game(1, bears, 21, lions, 14);
+    add_game(1, packers, 7, rams, 10);
+    add_game(1, hawks, 24, niners, 24);
+    add_game(2, bears, 17, packers, 20);
+    add_game(2, lions, 3, hawks, 31);
+    add_game(2, rams, 14, niners, 28);
+    add_game(3, bears, 10, rams, 13);
+    add_game(3, packers, 27, hawks, 20);
+    add_game(3, lions, 6, niners, 30);
+}
+
+int main(void)
+{
+    build_league();
+    compute_standings();
+    compute_ratings();
+    rank_teams(by_rating);
+    print_report();
+    rank_teams(by_offense);
+    printf("best offense: %s\n", ranking[0]->name);
+    return 0;
+}

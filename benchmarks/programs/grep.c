@@ -1,0 +1,160 @@
+/* grep - a small regular-expression line matcher in the style of the
+ * classic Unix utility: literal chars, '.', '*', '^'/'$' anchors, and
+ * character classes.  Heavy char-pointer walking. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ctype.h>
+
+#define MAXLINE 512
+#define MAXPAT 128
+
+static char pattern[MAXPAT];
+static long match_count;
+static long line_count;
+
+int match_here(char *regexp, char *text);
+
+/* match c against one pattern element starting at regexp; returns the
+ * length of the element or 0 if it does not match */
+int match_class(char *cls, int c, int *len)
+{
+    char *p = cls + 1;     /* past '[' */
+    int negate = 0;
+    int hit = 0;
+    if (*p == '^') {
+        negate = 1;
+        p++;
+    }
+    while (*p && *p != ']') {
+        if (p[1] == '-' && p[2] && p[2] != ']') {
+            if (c >= p[0] && c <= p[2])
+                hit = 1;
+            p += 3;
+        } else {
+            if (*p == c)
+                hit = 1;
+            p++;
+        }
+    }
+    *len = (int)(p - cls) + 1;
+    return negate ? !hit : hit;
+}
+
+int match_one(char *regexp, int c, int *len)
+{
+    if (*regexp == '[')
+        return match_class(regexp, c, len);
+    *len = 1;
+    if (*regexp == '.')
+        return c != '\0';
+    return *regexp == c;
+}
+
+/* match_star: search for zero or more of the leading element */
+int match_star(char *elem, int elen, char *rest, char *text)
+{
+    char *t = text;
+    do {
+        if (match_here(rest, t))
+            return 1;
+        int dummy;
+        if (!*t || !match_one(elem, *t, &dummy))
+            return 0;
+        t++;
+    } while (1);
+}
+
+int match_here(char *regexp, char *text)
+{
+    int len;
+    if (regexp[0] == '\0')
+        return 1;
+    if (regexp[0] == '$' && regexp[1] == '\0')
+        return *text == '\0';
+    if (regexp[0] != '[' ) {
+        if (regexp[1] == '*')
+            return match_star(regexp, 1, regexp + 2, text);
+    } else {
+        int dummy;
+        match_one(regexp, *text ? *text : 'x', &len);
+        if (regexp[len] == '*')
+            return match_star(regexp, len, regexp + len + 1, text);
+    }
+    if (match_one(regexp, *text, &len) && *text)
+        return match_here(regexp + len, text + len > text ? text + 1 : text);
+    return 0;
+}
+
+int match(char *regexp, char *text)
+{
+    if (regexp[0] == '^')
+        return match_here(regexp + 1, text);
+    do {
+        if (match_here(regexp, text))
+            return 1;
+    } while (*text++ != '\0');
+    return 0;
+}
+
+/* strip the trailing newline, returning the line length */
+int chomp(char *line)
+{
+    int n = (int)strlen(line);
+    if (n > 0 && line[n - 1] == '\n') {
+        line[n - 1] = '\0';
+        n--;
+    }
+    return n;
+}
+
+void grep_stream(FILE *f, char *pat, int invert)
+{
+    char line[MAXLINE];
+    while (fgets(line, MAXLINE, f) != NULL) {
+        line_count++;
+        chomp(line);
+        int hit = match(pat, line);
+        if (invert)
+            hit = !hit;
+        if (hit) {
+            match_count++;
+            puts(line);
+        }
+    }
+}
+
+/* a tiny built-in corpus so the benchmark is self-contained */
+static char *corpus[] = {
+    "the quick brown fox",
+    "jumps over the lazy dog",
+    "pack my box with five dozen liquor jugs",
+    "how vexingly quick daft zebras jump",
+    "sphinx of black quartz judge my vow",
+    0,
+};
+
+void grep_corpus(char *pat)
+{
+    char **lp;
+    char buf[MAXLINE];
+    for (lp = corpus; *lp != 0; lp++) {
+        line_count++;
+        strcpy(buf, *lp);
+        if (match(pat, buf)) {
+            match_count++;
+        }
+    }
+}
+
+int main(int argc, char **argv)
+{
+    char *pat = "qu.*k";
+    if (argc > 1)
+        pat = argv[1];
+    strncpy(pattern, pat, MAXPAT - 1);
+    pattern[MAXPAT - 1] = '\0';
+    grep_corpus(pattern);
+    printf("%ld of %ld lines matched\n", match_count, line_count);
+    return match_count > 0 ? 0 : 1;
+}

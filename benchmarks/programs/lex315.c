@@ -1,0 +1,186 @@
+/* lex315 - a miniature lexer generator: compiles a set of token patterns
+ * into an NFA, converts to a DFA-ish transition table, and scans input.
+ * Modeled on the Landi-Ryder lex benchmark: tables, state structs, and
+ * pointer-linked transition lists. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ctype.h>
+
+#define MAXSTATES 128
+#define MAXTOKENS 16
+#define ALPHABET 128
+
+struct transition {
+    struct transition *next;
+    int on_char;            /* -1 for epsilon */
+    int target;
+};
+
+struct state {
+    struct transition *edges;
+    int accepting;          /* token id + 1, or 0 */
+};
+
+struct token_def {
+    char *name;
+    char *pattern;
+};
+
+static struct state states[MAXSTATES];
+static int nstates;
+static int start_state;
+
+static struct token_def tokens[MAXTOKENS] = {
+    { "NUMBER", "dd*" },      /* d = digit */
+    { "IDENT",  "aw*" },      /* a = alpha, w = alnum */
+    { "WHITE",  "ss*" },      /* s = space */
+    { "PLUS",   "+" },
+    { "STAR",   "*" },
+    { 0, 0 },
+};
+
+int new_state(void)
+{
+    struct state *s = &states[nstates];
+    s->edges = 0;
+    s->accepting = 0;
+    return nstates++;
+}
+
+void add_edge(int from, int on_char, int target)
+{
+    struct transition *t = malloc(sizeof(struct transition));
+    t->on_char = on_char;
+    t->target = target;
+    t->next = states[from].edges;
+    states[from].edges = t;
+}
+
+int class_matches(int cls, int c)
+{
+    switch (cls) {
+    case 'd': return isdigit(c);
+    case 'a': return isalpha(c);
+    case 'w': return isalnum(c);
+    case 's': return isspace(c);
+    default:  return cls == c;
+    }
+}
+
+/* compile one pattern into the NFA; returns its entry state */
+int compile_pattern(char *pat, int token_id)
+{
+    int entry = new_state();
+    int cur = entry;
+    char *p;
+    for (p = pat; *p; p++) {
+        if (p[1] == '*') {
+            /* self loop on the class */
+            add_edge(cur, *p, cur);
+            p++;
+        } else {
+            int nxt = new_state();
+            add_edge(cur, *p, nxt);
+            cur = nxt;
+        }
+    }
+    states[cur].accepting = token_id + 1;
+    return entry;
+}
+
+void build_automaton(void)
+{
+    int i;
+    start_state = new_state();
+    for (i = 0; tokens[i].name != 0; i++) {
+        int entry = compile_pattern(tokens[i].pattern, i);
+        add_edge(start_state, -1, entry);
+    }
+}
+
+/* step: follow one character from a state set (list of ints) */
+int step_from(int state, int c)
+{
+    struct transition *t;
+    for (t = states[state].edges; t != 0; t = t->next) {
+        if (t->on_char >= 0 && class_matches(t->on_char, c))
+            return t->target;
+    }
+    return -1;
+}
+
+/* longest-match scan of one token starting at *textp */
+int scan_token(char **textp)
+{
+    char *text = *textp;
+    struct transition *e;
+    int best = -1;
+    char *best_end = text;
+    for (e = states[start_state].edges; e != 0; e = e->next) {
+        int st = e->target;
+        char *p = text;
+        while (*p) {
+            int nxt = step_from(st, *p);
+            if (nxt < 0)
+                break;
+            st = nxt;
+            p++;
+        }
+        if (states[st].accepting && p > best_end) {
+            best = states[st].accepting - 1;
+            best_end = p;
+        } else if (states[st].accepting && best < 0 && p > text) {
+            best = states[st].accepting - 1;
+            best_end = p;
+        }
+    }
+    if (best < 0) {
+        (*textp)++;   /* skip bad char */
+        return -1;
+    }
+    *textp = best_end;
+    return best;
+}
+
+int lex_all(char *text, int *counts)
+{
+    int total = 0;
+    char *p = text;
+    while (*p) {
+        int tok = scan_token(&p);
+        if (tok >= 0) {
+            counts[tok]++;
+            total++;
+        }
+    }
+    return total;
+}
+
+void free_edges(void)
+{
+    int i;
+    for (i = 0; i < nstates; i++) {
+        struct transition *t = states[i].edges;
+        while (t != 0) {
+            struct transition *next = t->next;
+            free(t);
+            t = next;
+        }
+        states[i].edges = 0;
+    }
+}
+
+int main(void)
+{
+    int counts[MAXTOKENS];
+    int i, total;
+    char input[] = "x1 + y22 * 31415  foo9*bar + 7";
+    memset(counts, 0, sizeof(counts));
+    build_automaton();
+    total = lex_all(input, counts);
+    for (i = 0; tokens[i].name != 0; i++)
+        printf("%-8s %d\n", tokens[i].name, counts[i]);
+    free_edges();
+    return total > 0 ? 0 : 1;
+}

@@ -1,0 +1,204 @@
+/* loader - a toy object-file loader/linker: parses object records from a
+ * byte stream, builds symbol and section tables (hash table + linked
+ * lists), resolves relocations, and "loads" segments into a flat memory
+ * image.  Pointer-heavy systems code in the Landi-Ryder loader style. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define SYMHASH 64
+#define MEMSIZE 8192
+#define MAXSECT 16
+
+struct symbol {
+    struct symbol *next;     /* hash chain */
+    char name[16];
+    int section;
+    int offset;
+    int defined;
+};
+
+struct reloc {
+    struct reloc *next;
+    int section;
+    int offset;
+    char target[16];
+};
+
+struct section {
+    char name[12];
+    int base;                /* load address */
+    int size;
+    unsigned char *data;
+};
+
+static struct symbol *symtab[SYMHASH];
+static struct reloc *relocs;
+static struct section sections[MAXSECT];
+static int nsections;
+static unsigned char memory[MEMSIZE];
+static int load_ptr;
+static int errors;
+
+unsigned sym_hash(const char *name)
+{
+    unsigned h = 0;
+    while (*name)
+        h = h * 31 + (unsigned char)*name++;
+    return h % SYMHASH;
+}
+
+struct symbol *sym_lookup(const char *name, int create)
+{
+    unsigned h = sym_hash(name);
+    struct symbol *s;
+    for (s = symtab[h]; s != 0; s = s->next)
+        if (strcmp(s->name, name) == 0)
+            return s;
+    if (!create)
+        return 0;
+    s = malloc(sizeof(struct symbol));
+    strncpy(s->name, name, sizeof(s->name) - 1);
+    s->name[sizeof(s->name) - 1] = '\0';
+    s->section = -1;
+    s->offset = 0;
+    s->defined = 0;
+    s->next = symtab[h];
+    symtab[h] = s;
+    return s;
+}
+
+int define_symbol(const char *name, int section, int offset)
+{
+    struct symbol *s = sym_lookup(name, 1);
+    if (s->defined) {
+        errors++;
+        return -1;
+    }
+    s->defined = 1;
+    s->section = section;
+    s->offset = offset;
+    return 0;
+}
+
+int add_section(const char *name, unsigned char *data, int size)
+{
+    struct section *sec = &sections[nsections];
+    strncpy(sec->name, name, sizeof(sec->name) - 1);
+    sec->name[sizeof(sec->name) - 1] = '\0';
+    sec->data = data;
+    sec->size = size;
+    sec->base = -1;
+    return nsections++;
+}
+
+void add_reloc(int section, int offset, const char *target)
+{
+    struct reloc *r = malloc(sizeof(struct reloc));
+    r->section = section;
+    r->offset = offset;
+    strncpy(r->target, target, sizeof(r->target) - 1);
+    r->target[sizeof(r->target) - 1] = '\0';
+    r->next = relocs;
+    relocs = r;
+}
+
+/* assign load addresses and copy section data into the image */
+void layout_and_load(void)
+{
+    int i;
+    for (i = 0; i < nsections; i++) {
+        struct section *sec = &sections[i];
+        sec->base = load_ptr;
+        if (sec->data != 0)
+            memcpy(memory + load_ptr, sec->data, sec->size);
+        else
+            memset(memory + load_ptr, 0, sec->size);
+        load_ptr += (sec->size + 3) & ~3;   /* word align */
+    }
+}
+
+int symbol_address(struct symbol *s)
+{
+    if (!s->defined || s->section < 0)
+        return -1;
+    return sections[s->section].base + s->offset;
+}
+
+void apply_relocs(void)
+{
+    struct reloc *r;
+    for (r = relocs; r != 0; r = r->next) {
+        struct symbol *s = sym_lookup(r->target, 0);
+        int addr;
+        unsigned char *patch;
+        if (s == 0 || !s->defined) {
+            errors++;
+            continue;
+        }
+        addr = symbol_address(s);
+        patch = memory + sections[r->section].base + r->offset;
+        patch[0] = (unsigned char)(addr & 0xff);
+        patch[1] = (unsigned char)((addr >> 8) & 0xff);
+    }
+}
+
+int count_undefined(void)
+{
+    int i, n = 0;
+    struct symbol *s;
+    for (i = 0; i < SYMHASH; i++)
+        for (s = symtab[i]; s != 0; s = s->next)
+            if (!s->defined)
+                n++;
+    return n;
+}
+
+void free_all(void)
+{
+    int i;
+    struct reloc *r = relocs;
+    while (r != 0) {
+        struct reloc *next = r->next;
+        free(r);
+        r = next;
+    }
+    for (i = 0; i < SYMHASH; i++) {
+        struct symbol *s = symtab[i];
+        while (s != 0) {
+            struct symbol *next = s->next;
+            free(s);
+            s = next;
+        }
+        symtab[i] = 0;
+    }
+}
+
+/* a tiny synthetic "object file" */
+static unsigned char text_data[32] = { 0x90, 0x90, 0xe8, 0, 0, 0xc3 };
+static unsigned char data_data[16] = { 1, 2, 3, 4 };
+
+void build_input(void)
+{
+    int text = add_section(".text", text_data, sizeof(text_data));
+    int data = add_section(".data", data_data, sizeof(data_data));
+    int bss = add_section(".bss", 0, 64);
+    define_symbol("start", text, 0);
+    define_symbol("table", data, 0);
+    define_symbol("buffer", bss, 0);
+    add_reloc(text, 3, "table");
+    add_reloc(text, 8, "buffer");
+    sym_lookup("external_thing", 1);   /* referenced, never defined */
+    add_reloc(data, 0, "external_thing");
+}
+
+int main(void)
+{
+    build_input();
+    layout_and_load();
+    apply_relocs();
+    printf("sections=%d load=%d errors=%d undefined=%d\n",
+           nsections, load_ptr, errors, count_undefined());
+    free_all();
+    return errors == 1 ? 0 : 1;   /* exactly the planted undefined ref */
+}

@@ -1,0 +1,290 @@
+/* simulator - an instruction-level CPU simulator: decode via a function-
+ * pointer dispatch table, simulated memory with an MMU-ish page table,
+ * a device layer behind I/O handler pointers, and statistics.  This is
+ * the largest Table-2 row, and stresses indirect calls. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define NREGS 8
+#define PAGEBITS 6
+#define PAGESIZE (1 << PAGEBITS)
+#define NPAGES 16
+#define MEMWORDS (NPAGES * PAGESIZE)
+#define NDEVICES 4
+
+/* ----- machine state ----- */
+
+struct cpu {
+    long regs[NREGS];
+    int pc;
+    int halted;
+    long cycles;
+};
+
+struct page {
+    long *frame;             /* backing storage, or 0 if unmapped */
+    int dirty;
+    int referenced;
+};
+
+struct device {
+    const char *name;
+    long (*read_fn)(int unit);
+    void (*write_fn)(int unit, long value);
+    long last_value;
+};
+
+static struct cpu cpu;
+static struct page page_table[NPAGES];
+static long phys_mem[MEMWORDS];
+static struct device devices[NDEVICES];
+static long instr_counts[16];
+
+/* ----- memory system ----- */
+
+long *resolve(int addr)
+{
+    int page = (addr >> PAGEBITS) & (NPAGES - 1);
+    int offset = addr & (PAGESIZE - 1);
+    struct page *p = &page_table[page];
+    if (p->frame == 0) {
+        p->frame = &phys_mem[page * PAGESIZE];   /* demand map */
+    }
+    p->referenced = 1;
+    return p->frame + offset;
+}
+
+long mem_read(int addr)
+{
+    return *resolve(addr);
+}
+
+void mem_write(int addr, long value)
+{
+    int page = (addr >> PAGEBITS) & (NPAGES - 1);
+    long *cell = resolve(addr);
+    page_table[page].dirty = 1;
+    *cell = value;
+}
+
+/* ----- devices ----- */
+
+static long console_buffer;
+
+long console_read(int unit)
+{
+    return console_buffer;
+}
+
+void console_write(int unit, long value)
+{
+    console_buffer = value;
+    devices[unit].last_value = value;
+}
+
+static long counter_ticks;
+
+long counter_read(int unit)
+{
+    return counter_ticks++;
+}
+
+void counter_write(int unit, long value)
+{
+    counter_ticks = value;
+}
+
+long null_read(int unit)
+{
+    return 0;
+}
+
+void null_write(int unit, long value)
+{
+    devices[unit].last_value = value;
+}
+
+void init_devices(void)
+{
+    devices[0].name = "console";
+    devices[0].read_fn = console_read;
+    devices[0].write_fn = console_write;
+    devices[1].name = "counter";
+    devices[1].read_fn = counter_read;
+    devices[1].write_fn = counter_write;
+    devices[2].name = "null";
+    devices[2].read_fn = null_read;
+    devices[2].write_fn = null_write;
+    devices[3].name = "null2";
+    devices[3].read_fn = null_read;
+    devices[3].write_fn = null_write;
+}
+
+long dev_read(int unit)
+{
+    struct device *d = &devices[unit & (NDEVICES - 1)];
+    return d->read_fn(unit & (NDEVICES - 1));
+}
+
+void dev_write(int unit, long value)
+{
+    struct device *d = &devices[unit & (NDEVICES - 1)];
+    d->write_fn(unit & (NDEVICES - 1), value);
+}
+
+/* ----- instruction set: fields op|r1|r2|imm ----- */
+
+#define GET_OP(w)  (((w) >> 12) & 0xf)
+#define GET_R1(w)  (((w) >> 9) & 0x7)
+#define GET_R2(w)  (((w) >> 6) & 0x7)
+#define GET_IMM(w) ((w) & 0x3f)
+
+typedef void (*handler_fn)(int word);
+
+void op_halt(int word)
+{
+    cpu.halted = 1;
+}
+
+void op_loadi(int word)
+{
+    cpu.regs[GET_R1(word)] = GET_IMM(word);
+}
+
+void op_mov(int word)
+{
+    cpu.regs[GET_R1(word)] = cpu.regs[GET_R2(word)];
+}
+
+void op_add(int word)
+{
+    cpu.regs[GET_R1(word)] += cpu.regs[GET_R2(word)];
+}
+
+void op_sub(int word)
+{
+    cpu.regs[GET_R1(word)] -= cpu.regs[GET_R2(word)];
+}
+
+void op_load(int word)
+{
+    cpu.regs[GET_R1(word)] = mem_read((int)cpu.regs[GET_R2(word)]);
+}
+
+void op_store(int word)
+{
+    mem_write((int)cpu.regs[GET_R2(word)], cpu.regs[GET_R1(word)]);
+}
+
+void op_jmp(int word)
+{
+    cpu.pc = GET_IMM(word);
+}
+
+void op_jnz(int word)
+{
+    if (cpu.regs[GET_R1(word)] != 0)
+        cpu.pc = GET_IMM(word);
+}
+
+void op_in(int word)
+{
+    cpu.regs[GET_R1(word)] = dev_read(GET_IMM(word));
+}
+
+void op_out(int word)
+{
+    dev_write(GET_IMM(word), cpu.regs[GET_R1(word)]);
+}
+
+void op_nop(int word)
+{
+}
+
+static handler_fn dispatch[16];
+
+void init_dispatch(void)
+{
+    int i;
+    for (i = 0; i < 16; i++)
+        dispatch[i] = op_nop;
+    dispatch[0] = op_halt;
+    dispatch[1] = op_loadi;
+    dispatch[2] = op_mov;
+    dispatch[3] = op_add;
+    dispatch[4] = op_sub;
+    dispatch[5] = op_load;
+    dispatch[6] = op_store;
+    dispatch[7] = op_jmp;
+    dispatch[8] = op_jnz;
+    dispatch[9] = op_in;
+    dispatch[10] = op_out;
+}
+
+/* ----- the fetch/decode/execute loop ----- */
+
+void step(void)
+{
+    int word = (int)mem_read(cpu.pc);
+    int op = GET_OP(word);
+    cpu.pc++;
+    instr_counts[op]++;
+    cpu.cycles += (op == 5 || op == 6) ? 3 : 1;
+    dispatch[op](word);
+}
+
+long run(int max_steps)
+{
+    int i;
+    cpu.halted = 0;
+    cpu.pc = 0;
+    for (i = 0; i < max_steps && !cpu.halted; i++)
+        step();
+    return cpu.cycles;
+}
+
+/* ----- a small test program: sum 1..10 then print via console ----- */
+
+#define INSTR(op, r1, r2, imm) \
+    (((op) << 12) | ((r1) << 9) | ((r2) << 6) | (imm))
+
+void load_test_program(void)
+{
+    int code[] = {
+        INSTR(1, 0, 0, 0),    /* loadi r0, 0   ; sum */
+        INSTR(1, 1, 0, 10),   /* loadi r1, 10  ; counter */
+        INSTR(3, 0, 1, 0),    /* add r0, r1 */
+        INSTR(1, 2, 0, 1),    /* loadi r2, 1 */
+        INSTR(4, 1, 2, 0),    /* sub r1, r2 */
+        INSTR(8, 1, 0, 2),    /* jnz r1, 2 */
+        INSTR(10, 0, 0, 0),   /* out 0, r0 */
+        INSTR(0, 0, 0, 0),    /* halt */
+    };
+    int i;
+    for (i = 0; i < (int)(sizeof(code) / sizeof(code[0])); i++)
+        mem_write(i, code[i]);
+}
+
+void report(void)
+{
+    int i, pages = 0;
+    for (i = 0; i < NPAGES; i++)
+        if (page_table[i].frame != 0)
+            pages++;
+    printf("cycles=%ld console=%ld pages=%d\n",
+           cpu.cycles, console_buffer, pages);
+    for (i = 0; i < 16; i++)
+        if (instr_counts[i] != 0)
+            printf("  op%-2d x%ld\n", i, instr_counts[i]);
+}
+
+int main(void)
+{
+    init_devices();
+    init_dispatch();
+    load_test_program();
+    run(1000);
+    report();
+    return console_buffer == 55 ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Context sensitivity in action: the paper's Figure 1 program, plus the
+comparison against a context-insensitive baseline.
+
+Shows:
+* one PTF serving two call sites with the same alias pattern (S1, S2);
+* a second PTF for the aliased call (S3) — Figures 3 and 4;
+* the precision gap versus Andersen's analysis (unrealizable paths).
+
+Run:  python examples/context_sensitivity.py
+"""
+
+from repro import analyze_source, load_program
+from repro.baselines import andersen_analyze, steensgaard_analyze
+
+FIG1 = """
+int x, y, z;
+int *x0, *y0, *z0;
+
+void f(int **p, int **q, int **r) {
+    *p = *q;
+    *q = *r;
+}
+
+int main(void) {
+    int test1 = 1, test2 = 0;
+    x0 = &x; y0 = &y; z0 = &z;
+    if (test1)
+        f(&x0, &y0, &z0);      /* S1: no aliases among inputs  */
+    else if (test2)
+        f(&z0, &x0, &y0);      /* S2: same pattern as S1       */
+    else
+        f(&x0, &y0, &x0);      /* S3: p and r alias            */
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    wl = analyze_source(FIG1, "fig1.c")
+
+    print("== partial transfer functions for f ==")
+    for i, ptf in enumerate(wl.ptfs_of("f"), 1):
+        print(f"--- PTF {i} ---")
+        print(ptf.describe())
+        print()
+
+    print(f"f has {len(wl.ptfs_of('f'))} PTFs for 3 call sites "
+          f"(S1 and S2 share one: same alias pattern)")
+    print()
+
+    print("== whole-program pointer values (Wilson-Lam) ==")
+    for var in ("x0", "y0", "z0"):
+        print(f"  {var} -> {sorted(wl.points_to_names('main', var))}")
+    print()
+
+    andersen = andersen_analyze(load_program(FIG1, "fig1.c"))
+    steens = steensgaard_analyze(load_program(FIG1, "fig1.c"))
+    print("== the precision spectrum ==")
+    print(f"{'var':<4} {'Wilson-Lam':<18} {'Andersen':<18} {'Steensgaard':<18}")
+    for var in ("x0", "y0", "z0"):
+        print(
+            f"{var:<4} "
+            f"{str(sorted(wl.points_to_names('main', var))):<18} "
+            f"{str(sorted(andersen.points_to_names('main', var))):<18} "
+            f"{str(sorted(steens.points_to_names('main', var))):<18}"
+        )
+    print()
+    print("Context sensitivity keeps S2's aliases out of S1's results —")
+    print("the 'unrealizable paths' the paper's introduction describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Function-pointer resolution and call-graph extraction (§5.1).
+
+A device-dispatch table in the style of systems C code: the analysis
+resolves indirect calls through the points-to results, the call graph
+includes the discovered edges, and callbacks registered with qsort are
+analyzed like ordinary calls.
+
+Run:  python examples/function_pointers.py
+"""
+
+from repro import analyze_source
+
+SOURCE = """
+#include <stdlib.h>
+
+struct device {
+    const char *name;
+    int (*read_fn)(int unit);
+    void (*write_fn)(int unit, int value);
+};
+
+static int console_state;
+static int disk_state;
+
+int console_read(int unit) { return console_state; }
+void console_write(int unit, int v) { console_state = v; }
+int disk_read(int unit) { return disk_state; }
+void disk_write(int unit, int v) { disk_state = v; }
+
+static struct device devices[2];
+
+void init(void) {
+    devices[0].name = "console";
+    devices[0].read_fn = console_read;
+    devices[0].write_fn = console_write;
+    devices[1].name = "disk";
+    devices[1].read_fn = disk_read;
+    devices[1].write_fn = disk_write;
+}
+
+int dispatch_read(int unit) {
+    return devices[unit].read_fn(unit);
+}
+
+void dispatch_write(int unit, int v) {
+    devices[unit].write_fn(unit, v);
+}
+
+/* a qsort comparator: invoked through the library summary */
+int *last_compared;
+int cmp(const void *a, const void *b) {
+    last_compared = (int *)a;
+    return *(int *)a - *(int *)b;
+}
+
+int main(void) {
+    int table[8];
+    init();
+    dispatch_write(0, 42);
+    int v = dispatch_read(1);
+    qsort(table, 8, sizeof(int), cmp);
+    return v;
+}
+"""
+
+
+def main() -> None:
+    result = analyze_source(SOURCE, "devices.c")
+
+    print("== resolved call graph (indirect edges included) ==")
+    graph = result.call_graph()
+    for caller in sorted(graph):
+        callees = sorted(graph[caller])
+        if callees:
+            print(f"  {caller:<16} -> {', '.join(callees)}")
+
+    print()
+    print("== the dispatch sites see both devices ==")
+    assert graph["dispatch_read"] >= {"console_read", "disk_read"}
+    assert graph["dispatch_write"] >= {"console_write", "disk_write"}
+    print("  dispatch_read resolves to console_read and disk_read")
+    print("  dispatch_write resolves to console_write and disk_write")
+
+    print()
+    print("== callback analyzed through the qsort summary ==")
+    targets = sorted(result.points_to_names("main", "last_compared"))
+    print(f"  last_compared -> {targets}")
+    assert any("table" in t for t in targets)
+
+    print()
+    print("== function-pointer values become part of PTF input domains ==")
+    for ptf in result.ptfs_of("dispatch_read"):
+        for param, procs in ptf.fnptr_domain.items():
+            print(f"  {param.name} may be: {sorted(procs)}")
+
+
+if __name__ == "__main__":
+    main()

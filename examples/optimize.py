@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""A second optimizer client: dead stores and redundant loads.
+
+The paper's closing point is that the same points-to results serve many
+compiler passes.  This example shows the precision of the analysis turning
+directly into optimization opportunities — and how an imprecise analysis
+would suppress them.
+
+Run:  python examples/optimize.py
+"""
+
+from repro import analyze_source
+from repro.clients import find_dead_stores, find_redundant_loads
+from repro.ir.dot import points_to_graph_to_dot
+
+SOURCE = """
+int config_a, config_b;
+
+/* The pointer analysis proves dst and log_slot never alias, so the reload
+ * of *dst after the store through log_slot is redundant, and the first
+ * store through dst is dead. */
+void configure(int **dst, int **log_slot) {
+    *dst = &config_a;         /* dead store: overwritten below        */
+    *dst = &config_b;
+    int *snapshot = *dst;
+    *log_slot = &config_a;    /* provably does not alias *dst         */
+    int *again = *dst;        /* redundant load: nothing changed *dst */
+}
+
+int main(void) {
+    int *target;
+    int *log_entry;
+    configure(&target, &log_entry);
+    return target != 0;
+}
+"""
+
+
+def main() -> None:
+    result = analyze_source(SOURCE, "optimize.c")
+
+    print("== dead stores ==")
+    for finding in find_dead_stores(result):
+        print(f"  {finding}")
+
+    print()
+    print("== redundant loads ==")
+    for finding in find_redundant_loads(result):
+        print(f"  {finding}")
+
+    print()
+    print("== why: the PTF for configure() ==")
+    for ptf in result.ptfs_of("configure"):
+        print("  " + ptf.describe().replace("\n", "\n  "))
+
+    print()
+    print("== the same facts as a Figure-3-style graph (graphviz DOT) ==")
+    dot = points_to_graph_to_dot(result, "configure")
+    print("\n".join("  " + line for line in dot.splitlines()[:12]))
+    print("  ... (pipe through `dot -Tpng` to render)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""The paper's contribution: the context-sensitive analysis itself."""
+
+from .engine import Analyzer, AnalyzerOptions, analyze
+from .ptf import PTF, InitialEntry, ParamMap
+from .results import AnalysisResult, PTFStats, run_analysis
+
+__all__ = [
+    "Analyzer",
+    "AnalyzerOptions",
+    "analyze",
+    "PTF",
+    "ParamMap",
+    "InitialEntry",
+    "AnalysisResult",
+    "PTFStats",
+    "run_analysis",
+]

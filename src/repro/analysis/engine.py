@@ -1,0 +1,181 @@
+"""The analysis engine: options, driver, and top-level entry point.
+
+``analyze(program)`` runs the Wilson-Lam analysis starting from ``main``
+(§2.3): an iterative intraprocedural analysis of ``main`` that recursively
+analyzes callees on demand, creating partial transfer functions lazily and
+reusing them whenever the input aliases match.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..frontend.ctypes_model import WORD_SIZE
+from ..ir.program import Procedure, Program
+from ..memory.blocks import GlobalBlock, HeapBlock
+from ..memory.locset import LocationSet
+from .context import Frame, RootFrame
+from .interproc import InterproceduralMixin
+from .intra import ProcEvaluator
+from .libc import LibcSummaries
+from .ptf import PTF, ParamMap
+
+__all__ = ["AnalyzerOptions", "Analyzer", "analyze"]
+
+
+@dataclass
+class AnalyzerOptions:
+    """Tunable knobs, including the ablation switches DESIGN.md calls out."""
+
+    #: points-to state representation: "sparse" (the paper's §4.2 scheme)
+    #: or "dense" (the reference implementation)
+    state_kind: str = "sparse"
+    #: what to do with calls to unknown external functions:
+    #: "havoc" (conservative) or "ignore" (optimistic)
+    external_policy: str = "havoc"
+    #: iteration budget per procedure evaluation (safety valve)
+    max_passes: int = 200
+    #: fixpoint iterations for recursive cycles
+    max_recursion_iters: int = 50
+    #: soft cap on PTFs per procedure; beyond it, reuse is forced by
+    #: merging into the procedure's first PTF (§8's suggested generalization)
+    ptf_limit: int = 64
+    #: heap-naming context depth (§3): 0 = static allocation site only (the
+    #: paper's choice); k > 0 appends up to k call-chain edges, the
+    #: Choi-style scheme the paper discusses as more precise but heavier
+    heap_context_depth: int = 0
+    #: disable strong updates entirely (ablation)
+    strong_updates: bool = True
+    #: when False, skip the offset-based reuse of an aliased parameter and
+    #: always merge aliased parameters into a fresh one (ablation for the
+    #: §3.2 design choice; more parameters, coarser targets)
+    subsumption: bool = True
+    #: when False, never reuse a PTF across call sites — every calling
+    #: context gets its own summary, reproducing Emami et al.'s
+    #: reanalyze-per-context behaviour (§6); expect invocation-graph-sized
+    #: PTF counts and analysis blow-up
+    reuse_ptfs: bool = True
+
+
+class Analyzer(InterproceduralMixin):
+    """Analysis engine and shared interprocedural state."""
+
+    def __init__(self, program: Program, options: Optional[AnalyzerOptions] = None) -> None:
+        self.program = program
+        self.options = options or AnalyzerOptions()
+        self.libc = LibcSummaries()
+        self.stack: list[Frame] = []
+        self.ptfs: dict[str, list[PTF]] = {}
+        self._ptf_by_uid: dict[int, PTF] = {}
+        self._heap_blocks: dict[str, HeapBlock] = {}
+        self._libc_statics: dict[str, GlobalBlock] = {}
+        self.root = RootFrame(self)
+        self.main_frame: Optional[Frame] = None
+        self.elapsed_seconds: float = 0.0
+        self.stats: dict[str, int] = {
+            "ptf_created": 0,
+            "ptf_reuses": 0,
+            "ptf_home_updates": 0,
+            "ptf_analyses": 0,
+            "recursive_calls": 0,
+            "external_calls": 0,
+            "libc_calls": 0,
+        }
+
+    # -- shared allocation ----------------------------------------------
+
+    def heap_block(self, site: str, chain: tuple = ()) -> HeapBlock:
+        key = (site, tuple(chain))
+        block = self._heap_blocks.get(key)
+        if block is None:
+            block = HeapBlock(site, chain)
+            self._heap_blocks[key] = block
+        return block
+
+    def rekey_heap(self, block: HeapBlock, call_site: str) -> HeapBlock:
+        """Choi-style heap naming (§3): when a heap value crosses a call
+        boundary back into the caller, prepend the call edge to its
+        allocation context, bounded by ``heap_context_depth``."""
+        depth = self.options.heap_context_depth
+        if depth <= 0:
+            return block
+        chain = (call_site,) + block.chain
+        chain = chain[:depth]
+        if chain == block.chain:
+            return block
+        rekeyed = self.heap_block(block.site, chain)
+        # pointer-location registrations travel with the block name
+        for off_stride in block.pointer_locations:
+            rekeyed.register_pointer_location(*off_stride)
+        return rekeyed
+
+    def libc_static_block(self, tag: str) -> GlobalBlock:
+        block = self._libc_statics.get(tag)
+        if block is None:
+            block = GlobalBlock(f"<libc:{tag}>")
+            self._libc_statics[tag] = block
+        return block
+
+    def new_ptf(self, proc: Procedure) -> PTF:
+        ptf = PTF(proc, state_kind=self.options.state_kind)
+        self.ptfs.setdefault(proc.name, []).append(ptf)
+        self._ptf_by_uid[ptf.uid] = ptf
+        return ptf
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self) -> "Analyzer":
+        start = time.perf_counter()
+        self.program.finalize()
+        main = self.program.main
+        ptf = self.new_ptf(main)
+        param_map = self._main_param_map(main)
+        frame = Frame(self, main, ptf, param_map, None, self.root)
+        self.main_frame = frame
+        ptf.current_map = param_map
+        ptf.analyzing = True
+        self.stack.append(frame)
+        try:
+            ProcEvaluator(self, frame).run()
+        finally:
+            self.stack.pop()
+            ptf.analyzing = False
+        ptf.summary()
+        self.elapsed_seconds = time.perf_counter() - start
+        return self
+
+    def _main_param_map(self, main: Procedure) -> ParamMap:
+        """Bind main's formals: argc is scalar, argv points at the synthetic
+        argument vector."""
+        param_map = ParamMap()
+        for i, formal in enumerate(main.formals):
+            if i == 1:
+                argv = LocationSet(self.root.argv_array, 0, 0)
+                param_map.actuals[formal.name] = ((0, 0, frozenset({argv})),)
+            elif i == 2:  # envp
+                envp = LocationSet(self.root.argv_array, 0, 0)
+                param_map.actuals[formal.name] = ((0, 0, frozenset({envp})),)
+            else:
+                param_map.actuals[formal.name] = tuple()
+        return param_map
+
+    # -- statistics (Table 2 columns) -------------------------------------
+
+    def procedures_analyzed(self) -> int:
+        return len(self.ptfs)
+
+    def average_ptfs(self) -> float:
+        counts = [len(v) for v in self.ptfs.values() if v]
+        if not counts:
+            return 0.0
+        return sum(counts) / len(counts)
+
+    def ptf_counts(self) -> dict[str, int]:
+        return {name: len(v) for name, v in sorted(self.ptfs.items())}
+
+
+def analyze(program: Program, options: Optional[AnalyzerOptions] = None) -> Analyzer:
+    """Run the full context-sensitive pointer analysis on ``program``."""
+    return Analyzer(program, options).run()

@@ -1,0 +1,672 @@
+"""Interprocedural evaluation: EvalCall / GetPTF / matchPTF / ApplySummary
+(Figures 12–13) plus recursion handling (§5.4).
+
+The machinery lives in a mixin inherited by :class:`repro.analysis.engine.
+Analyzer` so the pieces are testable and readable in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..frontend.ctypes_model import WORD_SIZE
+from ..ir.expr import ContentsTerm
+from ..ir.nodes import CallNode, Node
+from ..ir.program import Procedure
+from ..memory.blocks import (
+    ExtendedParameter,
+    GlobalBlock,
+    HeapBlock,
+    LocalBlock,
+    ProcedureBlock,
+    ReturnBlock,
+    StringBlock,
+)
+from ..memory.locset import LocationSet
+from ..memory.pointsto import normalize_loc
+from .context import Frame, RootFrame
+from .ptf import PTF, InitialEntry, ParamMap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .intra import ProcEvaluator
+
+__all__ = ["InterproceduralMixin"]
+
+EMPTY: frozenset = frozenset()
+
+
+class InterproceduralMixin:
+    """Call-site evaluation for :class:`Analyzer`.
+
+    Relies on attributes provided by the engine: ``program``, ``options``,
+    ``stack`` (list of Frames), ``ptfs`` (proc name -> list of PTFs),
+    ``libc`` (library summaries), ``stats``.
+    """
+
+    # ------------------------------------------------------------------
+    # EvalCall (Figure 12)
+    # ------------------------------------------------------------------
+
+    def eval_call(self, frame: Frame, evaluator: "ProcEvaluator", node: CallNode) -> None:
+        target_vals = evaluator.eval_value(node.target, node)
+        targets = sorted(frame.resolve_fnptr_targets(target_vals))
+        if not targets:
+            # a function pointer with no values yet: defer to a later pass
+            if node.uid not in frame.deferred:
+                frame.deferred.add(node.uid)
+                frame.changed = True
+            return
+        multiple = len(targets) > 1
+        for name in targets:
+            if name in self.program.procedures:
+                self._call_internal(frame, evaluator, node, name, multiple)
+            elif self.libc.handles(name):
+                self.libc.apply(self, frame, evaluator, node, name)
+            else:
+                self._call_external(frame, evaluator, node, name)
+
+    def call_procedure(
+        self,
+        frame: Frame,
+        evaluator: "ProcEvaluator",
+        node: CallNode,
+        name: str,
+        arg_values: list[frozenset],
+    ) -> None:
+        """Invoke an internal procedure with explicit argument values.
+
+        Used by library summaries that call back through function pointers
+        (``qsort``, ``atexit``, ``signal``...).
+        """
+        if name not in self.program.procedures:
+            return
+        proc = self.program.procedures[name]
+        map_ = ParamMap()
+        for formal, vals in zip(proc.formals, arg_values):
+            map_.actuals[formal.name] = (
+                ((0, 0, frozenset(vals)),) if vals else tuple()
+            )
+        for formal in proc.formals[len(arg_values):]:
+            map_.actuals[formal.name] = tuple()
+        self._dispatch_internal(frame, node, proc, map_, apply_weak=True)
+
+    # -- internal calls ----------------------------------------------------
+
+    def _call_internal(
+        self,
+        frame: Frame,
+        evaluator: "ProcEvaluator",
+        node: CallNode,
+        name: str,
+        multiple: bool,
+    ) -> None:
+        proc = self.program.procedures[name]
+        map_ = self._record_actuals(frame, evaluator, node, proc)
+        self._dispatch_internal(frame, node, proc, map_, apply_weak=multiple)
+
+    def _dispatch_internal(
+        self,
+        frame: Frame,
+        node: CallNode,
+        proc: Procedure,
+        map_: ParamMap,
+        apply_weak: bool,
+    ) -> None:
+        on_stack = self._stack_frame(proc.name)
+        if on_stack is None:
+            ptf, need_visit = self.get_ptf(frame, node, proc, map_)
+            if need_visit:
+                self._analyze_ptf(frame, node, proc, ptf, map_)
+            self.apply_summary(frame, node, ptf, map_, weak=apply_weak)
+            # record the summary generation we consumed, so callers of
+            # recursive cycles revisit when the head's summary grows
+            if ptf.is_recursive:
+                frame.ptf.recursive_deps[ptf.uid] = (
+                    ptf.summary_generation
+                )
+        else:
+            # recursive call: reuse the PTF already on the call stack (§5.4)
+            head_ptf = on_stack.ptf
+            head_ptf.is_recursive = True
+            self.stats["recursive_calls"] += 1
+            self._merge_recursive_domain(frame, node, head_ptf, map_)
+            if not head_ptf.summary():
+                if node.uid not in frame.deferred:
+                    frame.deferred.add(node.uid)
+                    frame.changed = True
+                return  # defer: no approximation available yet
+            # bind the head's parameters against *this* recursive context so
+            # the summary translates into it (merge mode, not strict match)
+            self._merge_into_ptf(frame, node, head_ptf, map_)
+            self.apply_summary(frame, node, head_ptf, map_, weak=True)
+            frame.ptf.recursive_deps[head_ptf.uid] = (
+                head_ptf.summary_generation
+            )
+
+    def _analyze_ptf(
+        self,
+        frame: Frame,
+        node: Optional[CallNode],
+        proc: Procedure,
+        ptf: PTF,
+        map_: ParamMap,
+    ) -> None:
+        """(Re)analyze ``proc`` for the context bound in ``map_``; iterate
+        to a fixpoint when the procedure heads a recursive cycle."""
+        from .intra import ProcEvaluator
+
+        for _ in range(self.options.max_recursion_iters):
+            child = Frame(self, proc, ptf, map_, node, frame)
+            ptf.current_map = map_
+            ptf.analyzing = True
+            self.stack.append(child)
+            try:
+                ProcEvaluator(self, child).run()
+            finally:
+                self.stack.pop()
+                ptf.analyzing = False
+            gen_before = ptf.summary_generation
+            ptf.summary()  # refresh cache, possibly bumping the generation
+            if not ptf.is_recursive or ptf.summary_generation == gen_before:
+                break
+        ptf.snapshot_pointer_versions(map_)
+        self.stats["ptf_analyses"] += 1
+
+    def _stack_frame(self, proc_name: str) -> Optional[Frame]:
+        for fr in reversed(self.stack):
+            if fr.proc is not None and fr.proc.name == proc_name:
+                return fr
+        return None
+
+    # ------------------------------------------------------------------
+    # actuals
+    # ------------------------------------------------------------------
+
+    def _record_actuals(
+        self,
+        frame: Frame,
+        evaluator: "ProcEvaluator",
+        node: CallNode,
+        proc: Procedure,
+    ) -> ParamMap:
+        map_ = ParamMap()
+        formals = proc.formals
+        for i, formal in enumerate(formals):
+            if i >= len(node.args):
+                map_.actuals[formal.name] = tuple()
+                continue
+            map_.actuals[formal.name] = self._actual_entries(
+                evaluator, node, node.args[i]
+            )
+        if proc.is_varargs and len(node.args) > len(formals) and formals:
+            # extra arguments are reachable through va_arg walks of the last
+            # formal's block; fold their values in at word stride
+            extra: set[LocationSet] = set()
+            for arg in node.args[len(formals):]:
+                extra |= evaluator.eval_value(arg, node)
+            if extra:
+                last = formals[-1]
+                entries = list(map_.actuals.get(last.name, ()))
+                entries.append((0, WORD_SIZE, frozenset(extra)))
+                map_.actuals[last.name] = tuple(entries)
+        return map_
+
+    def _actual_entries(
+        self, evaluator: "ProcEvaluator", node: CallNode, arg
+    ) -> tuple:
+        """Evaluate one actual argument to ``(offset, stride, values)``
+        entries; aggregates contribute their pointer fields per offset."""
+        entries: list[tuple[int, int, frozenset]] = []
+        scalar: set[LocationSet] = set()
+        for term in arg.terms:
+            if isinstance(term, ContentsTerm) and term.size > WORD_SIZE:
+                for src in evaluator.eval_loc(term.loc, node):
+                    for offset, stride, vals in evaluator._pointer_fields(
+                        src, node, term.size
+                    ):
+                        entries.append((offset - src.offset, stride, vals))
+                continue
+            partial = evaluator.eval_value(
+                type(arg)((term,)), node
+            )
+            scalar |= partial
+        if scalar:
+            entries.insert(0, (0, 0, frozenset(scalar)))
+        return tuple(entries)
+
+    # ------------------------------------------------------------------
+    # GetPTF / matchPTF (Figure 13, §5.2)
+    # ------------------------------------------------------------------
+
+    def get_ptf(
+        self, frame: Frame, node: CallNode, proc: Procedure, map_: ParamMap
+    ) -> tuple[PTF, bool]:
+        home_key = (node.uid, frame.ptf.uid if frame.ptf is not None else -1)
+        home: Optional[PTF] = None
+        # Emami mode (§6 ablation): only the same call site in the same
+        # caller context may reuse a summary — cross-site reuse is what the
+        # paper adds, so turning it off reproduces reanalysis-per-context
+        candidates = self.ptfs.get(proc.name, ())  # type: ignore[attr-defined]
+        if not self.options.reuse_ptfs:
+            candidates = [c for c in candidates if c.home == home_key]
+        for candidate in candidates:
+            trial = map_.copy()
+            verdict = self.match_ptf(candidate, frame, node, trial)
+            if verdict is not None:
+                map_.actuals = trial.actuals
+                map_.param_values = trial.param_values
+                for raw, values in self._match_upgrades:
+                    self._upgrade_entry(candidate, frame, node, map_, raw, values)
+                need_visit = candidate.inputs_gained_pointers(map_)
+                if verdict:  # binding was widened: re-analyze to cover it
+                    need_visit = True
+                if self._stale_recursive_deps(candidate):
+                    need_visit = True
+                self.stats["ptf_reuses"] += 1
+                # a PTF created for an *intermediate* input of this same
+                # call site is now superseded by the matching one: drop it
+                # (§5.2 keeps one PTF per converged input pattern, not one
+                # per fixpoint-iteration artifact)
+                self._drop_orphan_home(proc, candidate, home_key)
+                return candidate, need_visit
+            if candidate.home == home_key:
+                home = candidate
+        if home is not None:
+            # same call site, new inputs mid-iteration: update in place
+            home.reset()
+            self.stats["ptf_home_updates"] += 1
+            return home, True
+        if len(self.ptfs.get(proc.name, ())) >= self.options.ptf_limit:
+            # §8: beyond the limit, generalize instead of multiplying PTFs —
+            # reuse the first PTF, merging this context into its domain
+            fallback = self.ptfs[proc.name][0]
+            self._merge_into_ptf(frame, node, fallback, map_)
+            self.stats["ptf_generalized"] = self.stats.get("ptf_generalized", 0) + 1
+            return fallback, True
+        ptf = self.new_ptf(proc)
+        ptf.home = home_key
+        self.stats["ptf_created"] += 1
+        return ptf, True
+
+    def _drop_orphan_home(self, proc: Procedure, keep: PTF, home_key: tuple) -> None:
+        ptfs = self.ptfs.get(proc.name)
+        if not ptfs:
+            return
+        for other in list(ptfs):
+            if other is not keep and other.home == home_key and not other.analyzing:
+                ptfs.remove(other)
+                self._ptf_by_uid.pop(other.uid, None)
+
+    def _upgrade_entry(
+        self,
+        ptf: PTF,
+        frame: Frame,
+        node: CallNode,
+        map_: ParamMap,
+        raw: InitialEntry,
+        values: frozenset,
+    ) -> None:
+        """Create the parameter for an initial entry recorded before its
+        input held pointers, then refresh the state's initial value."""
+        shim = Frame(self, ptf.proc, ptf, map_, node, frame)
+        targets = shim.to_callee_targets(values, raw.source)
+        raw.targets = targets
+        ptf.state.set_initial(raw.source, targets)
+
+    def _merge_into_ptf(
+        self, frame: Frame, node: CallNode, ptf: PTF, map_: ParamMap
+    ) -> None:
+        """Merge a non-matching context into ``ptf`` (PTF-limit fallback):
+        bind its parameters against this context without strict equality."""
+        for raw in list(ptf.initial_entries):
+            entry = raw.normalized()
+            values = self._entry_values(entry, ptf.proc, frame, node, map_)
+            if values is None or not entry.targets:
+                continue
+            self._bind_targets(entry.targets, values, map_, strict=False)
+
+    def _stale_recursive_deps(self, ptf: PTF) -> bool:
+        deps = ptf.recursive_deps
+        for uid, gen in deps.items():
+            current = self._ptf_by_uid.get(uid)
+            if current is not None and current.summary_generation > gen:
+                return True
+        return False
+
+    def match_ptf(
+        self, ptf: PTF, frame: Frame, node: CallNode, map_: ParamMap
+    ) -> Optional[bool]:
+        """Whether ``ptf`` applies at this call, binding ``map_`` as we go.
+
+        Walks the initial points-to entries in creation order, comparing the
+        input aliases; then compares the function-pointer values (§5.2).
+        Returns None on mismatch, False on an exact match, True when the
+        match widened a parameter binding (the PTF must be re-visited).
+        """
+        if ptf.analyzing:
+            return None
+        proc = ptf.proc
+        extended = False
+        self._match_upgrades = []
+        for raw in list(ptf.initial_entries):
+            entry = raw.normalized()
+            values = self._entry_values(entry, proc, frame, node, map_)
+            if values is None:
+                return None
+            if not entry.targets:
+                if values:
+                    # the entry was created before this input held pointers;
+                    # same alias pattern as long as the values touch no
+                    # already-bound parameter — upgrade the entry on reuse
+                    if any(
+                        v.base is b.base
+                        for v in values
+                        for vals in map_.param_values.values()
+                        for b in vals
+                    ):
+                        return None
+                    self._match_upgrades.append((raw, values))
+                    extended = True
+                continue
+            verdict = self._bind_targets(entry.targets, values, map_, strict=True)
+            if verdict is None:
+                return None
+            if verdict == "extended":
+                extended = True
+        # function-pointer input values must match (§5.2)
+        for param, expected in ptf.fnptr_domain.items():
+            rep = param.representative()
+            bound = map_.lookup_param(rep)
+            if bound is None:
+                return None
+            resolved = frozenset(frame.resolve_fnptr_targets(bound))
+            if resolved != expected:
+                return None
+        return extended
+
+    def _entry_values(
+        self,
+        entry: InitialEntry,
+        proc: Procedure,
+        frame: Frame,
+        node: CallNode,
+        map_: ParamMap,
+    ) -> Optional[frozenset]:
+        """The caller-space values of an initial entry's source pointer in
+        the current context (None when the source cannot be mapped)."""
+        src = entry.source
+        base = src.base
+        if isinstance(base, LocalBlock):
+            name = base.name.split("::")[-1]
+            entries = map_.actuals.get(name)
+            if entries is None:
+                return frozenset()
+            values: set[LocationSet] = set()
+            for offset, stride, vals in entries:
+                probe = LocationSet(base, offset, stride)
+                if probe.overlaps(src, width=1, other_width=max(1, WORD_SIZE)):
+                    values |= vals
+            return frozenset(values)
+        if isinstance(base, ExtendedParameter):
+            caller_locs = map_.caller_locations(src)
+            if caller_locs is None:
+                # parameter not bound yet: for a global parameter we can
+                # bind it structurally; anything else is a mismatch
+                rep = base.representative()
+                if rep.global_block is not None:
+                    caller_block = frame.caller_block_for_global(rep.global_block.name)
+                    map_.bind_param(rep, frozenset({LocationSet(caller_block, 0, 0)}))
+                    caller_locs = map_.caller_locations(src)
+                else:
+                    return None
+            values = set()
+            for cl in caller_locs:
+                values |= frame.lookup_value(cl, node, WORD_SIZE)
+            return frozenset(values)
+        return None
+
+    def _bind_targets(
+        self,
+        targets: frozenset,
+        values: frozenset,
+        map_: ParamMap,
+        strict: bool,
+    ) -> Optional[str]:
+        """Bind/check one entry's targets against caller values.
+
+        Targets hold at most one extended parameter (§3.2) plus structural
+        values that pass through untranslated (procedure blocks — function
+        pointers are code addresses, not storage).
+
+        Returns "match" when the context reproduces the entry exactly,
+        "extended" when the same *objects* are involved but at different
+        offsets/strides (the binding is widened and the caller must
+        re-visit the PTF), or None on a mismatch.
+        """
+        structural = frozenset(
+            t for t in targets if not isinstance(t.base, ExtendedParameter)
+        )
+        param_targets = [t for t in targets if isinstance(t.base, ExtendedParameter)]
+        if strict and not structural <= values:
+            return None
+        values = values - structural
+        if not param_targets:
+            return "match" if (not strict or not values) else None
+        target = param_targets[0]
+        param = target.base.representative()
+        if target.stride == 0 and target.offset:
+            unshifted = frozenset(
+                v.with_offset(-target.offset) if v.stride == 0 else v for v in values
+            )
+        else:
+            unshifted = values
+        bound = map_.lookup_param(param)
+        if bound is not None:
+            expected = map_.caller_locations(target) or EMPTY
+            if not strict:
+                map_.extend_param(param, unshifted)
+                return "match"
+            if values == expected:
+                return "match"
+            # same objects, different offsets/strides: the alias *pattern*
+            # matches (subsumption produced this entry); widen the binding
+            if values and {v.base for v in values} <= {e.base for e in expected}:
+                map_.extend_param(param, unshifted)
+                return "extended"
+            return None
+        # first occurrence of this parameter: bind, ensuring no alias with
+        # previously bound parameters (strict mode, object granularity);
+        # an empty binding is fine — the parameter stands for "whatever the
+        # input points to", and this context supplies nothing yet
+        if strict:
+            for other, other_vals in map_.param_values.items():
+                if other is param:
+                    continue
+                if any(v.base is b.base for v in unshifted for b in other_vals):
+                    return None
+        map_.bind_param(param, unshifted)
+        return "match"
+
+    # ------------------------------------------------------------------
+    # recursion (§5.4)
+    # ------------------------------------------------------------------
+
+    def _merge_recursive_domain(
+        self, frame: Frame, node: CallNode, head_ptf: PTF, rec_map: ParamMap
+    ) -> None:
+        """Record a recursive call's inputs as the PTF's *second* input
+        domain (§5.4).
+
+        The recursive context's values live in the *current* frame's name
+        space, not the head's calling context, so they must never merge
+        into the head's parameter map (that would conflate name spaces and
+        corrupt summary translation).  Instead they are kept separately:
+        the per-site ``rec_map`` — bound against the head's parameters by
+        ``_merge_into_ptf`` before each summary application — carries the
+        recursive bindings, and this record only tracks the merged domain
+        for diagnostics and reuse statistics.
+        """
+        entries = rec_map.actuals
+        domain = head_ptf.recursive_domain
+        for name, actual in entries.items():
+            old = domain.get(name, tuple())
+            merged = list(old)
+            for e in actual:
+                if e not in merged:
+                    merged.append(e)
+            domain[name] = tuple(merged)
+
+        # ------------------------------------------------------------------
+    # ApplySummary (§5.3)
+    # ------------------------------------------------------------------
+
+    def apply_summary(
+        self,
+        frame: Frame,
+        node: CallNode,
+        ptf: PTF,
+        map_: ParamMap,
+        weak: bool = False,
+    ) -> None:
+        self._bind_global_params(ptf, frame, map_)
+        summary = ptf.summary()
+        return_values: dict[int, frozenset] = {}
+        site = node.site
+        for loc, vals in summary.items():
+            caller_vals = self._translate_values(vals, map_, site)
+            base = loc.base
+            if isinstance(base, ReturnBlock):
+                if base.proc_name == ptf.proc.name:
+                    old = return_values.get(loc.offset, EMPTY)
+                    return_values[loc.offset] = old | caller_vals
+                continue
+            caller_dsts = self._translate_location(loc, map_, site)
+            if not caller_dsts:
+                continue
+            strong = (
+                not weak
+                and self.options.strong_updates
+                and len(caller_dsts) == 1
+                and next(iter(caller_dsts)).is_unique
+            )
+            for dst in caller_dsts:
+                frame.assign(dst, caller_vals, node, strong)
+        if node.dst is not None and return_values:
+            self._assign_return(frame, node, return_values, weak)
+
+    def _bind_global_params(self, ptf: PTF, frame: Frame, map_: ParamMap) -> None:
+        """Global parameters are structural: they always map to the caller's
+        own representation of the same global, whether or not they appeared
+        in an initial points-to entry (§2.2)."""
+        for param in ptf.params:
+            rep = param.representative()
+            if rep.global_block is None:
+                continue
+            if map_.lookup_param(rep) is None:
+                block = frame.caller_block_for_global(rep.global_block.name)
+                map_.bind_param(rep, frozenset({LocationSet(block, 0, 0)}))
+
+    def _assign_return(
+        self,
+        frame: Frame,
+        node: CallNode,
+        return_values: dict[int, frozenset],
+        weak: bool,
+    ) -> None:
+        from .intra import ProcEvaluator  # local import to avoid cycle
+
+        evaluator = ProcEvaluator(self, frame)
+        dsts = evaluator.eval_loc(node.dst, node)
+        if not dsts:
+            return
+        # no strong updates when several callee summaries combine (§5.3)
+        strong = (
+            not weak
+            and self.options.strong_updates
+            and len(dsts) == 1
+            and dsts[0].is_unique
+            and len(return_values) == 1
+        )
+        for offset, vals in return_values.items():
+            for dst in dsts:
+                target = dst.with_offset(offset) if dst.stride == 0 else dst
+                frame.assign(
+                    target, vals, node, strong, size=node.dst_size or WORD_SIZE
+                )
+
+    def _translate_location(
+        self, loc: LocationSet, map_: ParamMap, call_site: str = ""
+    ) -> frozenset:
+        base = loc.base
+        if isinstance(base, HeapBlock):
+            if call_site and self.options.heap_context_depth > 0:
+                rekeyed = self.rekey_heap(base, call_site)
+                return frozenset({LocationSet(rekeyed, loc.offset, loc.stride)})
+            return frozenset({loc})
+        if isinstance(base, (StringBlock, ProcedureBlock, GlobalBlock)):
+            return frozenset({loc})
+        if isinstance(base, ExtendedParameter):
+            out = map_.caller_locations(loc)
+            return out if out is not None else EMPTY
+        # callee locals and return blocks do not exist in the caller (§5.3)
+        return EMPTY
+
+    def _translate_values(
+        self, values: frozenset, map_: ParamMap, call_site: str = ""
+    ) -> frozenset:
+        out: set[LocationSet] = set()
+        for v in values:
+            base = v.base
+            if isinstance(base, HeapBlock):
+                if call_site and self.options.heap_context_depth > 0:
+                    rekeyed = self.rekey_heap(base, call_site)
+                    out.add(LocationSet(rekeyed, v.offset, v.stride))
+                else:
+                    out.add(v)
+            elif isinstance(base, (StringBlock, ProcedureBlock, GlobalBlock)):
+                out.add(v)
+            elif isinstance(base, ExtendedParameter):
+                mapped = map_.caller_locations(v)
+                if mapped:
+                    out |= mapped
+            # locals vanish (a dangling pointer has no caller-space name)
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # external (non-libc) calls
+    # ------------------------------------------------------------------
+
+    def _call_external(
+        self, frame: Frame, evaluator: "ProcEvaluator", node: CallNode, name: str
+    ) -> None:
+        self.stats["external_calls"] += 1
+        if self.options.external_policy == "ignore":
+            return
+        # havoc: anything reachable from the arguments may be overwritten
+        # with anything else reachable from the arguments or the external
+        # world's own storage
+        external = self._external_block(name)
+        reachable: set[LocationSet] = set()
+        for arg in node.args:
+            reachable |= evaluator.eval_value(arg, node)
+        pool = frozenset(
+            {LocationSet(external, 0, 1)}
+            | {v.blurred() for v in reachable}
+        )
+        for target in reachable:
+            if isinstance(target.base, (ProcedureBlock, StringBlock)):
+                continue
+            frame.assign(target.blurred(), pool, node, False)
+        if node.dst is not None:
+            dsts = evaluator.eval_loc(node.dst, node)
+            for dst in dsts:
+                frame.assign(dst, pool, node, len(dsts) == 1 and dst.is_unique)
+
+    def _external_block(self, name: str) -> GlobalBlock:
+        blocks = self.__dict__.setdefault("_external_blocks", {})
+        block = blocks.get(name)
+        if block is None:
+            block = GlobalBlock(f"<extern:{name}>")
+            block.register_pointer_location(0, 1)
+            blocks[name] = block
+        return block

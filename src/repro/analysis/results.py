@@ -1,0 +1,364 @@
+"""Query interface over a completed analysis.
+
+Wraps the :class:`~repro.analysis.engine.Analyzer` with the questions
+clients ask:
+
+* points-to sets of named variables at procedure exit (per PTF or merged);
+* may-alias queries between two pointer expressions;
+* the resolved call graph (function-pointer calls included);
+* PTF statistics — the Table 2 columns (#procedures, analysis seconds,
+  average PTFs per procedure);
+* parameter-alias facts for the parallelizer client ("can these two formals
+  alias in any context?" — §7's use of the analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..ir.expr import GlobalSymbol, LocalSymbol
+from ..ir.nodes import CallNode
+from ..ir.program import Procedure, Program
+from ..memory.blocks import ExtendedParameter, MemoryBlock, ProcedureBlock
+from ..memory.locset import LocationSet
+from ..memory.pointsto import normalize_loc
+from .engine import Analyzer, AnalyzerOptions, analyze
+from .ptf import PTF
+
+__all__ = ["AnalysisResult", "run_analysis", "PTFStats"]
+
+#: libc functions with no caller-visible pointer side effects
+_PURE_LIBC = frozenset({
+    "sin", "cos", "tan", "asin", "acos", "atan", "atan2", "sinh", "cosh",
+    "tanh", "exp", "log", "log10", "pow", "sqrt", "ceil", "floor", "fabs",
+    "fmod", "abs", "labs", "ldexp", "strlen", "strcmp", "strncmp", "memcmp",
+    "isalpha", "isdigit", "isalnum", "isspace", "tolower", "toupper",
+})
+
+
+@dataclass
+class PTFStats:
+    """The per-program statistics reported in Table 2."""
+
+    procedures: int
+    analysis_seconds: float
+    avg_ptfs: float
+    total_ptfs: int
+    max_ptfs: int
+    source_lines: int
+
+    def row(self) -> tuple:
+        return (
+            self.source_lines,
+            self.procedures,
+            round(self.analysis_seconds, 3),
+            round(self.avg_ptfs, 2),
+        )
+
+
+class AnalysisResult:
+    """User-facing facade over a finished analysis."""
+
+    def __init__(self, analyzer: Analyzer) -> None:
+        self.analyzer = analyzer
+        self.program: Program = analyzer.program
+
+    # ------------------------------------------------------------------
+    # points-to queries
+    # ------------------------------------------------------------------
+
+    def ptfs_of(self, proc_name: str) -> list[PTF]:
+        return list(self.analyzer.ptfs.get(proc_name, ()))
+
+    def points_to_names(self, proc_name: str, var: str) -> set[str]:
+        """Names of blocks the pointer variable ``var`` may target at the
+        exit of ``proc_name``, merged over every PTF and context."""
+        out: set[str] = set()
+        for loc in self.points_to(proc_name, var):
+            out.add(self.display_name(loc.base))
+        return out
+
+    def points_to(self, proc_name: str, var: str) -> set[LocationSet]:
+        """Location sets ``var`` may point to at procedure exit, with
+        extended parameters translated to caller-space names where bound."""
+        proc = self.program.procedures[proc_name]
+        results: set[LocationSet] = set()
+        for ptf in self.ptfs_of(proc_name):
+            loc = self._var_loc(proc, ptf, var)
+            if loc is None:
+                continue
+            vals = ptf.state.lookup_overlapping(loc, proc.exit, width=4)
+            if not vals:
+                initial = ptf.state.get_initial(normalize_loc(loc))
+                if initial:
+                    vals = initial
+            results |= self._concretize(ptf, vals)
+        return results
+
+    def _var_loc(
+        self, proc: Procedure, ptf: PTF, var: str
+    ) -> Optional[LocationSet]:
+        symbol = proc.locals.get(var)
+        if symbol is not None:
+            return LocationSet(proc.local_block(symbol), 0, 0)
+        if var in self.program.globals:
+            param = ptf.global_params.get(var)
+            if param is not None:
+                return LocationSet(param.representative(), 0, 0)
+            return LocationSet(self.program.global_block(var), 0, 0)
+        return None
+
+    def _concretize(self, ptf: PTF, values: Iterable[LocationSet]) -> set[LocationSet]:
+        """Translate extended parameters to what they represent, where the
+        PTF's last context bound them."""
+        out: set[LocationSet] = set()
+        map_ = ptf.current_map
+        for v in values:
+            base = v.base
+            if isinstance(base, ExtendedParameter):
+                rep = base.representative()
+                if rep.global_block is not None:
+                    out.add(LocationSet(rep.global_block, v.offset, v.stride))
+                    continue
+                bound = map_.lookup_param(rep) if map_ is not None else None
+                if bound:
+                    for b in bound:
+                        shifted = b.with_offset(v.offset) if b.stride == 0 else b
+                        out.add(shifted)
+                    continue
+            out.add(v)
+        return out
+
+    def points_to_at(self, proc_name: str, var: str, line: int) -> set[str]:
+        """Flow-sensitive query: the names ``var`` may point to just before
+        the first statement at source ``line`` of ``proc_name``."""
+        proc = self.program.procedures[proc_name]
+        out: set[str] = set()
+        for ptf in self.ptfs_of(proc_name):
+            loc = self._var_loc(proc, ptf, var)
+            if loc is None:
+                continue
+            for node in proc.nodes():
+                if not node.coord:
+                    continue
+                if f":{line}:" in node.coord or node.coord.endswith(f":{line}"):
+                    vals = ptf.state.lookup_overlapping(loc, node, width=4)
+                    for v in self._concretize(ptf, vals):
+                        out.add(self.display_name(v.base))
+                    break
+        return out
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot of the analysis results."""
+        stats = self.stats()
+        procedures = {}
+        for name in sorted(self.program.procedures):
+            ptfs = self.ptfs_of(name)
+            summaries = []
+            for ptf in ptfs:
+                summaries.append(
+                    {
+                        "initial": [
+                            {
+                                "source": str(e.source),
+                                "targets": sorted(str(t) for t in e.targets),
+                            }
+                            for e in ptf.initial_entries
+                        ],
+                        "final": {
+                            str(loc): sorted(str(v) for v in vals)
+                            for loc, vals in sorted(
+                                ptf.summary().items(),
+                                key=lambda kv: str(kv[0]),
+                            )
+                        },
+                    }
+                )
+            procedures[name] = {"ptfs": summaries}
+        return {
+            "program": self.program.name,
+            "stats": {
+                "procedures": stats.procedures,
+                "analysis_seconds": stats.analysis_seconds,
+                "avg_ptfs": stats.avg_ptfs,
+                "total_ptfs": stats.total_ptfs,
+                "source_lines": stats.source_lines,
+            },
+            "call_graph": {
+                caller: sorted(callees)
+                for caller, callees in sorted(self.call_graph().items())
+            },
+            "procedures": procedures,
+        }
+
+    def display_name(self, block: MemoryBlock) -> str:
+        name = block.name
+        if isinstance(block, ExtendedParameter) and block.global_block is not None:
+            return block.global_block.name
+        return name.split("::")[-1]
+
+    # ------------------------------------------------------------------
+    # alias queries
+    # ------------------------------------------------------------------
+
+    def may_alias(self, proc_name: str, var_a: str, var_b: str) -> bool:
+        """Whether ``*var_a`` and ``*var_b`` may overlap in any context."""
+        for ptf in self.ptfs_of(proc_name):
+            a = self._targets_in_ptf(ptf, var_a)
+            b = self._targets_in_ptf(ptf, var_b)
+            for la in a:
+                for lb in b:
+                    if la.base is lb.base and la.overlaps(lb, width=4, other_width=4):
+                        return True
+        return False
+
+    def _targets_in_ptf(self, ptf: PTF, var: str) -> set[LocationSet]:
+        proc = ptf.proc
+        loc = self._var_loc(proc, ptf, var)
+        if loc is None:
+            return set()
+        vals = set(ptf.state.lookup_overlapping(loc, proc.exit, width=4))
+        initial = ptf.state.get_initial(normalize_loc(loc))
+        if initial:
+            vals |= initial
+        return vals
+
+    def formals_may_alias(self, proc_name: str) -> bool:
+        """Whether any two pointer formals of ``proc_name`` may point to
+        overlapping storage in any analyzed context (the parallelizer's
+        question, §7)."""
+        proc = self.program.procedures[proc_name]
+        names = [f.name for f in proc.formals]
+        for ptf in self.ptfs_of(proc_name):
+            initial_targets: list[tuple[str, set[LocationSet]]] = []
+            for name in names:
+                block = proc.local_block(proc.locals[name])
+                init = ptf.state.get_initial(LocationSet(block, 0, 0))
+                if init:
+                    initial_targets.append((name, set(init)))
+            for i, (na, ta) in enumerate(initial_targets):
+                for nb, tb in initial_targets[i + 1 :]:
+                    for la in ta:
+                        for lb in tb:
+                            if la.base is lb.base and la.overlaps(
+                                lb, width=4, other_width=4
+                            ):
+                                return True
+        return False
+
+    def is_pure(self, proc_name: str) -> bool:
+        """Whether every analyzed context of ``proc_name`` writes only its
+        own locals and return value (no caller-visible pointer effects).
+
+        The parallelizer uses this to allow calls to helper functions
+        (e.g. ``squash`` in alvinn) inside parallel loops.
+        """
+        from ..memory.blocks import LocalBlock, ReturnBlock
+
+        ptfs = self.ptfs_of(proc_name)
+        if not ptfs:
+            return False
+        for ptf in ptfs:
+            for loc in ptf.summary():
+                if not isinstance(loc.base, (LocalBlock, ReturnBlock)):
+                    return False
+        # transitively: everything this procedure calls must be pure too
+        for callee in self._static_callees(proc_name):
+            if callee == proc_name:
+                continue
+            if callee in self.program.procedures:
+                if not self.is_pure(callee):
+                    return False
+            elif callee not in _PURE_LIBC:
+                return False
+        return True
+
+    def _static_callees(self, proc_name: str) -> set[str]:
+        from ..ir.expr import AddressTerm, ProcSymbol, SymbolLoc
+
+        out: set[str] = set()
+        proc = self.program.procedures.get(proc_name)
+        if proc is None:
+            return out
+        for node in proc.call_nodes():
+            direct = False
+            for term in node.target.terms:
+                if isinstance(term, AddressTerm) and isinstance(term.loc, SymbolLoc):
+                    if isinstance(term.loc.symbol, ProcSymbol):
+                        out.add(term.loc.symbol.name)
+                        direct = True
+            if not direct:
+                out.add("<indirect>")
+        return out
+
+    # ------------------------------------------------------------------
+    # call graph
+    # ------------------------------------------------------------------
+
+    def call_graph(self) -> dict[str, set[str]]:
+        """caller -> set of callees actually resolved by the analysis."""
+        graph: dict[str, set[str]] = {name: set() for name in self.program.procedures}
+        for proc_name, proc in self.program.procedures.items():
+            for node in proc.call_nodes():
+                callees = self._resolved_targets(proc_name, node)
+                graph[proc_name] |= callees
+        return graph
+
+    def _resolved_targets(self, proc_name: str, node: CallNode) -> set[str]:
+        out: set[str] = set()
+        from ..ir.expr import AddressTerm, SymbolLoc, ProcSymbol
+
+        for term in node.target.terms:
+            if isinstance(term, AddressTerm) and isinstance(term.loc, SymbolLoc):
+                if isinstance(term.loc.symbol, ProcSymbol):
+                    out.add(term.loc.symbol.name)
+                    continue
+        if out:
+            return out
+        # indirect call: read pointer values out of each PTF state
+        for ptf in self.ptfs_of(proc_name):
+            from .intra import ProcEvaluator
+            from .context import Frame
+            from .ptf import ParamMap
+
+            frame = Frame(
+                self.analyzer,
+                ptf.proc,
+                ptf,
+                ptf.current_map or ParamMap(),
+                None,
+                self.analyzer.root,
+            )
+            vals = ProcEvaluator(self.analyzer, frame).eval_value(node.target, node)
+            for v in vals:
+                if isinstance(v.base, ProcedureBlock):
+                    out.add(v.base.proc_name)
+                elif isinstance(v.base, ExtendedParameter):
+                    rep = v.base.representative()
+                    for name in ptf.fnptr_domain.get(rep, ()):  # recorded domain
+                        out.add(name)
+        return out
+
+    # ------------------------------------------------------------------
+    # statistics (Table 2)
+    # ------------------------------------------------------------------
+
+    def stats(self) -> PTFStats:
+        counts = [len(v) for v in self.analyzer.ptfs.values() if v]
+        total = sum(counts)
+        return PTFStats(
+            procedures=len(self.program.procedures),
+            analysis_seconds=self.analyzer.elapsed_seconds,
+            avg_ptfs=(total / len(counts)) if counts else 0.0,
+            total_ptfs=total,
+            max_ptfs=max(counts) if counts else 0,
+            source_lines=self.program.source_lines,
+        )
+
+
+def run_analysis(
+    program: Program, options: Optional[AnalyzerOptions] = None
+) -> AnalysisResult:
+    """Analyze ``program`` and wrap the engine in the query facade."""
+    return AnalysisResult(analyze(program, options))

@@ -1,0 +1,15 @@
+"""Baseline analyses the paper compares against (§6–7)."""
+
+from .andersen import AndersenAnalysis, andersen_analyze
+from .invocation import InvocationGraph, build_invocation_graph, syntactic_call_graph
+from .steensgaard import SteensgaardAnalysis, steensgaard_analyze
+
+__all__ = [
+    "AndersenAnalysis",
+    "andersen_analyze",
+    "SteensgaardAnalysis",
+    "steensgaard_analyze",
+    "InvocationGraph",
+    "build_invocation_graph",
+    "syntactic_call_graph",
+]

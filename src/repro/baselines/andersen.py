@@ -1,0 +1,261 @@
+"""Andersen-style baseline: flow-insensitive, context-insensitive,
+inclusion-based points-to analysis over the same IR and location sets.
+
+This is the comparison point the paper's context-sensitive analysis is
+measured against: one global points-to map, no strong updates, no calling
+contexts — values from every call site merge into the callee's formals, and
+summaries smear back to every caller (the *unrealizable paths* problem,
+§1).  Precision comparisons in the benchmarks use this baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..frontend.ctypes_model import WORD_SIZE
+from ..ir.expr import (
+    AddressTerm,
+    AdjustTerm,
+    ContentsTerm,
+    DerefLoc,
+    GlobalSymbol,
+    LocalSymbol,
+    LocExpr,
+    ProcSymbol,
+    StringSymbol,
+    Symbol,
+    SymbolLoc,
+    UnknownTerm,
+    ValueExpr,
+)
+from ..ir.nodes import AssignNode, CallNode
+from ..ir.program import Procedure, Program
+from ..memory.blocks import HeapBlock, MemoryBlock, ProcedureBlock
+from ..memory.locset import LocationSet
+
+__all__ = ["AndersenAnalysis", "andersen_analyze"]
+
+EMPTY: frozenset = frozenset()
+
+
+class AndersenAnalysis:
+    """One global inclusion-based points-to solution."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        #: the single flow-insensitive points-to map
+        self.points_to: dict[LocationSet, set[LocationSet]] = {}
+        self._heap: dict[str, HeapBlock] = {}
+        self._changed = False
+        self.iterations = 0
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def run(self) -> "AndersenAnalysis":
+        self.program.finalize()
+        self._seed_global_inits()
+        for _ in range(1000):
+            self._changed = False
+            self.iterations += 1
+            for proc in self.program.procedures.values():
+                for node in proc.nodes():
+                    if isinstance(node, AssignNode):
+                        self._do_assign(proc, node)
+                    elif isinstance(node, CallNode):
+                        self._do_call(proc, node)
+            if not self._changed:
+                break
+        return self
+
+    # ------------------------------------------------------------------
+    # environment
+    # ------------------------------------------------------------------
+
+    def _block(self, proc: Optional[Procedure], symbol: Symbol) -> MemoryBlock:
+        if isinstance(symbol, LocalSymbol):
+            assert proc is not None
+            owner = self.program.procedures.get(symbol.proc_name, proc)
+            return owner.local_block(symbol)
+        if isinstance(symbol, GlobalSymbol):
+            return self.program.add_global(symbol)
+        if isinstance(symbol, ProcSymbol):
+            return self.program.proc_block(symbol.name)
+        if isinstance(symbol, StringSymbol):
+            return self.program.string_block(symbol)
+        raise TypeError(symbol)
+
+    def _seed_global_inits(self) -> None:
+        for init in self.program.global_inits:
+            dsts = self._eval_loc(None, init.dst)
+            vals = self._eval_value(None, init.src)
+            for d in dsts:
+                self._add(d, vals)
+
+    # ------------------------------------------------------------------
+    # transfer
+    # ------------------------------------------------------------------
+
+    def _add(self, loc: LocationSet, values: frozenset) -> None:
+        if not values:
+            return
+        cell = self.points_to.setdefault(loc, set())
+        before = len(cell)
+        cell |= values
+        if len(cell) != before:
+            self._changed = True
+
+    def _lookup(self, loc: LocationSet, width: int = WORD_SIZE) -> frozenset:
+        out: set[LocationSet] = set()
+        for key, vals in self.points_to.items():
+            if key.base is loc.base and loc.overlaps(key, width=width, other_width=1):
+                out |= vals
+        return frozenset(out)
+
+    def _eval_loc(self, proc: Optional[Procedure], loc: LocExpr) -> list[LocationSet]:
+        if isinstance(loc, SymbolLoc):
+            block = self._block(proc, loc.symbol)
+            return [LocationSet(block, loc.offset, loc.stride)]
+        assert isinstance(loc, DerefLoc)
+        out = []
+        for v in self._eval_value(proc, loc.pointer):
+            if loc.blur:
+                out.append(v.blurred())
+            else:
+                t = v.with_offset(loc.offset)
+                if loc.stride:
+                    t = t.with_stride(loc.stride)
+                out.append(t)
+        return out
+
+    def _eval_value(self, proc: Optional[Procedure], value: ValueExpr) -> frozenset:
+        result: set[LocationSet] = set()
+        for term in value.terms:
+            if isinstance(term, UnknownTerm):
+                continue
+            if isinstance(term, AddressTerm):
+                result.update(self._eval_loc(proc, term.loc))
+            elif isinstance(term, ContentsTerm):
+                for loc in self._eval_loc(proc, term.loc):
+                    result |= self._lookup(loc, max(term.size, 1))
+            elif isinstance(term, AdjustTerm):
+                for v in self._eval_value(proc, term.value):
+                    if term.blur:
+                        result.add(v.blurred())
+                    else:
+                        t = v.with_offset(term.offset)
+                        if term.stride:
+                            t = t.with_stride(term.stride)
+                        result.add(t)
+        return frozenset(result)
+
+    def _do_assign(self, proc: Procedure, node: AssignNode) -> None:
+        if node.dst is None:
+            return
+        vals = self._eval_value(proc, node.src)
+        if not vals:
+            return
+        for dst in self._eval_loc(proc, node.dst):
+            self._add(dst, vals)
+
+    # ------------------------------------------------------------------
+    # calls (context-insensitive: all sites merge)
+    # ------------------------------------------------------------------
+
+    def _do_call(self, proc: Procedure, node: CallNode) -> None:
+        targets = self._call_targets(proc, node)
+        for name in targets:
+            callee = self.program.procedures.get(name)
+            if callee is not None:
+                self._bind_call(proc, node, callee)
+            else:
+                self._do_library(proc, node, name)
+
+    def _call_targets(self, proc: Procedure, node: CallNode) -> set[str]:
+        out: set[str] = set()
+        for v in self._eval_value(proc, node.target):
+            if isinstance(v.base, ProcedureBlock):
+                out.add(v.base.proc_name)
+        return out
+
+    def _bind_call(self, proc: Procedure, node: CallNode, callee: Procedure) -> None:
+        for i, formal in enumerate(callee.formals):
+            if i >= len(node.args):
+                continue
+            vals = self._eval_value(proc, node.args[i])
+            block = callee.local_block(formal)
+            self._add(LocationSet(block, 0, 0), vals)
+        if node.dst is not None:
+            ret = self._lookup(LocationSet(callee.return_block, 0, 0))
+            if ret:
+                for dst in self._eval_loc(proc, node.dst):
+                    self._add(dst, ret)
+
+    def _do_library(self, proc: Procedure, node: CallNode, name: str) -> None:
+        if name in ("malloc", "calloc", "realloc", "strdup", "fopen", "tmpfile"):
+            block = self._heap.get(node.site)
+            if block is None:
+                block = HeapBlock(node.site)
+                self._heap[node.site] = block
+            if node.dst is not None:
+                for dst in self._eval_loc(proc, node.dst):
+                    self._add(dst, frozenset({LocationSet(block, 0, 0)}))
+        elif name in ("strcpy", "strncpy", "strcat", "strncat", "memset",
+                      "fgets", "gets", "memcpy", "memmove"):
+            if node.dst is not None and node.args:
+                vals = self._eval_value(proc, node.args[0])
+                for dst in self._eval_loc(proc, node.dst):
+                    self._add(dst, vals)
+        elif name in ("strchr", "strrchr", "strstr", "strpbrk", "strtok", "memchr",
+                      "bsearch"):
+            if node.dst is not None and node.args:
+                arg = node.args[1] if name == "bsearch" and len(node.args) > 1 else node.args[0]
+                vals = frozenset(v.blurred() for v in self._eval_value(proc, arg))
+                for dst in self._eval_loc(proc, node.dst):
+                    self._add(dst, vals)
+        elif name in ("qsort",):
+            # the comparator gets pointers into the base array
+            if len(node.args) >= 4:
+                base = frozenset(
+                    v.blurred() for v in self._eval_value(proc, node.args[0])
+                )
+                for v in self._eval_value(proc, node.args[3]):
+                    if isinstance(v.base, ProcedureBlock):
+                        callee = self.program.procedures.get(v.base.proc_name)
+                        if callee is not None:
+                            for formal in callee.formals[:2]:
+                                block = callee.local_block(formal)
+                                self._add(LocationSet(block, 0, 0), base)
+        # everything else: no pointer effects (flow-insensitive best effort)
+
+    # ------------------------------------------------------------------
+    # queries (mirror AnalysisResult's shape)
+    # ------------------------------------------------------------------
+
+    def points_to_names(self, proc_name: str, var: str) -> set[str]:
+        out = set()
+        for loc in self.points_to_locations(proc_name, var):
+            name = loc.base.name
+            out.add(name.split("::")[-1])
+        return out
+
+    def points_to_locations(self, proc_name: str, var: str) -> set[LocationSet]:
+        proc = self.program.procedures[proc_name]
+        symbol = proc.locals.get(var)
+        if symbol is not None:
+            block = proc.local_block(symbol)
+        elif var in self.program.globals:
+            block = self.program.global_block(var)
+        else:
+            return set()
+        return set(self._lookup(LocationSet(block, 0, 0)))
+
+    def average_points_to_size(self) -> float:
+        sizes = [len(v) for v in self.points_to.values() if v]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+
+def andersen_analyze(program: Program) -> AndersenAnalysis:
+    """Run the flow/context-insensitive baseline on ``program``."""
+    return AndersenAnalysis(program).run()

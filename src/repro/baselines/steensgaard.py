@@ -1,0 +1,264 @@
+"""Steensgaard-style baseline: unification-based, near-linear points-to.
+
+The fastest-but-coarsest point in the design space: points-to relations are
+*equivalence classes* maintained with union-find, so ``p = q`` merges the
+things p and q point to.  Block-granular (field-insensitive), flow- and
+context-insensitive.  Used in the precision-spectrum benchmarks as the
+lower bound on precision / upper bound on speed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.expr import (
+    AddressTerm,
+    AdjustTerm,
+    ContentsTerm,
+    DerefLoc,
+    GlobalSymbol,
+    LocalSymbol,
+    LocExpr,
+    ProcSymbol,
+    StringSymbol,
+    Symbol,
+    SymbolLoc,
+    UnknownTerm,
+    ValueExpr,
+)
+from ..ir.nodes import AssignNode, CallNode
+from ..ir.program import Procedure, Program
+from ..memory.blocks import HeapBlock, MemoryBlock, ProcedureBlock
+
+__all__ = ["SteensgaardAnalysis", "steensgaard_analyze"]
+
+
+class _Cell:
+    """A union-find node; ``pointee`` is the cell this class points to."""
+
+    __slots__ = ("parent", "rank", "pointee", "blocks", "uid")
+
+    _counter = 0
+
+    def __init__(self) -> None:
+        self.parent: Optional["_Cell"] = None
+        self.rank = 0
+        self.pointee: Optional["_Cell"] = None
+        self.blocks: set[MemoryBlock] = set()
+        _Cell._counter += 1
+        self.uid = _Cell._counter
+
+    def find(self) -> "_Cell":
+        root = self
+        while root.parent is not None:
+            root = root.parent
+        # path compression
+        node = self
+        while node.parent is not None:
+            nxt = node.parent
+            node.parent = root
+            node = nxt
+        return root
+
+
+class SteensgaardAnalysis:
+    """Unification-based points-to over memory blocks."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._cells: dict[int, _Cell] = {}  # block uid -> cell
+        self._blocks: dict[int, MemoryBlock] = {}
+        self._heap: dict[str, HeapBlock] = {}
+
+    # -- union-find --------------------------------------------------------
+
+    def cell_of(self, block: MemoryBlock) -> _Cell:
+        cell = self._cells.get(block.uid)
+        if cell is None:
+            cell = _Cell()
+            cell.blocks.add(block)
+            self._cells[block.uid] = cell
+            self._blocks[block.uid] = block
+        return cell.find()
+
+    def pointee_of(self, cell: _Cell) -> _Cell:
+        cell = cell.find()
+        if cell.pointee is None:
+            cell.pointee = _Cell()
+        return cell.pointee.find()
+
+    def union(self, a: _Cell, b: _Cell) -> _Cell:
+        a, b = a.find(), b.find()
+        if a is b:
+            return a
+        if a.rank < b.rank:
+            a, b = b, a
+        b.parent = a
+        if a.rank == b.rank:
+            a.rank += 1
+        a.blocks |= b.blocks
+        b.blocks = set()
+        # pointees unify recursively (the Steensgaard join)
+        pa, pb = a.pointee, b.pointee
+        a.pointee = pa if pa is not None else pb
+        if pa is not None and pb is not None and pa.find() is not pb.find():
+            a.pointee = self.union(pa, pb)
+        return a
+
+    def join(self, a: _Cell, b: _Cell) -> _Cell:
+        return self.union(a, b)
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> "SteensgaardAnalysis":
+        self.program.finalize()
+        for init in self.program.global_inits:
+            self._assign_cells(self._loc_cell(None, init.dst), self._value_cell(None, init.src))
+        # single pass suffices for unification; one more to catch call order
+        for _ in range(2):
+            for proc in self.program.procedures.values():
+                for node in proc.nodes():
+                    if isinstance(node, AssignNode) and node.dst is not None:
+                        self._assign_cells(
+                            self._loc_cell(proc, node.dst),
+                            self._value_cell(proc, node.src),
+                        )
+                    elif isinstance(node, CallNode):
+                        self._do_call(proc, node)
+        return self
+
+    def _assign_cells(self, dst: Optional[_Cell], src: Optional[_Cell]) -> None:
+        """``dst-storage = src-targets``: unify pts(dst) with the targets."""
+        if dst is None or src is None:
+            return
+        self.union(self.pointee_of(dst), src)
+
+    # -- evaluation to cells -------------------------------------------------
+
+    def _block(self, proc: Optional[Procedure], symbol: Symbol) -> MemoryBlock:
+        if isinstance(symbol, LocalSymbol):
+            assert proc is not None
+            return proc.local_block(symbol)
+        if isinstance(symbol, GlobalSymbol):
+            return self.program.add_global(symbol)
+        if isinstance(symbol, ProcSymbol):
+            return self.program.proc_block(symbol.name)
+        if isinstance(symbol, StringSymbol):
+            return self.program.string_block(symbol)
+        raise TypeError(symbol)
+
+    def _loc_cell(self, proc: Optional[Procedure], loc: LocExpr) -> Optional[_Cell]:
+        """The *storage class* of a location expression: the union-find
+        class containing the blocks it may name."""
+        if isinstance(loc, SymbolLoc):
+            return self.cell_of(self._block(proc, loc.symbol))
+        assert isinstance(loc, DerefLoc)
+        ptr_targets = self._value_cell(proc, loc.pointer)
+        return ptr_targets  # the blocks *p names are exactly p's targets
+
+    def _value_cell(self, proc: Optional[Procedure], value: ValueExpr) -> Optional[_Cell]:
+        """The *targets class* of a value: the class of blocks the value may
+        point to (None when the value carries no pointers)."""
+        result: Optional[_Cell] = None
+
+        def merge(c: Optional[_Cell]) -> None:
+            nonlocal result
+            if c is None:
+                return
+            result = c if result is None else self.union(result, c)
+
+        for term in value.terms:
+            if isinstance(term, UnknownTerm):
+                continue
+            if isinstance(term, AddressTerm):
+                # the value points at the location itself
+                merge(self._loc_cell(proc, term.loc))
+            elif isinstance(term, ContentsTerm):
+                storage = self._loc_cell(proc, term.loc)
+                if storage is not None:
+                    merge(self.pointee_of(storage))
+            elif isinstance(term, AdjustTerm):
+                merge(self._value_cell(proc, term.value))
+        return result
+
+    def _do_call(self, proc: Procedure, node: CallNode) -> None:
+        names: set[str] = set()
+        for term in node.target.terms:
+            if isinstance(term, AddressTerm) and isinstance(term.loc, SymbolLoc):
+                if isinstance(term.loc.symbol, ProcSymbol):
+                    names.add(term.loc.symbol.name)
+        # indirect call: unify with every function whose address is taken
+        # (classical Steensgaard treatment, very coarse)
+        if not names:
+            names = {
+                p for p in self.program.procedures
+                if self.program.proc_blocks.get(p) is not None
+            }
+        for name in names:
+            callee = self.program.procedures.get(name)
+            if callee is None:
+                self._do_library(proc, node, name)
+                continue
+            for i, formal in enumerate(callee.formals):
+                if i >= len(node.args):
+                    continue
+                val = self._value_cell(proc, node.args[i])
+                block = callee.local_block(formal)
+                if val is not None:
+                    self.union(self.pointee_of(self.cell_of(block)), val)
+            if node.dst is not None:
+                ret = self.cell_of(callee.return_block)
+                dst = self._loc_cell(proc, node.dst)
+                if dst is not None:
+                    self.union(self.pointee_of(dst), self.pointee_of(ret))
+
+    def _do_library(self, proc: Procedure, node: CallNode, name: str) -> None:
+        if name in ("malloc", "calloc", "realloc", "strdup", "fopen") and node.dst is not None:
+            block = self._heap.get(node.site)
+            if block is None:
+                block = HeapBlock(node.site)
+                self._heap[node.site] = block
+            dst = self._loc_cell(proc, node.dst)
+            if dst is not None:
+                self.union(self.pointee_of(dst), self.cell_of(block))
+
+    # -- queries ------------------------------------------------------------
+
+    def points_to_names(self, proc_name: str, var: str) -> set[str]:
+        proc = self.program.procedures[proc_name]
+        symbol = proc.locals.get(var)
+        if symbol is not None:
+            block = proc.local_block(symbol)
+        elif var in self.program.globals:
+            block = self.program.global_block(var)
+        else:
+            return set()
+        cell = self.cell_of(block)
+        if cell.pointee is None:
+            return set()
+        return {
+            b.name.split("::")[-1] for b in cell.pointee.find().blocks
+        }
+
+    def may_alias(self, proc_name: str, a: str, b: str) -> bool:
+        proc = self.program.procedures[proc_name]
+        cells = []
+        for var in (a, b):
+            symbol = proc.locals.get(var)
+            if symbol is not None:
+                block = proc.local_block(symbol)
+            elif var in self.program.globals:
+                block = self.program.global_block(var)
+            else:
+                return False
+            cells.append(self.pointee_of(self.cell_of(block)))
+        return cells[0].find() is cells[1].find()
+
+    def class_count(self) -> int:
+        roots = {c.find().uid for c in self._cells.values()}
+        return len(roots)
+
+
+def steensgaard_analyze(program: Program) -> SteensgaardAnalysis:
+    """Run the unification-based baseline on ``program``."""
+    return SteensgaardAnalysis(program).run()

@@ -1,0 +1,26 @@
+"""Benchmark suite registry and measurement harness (Tables 2 & 3)."""
+
+from .harness import (
+    Table2Row,
+    analyze_benchmark,
+    invocation_rows,
+    table2_rows,
+    table2_text,
+    table3_rows,
+    table3_text,
+)
+from .programs import PROGRAMS, BenchmarkProgram, load_source, source_path
+
+__all__ = [
+    "PROGRAMS",
+    "BenchmarkProgram",
+    "load_source",
+    "source_path",
+    "Table2Row",
+    "table2_rows",
+    "table2_text",
+    "table3_rows",
+    "table3_text",
+    "invocation_rows",
+    "analyze_benchmark",
+]

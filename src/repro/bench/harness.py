@@ -1,0 +1,175 @@
+"""Measurement harness: regenerate the paper's tables.
+
+``table2_rows()`` runs the full Wilson-Lam analysis over the benchmark
+suite and reports the paper's columns (lines, procedures, analysis seconds,
+average PTFs per procedure) next to the paper's own numbers.
+
+``table3_rows()`` runs the parallelizer + machine model over the two
+numeric programs and reports (% parallel, average ms per loop, speedup on
+2 and on 4 processors).
+
+``invocation_rows()`` reproduces the §7 comparison of invocation-graph
+sizes against PTF counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.engine import AnalyzerOptions
+from ..analysis.results import AnalysisResult, run_analysis
+from ..baselines.invocation import build_invocation_graph
+from ..clients.machine import MachineModel, ProgramTiming
+from ..clients.parallel import Parallelizer
+from ..frontend.parser import load_program
+from .programs import PROGRAMS, BenchmarkProgram, by_name, load_source
+
+__all__ = [
+    "Table2Row",
+    "table2_rows",
+    "table2_text",
+    "table3_rows",
+    "table3_text",
+    "invocation_rows",
+    "analyze_benchmark",
+]
+
+
+@dataclass
+class Table2Row:
+    name: str
+    lines: int
+    procedures: int
+    seconds: float
+    avg_ptfs: float
+    paper: BenchmarkProgram
+
+    def display(self) -> str:
+        return (
+            f"{self.name:<12} {self.lines:>6} {self.procedures:>6} "
+            f"{self.seconds:>9.3f} {self.avg_ptfs:>6.2f}   "
+            f"(paper: {self.paper.paper_lines:>5} lines, "
+            f"{self.paper.paper_procedures:>3} procs, "
+            f"{self.paper.paper_seconds:>6.2f}s, "
+            f"{self.paper.paper_avg_ptfs:.2f} PTFs)"
+        )
+
+
+def analyze_benchmark(
+    name: str, options: Optional[AnalyzerOptions] = None
+) -> AnalysisResult:
+    source = load_source(name)
+    program = load_program(source, f"{name}.c", name)
+    return run_analysis(program, options)
+
+
+def table2_rows(
+    names: Optional[list[str]] = None,
+    options: Optional[AnalyzerOptions] = None,
+) -> list[Table2Row]:
+    rows = []
+    for prog in PROGRAMS:
+        if names is not None and prog.name not in names:
+            continue
+        result = analyze_benchmark(prog.name, options)
+        stats = result.stats()
+        rows.append(
+            Table2Row(
+                name=prog.name,
+                lines=stats.source_lines,
+                procedures=stats.procedures,
+                seconds=stats.analysis_seconds,
+                avg_ptfs=stats.avg_ptfs,
+                paper=prog,
+            )
+        )
+    return rows
+
+
+def table2_text(rows: Optional[list[Table2Row]] = None) -> str:
+    if rows is None:
+        rows = table2_rows()
+    lines = [
+        "Table 2: Benchmark and Analysis Measurements",
+        f"{'Benchmark':<12} {'Lines':>6} {'Procs':>6} {'Secs':>9} {'PTFs':>6}",
+    ]
+    lines.extend(r.display() for r in rows)
+    avg = sum(r.avg_ptfs for r in rows) / len(rows) if rows else 0.0
+    lines.append(f"{'(suite avg PTFs/proc)':<37} {avg:>6.2f}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table 3
+# ---------------------------------------------------------------------------
+
+
+def table3_rows(
+    names: tuple[str, ...] = ("alvinn", "ear"),
+    model: Optional[MachineModel] = None,
+) -> list[ProgramTiming]:
+    model = model or MachineModel()
+    out: list[ProgramTiming] = []
+    for name in names:
+        prog = by_name(name)
+        source = load_source(name)
+        analysis = analyze_benchmark(name)
+        par = Parallelizer(source, alias_oracle=analysis, filename=f"{name}.c")
+        par.run()
+        loops = par.all_loops()
+        invocations = {
+            l.line: (prog.table3_invocations or 1) for l in loops
+        }
+        out.append(model.time_program(name, loops, invocations))
+    return out
+
+
+def table3_text(rows: Optional[list[ProgramTiming]] = None) -> str:
+    if rows is None:
+        rows = table3_rows()
+    paper = {"alvinn": (97.7, 7.4, 1.95, 3.50), "ear": (85.8, 0.2, 1.42, 1.63)}
+    lines = [
+        "Table 3: Measurements of Parallelized Programs",
+        f"{'Program':<10} {'%Par':>6} {'ms/loop':>8} {'S(2)':>6} {'S(4)':>6}",
+    ]
+    for r in rows:
+        name, pct, avg, s2, s4 = r.row()
+        p = paper.get(name)
+        extra = (
+            f"   (paper: {p[0]:.1f}% {p[1]:.1f}ms {p[2]:.2f} {p[3]:.2f})"
+            if p
+            else ""
+        )
+        lines.append(f"{name:<10} {pct:>6.1f} {avg:>8.2f} {s2:>6.2f} {s4:>6.2f}{extra}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# §7 invocation-graph comparison
+# ---------------------------------------------------------------------------
+
+
+def invocation_rows(names: Optional[list[str]] = None, limit: int = 2_000_000):
+    """(name, procedures, invocation-graph nodes, total PTFs) per program."""
+    out = []
+    for prog in PROGRAMS:
+        if names is not None and prog.name not in names:
+            continue
+        source = load_source(prog.name)
+        program = load_program(source, f"{prog.name}.c", prog.name)
+        graph = build_invocation_graph(program, limit=limit)
+        analysis = run_analysis(program)
+        stats = analysis.stats()
+        out.append(
+            {
+                "name": prog.name,
+                "procedures": stats.procedures,
+                "invocation_nodes": graph.nodes,
+                "truncated": graph.truncated,
+                "total_ptfs": stats.total_ptfs,
+                "avg_ptfs": stats.avg_ptfs,
+            }
+        )
+    return out

@@ -1,0 +1,120 @@
+"""Registry of the Table 2 benchmark suite.
+
+One synthetic C program per row of the paper's Table 2, engineered to match
+the original's *shape* (size class, procedure-count class, recursion and
+pointer-usage style) as documented in DESIGN.md.  Each entry carries the
+paper's reported numbers so the harness can print paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["BenchmarkProgram", "PROGRAMS", "program_dir", "source_path", "load_source"]
+
+
+@dataclass(frozen=True)
+class BenchmarkProgram:
+    """One Table 2 row."""
+
+    name: str
+    #: the paper's reported values (source lines, procedures, seconds, PTFs)
+    paper_lines: int
+    paper_procedures: int
+    paper_seconds: float
+    paper_avg_ptfs: float
+    #: one-line characterization driving the synthetic program's design
+    character: str
+    #: workload loop-invocation counts for the Table 3 model, when the
+    #: program participates in the parallelization experiment
+    table3_invocations: Optional[int] = None
+
+
+PROGRAMS: list[BenchmarkProgram] = [
+    BenchmarkProgram(
+        "allroots", 188, 6, 0.18, 1.00,
+        "polynomial root finding; scalar FP + output pointers",
+    ),
+    BenchmarkProgram(
+        "alvinn", 272, 8, 0.22, 1.00,
+        "backprop network; dense FP loops over weight matrices",
+        table3_invocations=60,
+    ),
+    BenchmarkProgram(
+        "grep", 430, 9, 0.65, 1.00,
+        "regex matching; mutual recursion over char pointers",
+    ),
+    BenchmarkProgram(
+        "diff", 668, 23, 2.13, 1.30,
+        "LCS dynamic program; line table + heap edit list",
+    ),
+    BenchmarkProgram(
+        "lex315", 776, 16, 0.93, 1.00,
+        "lexer generator; NFA of heap transition lists",
+    ),
+    BenchmarkProgram(
+        "compress", 1503, 14, 1.45, 1.00,
+        "LZW codec; hash table of codes, table rebuild",
+    ),
+    BenchmarkProgram(
+        "loader", 1539, 29, 1.70, 1.03,
+        "object loader; symbol hash chains + relocation lists",
+    ),
+    BenchmarkProgram(
+        "football", 2354, 57, 6.70, 1.02,
+        "sports statistics; struct tables, qsort comparators",
+    ),
+    BenchmarkProgram(
+        "compiler", 2360, 37, 7.57, 1.14,
+        "recursive-descent compiler; the invocation-graph blow-up case",
+    ),
+    BenchmarkProgram(
+        "assembler", 3361, 51, 5.82, 1.08,
+        "two-pass assembler; opcode/symbol tables, fixup lists",
+    ),
+    BenchmarkProgram(
+        "eqntott", 3454, 60, 9.88, 1.33,
+        "boolean equations to truth tables; heap expression trees",
+    ),
+    BenchmarkProgram(
+        "ear", 4284, 68, 2.99, 1.13,
+        "auditory model; many small FP filter loops",
+        table3_invocations=400,
+    ),
+    BenchmarkProgram(
+        "simulator", 4663, 98, 15.54, 1.39,
+        "CPU simulator; function-pointer dispatch, page table",
+    ),
+]
+
+
+def program_dir() -> str:
+    """The directory holding the C sources (benchmarks/programs)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    # installed layout: src/repro/bench -> repo root two levels up
+    for candidate in (
+        os.path.join(here, "..", "..", "..", "benchmarks", "programs"),
+        os.path.join(os.getcwd(), "benchmarks", "programs"),
+    ):
+        path = os.path.normpath(candidate)
+        if os.path.isdir(path):
+            return path
+    raise FileNotFoundError("benchmarks/programs directory not found")
+
+
+def source_path(name: str) -> str:
+    return os.path.join(program_dir(), f"{name}.c")
+
+
+def load_source(name: str) -> str:
+    with open(source_path(name), "r") as f:
+        return f.read()
+
+
+def by_name(name: str) -> BenchmarkProgram:
+    for p in PROGRAMS:
+        if p.name == name:
+            return p
+    raise KeyError(name)

@@ -1,0 +1,228 @@
+"""Command-line interface.
+
+::
+
+    python -m repro analyze prog.c [more.c ...] [--points-to VAR] [--ptfs PROC]
+    python -m repro callgraph prog.c
+    python -m repro compare prog.c --var VAR        # WL vs Andersen vs Steensgaard
+    python -m repro table2 [--names a,b,c]
+    python -m repro table3
+    python -m repro parallelize prog.c
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .analysis.engine import AnalyzerOptions
+from .analysis.results import run_analysis
+from .frontend.parser import ParseError, load_project_files
+
+__all__ = ["main"]
+
+
+def _options_from(args: argparse.Namespace) -> AnalyzerOptions:
+    return AnalyzerOptions(
+        state_kind=args.state,
+        external_policy=args.external,
+        strong_updates=not args.no_strong_updates,
+        heap_context_depth=args.heap_context,
+    )
+
+
+def _add_analysis_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--state", choices=["sparse", "dense"], default="sparse",
+                   help="points-to state representation (default: sparse)")
+    p.add_argument("--external", choices=["havoc", "ignore"], default="havoc",
+                   help="policy for unknown external functions")
+    p.add_argument("--no-strong-updates", action="store_true",
+                   help="disable strong updates (ablation)")
+    p.add_argument("--heap-context", type=int, default=0, metavar="K",
+                   help="heap naming call-chain depth (default 0: site only)")
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    program = load_project_files(args.files)
+    result = run_analysis(program, _options_from(args))
+    stats = result.stats()
+    print(f"program       : {program.name}")
+    print(f"source lines  : {stats.source_lines}")
+    print(f"procedures    : {stats.procedures}")
+    print(f"analysis time : {stats.analysis_seconds * 1000:.1f} ms")
+    print(f"total PTFs    : {stats.total_ptfs}")
+    print(f"avg PTFs/proc : {stats.avg_ptfs:.2f}")
+    for var in args.points_to or []:
+        proc, _, name = var.rpartition(":")
+        proc = proc or "main"
+        targets = sorted(result.points_to_names(proc, name))
+        print(f"points-to {proc}:{name} -> {targets}")
+    for proc in args.ptfs or []:
+        for ptf in result.ptfs_of(proc):
+            print(ptf.describe())
+    return 0
+
+
+def cmd_callgraph(args: argparse.Namespace) -> int:
+    program = load_project_files(args.files)
+    result = run_analysis(program, _options_from(args))
+    graph = result.call_graph()
+    for caller in sorted(graph):
+        for callee in sorted(graph[caller]):
+            print(f"{caller} -> {callee}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from .baselines import andersen_analyze, steensgaard_analyze
+
+    program = load_project_files(args.files)
+    wl = run_analysis(program, _options_from(args))
+    program2 = load_project_files(args.files)
+    ai = andersen_analyze(program2)
+    program3 = load_project_files(args.files)
+    st = steensgaard_analyze(program3)
+    proc, _, name = (args.var or "").rpartition(":")
+    proc = proc or "main"
+    print(f"{'analysis':<14} points-to {proc}:{name}")
+    print(f"{'wilson-lam':<14} {sorted(wl.points_to_names(proc, name))}")
+    print(f"{'andersen':<14} {sorted(ai.points_to_names(proc, name))}")
+    print(f"{'steensgaard':<14} {sorted(st.points_to_names(proc, name))}")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from .bench import table2_rows, table2_text
+
+    names = args.names.split(",") if args.names else None
+    print(table2_text(table2_rows(names=names)))
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    from .bench import table3_text
+
+    print(table3_text())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate the full paper-vs-measured comparison (EXPERIMENTS.md)."""
+    from .bench import invocation_rows, table2_text, table3_text
+
+    print("=" * 72)
+    print("Wilson & Lam, PLDI 1995 — reproduction report")
+    print("=" * 72)
+    print()
+    print(table2_text())
+    print()
+    print(table3_text())
+    print()
+    print("Invocation-graph comparison (the §7 Emami anecdote):")
+    for row in invocation_rows(names=["compiler"]):
+        ratio = row["invocation_nodes"] / max(row["total_ptfs"], 1)
+        print(
+            f"  {row['name']}: {row['procedures']} procedures, "
+            f"{row['invocation_nodes']:,} invocation-graph nodes, "
+            f"{row['total_ptfs']} PTFs ({ratio:,.0f}x)"
+        )
+    print()
+    print("PTF reuse vs reanalysis-per-context (binary call DAG, depth 9):")
+    from . import AnalyzerOptions, analyze_source
+
+    parts = ["int g;", "void leaf(int *p) { g = *p; }",
+             "void f0(int *p) { leaf(p); leaf(p); }"]
+    for i in range(1, 9):
+        parts.append(f"void f{i}(int *p) {{ f{i-1}(p); f{i-1}(p); }}")
+    parts.append("int main(void) { int x; f8(&x); return 0; }")
+    dag = "\n".join(parts)
+    reuse = analyze_source(dag)
+    emami = analyze_source(
+        dag, options=AnalyzerOptions(reuse_ptfs=False, ptf_limit=1_000_000)
+    )
+    print(f"  with reuse : {reuse.stats().total_ptfs} PTFs")
+    print(f"  per-context: {emami.stats().total_ptfs} PTFs")
+    return 0
+
+
+def cmd_parallelize(args: argparse.Namespace) -> int:
+    from .clients import MachineModel, Parallelizer
+
+    program = load_project_files(args.files)
+    result = run_analysis(program, _options_from(args))
+    with open(args.files[0]) as f:
+        source = f.read()
+    par = Parallelizer(source, alias_oracle=result, filename=args.files[0])
+    par.run()
+    for loop in par.all_loops():
+        tag = "PARALLEL" if loop.parallel else "serial"
+        print(f"{loop.proc}:{loop.line:<5} {tag:<9} {loop.reason}")
+    timing = MachineModel().time_program("program", par.all_loops())
+    _, pct, avg, s2, s4 = timing.row()
+    print(f"-- {pct:.1f}% parallel, {avg:.2f} ms/loop, "
+          f"speedups {s2:.2f} (2 CPU) / {s4:.2f} (4 CPU)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Context-sensitive pointer analysis for C "
+                    "(Wilson & Lam, PLDI 1995)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="analyze C files, print stats")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--points-to", action="append", metavar="[PROC:]VAR",
+                   help="print the points-to set of a variable")
+    p.add_argument("--ptfs", action="append", metavar="PROC",
+                   help="print the PTFs of a procedure")
+    _add_analysis_flags(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("callgraph", help="print the resolved call graph")
+    p.add_argument("files", nargs="+")
+    _add_analysis_flags(p)
+    p.set_defaults(func=cmd_callgraph)
+
+    p = sub.add_parser("compare", help="compare against the baselines")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--var", required=True, metavar="[PROC:]VAR")
+    _add_analysis_flags(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("table2", help="regenerate the paper's Table 2")
+    p.add_argument("--names", help="comma-separated subset of benchmarks")
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("table3", help="regenerate the paper's Table 3")
+    p.set_defaults(func=cmd_table3)
+
+    p = sub.add_parser("report", help="full paper-vs-measured report")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("parallelize", help="run the §7 parallelizer client")
+    p.add_argument("files", nargs="+")
+    _add_analysis_flags(p)
+    p.set_defaults(func=cmd_parallelize)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ParseError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""Clients of the pointer analysis (§7): loop parallelization + machine model."""
+
+from .deadstore import DeadStoreAnalysis, StoreInfo, find_dead_stores, find_redundant_loads
+from .machine import LoopTiming, MachineModel, ProgramTiming
+from .parallel import AliasOracle, ArrayAccess, LoopInfo, Parallelizer, ProcedureLoops
+
+__all__ = [
+    "Parallelizer",
+    "LoopInfo",
+    "ArrayAccess",
+    "ProcedureLoops",
+    "AliasOracle",
+    "MachineModel",
+    "DeadStoreAnalysis",
+    "StoreInfo",
+    "find_dead_stores",
+    "find_redundant_loads",
+    "ProgramTiming",
+    "LoopTiming",
+]

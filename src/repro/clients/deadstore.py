@@ -1,0 +1,217 @@
+"""Dead-store and redundant-load detection — a second optimizer client.
+
+The paper's §7 notes that "points-to information is useful for many
+different compiler passes"; loop parallelization is the one it evaluates.
+This module demonstrates the class of scalar optimizations the SUIF system
+aimed the analysis at:
+
+* a **dead store** is a store through a pointer that is definitely
+  overwritten (strongly updated) before any possible read — detectable
+  only when the analysis can prove the two stores hit the *same unique
+  location* and no intervening load may alias it;
+* a **redundant load** is a second read through a pointer whose target
+  cannot have changed since the previous read — requires proving that no
+  intervening store may alias the loaded location.
+
+Both queries reduce to may-alias tests over the points-to results; their
+hit rate is a direct measure of analysis precision (an always-may-alias
+oracle finds nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.intra import ProcEvaluator
+from ..analysis.context import Frame
+from ..analysis.ptf import ParamMap
+from ..analysis.results import AnalysisResult
+from ..ir.expr import ContentsTerm, DerefLoc, SymbolLoc
+from ..ir.nodes import AssignNode, CallNode, Node
+from ..memory.locset import LocationSet
+
+__all__ = ["StoreInfo", "DeadStoreAnalysis", "find_dead_stores", "find_redundant_loads"]
+
+
+@dataclass
+class StoreInfo:
+    """One optimization finding."""
+
+    proc: str
+    node: Node
+    kind: str  # "dead-store" | "redundant-load"
+    coord: Optional[str]
+    detail: str
+
+    def __str__(self) -> str:
+        where = self.coord or f"node#{self.node.uid}"
+        return f"{self.kind} in {self.proc} at {where}: {self.detail}"
+
+
+class DeadStoreAnalysis:
+    """Per-procedure scan driven by a finished pointer analysis."""
+
+    def __init__(self, result: AnalysisResult) -> None:
+        self.result = result
+        self.analyzer = result.analyzer
+
+    # ------------------------------------------------------------------
+
+    def _targets(self, ptf, proc, node, loc_expr) -> list[LocationSet]:
+        frame = Frame(
+            self.analyzer, proc, ptf, ptf.current_map or ParamMap(),
+            None, self.analyzer.root,
+        )
+        evaluator = ProcEvaluator(self.analyzer, frame)
+        try:
+            return evaluator.eval_loc(loc_expr, node)
+        except Exception:
+            return []
+
+    @staticmethod
+    def _may_touch(a: list[LocationSet], b: list[LocationSet]) -> bool:
+        for la in a:
+            for lb in b:
+                if la.base is lb.base and la.overlaps(lb, width=4, other_width=4):
+                    return True
+        return False
+
+    def _walk_straight_line(self, proc):
+        """Yield runs of consecutive assign/call nodes with single-entry
+        single-exit structure (no joins in between)."""
+        run: list[Node] = []
+        for node in proc.nodes():
+            if isinstance(node, (AssignNode, CallNode)) and len(node.preds) == 1:
+                run.append(node)
+            else:
+                if len(run) > 1:
+                    yield run
+                run = []
+        if len(run) > 1:
+            yield run
+
+    # ------------------------------------------------------------------
+
+    def dead_stores(self) -> list[StoreInfo]:
+        """Stores to a unique location overwritten before any aliasing use."""
+        findings: list[StoreInfo] = []
+        for name, proc in self.result.program.procedures.items():
+            for ptf in self.result.ptfs_of(name):
+                for run in self._walk_straight_line(proc):
+                    findings.extend(self._dead_in_run(name, proc, ptf, run))
+        return findings
+
+    def _dead_in_run(self, name, proc, ptf, run) -> list[StoreInfo]:
+        out: list[StoreInfo] = []
+        for i, node in enumerate(run):
+            if not isinstance(node, AssignNode) or node.dst is None:
+                continue
+            dsts = self._targets(ptf, proc, node, node.dst)
+            if len(dsts) != 1 or not dsts[0].is_unique:
+                continue
+            # does a later node in the run overwrite it before any read?
+            for later in run[i + 1:]:
+                if isinstance(later, CallNode):
+                    break  # the call may read anything
+                if later.dst is None:
+                    break
+                reads = self._reads_of(ptf, proc, later)
+                if self._may_touch(dsts, reads):
+                    break
+                later_dsts = self._targets(ptf, proc, later, later.dst)
+                if (
+                    len(later_dsts) == 1
+                    and later_dsts[0] == dsts[0]
+                    and later.size >= node.size
+                ):
+                    out.append(
+                        StoreInfo(
+                            name, node, "dead-store", node.coord,
+                            f"value stored to {dsts[0]} is overwritten "
+                            f"before any aliasing read",
+                        )
+                    )
+                    break
+        return out
+
+    def _reads_of(self, ptf, proc, node: AssignNode) -> list[LocationSet]:
+        """Every location the node may read: direct loads plus every
+        pointer cell dereferenced along the way (``**pp`` reads both pp's
+        cell and the cell it points at)."""
+        reads: list[LocationSet] = []
+
+        def from_loc(loc_expr) -> None:
+            if isinstance(loc_expr, DerefLoc):
+                for term in loc_expr.pointer.terms:
+                    if isinstance(term, ContentsTerm):
+                        from_loc(term.loc)
+                        reads.extend(self._targets(ptf, proc, node, term.loc))
+
+        for term in node.src.terms:
+            if isinstance(term, ContentsTerm):
+                from_loc(term.loc)
+                reads.extend(self._targets(ptf, proc, node, term.loc))
+        # pointer cells read while computing a dereferenced destination
+        if isinstance(node.dst, DerefLoc):
+            from_loc(node.dst)
+        return reads
+
+    # ------------------------------------------------------------------
+
+    def redundant_loads(self) -> list[StoreInfo]:
+        """Second loads of a location no intervening store may change."""
+        findings: list[StoreInfo] = []
+        for name, proc in self.result.program.procedures.items():
+            for ptf in self.result.ptfs_of(name):
+                for run in self._walk_straight_line(proc):
+                    findings.extend(self._redundant_in_run(name, proc, ptf, run))
+        return findings
+
+    def _redundant_in_run(self, name, proc, ptf, run) -> list[StoreInfo]:
+        out: list[StoreInfo] = []
+        loads: list[tuple[int, list[LocationSet]]] = []
+        for i, node in enumerate(run):
+            if isinstance(node, CallNode):
+                loads.clear()
+                continue
+            assert isinstance(node, AssignNode)
+            node_reads = self._reads_of(ptf, proc, node)
+            # check against previous loads
+            for j, prev_reads in loads:
+                if prev_reads and node_reads and all(
+                    any(r == p for p in prev_reads) for r in node_reads
+                ):
+                    # all current reads repeat previous ones; any store in
+                    # between must not alias them
+                    killed = False
+                    for mid in run[j + 1 : i]:
+                        if not isinstance(mid, AssignNode) or mid.dst is None:
+                            killed = True
+                            break
+                        mid_dsts = self._targets(ptf, proc, mid, mid.dst)
+                        if self._may_touch(mid_dsts, node_reads):
+                            killed = True
+                            break
+                    if not killed:
+                        out.append(
+                            StoreInfo(
+                                name, node, "redundant-load", node.coord,
+                                f"reloads {', '.join(map(str, node_reads))} "
+                                f"unchanged since an earlier load",
+                            )
+                        )
+                        break
+            if node_reads:
+                loads.append((i, node_reads))
+        return out
+
+
+def find_dead_stores(result: AnalysisResult) -> list[StoreInfo]:
+    """All dead stores the pointer analysis can prove."""
+    return DeadStoreAnalysis(result).dead_stores()
+
+
+def find_redundant_loads(result: AnalysisResult) -> list[StoreInfo]:
+    """All provably redundant loads."""
+    return DeadStoreAnalysis(result).redundant_loads()

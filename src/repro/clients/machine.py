@@ -1,0 +1,139 @@
+"""Deterministic multiprocessor cost model (Table 3 substrate).
+
+The paper measured parallelized ``alvinn`` and ``ear`` on an SGI 4D/380.
+We cannot run on that machine, so this module provides the substitution
+documented in DESIGN.md: a parameterized shared-memory multiprocessor model
+that exhibits the same *mechanisms* the paper discusses —
+
+* speedup follows Amdahl's law over the parallel fraction;
+* each parallel loop invocation pays a fixed fork/barrier overhead, so
+  loops with *small granularity* (tiny sequential time per invocation)
+  scale poorly — the paper's explanation for ``ear``'s 1.63 on 4 CPUs;
+* fine-grained loops suffer *false sharing*: when per-iteration work is
+  small, adjacent elements written by different processors share cache
+  lines and the model charges a coherence penalty — the paper names this
+  as ``ear``'s other limiter.
+
+All quantities are deterministic functions of the loop structure reported
+by :class:`repro.clients.parallel.Parallelizer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .parallel import LoopInfo
+
+__all__ = ["MachineModel", "ProgramTiming", "LoopTiming"]
+
+
+@dataclass
+class LoopTiming:
+    """Modelled timing of one loop."""
+
+    loop: LoopInfo
+    invocations: int
+    seq_time_per_invocation_ms: float
+    parallel: bool
+
+    @property
+    def total_seq_ms(self) -> float:
+        return self.seq_time_per_invocation_ms * self.invocations
+
+
+@dataclass
+class ProgramTiming:
+    """The Table 3 row for one program."""
+
+    name: str
+    percent_parallel: float
+    avg_time_per_loop_ms: float
+    speedups: dict[int, float] = field(default_factory=dict)
+
+    def row(self) -> tuple:
+        return (
+            self.name,
+            round(self.percent_parallel, 1),
+            round(self.avg_time_per_loop_ms, 1),
+            round(self.speedups.get(2, 1.0), 2),
+            round(self.speedups.get(4, 1.0), 2),
+        )
+
+
+@dataclass
+class MachineModel:
+    """A bus-based shared-memory multiprocessor, early-90s parameters."""
+
+    #: time per abstract loop operation (ms) — scalar FP pipeline
+    op_time_ms: float = 0.0004
+    #: fork + barrier cost per parallel loop invocation per processor (ms)
+    fork_barrier_ms: float = 0.035
+    #: coherence penalty factor charged to fine-grained loops (false sharing)
+    false_sharing_ms: float = 0.04
+    #: per-invocation work (ms) below which false sharing bites hard
+    fine_grain_threshold_ms: float = 1.0
+    #: fraction of program time outside any analyzed loop
+    serial_overhead_fraction: float = 0.02
+
+    # ------------------------------------------------------------------
+
+    def loop_timing(self, loop: LoopInfo, invocations: int = 1) -> LoopTiming:
+        seq = loop.work * self.op_time_ms
+        return LoopTiming(loop, invocations, seq, loop.parallel)
+
+    def time_program(
+        self,
+        name: str,
+        loops: Iterable[LoopInfo],
+        invocations: Optional[dict[int, int]] = None,
+        processors: Iterable[int] = (2, 4),
+    ) -> ProgramTiming:
+        """Model the Table 3 columns for one program.
+
+        ``invocations`` maps a loop's source line to how many times the
+        loop runs (workload-dependent; benchmarks supply it).
+        """
+        invocations = invocations or {}
+        timings = [
+            self.loop_timing(l, invocations.get(l.line, 1)) for l in loops
+        ]
+        total_loop_ms = sum(t.total_seq_ms for t in timings)
+        serial_ms = total_loop_ms * self.serial_overhead_fraction / (
+            1.0 - self.serial_overhead_fraction
+        ) if total_loop_ms else 1.0
+        total_ms = total_loop_ms + serial_ms
+
+        parallel_ms = sum(t.total_seq_ms for t in timings if t.parallel)
+        percent_parallel = 100.0 * parallel_ms / total_ms if total_ms else 0.0
+
+        par = [t for t in timings if t.parallel]
+        if par:
+            invs = sum(t.invocations for t in par)
+            avg_ms = sum(t.total_seq_ms for t in par) / max(invs, 1)
+        else:
+            avg_ms = 0.0
+
+        speedups = {
+            p: self._speedup(timings, serial_ms, p) for p in processors
+        }
+        return ProgramTiming(name, percent_parallel, avg_ms, speedups)
+
+    # ------------------------------------------------------------------
+
+    def _speedup(self, timings: list[LoopTiming], serial_ms: float, procs: int) -> float:
+        seq_total = serial_ms + sum(t.total_seq_ms for t in timings)
+        par_total = serial_ms
+        for t in timings:
+            if not t.parallel:
+                par_total += t.total_seq_ms
+                continue
+            per_inv = t.seq_time_per_invocation_ms
+            body = per_inv / procs
+            overhead = self.fork_barrier_ms * (1.0 + 0.25 * (procs - 2))
+            if per_inv < self.fine_grain_threshold_ms:
+                # adjacent iterations on different processors share cache
+                # lines; the penalty grows with processor count
+                overhead += self.false_sharing_ms * procs
+            par_total += (body + overhead) * t.invocations
+        return seq_total / par_total if par_total else 1.0

@@ -1,0 +1,460 @@
+"""Loop parallelizer client (§7, Table 3).
+
+The paper's first use of points-to information: the SUIF parallelizer asks
+whether *formal parameters can be aliased* and then applies standard
+loop-parallelization analyses (induction variables, data dependence) to
+numeric C programs.  This module reproduces that client:
+
+* loop discovery over the pycparser AST (``for`` loops with a recognizable
+  induction variable, plus ``while`` loops rewritable to ``for`` form —
+  one of the paper's C-specific passes);
+* array-access extraction, including pointer-based accesses rewritten as
+  array index calculations (the paper's other C-specific pass);
+* a dependence test: a loop parallelizes when every written location is
+  indexed by the induction variable (distinct elements per iteration),
+  scalars are private or reductions, there are no unknown calls, and —
+  the pointer-analysis part — no two accessed base pointers may alias;
+* a per-loop *work estimate* used by the machine model to compute the
+  Table 3 columns (% parallel, average time per loop, speedups).
+
+The alias questions are answered by the Wilson-Lam analysis through
+:class:`repro.analysis.results.AnalysisResult`; passing an Andersen result
+instead shows how imprecision suppresses parallelization (ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Union
+
+from pycparser import c_ast
+
+from ..frontend.parser import parse_c_source
+from ..frontend.typebuild import TypeBuilder
+
+__all__ = ["LoopInfo", "ProcedureLoops", "Parallelizer", "AliasOracle"]
+
+#: functions with no memory side effects: calls to these don't block
+#: parallelization
+PURE_FUNCTIONS = {
+    "sin", "cos", "tan", "asin", "acos", "atan", "atan2", "sinh", "cosh",
+    "tanh", "exp", "log", "log10", "pow", "sqrt", "ceil", "floor", "fabs",
+    "fmod", "abs", "labs", "ldexp",
+}
+
+
+class AliasOracle(Protocol):
+    """The question the parallelizer asks a pointer analysis (§7)."""
+
+    def may_alias(self, proc_name: str, var_a: str, var_b: str) -> bool: ...
+
+
+@dataclass
+class ArrayAccess:
+    """One subscripted access within a loop body."""
+
+    base: str  # the array or pointer variable
+    index_var: Optional[str]  # the induction variable, when subscript == it
+    is_affine: bool  # subscript is the induction var (+ constant)
+    is_write: bool
+    via_pointer: bool = False
+
+
+@dataclass
+class LoopInfo:
+    """One analyzed loop."""
+
+    proc: str
+    line: int
+    induction_var: Optional[str]
+    iterations: Optional[int]
+    accesses: list[ArrayAccess] = field(default_factory=list)
+    reductions: set[str] = field(default_factory=set)
+    private_scalars: set[str] = field(default_factory=set)
+    #: abstract operation count of one iteration (work estimate)
+    ops_per_iteration: int = 1
+    has_call: bool = False
+    has_io: bool = False
+    nested_depth: int = 0
+    parallel: bool = False
+    reason: str = ""
+
+    @property
+    def work(self) -> int:
+        """Total abstract work of one invocation of this loop."""
+        iters = self.iterations if self.iterations is not None else 100
+        return max(1, iters * self.ops_per_iteration)
+
+
+@dataclass
+class ProcedureLoops:
+    proc: str
+    loops: list[LoopInfo] = field(default_factory=list)
+
+
+class Parallelizer:
+    """Analyze the loops of a C program using a pointer-analysis oracle."""
+
+    def __init__(self, source: str, alias_oracle: Optional[AliasOracle] = None,
+                 filename: str = "<input>") -> None:
+        self.source = source
+        self.alias = alias_oracle
+        self.ast = parse_c_source(source, filename)
+        self.types = TypeBuilder()
+        self.results: list[ProcedureLoops] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> list[ProcedureLoops]:
+        self.results = []
+        for ext in self.ast.ext:
+            if isinstance(ext, c_ast.Typedef):
+                self.types.add_typedef(ext.name, ext.type)
+            if isinstance(ext, c_ast.FuncDef):
+                proc = ProcedureLoops(ext.decl.name)
+                self._walk_stmt(ext.body, proc, depth=0)
+                self.results.append(proc)
+        return self.results
+
+    def all_loops(self) -> list[LoopInfo]:
+        return [l for p in self.results for l in p.loops]
+
+    def parallel_loops(self) -> list[LoopInfo]:
+        return [l for l in self.all_loops() if l.parallel]
+
+    # ------------------------------------------------------------------
+    # loop discovery
+    # ------------------------------------------------------------------
+
+    def _walk_stmt(self, node: Optional[c_ast.Node], proc: ProcedureLoops, depth: int) -> None:
+        if node is None:
+            return
+        if isinstance(node, c_ast.For):
+            loop = self._analyze_for(node, proc.proc, depth)
+            proc.loops.append(loop)
+            self._walk_stmt(node.stmt, proc, depth + 1)
+            return
+        if isinstance(node, c_ast.While):
+            rewritten = self._rewrite_while(node, proc.proc, depth)
+            if rewritten is not None:
+                proc.loops.append(rewritten)
+            self._walk_stmt(node.stmt, proc, depth + 1)
+            return
+        if isinstance(node, c_ast.DoWhile):
+            self._walk_stmt(node.stmt, proc, depth + 1)
+            return
+        for _, child in node.children():
+            if isinstance(child, (c_ast.Compound, c_ast.If, c_ast.Switch,
+                                  c_ast.Case, c_ast.Default, c_ast.Label)):
+                self._walk_stmt(child, proc, depth)
+            elif isinstance(child, (c_ast.For, c_ast.While, c_ast.DoWhile)):
+                self._walk_stmt(child, proc, depth)
+            elif isinstance(child, c_ast.Node) and isinstance(
+                node, (c_ast.Compound, c_ast.If, c_ast.Case, c_ast.Default,
+                       c_ast.Label, c_ast.Switch)
+            ):
+                self._walk_stmt(child, proc, depth)
+
+    # ------------------------------------------------------------------
+    # for-loop analysis
+    # ------------------------------------------------------------------
+
+    def _analyze_for(self, node: c_ast.For, proc: str, depth: int) -> LoopInfo:
+        line = node.coord.line if node.coord else 0
+        ind = self._induction_variable(node)
+        iters = self._iteration_count(node, ind)
+        loop = LoopInfo(
+            proc=proc, line=line, induction_var=ind, iterations=iters,
+            nested_depth=depth,
+        )
+        self._scan_body(node.stmt, loop)
+        self._decide(loop)
+        return loop
+
+    def _rewrite_while(self, node: c_ast.While, proc: str, depth: int) -> Optional[LoopInfo]:
+        """``while (i < N) { ... i++; }`` rewrites to ``for`` form (§7)."""
+        cond = node.cond
+        if not (isinstance(cond, c_ast.BinaryOp) and cond.op in ("<", "<=", "!=")):
+            return None
+        if not isinstance(cond.left, c_ast.ID):
+            return None
+        var = cond.left.name
+        # find a trailing i++/i += 1 in the body
+        body = node.stmt
+        stmts = body.block_items or [] if isinstance(body, c_ast.Compound) else [body]
+        bumps = [
+            s
+            for s in stmts
+            if isinstance(s, c_ast.UnaryOp)
+            and s.op in ("p++", "++", "p--", "--")
+            and isinstance(s.expr, c_ast.ID)
+            and s.expr.name == var
+        ]
+        if not bumps:
+            return None
+        line = node.coord.line if node.coord else 0
+        bound = self.types.try_const_value(cond.right)
+        loop = LoopInfo(
+            proc=proc, line=line, induction_var=var, iterations=bound,
+            nested_depth=depth,
+        )
+        self._scan_body(node.stmt, loop, skip=set(map(id, bumps)))
+        self._decide(loop)
+        return loop
+
+    def _induction_variable(self, node: c_ast.For) -> Optional[str]:
+        nxt = node.next
+        if isinstance(nxt, c_ast.UnaryOp) and nxt.op in ("p++", "++", "p--", "--"):
+            if isinstance(nxt.expr, c_ast.ID):
+                return nxt.expr.name
+        if isinstance(nxt, c_ast.Assignment) and nxt.op in ("+=", "-="):
+            if isinstance(nxt.lvalue, c_ast.ID):
+                return nxt.lvalue.name
+        return None
+
+    def _iteration_count(self, node: c_ast.For, ind: Optional[str]) -> Optional[int]:
+        if ind is None or node.cond is None:
+            return None
+        cond = node.cond
+        if not isinstance(cond, c_ast.BinaryOp) or cond.op not in ("<", "<="):
+            return None
+        if not (isinstance(cond.left, c_ast.ID) and cond.left.name == ind):
+            return None
+        upper = self.types.try_const_value(cond.right)
+        if upper is None:
+            return None
+        lower = 0
+        init = node.init
+        decls = []
+        if isinstance(init, c_ast.DeclList):
+            decls = init.decls
+        if isinstance(init, c_ast.Assignment) and isinstance(init.lvalue, c_ast.ID):
+            if init.lvalue.name == ind:
+                lower = self.types.try_const_value(init.rvalue) or 0
+        for d in decls:
+            if d.name == ind and d.init is not None:
+                lower = self.types.try_const_value(d.init) or 0
+        count = upper - lower + (1 if cond.op == "<=" else 0)
+        return max(count, 0)
+
+    # ------------------------------------------------------------------
+    # body scanning
+    # ------------------------------------------------------------------
+
+    def _scan_body(self, node: Optional[c_ast.Node], loop: LoopInfo,
+                   skip: Optional[set] = None) -> None:
+        if node is None or (skip and id(node) in skip):
+            return
+        if isinstance(node, c_ast.For):
+            # a nested loop multiplies its body's work by its trip count,
+            # and its accesses participate in the parent's dependence test
+            inner = LoopInfo(
+                proc=loop.proc,
+                line=node.coord.line if node.coord else 0,
+                induction_var=self._induction_variable(node),
+                iterations=None,
+            )
+            inner.iterations = self._iteration_count(node, inner.induction_var)
+            self._scan_body(node.stmt, inner, skip)
+            iters = inner.iterations if inner.iterations is not None else 100
+            loop.ops_per_iteration += max(1, iters) * max(1, inner.ops_per_iteration)
+            loop.has_call = loop.has_call or inner.has_call
+            loop.has_io = loop.has_io or inner.has_io
+            loop.private_scalars |= inner.private_scalars
+            for a in inner.accesses:
+                if a.is_write and a.base in loop.private_scalars:
+                    # written through a pointer assigned fresh each outer
+                    # iteration (e.g. double *w = matrix[h]): the rows are
+                    # disjoint per iteration; keep the base visible to the
+                    # alias oracle as a read
+                    loop.accesses.append(
+                        ArrayAccess(a.base, None, False, False, a.via_pointer)
+                    )
+                elif a.index_var == loop.induction_var:
+                    loop.accesses.append(a)
+                elif a.is_write:
+                    # written range independent of the outer variable: the
+                    # same elements are touched every outer iteration
+                    loop.accesses.append(
+                        ArrayAccess(a.base, None, False, True, a.via_pointer)
+                    )
+                else:
+                    loop.accesses.append(a)
+            return
+        if isinstance(node, c_ast.While):
+            inner = LoopInfo(proc=loop.proc, line=0, induction_var=None, iterations=None)
+            self._scan_body(node.stmt, inner, skip)
+            loop.ops_per_iteration += 100 * max(1, inner.ops_per_iteration)
+            loop.has_call = loop.has_call or inner.has_call
+            loop.has_io = loop.has_io or inner.has_io
+            loop.accesses.extend(inner.accesses)
+            return
+        if isinstance(node, c_ast.Assignment):
+            loop.ops_per_iteration += 1
+            self._record_write(node.lvalue, loop)
+            if node.op != "=" and isinstance(node.lvalue, c_ast.ID):
+                # x += expr: reduction candidate
+                loop.reductions.add(node.lvalue.name)
+            self._scan_expr(node.rvalue, loop)
+            return
+        if isinstance(node, c_ast.Decl):
+            if node.name:
+                loop.private_scalars.add(node.name)
+            if node.init is not None:
+                self._scan_expr(node.init, loop)
+            return
+        if isinstance(node, c_ast.FuncCall):
+            name = node.name.name if isinstance(node.name, c_ast.ID) else None
+            if name in PURE_FUNCTIONS or self._oracle_pure(name):
+                loop.ops_per_iteration += 4  # side-effect-free call cost
+            elif name in ("printf", "fprintf", "puts", "putchar", "fputs"):
+                loop.has_io = True
+            else:
+                loop.has_call = True
+            if node.args:
+                for a in node.args.exprs:
+                    self._scan_expr(a, loop)
+            return
+        if isinstance(node, c_ast.UnaryOp) and node.op in ("p++", "++", "p--", "--"):
+            if isinstance(node.expr, c_ast.ID):
+                loop.private_scalars.add(node.expr.name)
+            loop.ops_per_iteration += 1
+            return
+        for _, child in node.children():
+            self._scan_body(child, loop, skip)
+
+    def _scan_expr(self, node: Optional[c_ast.Node], loop: LoopInfo) -> None:
+        if node is None:
+            return
+        if isinstance(node, c_ast.ArrayRef):
+            self._record_access(node, loop, is_write=False)
+        if isinstance(node, c_ast.UnaryOp) and node.op == "*":
+            self._record_deref(node, loop, is_write=False)
+        if isinstance(node, c_ast.BinaryOp):
+            loop.ops_per_iteration += 1
+        if isinstance(node, c_ast.FuncCall):
+            self._scan_body(node, loop)
+            return
+        for _, child in node.children():
+            self._scan_expr(child, loop)
+
+    def _record_write(self, lval: c_ast.Node, loop: LoopInfo) -> None:
+        if isinstance(lval, c_ast.ID):
+            loop.private_scalars.add(lval.name)
+            return
+        if isinstance(lval, c_ast.ArrayRef):
+            self._record_access(lval, loop, is_write=True)
+            return
+        if isinstance(lval, c_ast.UnaryOp) and lval.op == "*":
+            self._record_deref(lval, loop, is_write=True)
+            return
+        if isinstance(lval, c_ast.StructRef):
+            # s.f / p->f writes: treat the base as the accessed object
+            base = lval.name
+            while isinstance(base, c_ast.StructRef):
+                base = base.name
+            if isinstance(base, c_ast.ID):
+                loop.accesses.append(
+                    ArrayAccess(base.name, None, False, True, via_pointer=lval.type == "->")
+                )
+
+    def _record_access(self, ref: c_ast.ArrayRef, loop: LoopInfo, is_write: bool) -> None:
+        base = ref.name
+        while isinstance(base, c_ast.ArrayRef):
+            base = base.name
+        if not isinstance(base, c_ast.ID):
+            return
+        sub = ref.subscript
+        index_var = None
+        affine = False
+        if isinstance(sub, c_ast.ID):
+            index_var = sub.name
+            affine = index_var == loop.induction_var
+        elif isinstance(sub, c_ast.BinaryOp) and sub.op in ("+", "-"):
+            # i + c / c + i
+            for side, other in ((sub.left, sub.right), (sub.right, sub.left)):
+                if (
+                    isinstance(side, c_ast.ID)
+                    and side.name == loop.induction_var
+                    and self.types.try_const_value(other) is not None
+                ):
+                    index_var = side.name
+                    affine = True
+        elif self.types.try_const_value(sub) is not None:
+            affine = False  # constant subscript: same cell every iteration
+        loop.accesses.append(ArrayAccess(base.name, index_var, affine, is_write))
+        # also scan the subscript for nested accesses
+        self._scan_expr(sub, loop)
+
+    def _record_deref(self, deref: c_ast.UnaryOp, loop: LoopInfo, is_write: bool) -> None:
+        """``*p`` and ``*(p + i)``: pointer accesses rewritten as indexed
+        accesses when the offset is the induction variable (§7)."""
+        inner = deref.expr
+        if isinstance(inner, c_ast.ID):
+            loop.accesses.append(
+                ArrayAccess(inner.name, None, False, is_write, via_pointer=True)
+            )
+            return
+        if isinstance(inner, c_ast.BinaryOp) and inner.op == "+":
+            for side, other in ((inner.left, inner.right), (inner.right, inner.left)):
+                if isinstance(side, c_ast.ID) and isinstance(other, c_ast.ID):
+                    if other.name == loop.induction_var:
+                        loop.accesses.append(
+                            ArrayAccess(side.name, other.name, True, is_write, True)
+                        )
+                        return
+        # unknown pointer expression
+        loop.accesses.append(ArrayAccess("<unknown>", None, False, is_write, True))
+
+    def _oracle_pure(self, name: Optional[str]) -> bool:
+        if name is None or self.alias is None:
+            return False
+        checker = getattr(self.alias, "is_pure", None)
+        if checker is None:
+            return False
+        try:
+            return bool(checker(name))
+        except (KeyError, RecursionError):
+            return False
+
+    # ------------------------------------------------------------------
+    # the decision
+    # ------------------------------------------------------------------
+
+    def _decide(self, loop: LoopInfo) -> None:
+        if loop.induction_var is None:
+            loop.reason = "no induction variable"
+            return
+        if loop.has_call:
+            loop.reason = "calls unknown procedure"
+            return
+        if loop.has_io:
+            loop.reason = "performs I/O"
+            return
+        writes = [a for a in loop.accesses if a.is_write]
+        if not writes:
+            # a pure reduction/scan loop: parallel if reductions only
+            loop.parallel = True
+            loop.reason = "no memory writes"
+            return
+        for w in writes:
+            if w.base == "<unknown>":
+                loop.reason = "write through unanalyzable pointer"
+                return
+            if not w.is_affine:
+                loop.reason = f"write to {w.base} not indexed by induction variable"
+                return
+        # the pointer-analysis question: may two accessed bases alias?
+        bases = sorted({a.base for a in loop.accesses if a.base != "<unknown>"})
+        if self.alias is not None:
+            for i, a in enumerate(bases):
+                for b in bases[i + 1 :]:
+                    try:
+                        aliased = self.alias.may_alias(loop.proc, a, b)
+                    except KeyError:
+                        aliased = True
+                    if aliased:
+                        loop.reason = f"{a} may alias {b}"
+                        return
+        loop.parallel = True
+        loop.reason = "independent iterations"

@@ -1,0 +1,23 @@
+"""The C front end: preprocessor, parser driver, type layout, lowering."""
+
+from .cpp import Preprocessor, PreprocessorError, preprocess
+from .parser import (
+    ParseError,
+    load_program,
+    load_program_from_file,
+    load_project,
+    load_project_files,
+    parse_c_source,
+)
+
+__all__ = [
+    "Preprocessor",
+    "PreprocessorError",
+    "preprocess",
+    "ParseError",
+    "parse_c_source",
+    "load_program",
+    "load_program_from_file",
+    "load_project",
+    "load_project_files",
+]

@@ -1,0 +1,363 @@
+"""Built-in standard-library headers for the mini preprocessor.
+
+The paper's analysis "provides ... a summary of the potential pointer
+assignments in each library function" (§1) rather than analyzing libc
+sources.  These headers play the same role as SUIF's system headers: they
+give the front end declarations (so calls type-check and lower), while the
+behaviour of each function comes from :mod:`repro.analysis.libc`.
+
+Types use the ILP32 model of :mod:`repro.frontend.ctypes_model`
+(``size_t`` = unsigned int, pointers are 4 bytes).
+"""
+
+from __future__ import annotations
+
+__all__ = ["HEADERS"]
+
+_STDDEF = """
+#ifndef _STDDEF_H
+#define _STDDEF_H
+typedef unsigned int size_t;
+typedef int ptrdiff_t;
+typedef int wchar_t;
+#define NULL ((void*)0)
+#define offsetof(type, member) ((size_t)&(((type*)0)->member))
+#endif
+"""
+
+_STDIO = """
+#ifndef _STDIO_H
+#define _STDIO_H
+#include <stddef.h>
+typedef struct _FILE { int _fd; char *_buf; int _cnt; } FILE;
+typedef unsigned int fpos_t;
+extern FILE *stdin;
+extern FILE *stdout;
+extern FILE *stderr;
+#define EOF (-1)
+#define BUFSIZ 1024
+#define FILENAME_MAX 256
+#define FOPEN_MAX 16
+#define SEEK_SET 0
+#define SEEK_CUR 1
+#define SEEK_END 2
+FILE *fopen(const char *path, const char *mode);
+FILE *freopen(const char *path, const char *mode, FILE *stream);
+FILE *fdopen(int fd, const char *mode);
+int fclose(FILE *stream);
+int fflush(FILE *stream);
+int fgetc(FILE *stream);
+int getc(FILE *stream);
+int getchar(void);
+char *fgets(char *s, int size, FILE *stream);
+char *gets(char *s);
+int fputc(int c, FILE *stream);
+int putc(int c, FILE *stream);
+int putchar(int c);
+int fputs(const char *s, FILE *stream);
+int puts(const char *s);
+int ungetc(int c, FILE *stream);
+size_t fread(void *ptr, size_t size, size_t nmemb, FILE *stream);
+size_t fwrite(const void *ptr, size_t size, size_t nmemb, FILE *stream);
+int fseek(FILE *stream, long offset, int whence);
+long ftell(FILE *stream);
+void rewind(FILE *stream);
+int fgetpos(FILE *stream, fpos_t *pos);
+int fsetpos(FILE *stream, const fpos_t *pos);
+int feof(FILE *stream);
+int ferror(FILE *stream);
+void clearerr(FILE *stream);
+void perror(const char *s);
+int printf(const char *format, ...);
+int fprintf(FILE *stream, const char *format, ...);
+int sprintf(char *str, const char *format, ...);
+int snprintf(char *str, size_t size, const char *format, ...);
+int scanf(const char *format, ...);
+int fscanf(FILE *stream, const char *format, ...);
+int sscanf(const char *str, const char *format, ...);
+int remove(const char *path);
+int rename(const char *oldpath, const char *newpath);
+FILE *tmpfile(void);
+char *tmpnam(char *s);
+int setvbuf(FILE *stream, char *buf, int mode, size_t size);
+void setbuf(FILE *stream, char *buf);
+#endif
+"""
+
+_STDLIB = """
+#ifndef _STDLIB_H
+#define _STDLIB_H
+#include <stddef.h>
+#define EXIT_SUCCESS 0
+#define EXIT_FAILURE 1
+#define RAND_MAX 2147483647
+typedef struct { int quot; int rem; } div_t;
+typedef struct { long quot; long rem; } ldiv_t;
+void *malloc(size_t size);
+void *calloc(size_t nmemb, size_t size);
+void *realloc(void *ptr, size_t size);
+void free(void *ptr);
+void abort(void);
+void exit(int status);
+int atexit(void (*func)(void));
+char *getenv(const char *name);
+int system(const char *command);
+int abs(int j);
+long labs(long j);
+div_t div(int numer, int denom);
+ldiv_t ldiv(long numer, long denom);
+int rand(void);
+void srand(unsigned int seed);
+int atoi(const char *nptr);
+long atol(const char *nptr);
+double atof(const char *nptr);
+double strtod(const char *nptr, char **endptr);
+long strtol(const char *nptr, char **endptr, int base);
+unsigned long strtoul(const char *nptr, char **endptr, int base);
+void *bsearch(const void *key, const void *base, size_t nmemb, size_t size,
+              int (*compar)(const void *, const void *));
+void qsort(void *base, size_t nmemb, size_t size,
+           int (*compar)(const void *, const void *));
+#endif
+"""
+
+_STRING = """
+#ifndef _STRING_H
+#define _STRING_H
+#include <stddef.h>
+void *memcpy(void *dest, const void *src, size_t n);
+void *memmove(void *dest, const void *src, size_t n);
+void *memset(void *s, int c, size_t n);
+int memcmp(const void *s1, const void *s2, size_t n);
+void *memchr(const void *s, int c, size_t n);
+char *strcpy(char *dest, const char *src);
+char *strncpy(char *dest, const char *src, size_t n);
+char *strcat(char *dest, const char *src);
+char *strncat(char *dest, const char *src, size_t n);
+int strcmp(const char *s1, const char *s2);
+int strncmp(const char *s1, const char *s2, size_t n);
+int strcoll(const char *s1, const char *s2);
+size_t strxfrm(char *dest, const char *src, size_t n);
+char *strchr(const char *s, int c);
+char *strrchr(const char *s, int c);
+size_t strspn(const char *s, const char *accept);
+size_t strcspn(const char *s, const char *reject);
+char *strpbrk(const char *s, const char *accept);
+char *strstr(const char *haystack, const char *needle);
+char *strtok(char *str, const char *delim);
+size_t strlen(const char *s);
+char *strerror(int errnum);
+char *strdup(const char *s);
+#endif
+"""
+
+_MATH = """
+#ifndef _MATH_H
+#define _MATH_H
+#define M_PI 3.14159265358979323846
+#define M_E 2.7182818284590452354
+#define HUGE_VAL 1e308
+double sin(double x);
+double cos(double x);
+double tan(double x);
+double asin(double x);
+double acos(double x);
+double atan(double x);
+double atan2(double y, double x);
+double sinh(double x);
+double cosh(double x);
+double tanh(double x);
+double exp(double x);
+double log(double x);
+double log10(double x);
+double pow(double x, double y);
+double sqrt(double x);
+double ceil(double x);
+double floor(double x);
+double fabs(double x);
+double fmod(double x, double y);
+double ldexp(double x, int exp);
+double frexp(double x, int *exp);
+double modf(double x, double *iptr);
+#endif
+"""
+
+_CTYPE = """
+#ifndef _CTYPE_H
+#define _CTYPE_H
+int isalnum(int c);
+int isalpha(int c);
+int iscntrl(int c);
+int isdigit(int c);
+int isgraph(int c);
+int islower(int c);
+int isprint(int c);
+int ispunct(int c);
+int isspace(int c);
+int isupper(int c);
+int isxdigit(int c);
+int tolower(int c);
+int toupper(int c);
+#endif
+"""
+
+_ASSERT = """
+#ifndef _ASSERT_H
+#define _ASSERT_H
+void __assert_fail(const char *expr, const char *file, int line);
+#ifdef NDEBUG
+#define assert(x) ((void)0)
+#else
+#define assert(x) ((x) ? (void)0 : __assert_fail(#x, __FILE__, __LINE__))
+#endif
+#endif
+"""
+
+_STDARG = """
+#ifndef _STDARG_H
+#define _STDARG_H
+typedef char *va_list;
+#define va_start(ap, last) ((ap) = (char *)&(last))
+#define va_arg(ap, type) (*(type *)((ap) += sizeof(type)))
+#define va_end(ap) ((void)0)
+#define va_copy(dst, src) ((dst) = (src))
+#endif
+"""
+
+_LIMITS = """
+#ifndef _LIMITS_H
+#define _LIMITS_H
+#define CHAR_BIT 8
+#define SCHAR_MIN (-128)
+#define SCHAR_MAX 127
+#define UCHAR_MAX 255
+#define CHAR_MIN SCHAR_MIN
+#define CHAR_MAX SCHAR_MAX
+#define SHRT_MIN (-32768)
+#define SHRT_MAX 32767
+#define USHRT_MAX 65535
+#define INT_MIN (-INT_MAX - 1)
+#define INT_MAX 2147483647
+#define UINT_MAX 4294967295U
+#define LONG_MIN (-LONG_MAX - 1)
+#define LONG_MAX 2147483647L
+#define ULONG_MAX 4294967295UL
+#endif
+"""
+
+_FLOAT = """
+#ifndef _FLOAT_H
+#define _FLOAT_H
+#define FLT_MAX 3.40282347e+38F
+#define FLT_MIN 1.17549435e-38F
+#define FLT_EPSILON 1.19209290e-07F
+#define DBL_MAX 1.7976931348623157e+308
+#define DBL_MIN 2.2250738585072014e-308
+#define DBL_EPSILON 2.2204460492503131e-16
+#define FLT_DIG 6
+#define DBL_DIG 15
+#endif
+"""
+
+_ERRNO = """
+#ifndef _ERRNO_H
+#define _ERRNO_H
+extern int errno;
+#define EDOM 33
+#define ERANGE 34
+#define ENOENT 2
+#define EINVAL 22
+#endif
+"""
+
+_TIME = """
+#ifndef _TIME_H
+#define _TIME_H
+#include <stddef.h>
+typedef long time_t;
+typedef long clock_t;
+#define CLOCKS_PER_SEC 1000000
+struct tm {
+    int tm_sec; int tm_min; int tm_hour; int tm_mday; int tm_mon;
+    int tm_year; int tm_wday; int tm_yday; int tm_isdst;
+};
+clock_t clock(void);
+time_t time(time_t *t);
+double difftime(time_t end, time_t beginning);
+time_t mktime(struct tm *tm);
+struct tm *gmtime(const time_t *timep);
+struct tm *localtime(const time_t *timep);
+char *asctime(const struct tm *tm);
+char *ctime(const time_t *timep);
+size_t strftime(char *s, size_t max, const char *format, const struct tm *tm);
+#endif
+"""
+
+_STDBOOL = """
+#ifndef _STDBOOL_H
+#define _STDBOOL_H
+#define bool _Bool
+#define true 1
+#define false 0
+#endif
+"""
+
+_SIGNAL = """
+#ifndef _SIGNAL_H
+#define _SIGNAL_H
+typedef int sig_atomic_t;
+#define SIGINT 2
+#define SIGILL 4
+#define SIGABRT 6
+#define SIGFPE 8
+#define SIGSEGV 11
+#define SIGTERM 15
+#define SIG_DFL ((void (*)(int))0)
+#define SIG_IGN ((void (*)(int))1)
+#define SIG_ERR ((void (*)(int))-1)
+void (*signal(int signum, void (*handler)(int)))(int);
+int raise(int sig);
+#endif
+"""
+
+_UNISTD = """
+#ifndef _UNISTD_H
+#define _UNISTD_H
+#include <stddef.h>
+int read(int fd, void *buf, size_t count);
+int write(int fd, const void *buf, size_t count);
+int close(int fd);
+int open(const char *pathname, int flags, ...);
+int unlink(const char *pathname);
+int access(const char *pathname, int mode);
+#endif
+"""
+
+_SETJMP = """
+#ifndef _SETJMP_H
+#define _SETJMP_H
+typedef int jmp_buf[16];
+int setjmp(jmp_buf env);
+void longjmp(jmp_buf env, int val);
+#endif
+"""
+
+HEADERS: dict[str, str] = {
+    "setjmp.h": _SETJMP,
+    "stddef.h": _STDDEF,
+    "stdio.h": _STDIO,
+    "stdlib.h": _STDLIB,
+    "string.h": _STRING,
+    "math.h": _MATH,
+    "ctype.h": _CTYPE,
+    "assert.h": _ASSERT,
+    "stdarg.h": _STDARG,
+    "limits.h": _LIMITS,
+    "float.h": _FLOAT,
+    "errno.h": _ERRNO,
+    "time.h": _TIME,
+    "stdbool.h": _STDBOOL,
+    "signal.h": _SIGNAL,
+    "unistd.h": _UNISTD,
+    "fcntl.h": "#ifndef _FCNTL_H\n#define _FCNTL_H\n#define O_RDONLY 0\n#define O_WRONLY 1\n#define O_RDWR 2\n#define O_CREAT 64\n#endif\n",
+}

@@ -1,0 +1,333 @@
+"""Build :mod:`repro.frontend.ctypes_model` types from pycparser AST nodes.
+
+Handles typedefs, struct/union tags with forward references and later
+completion, enums (constants become integers), array sizes from constant
+expressions, and function types.  Also provides the constant-expression
+evaluator the lowerer needs for array bounds, case labels, and enum values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from pycparser import c_ast
+
+from . import ctypes_model as tm
+
+__all__ = ["TypeBuilder", "ConstEvalError", "FrontendError"]
+
+
+class FrontendError(Exception):
+    """An unsupported construct or an inconsistent declaration."""
+
+    def __init__(self, message: str, coord: Optional[object] = None) -> None:
+        if coord is not None:
+            message = f"{coord}: {message}"
+        super().__init__(message)
+
+
+class ConstEvalError(FrontendError):
+    """An expression required to be constant is not."""
+
+
+_INT_KINDS = {
+    (): tm.type_int,
+    ("int",): tm.type_int,
+    ("signed",): tm.type_int,
+    ("unsigned",): tm.type_uint,
+    ("signed", "int"): tm.type_int,
+    ("unsigned", "int"): tm.type_uint,
+    ("char",): tm.type_char,
+    ("signed", "char"): tm.type_schar,
+    ("unsigned", "char"): tm.type_uchar,
+    ("short",): tm.type_short,
+    ("short", "int"): tm.type_short,
+    ("signed", "short"): tm.type_short,
+    ("signed", "short", "int"): tm.type_short,
+    ("unsigned", "short"): tm.type_ushort,
+    ("unsigned", "short", "int"): tm.type_ushort,
+    ("long",): tm.type_long,
+    ("long", "int"): tm.type_long,
+    ("signed", "long"): tm.type_long,
+    ("signed", "long", "int"): tm.type_long,
+    ("unsigned", "long"): tm.type_ulong,
+    ("unsigned", "long", "int"): tm.type_ulong,
+    ("long", "long"): tm.type_longlong,
+    ("long", "long", "int"): tm.type_longlong,
+    ("signed", "long", "long"): tm.type_longlong,
+    ("signed", "long", "long", "int"): tm.type_longlong,
+    ("unsigned", "long", "long"): tm.type_ulonglong,
+    ("unsigned", "long", "long", "int"): tm.type_ulonglong,
+    ("float",): tm.type_float,
+    ("double",): tm.type_double,
+    ("long", "double"): tm.type_longdouble,
+    ("void",): tm.type_void,
+    ("_Bool",): tm.type_bool,
+}
+
+
+class TypeBuilder:
+    """Shared per-translation-unit type environment."""
+
+    def __init__(self) -> None:
+        self.typedefs: dict[str, tm.CType] = {}
+        # tag tables; records may be completed after first (forward) use
+        self.records: dict[str, tm.CRecord] = {}
+        self.enums: dict[str, tm.CEnum] = {}
+        self.enum_constants: dict[str, int] = {}
+        self._anon_counter = 0
+
+    # -- public API ----------------------------------------------------
+
+    def type_of(self, node: c_ast.Node) -> tm.CType:
+        """The :class:`CType` denoted by a pycparser type node."""
+        if isinstance(node, c_ast.TypeDecl):
+            return self.type_of(node.type)
+        if isinstance(node, c_ast.IdentifierType):
+            return self._named_type(node.names)
+        if isinstance(node, c_ast.PtrDecl):
+            return tm.CPointer(self.type_of(node.type))
+        if isinstance(node, c_ast.ArrayDecl):
+            elem = self.type_of(node.type)
+            length: Optional[int] = None
+            if node.dim is not None:
+                try:
+                    length = self.const_value(node.dim)
+                except ConstEvalError:
+                    length = None  # VLA: treat as incomplete
+            return tm.CArray(elem, length)
+        if isinstance(node, c_ast.FuncDecl):
+            ret = self.type_of(node.type)
+            params: list[tm.CType] = []
+            varargs = False
+            if node.args is not None:
+                for p in node.args.params:
+                    if isinstance(p, c_ast.EllipsisParam):
+                        varargs = True
+                        continue
+                    ptype = self.type_of(p.type) if not isinstance(p, c_ast.ID) else tm.type_int
+                    if isinstance(ptype, tm.CVoid):
+                        continue  # f(void)
+                    params.append(self.decay(ptype))
+            return tm.CFunction(ret, tuple(params), varargs)
+        if isinstance(node, (c_ast.Struct, c_ast.Union)):
+            return self._record_type(node)
+        if isinstance(node, c_ast.Enum):
+            return self._enum_type(node)
+        if isinstance(node, c_ast.Typename):
+            return self.type_of(node.type)
+        if isinstance(node, c_ast.Decl):
+            return self.type_of(node.type)
+        raise FrontendError(f"unsupported type node {type(node).__name__}", getattr(node, "coord", None))
+
+    def add_typedef(self, name: str, node: c_ast.Node) -> None:
+        self.typedefs[name] = self.type_of(node)
+
+    @staticmethod
+    def decay(ctype: tm.CType) -> tm.CType:
+        """Apply array/function-to-pointer decay (parameter adjustment)."""
+        if isinstance(ctype, tm.CArray):
+            return tm.CPointer(ctype.element)
+        if isinstance(ctype, tm.CFunction):
+            return tm.CPointer(ctype)
+        return ctype
+
+    def sizeof(self, ctype: tm.CType) -> int:
+        if isinstance(ctype, tm.CVoid):
+            return 1  # GNU-compatible: sizeof(void) == 1, used in ptr arith
+        if isinstance(ctype, tm.CFunction):
+            return 1
+        return ctype.size
+
+    # -- record / enum construction --------------------------------------
+
+    def _named_type(self, names: list[str]) -> tm.CType:
+        key = tuple(n for n in names if n != "const" and n != "volatile")
+        if len(key) == 1 and key[0] in self.typedefs:
+            return self.typedefs[key[0]]
+        ordered = tuple(sorted(key, key=lambda n: (n != "signed" and n != "unsigned", n)))
+        # normalize word order: signedness first, then size words, then int
+        base = tuple(
+            [n for n in key if n in ("signed", "unsigned")]
+            + [n for n in key if n in ("short", "long")]
+            + [n for n in key if n in ("char", "int", "float", "double", "void", "_Bool")]
+        )
+        if base in _INT_KINDS:
+            return _INT_KINDS[base]
+        if ordered in _INT_KINDS:
+            return _INT_KINDS[ordered]
+        if len(key) == 1:
+            raise FrontendError(f"unknown type name {key[0]!r}")
+        raise FrontendError(f"unknown type {' '.join(names)!r}")
+
+    def _record_type(self, node: Union[c_ast.Struct, c_ast.Union]) -> tm.CRecord:
+        is_union = isinstance(node, c_ast.Union)
+        tag = node.name
+        if tag is None:
+            self._anon_counter += 1
+            tag = f"<anon#{self._anon_counter}>"
+        key = ("union " if is_union else "struct ") + tag
+        if node.decls is None:
+            # reference to a possibly-forward-declared tag
+            record = self.records.get(key)
+            if record is None:
+                record = tm.CRecord(tag=tag, is_union=is_union, complete=False)
+                self.records[key] = record
+            return record
+        members: list[tuple[Optional[str], tm.CType, Optional[int]]] = []
+        for decl in node.decls:
+            bitwidth: Optional[int] = None
+            if isinstance(decl, c_ast.Decl) and decl.bitsize is not None:
+                bitwidth = self.const_value(decl.bitsize)
+            mtype = self.type_of(decl.type if isinstance(decl, c_ast.Decl) else decl)
+            mname = decl.name if isinstance(decl, c_ast.Decl) else None
+            members.append((mname, mtype, bitwidth))
+        record = tm.CRecord.build(tag, members, is_union)
+        self.records[key] = record
+        return record
+
+    def record_by_tag(self, tag: str, is_union: bool = False) -> tm.CRecord:
+        key = ("union " if is_union else "struct ") + tag
+        return self.records[key]
+
+    def refresh(self, ctype: tm.CType) -> tm.CType:
+        """Swap an incomplete record reference for its completed version.
+
+        Forward declarations and definition-before-use ordering (e.g. a
+        function prototype mentioning ``struct node *`` above the struct's
+        definition) leave frozen incomplete records embedded in earlier
+        types; this resolves them against the current tag table.
+        """
+        if isinstance(ctype, tm.CRecord) and not ctype.complete:
+            key = ("union " if ctype.is_union else "struct ") + (ctype.tag or "")
+            current = self.records.get(key)
+            if current is not None and current.complete:
+                return current
+        if isinstance(ctype, tm.CPointer):
+            fresh = self.refresh(ctype.pointee)
+            if fresh is not ctype.pointee:
+                return tm.CPointer(fresh)
+        if isinstance(ctype, tm.CArray):
+            fresh = self.refresh(ctype.element)
+            if fresh is not ctype.element:
+                return tm.CArray(fresh, ctype.length)
+        return ctype
+
+    def _enum_type(self, node: c_ast.Enum) -> tm.CEnum:
+        tag = node.name
+        if tag is None:
+            self._anon_counter += 1
+            tag = f"<anon#{self._anon_counter}>"
+        key = "enum " + tag
+        if node.values is None:
+            enum = self.enums.get(key)
+            if enum is None:
+                enum = tm.CEnum(tag=tag)
+                self.enums[key] = enum
+            return enum
+        values: list[tuple[str, int]] = []
+        next_value = 0
+        for enumerator in node.values.enumerators:
+            if enumerator.value is not None:
+                next_value = self.const_value(enumerator.value)
+            values.append((enumerator.name, next_value))
+            self.enum_constants[enumerator.name] = next_value
+            next_value += 1
+        enum = tm.CEnum(tag=tag, values=tuple(values))
+        self.enums[key] = enum
+        return enum
+
+    # -- constant expressions ----------------------------------------------
+
+    def const_value(self, node: c_ast.Node) -> int:
+        """Evaluate an integer constant expression."""
+        if isinstance(node, c_ast.Constant):
+            if node.type in ("int", "long int", "unsigned int", "long long int",
+                             "unsigned long int", "unsigned long long int"):
+                return _parse_int(node.value)
+            if node.type == "char":
+                return _char_const(node.value)
+            raise ConstEvalError(f"non-integer constant {node.value!r}", node.coord)
+        if isinstance(node, c_ast.ID):
+            if node.name in self.enum_constants:
+                return self.enum_constants[node.name]
+            raise ConstEvalError(f"non-constant identifier {node.name!r}", node.coord)
+        if isinstance(node, c_ast.UnaryOp):
+            if node.op == "sizeof":
+                target = node.expr
+                if isinstance(target, (c_ast.Typename, c_ast.Decl)):
+                    return self.sizeof(self.type_of(target))
+                raise ConstEvalError("sizeof expression in constant context", node.coord)
+            value = self.const_value(node.expr)
+            ops = {"-": -value, "+": value, "~": ~value, "!": int(not value)}
+            if node.op in ops:
+                return ops[node.op]
+            raise ConstEvalError(f"non-constant unary {node.op}", node.coord)
+        if isinstance(node, c_ast.BinaryOp):
+            a = self.const_value(node.left)
+            b = self.const_value(node.right)
+            return _binop(node.op, a, b, node.coord)
+        if isinstance(node, c_ast.TernaryOp):
+            return (
+                self.const_value(node.iftrue)
+                if self.const_value(node.cond)
+                else self.const_value(node.iffalse)
+            )
+        if isinstance(node, c_ast.Cast):
+            return self.const_value(node.expr)
+        raise ConstEvalError(
+            f"non-constant expression {type(node).__name__}", getattr(node, "coord", None)
+        )
+
+    def try_const_value(self, node: c_ast.Node) -> Optional[int]:
+        try:
+            return self.const_value(node)
+        except ConstEvalError:
+            return None
+
+
+def _parse_int(text: str) -> int:
+    t = text.rstrip("uUlL")
+    if t.lower().startswith("0x"):
+        return int(t, 16)
+    if t.startswith("0") and len(t) > 1 and t[1].isdigit():
+        return int(t, 8)
+    return int(t, 10)
+
+
+def _char_const(text: str) -> int:
+    from .cpp import _char_value
+
+    return _char_value(text)
+
+
+def _binop(op: str, a: int, b: int, coord: object) -> int:
+    def cdiv(x: int, y: int) -> int:
+        if y == 0:
+            raise ConstEvalError("division by zero in constant", coord)
+        q = abs(x) // abs(y)
+        return q if (x >= 0) == (y >= 0) else -q
+
+    table = {
+        "+": lambda: a + b,
+        "-": lambda: a - b,
+        "*": lambda: a * b,
+        "/": lambda: cdiv(a, b),
+        "%": lambda: a - b * cdiv(a, b),
+        "<<": lambda: a << b,
+        ">>": lambda: a >> b,
+        "&": lambda: a & b,
+        "|": lambda: a | b,
+        "^": lambda: a ^ b,
+        "&&": lambda: int(bool(a) and bool(b)),
+        "||": lambda: int(bool(a) or bool(b)),
+        "==": lambda: int(a == b),
+        "!=": lambda: int(a != b),
+        "<": lambda: int(a < b),
+        ">": lambda: int(a > b),
+        "<=": lambda: int(a <= b),
+        ">=": lambda: int(a >= b),
+    }
+    if op not in table:
+        raise ConstEvalError(f"non-constant operator {op}", coord)
+    return table[op]()

@@ -1,0 +1,142 @@
+"""Dominator trees and dominance frontiers.
+
+The sparse points-to representation (§4.2) looks values up by searching back
+through *dominating* flow-graph nodes, and φ-functions are inserted at
+*iterated dominance frontiers* when new locations are assigned (Chase et
+al.; Cytron et al. SSA construction).  This module computes immediate
+dominators with the Cooper–Harvey–Kennedy iterative algorithm, the dominator
+tree (with pre/post intervals for O(1) ``a dominates b`` queries), and
+dominance frontiers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .nodes import Node
+
+__all__ = ["compute_rpo", "compute_dominators", "iterated_frontier", "finalize_graph"]
+
+
+def compute_rpo(entry: Node) -> list[Node]:
+    """Reverse postorder over the nodes reachable from ``entry``.
+
+    Iterative DFS (real C procedures nest deeply enough to overflow the
+    Python recursion limit).
+    """
+    visited: set[int] = set()
+    postorder: list[Node] = []
+    # stack of (node, iterator over successors)
+    stack: list[tuple[Node, int]] = [(entry, 0)]
+    visited.add(entry.uid)
+    while stack:
+        node, idx = stack.pop()
+        if idx < len(node.succs):
+            stack.append((node, idx + 1))
+            succ = node.succs[idx]
+            if succ.uid not in visited:
+                visited.add(succ.uid)
+                stack.append((succ, 0))
+        else:
+            postorder.append(node)
+    rpo = list(reversed(postorder))
+    for i, node in enumerate(rpo):
+        node.rpo_index = i
+    return rpo
+
+
+def compute_dominators(entry: Node, rpo: Sequence[Node]) -> None:
+    """Fill in ``idom``, ``dom_children``, ``dom_frontier`` and the
+    dominance intervals for every node in ``rpo``.
+
+    Cooper, Harvey & Kennedy, "A Simple, Fast Dominance Algorithm".
+    """
+    for node in rpo:
+        node.idom = None
+        node.dom_children = []
+        node.dom_frontier = []
+    entry.idom = entry
+
+    def intersect(a: Node, b: Node) -> Node:
+        while a is not b:
+            while a.rpo_index > b.rpo_index:
+                a = a.idom  # type: ignore[assignment]
+            while b.rpo_index > a.rpo_index:
+                b = b.idom  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node is entry:
+                continue
+            new_idom = None
+            for pred in node.preds:
+                if pred.idom is None or pred.rpo_index < 0:
+                    continue  # unreachable or not yet processed
+                if new_idom is None:
+                    new_idom = pred
+                else:
+                    new_idom = intersect(pred, new_idom)
+            if new_idom is not None and node.idom is not new_idom:
+                node.idom = new_idom
+                changed = True
+
+    entry.idom = None  # conventional: the entry has no immediate dominator
+    for node in rpo:
+        if node.idom is not None:
+            node.idom.dom_children.append(node)
+
+    # dominance intervals by iterative DFS over the dominator tree
+    counter = 0
+    stack: list[tuple[Node, int]] = [(entry, 0)]
+    entry.dom_pre = counter
+    counter += 1
+    while stack:
+        node, idx = stack.pop()
+        if idx < len(node.dom_children):
+            stack.append((node, idx + 1))
+            child = node.dom_children[idx]
+            child.dom_pre = counter
+            counter += 1
+            stack.append((child, 0))
+        else:
+            node.dom_post = counter
+            counter += 1
+
+    # dominance frontiers (Cooper et al. §4)
+    for node in rpo:
+        if len(node.preds) < 2:
+            continue
+        for pred in node.preds:
+            if pred.rpo_index < 0:
+                continue
+            runner = pred
+            while runner is not node.idom and runner is not None:
+                if node not in runner.dom_frontier:
+                    runner.dom_frontier.append(node)
+                if runner.idom is runner:
+                    break
+                runner = runner.idom
+
+
+def iterated_frontier(nodes: Iterable[Node]) -> set[Node]:
+    """The iterated dominance frontier of ``nodes`` — the φ-placement set."""
+    result: set[Node] = set()
+    work = list(nodes)
+    while work:
+        node = work.pop()
+        for f in node.dom_frontier:
+            if f not in result:
+                result.add(f)
+                work.append(f)
+    return result
+
+
+def finalize_graph(entry: Node) -> list[Node]:
+    """Compute RPO + dominator information; returns the reachable nodes in
+    reverse postorder."""
+    rpo = compute_rpo(entry)
+    compute_dominators(entry, rpo)
+    return rpo

@@ -1,0 +1,116 @@
+"""Graphviz (DOT) exports for CFGs, call graphs, and points-to graphs.
+
+These mirror the figures in the paper: points-to graphs drawn as
+variable → target edges (Figures 3, 4, 6, 7) and the flow graphs the
+intraprocedural algorithm walks (Figure 8).  Pure string generation — no
+graphviz dependency; pipe the output to ``dot -Tpng``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .nodes import AssignNode, BranchNode, CallNode, EntryNode, ExitNode, MeetNode
+from .program import Procedure
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis.results import AnalysisResult
+
+__all__ = ["cfg_to_dot", "call_graph_to_dot", "points_to_graph_to_dot"]
+
+
+def _esc(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(proc: Procedure, name: Optional[str] = None) -> str:
+    """The flow graph of one procedure."""
+    lines = [f'digraph "{_esc(name or proc.name)}" {{', "  node [shape=box, fontsize=10];"]
+    for node in proc.nodes():
+        label = node.kind
+        shape = "box"
+        if isinstance(node, (EntryNode, ExitNode)):
+            shape = "ellipse"
+        elif isinstance(node, MeetNode):
+            shape = "diamond"
+            label = "φ"
+        elif isinstance(node, BranchNode):
+            shape = "diamond"
+            label = "?"
+        elif isinstance(node, (AssignNode, CallNode)):
+            label = node.describe()
+            if len(label) > 40:
+                label = label[:37] + "..."
+        lines.append(f'  n{node.uid} [label="{_esc(label)}", shape={shape}];')
+    for node in proc.nodes():
+        for succ in node.succs:
+            if succ.rpo_index >= 0:
+                style = ""
+                if succ.rpo_index < node.rpo_index:
+                    style = ' [style=dashed]'  # back edge
+                lines.append(f"  n{node.uid} -> n{succ.uid}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def call_graph_to_dot(result: "AnalysisResult") -> str:
+    """The resolved call graph, indirect edges dotted."""
+    from ..ir.expr import AddressTerm, ProcSymbol, SymbolLoc
+
+    graph = result.call_graph()
+    direct: set[tuple[str, str]] = set()
+    for name, proc in result.program.procedures.items():
+        for node in proc.call_nodes():
+            for term in node.target.terms:
+                if isinstance(term, AddressTerm) and isinstance(term.loc, SymbolLoc):
+                    if isinstance(term.loc.symbol, ProcSymbol):
+                        direct.add((name, term.loc.symbol.name))
+    lines = ['digraph callgraph {', "  node [shape=box, fontsize=10];"]
+    for caller in sorted(graph):
+        lines.append(f'  "{_esc(caller)}";')
+    for caller in sorted(graph):
+        for callee in sorted(graph[caller]):
+            style = "" if (caller, callee) in direct else " [style=dotted]"
+            lines.append(f'  "{_esc(caller)}" -> "{_esc(callee)}"{style};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def points_to_graph_to_dot(
+    result: "AnalysisResult", proc_name: str, ptf_index: int = 0
+) -> str:
+    """One PTF's final points-to function as a Figure-3/4-style graph."""
+    ptfs = result.ptfs_of(proc_name)
+    if not ptfs:
+        return "digraph empty {}"
+    ptf = ptfs[min(ptf_index, len(ptfs) - 1)]
+    lines = [
+        f'digraph "{_esc(proc_name)}_ptf{ptf.uid}" {{',
+        "  rankdir=LR;",
+        "  node [shape=box, fontsize=10];",
+    ]
+    seen: set[str] = set()
+
+    def node_of(locset) -> str:
+        label = str(locset)
+        key = f'"{_esc(label)}"'
+        if key not in seen:
+            seen.add(key)
+            shape = "box"
+            if "xparam" in locset.base.kind:
+                shape = "ellipse"
+            elif locset.base.kind == "heap":
+                shape = "box3d"
+            lines.append(f"  {key} [shape={shape}];")
+        return key
+
+    for entry in ptf.initial_entries:
+        src = node_of(entry.source)
+        for tgt in entry.targets:
+            lines.append(f"  {src} -> {node_of(tgt)} [style=dashed, label=init];")
+    for loc, vals in ptf.summary().items():
+        src = node_of(loc)
+        for v in sorted(vals, key=str):
+            lines.append(f"  {src} -> {node_of(v)};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Flow-graph nodes (§4, Figure 8).
+
+The analysis walks a per-procedure flow graph whose nodes are individual
+statements: assignments, calls, meets (control-flow joins, where φ-functions
+live), branches (pure control flow) and the entry/exit markers.  ``return
+e`` lowers to an assignment into the procedure's return-value block followed
+by an edge to the exit node.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from .expr import LocExpr, ValueExpr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .program import Procedure
+
+__all__ = [
+    "Node",
+    "EntryNode",
+    "ExitNode",
+    "AssignNode",
+    "CallNode",
+    "MeetNode",
+    "BranchNode",
+]
+
+_node_counter = itertools.count()
+
+
+class Node:
+    """A node in a procedure's flow graph."""
+
+    kind = "node"
+
+    def __init__(self, proc: "Procedure", coord: Optional[str] = None) -> None:
+        self.uid = next(_node_counter)
+        self.proc = proc
+        self.coord = coord  # source position, for diagnostics
+        self.preds: list[Node] = []
+        self.succs: list[Node] = []
+        # filled in by cfg finalization
+        self.rpo_index: int = -1
+        self.idom: Optional[Node] = None
+        self.dom_children: list[Node] = []
+        self.dom_frontier: list[Node] = []
+        # dominator-tree intervals for O(1) dominance queries
+        self.dom_pre: int = -1
+        self.dom_post: int = -1
+
+    def add_succ(self, other: "Node") -> None:
+        if other not in self.succs:
+            self.succs.append(other)
+            other.preds.append(self)
+
+    def dominates(self, other: "Node") -> bool:
+        """Whether self dominates other (both must be reachable)."""
+        return self.dom_pre <= other.dom_pre and other.dom_post <= self.dom_post
+
+    def describe(self) -> str:
+        return self.kind
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} #{self.uid} {self.describe()!s:.60}>"
+
+
+class EntryNode(Node):
+    kind = "entry"
+
+
+class ExitNode(Node):
+    kind = "exit"
+
+
+class AssignNode(Node):
+    """``dst = src`` of ``size`` bytes; ``dst`` may be None for expression
+    statements evaluated only for side effects on the points-to world
+    (e.g. a discarded comparison of pointers)."""
+
+    kind = "assign"
+
+    def __init__(
+        self,
+        proc: "Procedure",
+        dst: Optional[LocExpr],
+        src: ValueExpr,
+        size: int,
+        coord: Optional[str] = None,
+    ) -> None:
+        super().__init__(proc, coord)
+        self.dst = dst
+        self.src = src
+        self.size = size
+
+    def describe(self) -> str:
+        return f"{self.dst} = {self.src} ({self.size}B)"
+
+
+class CallNode(Node):
+    """A procedure call.
+
+    ``target`` is a :class:`ValueExpr`; for a direct call it is the address
+    of a :class:`~repro.ir.expr.ProcSymbol`, for an indirect call it is the
+    contents of the pointer expression.  ``dst`` receives the return value.
+    ``site`` names the static call site (also the heap-allocation context
+    when the callee is an allocator).
+    """
+
+    kind = "call"
+
+    def __init__(
+        self,
+        proc: "Procedure",
+        target: ValueExpr,
+        args: list[ValueExpr],
+        dst: Optional[LocExpr],
+        dst_size: int,
+        site: str,
+        coord: Optional[str] = None,
+    ) -> None:
+        super().__init__(proc, coord)
+        self.target = target
+        self.args = args
+        self.dst = dst
+        self.dst_size = dst_size
+        self.site = site
+
+    def describe(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        prefix = f"{self.dst} = " if self.dst is not None else ""
+        return f"{prefix}call {self.target}({args})"
+
+
+class MeetNode(Node):
+    """A control-flow join; φ-functions are attached dynamically (§4.2)."""
+
+    kind = "meet"
+
+
+class BranchNode(Node):
+    """Pure control flow (conditional or unconditional); the analysis is
+    path-insensitive so the condition's pointer reads are lowered into a
+    separate :class:`AssignNode` evaluated for effect."""
+
+    kind = "branch"

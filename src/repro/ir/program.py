@@ -1,0 +1,199 @@
+"""Program and procedure containers.
+
+A :class:`Program` is the unit of analysis: all procedures, global symbols
+and their static initializers, string literals, and the blocks backing them.
+A :class:`Procedure` owns its flow graph, its local symbols and the memory
+blocks for them.
+
+Each procedure has its own *name space* (§2.2): extended parameters, local
+variables, and heap storage allocated by the procedure and its children.
+Local blocks and the return-value block live here because they are shared by
+every PTF of the procedure — only the *points-to entries over them* are
+per-PTF state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..frontend.ctypes_model import CFunction, CType
+from ..memory.blocks import (
+    GlobalBlock,
+    LocalBlock,
+    ProcedureBlock,
+    ReturnBlock,
+    StringBlock,
+)
+from .dominators import finalize_graph
+from .expr import (
+    GlobalSymbol,
+    LocalSymbol,
+    LocExpr,
+    ProcSymbol,
+    StringSymbol,
+    Symbol,
+    ValueExpr,
+)
+from .nodes import CallNode, EntryNode, ExitNode, Node
+
+__all__ = ["Procedure", "Program", "GlobalInit"]
+
+
+class Procedure:
+    """One C function: flow graph + local name space."""
+
+    def __init__(
+        self,
+        name: str,
+        formals: Optional[list[LocalSymbol]] = None,
+        ftype: Optional[CFunction] = None,
+        coord: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.formals: list[LocalSymbol] = formals or []
+        self.ftype = ftype
+        self.coord = coord
+        self.entry = EntryNode(self)
+        self.exit = ExitNode(self)
+        self.locals: dict[str, LocalSymbol] = {}
+        self.local_blocks: dict[str, LocalBlock] = {}
+        self.return_block = ReturnBlock(name)
+        #: the symbol lowering assigns return values to; backed by
+        #: :attr:`return_block` rather than an ordinary local block
+        self.return_symbol = LocalSymbol("<retval>", proc_name=name)
+        self.rpo: list[Node] = []
+        self.source_lines = 0
+        self.is_varargs = bool(ftype and ftype.varargs)
+        #: filled by the front end with locals that have address-taking
+        #: initializers (e.g. ``int *p = &x;`` lowers to an assign node, so
+        #: nothing extra is needed; kept for diagnostics)
+        self.finalized = False
+
+    # -- name space -----------------------------------------------------
+
+    def add_local(self, symbol: LocalSymbol) -> None:
+        self.locals[symbol.name] = symbol
+
+    def local_block(self, symbol: LocalSymbol):
+        """The memory block backing a local symbol (created on demand)."""
+        if symbol is self.return_symbol:
+            return self.return_block
+        block = self.local_blocks.get(symbol.name)
+        if block is None:
+            block = LocalBlock(
+                f"{self.name}::{symbol.name}", self.name, size=symbol.size
+            )
+            self.local_blocks[symbol.name] = block
+        return block
+
+    # -- flow graph -----------------------------------------------------
+
+    def finalize(self) -> None:
+        """Compute reverse postorder and dominator structures."""
+        # the exit node must be reachable for summaries to exist even when
+        # the procedure loops forever; harmless extra edge from entry
+        if not self.exit.preds:
+            self.entry.add_succ(self.exit)
+        self.rpo = finalize_graph(self.entry)
+        self.finalized = True
+
+    def nodes(self) -> Iterable[Node]:
+        if not self.finalized:
+            self.finalize()
+        return self.rpo
+
+    def call_nodes(self) -> list[CallNode]:
+        return [n for n in self.nodes() if isinstance(n, CallNode)]
+
+    def __repr__(self) -> str:
+        return f"<Procedure {self.name} ({len(self.rpo)} nodes)>"
+
+
+class GlobalInit:
+    """One static-initializer binding evaluated in the root context."""
+
+    def __init__(self, dst: LocExpr, src: ValueExpr, size: int) -> None:
+        self.dst = dst
+        self.src = src
+        self.size = size
+
+    def __repr__(self) -> str:
+        return f"<GlobalInit {self.dst} = {self.src}>"
+
+
+class Program:
+    """A whole C program lowered to the analysis IR."""
+
+    def __init__(self, name: str = "<program>") -> None:
+        self.name = name
+        self.procedures: dict[str, Procedure] = {}
+        self.globals: dict[str, GlobalSymbol] = {}
+        self.global_blocks: dict[str, GlobalBlock] = {}
+        self.proc_blocks: dict[str, ProcedureBlock] = {}
+        self.string_blocks: dict[str, StringBlock] = {}
+        self.global_inits: list[GlobalInit] = []
+        self.source_lines = 0
+        #: names of called-but-undefined functions (library or external)
+        self.external_calls: set[str] = set()
+
+    # -- procedures -------------------------------------------------------
+
+    def add_procedure(self, proc: Procedure) -> None:
+        self.procedures[proc.name] = proc
+
+    def procedure(self, name: str) -> Procedure:
+        return self.procedures[name]
+
+    @property
+    def main(self) -> Procedure:
+        if "main" in self.procedures:
+            return self.procedures["main"]
+        raise KeyError(f"program {self.name} has no main procedure")
+
+    def proc_block(self, name: str) -> ProcedureBlock:
+        block = self.proc_blocks.get(name)
+        if block is None:
+            block = ProcedureBlock(name)
+            self.proc_blocks[name] = block
+        return block
+
+    # -- globals ------------------------------------------------------------
+
+    def add_global(self, symbol: GlobalSymbol) -> GlobalBlock:
+        self.globals[symbol.name] = symbol
+        block = self.global_blocks.get(symbol.name)
+        if block is None:
+            block = GlobalBlock(symbol.name, size=symbol.size)
+            self.global_blocks[symbol.name] = block
+        return block
+
+    def global_block(self, name: str) -> GlobalBlock:
+        return self.global_blocks[name]
+
+    def string_block(self, symbol: StringSymbol) -> StringBlock:
+        block = self.string_blocks.get(symbol.site)
+        if block is None:
+            block = StringBlock(symbol.text, symbol.site)
+            self.string_blocks[symbol.site] = block
+        return block
+
+    # -- statistics -----------------------------------------------------
+
+    def finalize(self) -> None:
+        for proc in self.procedures.values():
+            if not proc.finalized:
+                proc.finalize()
+
+    def stats(self) -> dict[str, int]:
+        self.finalize()
+        return {
+            "procedures": len(self.procedures),
+            "nodes": sum(len(p.rpo) for p in self.procedures.values()),
+            "globals": len(self.globals),
+            "call_sites": sum(
+                len(p.call_nodes()) for p in self.procedures.values()
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Program {self.name}: {len(self.procedures)} procedures>"

@@ -1,0 +1,275 @@
+"""Memory blocks: the paper's low-level model of storage (§3).
+
+Memory is divided into *blocks* of contiguous storage whose positions
+relative to one another are undefined.  A block is one of:
+
+* a **local variable** of some procedure (always a unique block — it
+  corresponds directly to one real memory location),
+* the special **return-value** local of a procedure,
+* a **heap block**, grouping all storage allocated at one static allocation
+  site (never unique: one name stands for many runtime objects),
+* an **extended parameter**, the symbolic name for the locations reached
+  through an input pointer at procedure entry — including global variables,
+  which the paper treats as extended parameters so PTFs stay reusable across
+  contexts that bind different globals (§2.2, §3.2).
+
+Uniqueness drives *strong updates* (§4.1): a destination location set can be
+strongly updated only when its base block is unique.  An extended parameter
+representing the initial value of a unique pointer is unique *within the
+scope of the procedure*, even if the pointer has many possible values in the
+calling context — the pointer holds only one of them at any moment.  The
+parameter manager (:mod:`repro.analysis.params`) clears
+:attr:`ExtendedParameter.known_unique` when that reasoning stops applying.
+
+Every block also carries the registry of location sets within it that may
+hold pointers (§3.3): without high-level types, the analysis would otherwise
+have to treat every assignment as a potential pointer assignment, which is
+safe but slow.  The registry only ever grows; missing entries are an
+efficiency concern, not a soundness one, and PTFs are re-extended when their
+inputs gain new pointer locations (§5.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ..frontend.ctypes_model import CType
+
+__all__ = [
+    "MemoryBlock",
+    "LocalBlock",
+    "ReturnBlock",
+    "HeapBlock",
+    "GlobalBlock",
+    "ExtendedParameter",
+    "StringBlock",
+    "ProcedureBlock",
+    "all_pointer_locations",
+]
+
+_block_counter = itertools.count()
+
+
+class MemoryBlock:
+    """A contiguous block of memory with undefined position."""
+
+    #: subclasses override; used in display names
+    kind = "block"
+
+    def __init__(self, name: str, size: Optional[int] = None) -> None:
+        self.name = name
+        self.size = size
+        self.uid = next(_block_counter)
+        # (offset, stride) positions within this block that may hold pointers
+        self.pointer_locations: set[tuple[int, int]] = set()
+        # monotone version bump on each new pointer location; PTFs snapshot
+        # this to detect that their inputs gained pointer locations (§5.2)
+        self.pointer_version = 0
+
+    @property
+    def is_unique(self) -> bool:
+        """Whether this block names exactly one runtime location."""
+        raise NotImplementedError
+
+    def register_pointer_location(self, offset: int, stride: int) -> bool:
+        """Record that ``(offset, stride)`` within this block may hold a pointer.
+
+        Returns True when this is a new location (the registry grew).
+        """
+        key = (offset, stride)
+        if key in self.pointer_locations:
+            return False
+        self.pointer_locations.add(key)
+        self.pointer_version += 1
+        return True
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.name}>"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class LocalBlock(MemoryBlock):
+    """A local variable (or formal parameter) of a procedure."""
+
+    kind = "local"
+
+    def __init__(
+        self,
+        name: str,
+        proc_name: str,
+        ctype: Optional["CType"] = None,
+        size: Optional[int] = None,
+    ) -> None:
+        super().__init__(name, size)
+        self.proc_name = proc_name
+        self.ctype = ctype
+
+    @property
+    def is_unique(self) -> bool:
+        # "local variables correspond directly to real memory locations so
+        # they are always unique blocks" (§4.1)
+        return True
+
+
+class ReturnBlock(MemoryBlock):
+    """The special local variable holding a procedure's return value (§3)."""
+
+    kind = "retval"
+
+    def __init__(self, proc_name: str) -> None:
+        super().__init__(f"<return:{proc_name}>")
+        self.proc_name = proc_name
+
+    @property
+    def is_unique(self) -> bool:
+        return True
+
+
+class HeapBlock(MemoryBlock):
+    """All storage allocated at one static allocation site (§3).
+
+    The paper limits allocation contexts to static allocation sites, which
+    "is sufficient to provide good precision for the programs we have
+    analyzed so far"; we follow that choice by default.  With
+    ``AnalyzerOptions.heap_context_depth > 0`` the name additionally carries
+    up to k call-chain edges (the Choi et al. scheme the paper discusses),
+    and summaries re-key the block per calling context when applied.
+    """
+
+    kind = "heap"
+
+    def __init__(self, site: str, chain: tuple = ()) -> None:
+        display = site + ("<-" + "<-".join(chain) if chain else "")
+        super().__init__(f"heap@{display}")
+        self.site = site
+        self.chain = tuple(chain)
+
+    @property
+    def is_unique(self) -> bool:
+        # a heap block represents *all* storage allocated in its context, so
+        # it is never unique (§4.1)
+        return False
+
+
+class StringBlock(MemoryBlock):
+    """Storage for a string literal.
+
+    String literals are shared, read-only arrays of char; like heap blocks
+    they may name several runtime objects (a literal in a loop or a merged
+    constant pool), so they are not unique.
+    """
+
+    kind = "string"
+
+    def __init__(self, text: str, site: str) -> None:
+        display = text if len(text) <= 12 else text[:9] + "..."
+        super().__init__(f'"{display}"@{site}', size=len(text) + 1)
+        self.text = text
+        self.site = site
+
+    @property
+    def is_unique(self) -> bool:
+        return False
+
+
+class ProcedureBlock(MemoryBlock):
+    """The code block of a procedure; `&f` points at one of these.
+
+    Function pointers are ordinary pointer values whose targets are
+    procedure blocks; call-through-pointer resolution (§5.1) reads them out
+    of the points-to function.
+    """
+
+    kind = "proc"
+
+    def __init__(self, proc_name: str) -> None:
+        super().__init__(proc_name)
+        self.proc_name = proc_name
+
+    @property
+    def is_unique(self) -> bool:
+        return True
+
+
+class GlobalBlock(MemoryBlock):
+    """The actual storage of a file-scope variable.
+
+    Inside a procedure's name space globals are *represented by* extended
+    parameters (§2.2); the global block itself is the canonical identity
+    those parameters map to, and the storage the root context (``main``)
+    binds them to.
+    """
+
+    kind = "global"
+
+    def __init__(
+        self,
+        name: str,
+        ctype: Optional["CType"] = None,
+        size: Optional[int] = None,
+    ) -> None:
+        super().__init__(name, size)
+        self.ctype = ctype
+
+    @property
+    def is_unique(self) -> bool:
+        return True
+
+
+class ExtendedParameter(MemoryBlock):
+    """A symbolic name for locations reached through a procedure's inputs.
+
+    One extended parameter represents *at most one object* (§2.2): when
+    initial values alias several existing parameters, the manager subsumes
+    them into a fresh parameter (§3.2, Figure 6).
+
+    ``global_block`` is set when the parameter stands for a specific global
+    variable; directly referenced globals and globals reached through
+    pointers then share one parameter, which models the alias between the
+    two access paths (§2.2).
+    """
+
+    kind = "xparam"
+
+    def __init__(
+        self,
+        name: str,
+        proc_name: str,
+        global_block: Optional[MemoryBlock] = None,
+    ) -> None:
+        super().__init__(name)
+        self.proc_name = proc_name
+        self.global_block = global_block
+        #: cleared when more than one location points at this parameter and
+        #: its actual values are not a single unique location (§4.1)
+        self.known_unique = True
+        #: set when the parameter is used as a call target; its values then
+        #: become part of the PTF's input domain (§5.1)
+        self.is_function_pointer = False
+        #: parameter that subsumed this one, if any (§3.2, Figure 6)
+        self.subsumed_by: Optional["ExtendedParameter"] = None
+        #: creation order within the PTF, used when matching PTFs (§5.2)
+        self.order: int = -1
+
+    @property
+    def is_unique(self) -> bool:
+        return self.known_unique
+
+    def representative(self) -> "ExtendedParameter":
+        """Follow subsumption links to the current representative."""
+        param = self
+        while param.subsumed_by is not None:
+            param = param.subsumed_by
+        return param
+
+
+def all_pointer_locations(blocks: Iterable[MemoryBlock]) -> set[tuple[int, int]]:
+    """Union of the registered pointer locations of ``blocks``."""
+    out: set[tuple[int, int]] = set()
+    for block in blocks:
+        out |= block.pointer_locations
+    return out

@@ -1,0 +1,480 @@
+"""Points-to functions: flow-sensitive maps from location sets to values.
+
+At each statement a points-to function maps the location sets containing
+pointers to the locations that may be reached through them (§3.3).  Two
+interchangeable state representations implement the same interface:
+
+* :class:`DenseState` — a full points-to map per flow-graph node.  Simple
+  and obviously correct; used as the reference implementation and in the
+  sparse-vs-dense ablation benchmark.
+* :class:`SparseState` — the paper's scheme (§4.2): per-node *deltas* only,
+  dominator-tree walks to find the most recent assignment, φ-functions
+  inserted dynamically at iterated dominance frontiers, and strong-update
+  fences for unique locations (§4.3).
+
+Both honour the same uniqueness rules: a *strong update* (overwriting the
+destination's previous contents) happens only when the destination is a
+single location set with no stride whose base is a unique block (§4.1).
+
+Keys follow parameter subsumption lazily: whenever a location set's base is
+an extended parameter that has been subsumed (§3.2), the key is normalized
+to the representative parameter before use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..ir.dominators import iterated_frontier
+from ..ir.nodes import MeetNode, Node
+from .blocks import ExtendedParameter, MemoryBlock
+from .locset import LocationSet
+
+__all__ = ["Values", "DenseState", "SparseState", "normalize_loc", "normalize_values"]
+
+#: A points-to value: the set of locations a pointer may target.
+Values = frozenset  # frozenset[LocationSet]
+
+EMPTY: frozenset = frozenset()
+
+
+def normalize_loc(loc: LocationSet) -> LocationSet:
+    """Rewrite a location set whose base parameter has been subsumed."""
+    base = loc.base
+    if isinstance(base, ExtendedParameter) and base.subsumed_by is not None:
+        rep = base.representative()
+        return LocationSet(rep, loc.offset, loc.stride)
+    return loc
+
+
+def normalize_values(values: Iterable[LocationSet]) -> frozenset:
+    return frozenset(normalize_loc(v) for v in values)
+
+
+def _register(loc: LocationSet) -> bool:
+    """Register ``loc`` as a pointer-holding location on its block (§3.3)."""
+    return loc.base.register_pointer_location(loc.offset, loc.stride)
+
+
+class PointsToState:
+    """Interface shared by the dense and sparse representations."""
+
+    kind = "abstract"
+
+    def __init__(self, entry: Node) -> None:
+        self.entry = entry
+        #: keys ever assigned by the procedure body (excludes pure initial
+        #: entries); the PTF summary is built from these
+        self.assigned_keys: set[LocationSet] = set()
+        #: bumped whenever anything changes; drives the fixpoint loop
+        self.change_counter = 0
+
+    # -- initial values (procedure inputs, recorded at the entry node) --
+
+    def set_initial(self, loc: LocationSet, values: Iterable[LocationSet]) -> None:
+        raise NotImplementedError
+
+    def get_initial(self, loc: LocationSet) -> Optional[frozenset]:
+        raise NotImplementedError
+
+    def initial_items(self) -> list[tuple[LocationSet, frozenset]]:
+        raise NotImplementedError
+
+    # -- transfer ---------------------------------------------------------
+
+    def assign(
+        self,
+        loc: LocationSet,
+        values: Iterable[LocationSet],
+        node: Node,
+        strong: bool,
+        size: int = 4,
+    ) -> bool:
+        """Record ``loc -> values`` at ``node``; returns True on change.
+
+        ``size`` is the byte width of the store: a strong update kills every
+        overlapping location within it.
+        """
+        raise NotImplementedError
+
+    def assign_phi(
+        self, loc: LocationSet, values: Iterable[LocationSet], node: Node
+    ) -> bool:
+        """Record a φ result: replaces the recorded merge at a meet node but
+        is not a strong update (it does not fence overlapping locations)."""
+        return self.assign(loc, values, node, strong=False)
+
+    def lookup(self, loc: LocationSet, node: Node, before: bool = True) -> frozenset:
+        """Exact-key lookup of the values of ``loc`` visible at ``node``
+        (before the node executes when ``before`` is True)."""
+        raise NotImplementedError
+
+    def lookup_overlapping(
+        self, loc: LocationSet, node: Node, width: int = 1, before: bool = True
+    ) -> frozenset:
+        """Dereference semantics (§4.3): union the values of every
+        registered pointer location overlapping ``loc``, respecting strong
+        update fences for unique locations."""
+        raise NotImplementedError
+
+    def merge_at(self, node: Node, evaluated: set[int]) -> None:
+        """Prepare the in-state of ``node`` from its evaluated predecessors."""
+        raise NotImplementedError
+
+    def finish_node(self, node: Node) -> None:
+        """Commit a node's evaluation (change detection hook)."""
+        return
+
+    def summary(self, exit_node: Node) -> dict[LocationSet, frozenset]:
+        """The final points-to function over assigned keys at the exit."""
+        out: dict[LocationSet, frozenset] = {}
+        for key in sorted(self.assigned_keys, key=lambda l: (l.base.uid, l.offset, l.stride)):
+            key_n = normalize_loc(key)
+            vals = self.lookup(key_n, exit_node, before=True)
+            if vals:
+                out[key_n] = vals
+        return out
+
+    def mark_changed(self) -> None:
+        self.change_counter += 1
+
+
+# ---------------------------------------------------------------------------
+# Dense representation
+# ---------------------------------------------------------------------------
+
+
+class DenseState(PointsToState):
+    """Full per-node points-to maps (reference implementation)."""
+
+    kind = "dense"
+
+    def __init__(self, entry: Node) -> None:
+        super().__init__(entry)
+        self._initial: dict[LocationSet, frozenset] = {}
+        #: node uid -> map at node exit
+        self._out: dict[int, dict[LocationSet, frozenset]] = {}
+        #: node uid -> map at node entry (after merging predecessors)
+        self._in: dict[int, dict[LocationSet, frozenset]] = {}
+        #: node uid -> the out map from the previous pass (change detection)
+        self._prev_out: dict[int, Optional[dict]] = {}
+
+    # -- initial ----------------------------------------------------------
+
+    def set_initial(self, loc: LocationSet, values: Iterable[LocationSet]) -> None:
+        loc = normalize_loc(loc)
+        vals = normalize_values(values)
+        _register(loc)
+        old = self._initial.get(loc)
+        if old != vals:
+            self._initial[loc] = vals if old is None else (old | vals)
+            self.mark_changed()
+
+    def get_initial(self, loc: LocationSet) -> Optional[frozenset]:
+        return self._initial.get(normalize_loc(loc))
+
+    def initial_items(self) -> list[tuple[LocationSet, frozenset]]:
+        return list(self._initial.items())
+
+    # -- maps ------------------------------------------------------------
+
+    def _map_at(self, node: Node, before: bool) -> dict[LocationSet, frozenset]:
+        if node is self.entry:
+            return self._initial
+        if before:
+            return self._in.get(node.uid, {})
+        return self._out.get(node.uid, self._in.get(node.uid, {}))
+
+    def merge_at(self, node: Node, evaluated: set[int]) -> None:
+        if node is self.entry:
+            return
+        merged: dict[LocationSet, frozenset] = {}
+        for pred in node.preds:
+            if pred.uid not in evaluated and pred is not self.entry:
+                continue
+            pmap = self._out.get(pred.uid)
+            if pmap is None:
+                pmap = self._initial if pred is self.entry else self._in.get(pred.uid, {})
+            for key, vals in pmap.items():
+                key = normalize_loc(key)
+                vals = normalize_values(vals)
+                old = merged.get(key)
+                merged[key] = vals if old is None else old | vals
+        self._in[node.uid] = merged
+        # out starts as a copy of in; assign() then mutates it in place, and
+        # finish_node compares against the previous pass's out map
+        self._prev_out[node.uid] = self._out.get(node.uid)
+        self._out[node.uid] = dict(merged)
+
+    def finish_node(self, node: Node) -> None:
+        if node is self.entry:
+            return
+        if self._out.get(node.uid) != self._prev_out.get(node.uid):
+            self.mark_changed()
+
+    def assign(
+        self,
+        loc: LocationSet,
+        values: Iterable[LocationSet],
+        node: Node,
+        strong: bool,
+        size: int = 4,
+    ) -> bool:
+        loc = normalize_loc(loc)
+        vals = normalize_values(values)
+        if vals:
+            _register(loc)
+        self.assigned_keys.add(loc)
+        out = self._out.setdefault(node.uid, dict(self._in.get(node.uid, {})))
+        changed = False
+        if strong:
+            # a strong update overwrites every location the write covers
+            doomed = [
+                k
+                for k in out
+                if k.base is loc.base
+                and k != loc
+                and loc.overlaps(k, width=max(size, 1), other_width=1)
+            ]
+            for k in doomed:
+                del out[k]
+                changed = True
+            if out.get(loc) != vals:
+                out[loc] = vals
+                changed = True
+        else:
+            old = out.get(loc, EMPTY)
+            new = old | vals
+            if new != old:
+                out[loc] = new
+                changed = True
+        return changed
+
+    def lookup(self, loc: LocationSet, node: Node, before: bool = True) -> frozenset:
+        loc = normalize_loc(loc)
+        table = self._map_at(node, before)
+        hit = table.get(loc)
+        if hit is None:
+            # keys may have been recorded before their base was subsumed
+            for key, vals in table.items():
+                if normalize_loc(key) == loc:
+                    hit = vals
+                    break
+        return normalize_values(hit or EMPTY)
+
+    def lookup_overlapping(
+        self, loc: LocationSet, node: Node, width: int = 1, before: bool = True
+    ) -> frozenset:
+        loc = normalize_loc(loc)
+        result: set[LocationSet] = set()
+        for key, vals in self._map_at(node, before).items():
+            key_n = normalize_loc(key)
+            if key_n.base is loc.base and loc.overlaps(key_n, width=width, other_width=1):
+                result |= vals
+        return normalize_values(result)
+
+
+# ---------------------------------------------------------------------------
+# Sparse representation (the paper's §4.2 scheme)
+# ---------------------------------------------------------------------------
+
+
+class SparseState(PointsToState):
+    """Per-node deltas + dominator-walk lookups + dynamic φ insertion.
+
+    Only the points-to values that change at a node are recorded.  Looking
+    up the value of a pointer searches back through the dominating flow
+    graph nodes for the most recent assignment; meet nodes carry φ-functions
+    (inserted at iterated dominance frontiers when a location is assigned)
+    that combine the values from each predecessor (§4.2, Figure 9).
+    """
+
+    kind = "sparse"
+
+    def __init__(self, entry: Node) -> None:
+        super().__init__(entry)
+        self._initial: dict[LocationSet, frozenset] = {}
+        #: node uid -> {loc: (values, strong)}
+        self._defs: dict[int, dict[LocationSet, tuple[frozenset, bool]]] = {}
+        #: node uid -> φ locations attached to that (meet) node
+        self.phis: dict[int, set[LocationSet]] = {}
+
+    # -- initial ---------------------------------------------------------
+
+    def set_initial(self, loc: LocationSet, values: Iterable[LocationSet]) -> None:
+        loc = normalize_loc(loc)
+        vals = normalize_values(values)
+        _register(loc)
+        old = self._initial.get(loc)
+        new = vals if old is None else old | vals
+        if old != new:
+            self._initial[loc] = new
+            self.mark_changed()
+
+    def get_initial(self, loc: LocationSet) -> Optional[frozenset]:
+        return self._initial.get(normalize_loc(loc))
+
+    def initial_items(self) -> list[tuple[LocationSet, frozenset]]:
+        return list(self._initial.items())
+
+    def merge_at(self, node: Node, evaluated: set[int]) -> None:
+        # sparse states do not materialize merged maps; φ evaluation happens
+        # when the meet node itself is evaluated (Figure 9)
+        return
+
+    # -- φ bookkeeping -----------------------------------------------------
+
+    def phi_locations(self, node: Node) -> set[LocationSet]:
+        return {normalize_loc(l) for l in self.phis.get(node.uid, ())}
+
+    def _insert_phis(self, loc: LocationSet, node: Node) -> None:
+        for meet in iterated_frontier([node]):
+            locs = self.phis.setdefault(meet.uid, set())
+            if loc not in locs:
+                locs.add(loc)
+                self.mark_changed()
+
+    # -- transfer ---------------------------------------------------------
+
+    def assign(
+        self,
+        loc: LocationSet,
+        values: Iterable[LocationSet],
+        node: Node,
+        strong: bool,
+        size: int = 4,
+    ) -> bool:
+        loc = normalize_loc(loc)
+        vals = normalize_values(values)
+        if vals:
+            _register(loc)
+        self.assigned_keys.add(loc)
+        defs = self._defs.setdefault(node.uid, {})
+        old = defs.get(loc)
+        if not strong and old is not None:
+            vals = vals | old[0]
+        if not strong:
+            # a weak update must preserve what was already visible here
+            vals = vals | self._search(loc, node, inclusive=False)
+        new_entry = (vals, strong, size if strong else 0)
+        if old != new_entry:
+            defs[loc] = new_entry
+            self.mark_changed()
+            self._insert_phis(loc, node)
+            return True
+        return False
+
+    def assign_phi(
+        self, loc: LocationSet, values: Iterable[LocationSet], node: Node
+    ) -> bool:
+        """Record a φ merge: exact replacement, never a strong-update fence."""
+        loc = normalize_loc(loc)
+        vals = normalize_values(values)
+        if vals:
+            _register(loc)
+        defs = self._defs.setdefault(node.uid, {})
+        old = defs.get(loc)
+        new_entry = (vals, False, 0)
+        if old != new_entry:
+            defs[loc] = new_entry
+            self.mark_changed()
+            self._insert_phis(loc, node)
+            return True
+        return False
+
+    # -- lookups -----------------------------------------------------------
+
+    def lookup(self, loc: LocationSet, node: Node, before: bool = True) -> frozenset:
+        loc = normalize_loc(loc)
+        return self._search(loc, node, inclusive=not before)
+
+    def _defs_at(self, node: Node, loc: LocationSet) -> Optional[tuple[frozenset, bool]]:
+        defs = self._defs.get(node.uid)
+        if defs is None:
+            return None
+        hit = defs.get(loc)
+        if hit is not None:
+            return hit
+        # keys may have been recorded pre-subsumption
+        for key, entry in defs.items():
+            if normalize_loc(key) == loc:
+                return entry
+        return None
+
+    def _search(
+        self,
+        loc: LocationSet,
+        node: Node,
+        inclusive: bool,
+        fence: Optional[Node] = None,
+    ) -> frozenset:
+        """Walk the dominator tree from ``node`` for the latest def of ``loc``.
+
+        ``fence`` (a strong-update node) bounds the search: defs at the
+        fence itself are visible, anything strictly before it is not.
+        """
+        n: Optional[Node] = node
+        first = True
+        while n is not None:
+            if not first or inclusive:
+                hit = self._defs_at(n, loc)
+                if hit is not None:
+                    return normalize_values(hit[0])
+            if fence is not None and n is fence:
+                return EMPTY
+            if n is self.entry:
+                return normalize_values(self._initial.get(loc, EMPTY))
+            first = False
+            n = n.idom
+        return EMPTY
+
+    def _find_strong_fence(self, loc: LocationSet, node: Node, width: int) -> Optional[Node]:
+        """The most recent dominating strong update covering ``loc`` (§4.3)."""
+        n: Optional[Node] = node
+        first = True
+        while n is not None:
+            defs = self._defs.get(n.uid)
+            if defs is not None and not first:
+                for key, (vals, strong, kill_size) in defs.items():
+                    if not strong:
+                        continue
+                    key_n = normalize_loc(key)
+                    if key_n.base is loc.base and key_n.overlaps(
+                        loc, width=max(kill_size, width), other_width=1
+                    ):
+                        return n
+            if n is self.entry:
+                return None
+            first = False
+            n = n.idom
+        return None
+
+    def lookup_overlapping(
+        self, loc: LocationSet, node: Node, width: int = 1, before: bool = True
+    ) -> frozenset:
+        loc = normalize_loc(loc)
+        fence: Optional[Node] = None
+        if loc.is_unique:
+            fence = self._find_strong_fence(loc, node, width=4)
+        result: set[LocationSet] = set()
+        seen: set[tuple[int, int]] = set()
+        for offset, stride in list(loc.base.pointer_locations):
+            if (offset, stride) in seen:
+                continue
+            seen.add((offset, stride))
+            key = LocationSet(loc.base, offset, stride)
+            if not loc.overlaps(key, width=width, other_width=1):
+                continue
+            result |= self._search(key, node, inclusive=not before, fence=fence)
+        return frozenset(result)
+
+    def summary(self, exit_node: Node) -> dict[LocationSet, frozenset]:
+        out: dict[LocationSet, frozenset] = {}
+        for key in sorted(
+            self.assigned_keys, key=lambda l: (l.base.uid, l.offset, l.stride)
+        ):
+            key_n = normalize_loc(key)
+            vals = self._search(key_n, exit_node, inclusive=True)
+            if vals:
+                out[key_n] = vals
+        return out

@@ -1,0 +1,163 @@
+"""Unit tests for Frame / RootFrame internals (§3.2 mechanics)."""
+
+import pytest
+
+from repro import analyze_source, load_program
+from repro.analysis.context import Frame, RootFrame
+from repro.analysis.engine import Analyzer, AnalyzerOptions
+from repro.analysis.ptf import ParamMap
+from repro.memory.blocks import (
+    ExtendedParameter,
+    GlobalBlock,
+    HeapBlock,
+    LocalBlock,
+    ProcedureBlock,
+)
+from repro.memory.locset import LocationSet
+
+
+def make_frame(src="int main(void){ return 0; }"):
+    program = load_program(src, "t.c")
+    analyzer = Analyzer(program)
+    proc = program.main
+    ptf = analyzer.new_ptf(proc)
+    frame = Frame(analyzer, proc, ptf, ParamMap(), None, analyzer.root)
+    ptf.current_map = frame.param_map
+    return analyzer, frame
+
+
+class TestRootFrame:
+    def test_static_initializer_values(self):
+        program = load_program(
+            "int g; int *gp = &g; int main(void){ return 0; }", "t.c"
+        )
+        analyzer = Analyzer(program)
+        root = analyzer.root
+        gp_block = program.global_block("gp")
+        vals = root.lookup_value(LocationSet(gp_block, 0, 0), None, 4)
+        assert any(v.base.name == "g" for v in vals)
+
+    def test_uninitialized_global_empty(self):
+        program = load_program("int *gp; int main(void){ return 0; }", "t.c")
+        analyzer = Analyzer(program)
+        gp_block = program.global_block("gp")
+        assert analyzer.root.lookup_value(LocationSet(gp_block, 0, 0), None, 4) == frozenset()
+
+    def test_argv_vector(self):
+        program = load_program("int main(void){ return 0; }", "t.c")
+        analyzer = Analyzer(program)
+        root = analyzer.root
+        vals = root.lookup_value(LocationSet(root.argv_array, 0, 4), None, 4)
+        assert vals and all(v.base is root.argv_strings for v in vals)
+
+    def test_fnptr_resolution(self):
+        program = load_program("void f(void){} int main(void){ return 0; }", "t.c")
+        analyzer = Analyzer(program)
+        block = program.proc_block("f")
+        got = analyzer.root.resolve_fnptr_targets(
+            frozenset({LocationSet(block, 0, 0)})
+        )
+        assert got == {"f"}
+
+
+class TestToCalleeTargets:
+    def test_fresh_parameter_for_new_values(self):
+        analyzer, frame = make_frame()
+        src_block = LocalBlock("caller_x", "caller")
+        vals = frozenset({LocationSet(src_block, 0, 0)})
+        source = LocationSet(LocalBlock("main::p", "main"), 0, 0)
+        targets = frame.to_callee_targets(vals, source)
+        assert len(targets) == 1
+        param = next(iter(targets)).base
+        assert isinstance(param, ExtendedParameter)
+        assert frame.param_map.lookup_param(param) == vals
+
+    def test_procedure_blocks_pass_through(self):
+        analyzer, frame = make_frame()
+        proc_block = ProcedureBlock("callee")
+        vals = frozenset({LocationSet(proc_block, 0, 0)})
+        source = LocationSet(LocalBlock("main::fp", "main"), 0, 0)
+        targets = frame.to_callee_targets(vals, source)
+        assert targets == vals  # code addresses are not storage
+
+    def test_same_values_reuse_parameter(self):
+        analyzer, frame = make_frame()
+        block = LocalBlock("caller_x", "caller")
+        vals = frozenset({LocationSet(block, 0, 0)})
+        s1 = LocationSet(LocalBlock("main::p", "main"), 0, 0)
+        s2 = LocationSet(LocalBlock("main::q", "main"), 0, 0)
+        t1 = frame.to_callee_targets(vals, s1)
+        t2 = frame.to_callee_targets(vals, s2)
+        assert t1 == t2
+        # two sources pointing at one single unique location: still unique
+        param = next(iter(t1)).base
+        assert param.is_unique
+
+    def test_shifted_values_reuse_with_offset(self):
+        analyzer, frame = make_frame()
+        block = LocalBlock("caller_s", "caller")
+        base_vals = frozenset({LocationSet(block, 8, 0)})
+        s1 = LocationSet(LocalBlock("main::field", "main"), 0, 0)
+        t1 = frame.to_callee_targets(base_vals, s1)
+        param = next(iter(t1)).base
+        shifted = frozenset({LocationSet(block, 0, 0)})
+        s2 = LocationSet(LocalBlock("main::whole", "main"), 0, 0)
+        t2 = frame.to_callee_targets(shifted, s2)
+        target = next(iter(t2))
+        assert target.base is param
+        assert target.offset == -8  # Figure 7
+
+    def test_multi_alias_subsumes(self):
+        analyzer, frame = make_frame()
+        b1 = LocalBlock("caller_a", "caller")
+        b2 = LocalBlock("caller_b", "caller")
+        s1 = LocationSet(LocalBlock("main::p", "main"), 0, 0)
+        s2 = LocationSet(LocalBlock("main::q", "main"), 0, 0)
+        s3 = LocationSet(LocalBlock("main::r", "main"), 0, 0)
+        p1 = next(iter(frame.to_callee_targets(
+            frozenset({LocationSet(b1, 0, 0)}), s1))).base
+        p2 = next(iter(frame.to_callee_targets(
+            frozenset({LocationSet(b2, 0, 0)}), s2))).base
+        both = frozenset({LocationSet(b1, 0, 0), LocationSet(b2, 0, 0)})
+        t3 = frame.to_callee_targets(both, s3)
+        p3 = next(iter(t3)).base
+        assert p1.representative() is p3
+        assert p2.representative() is p3
+        bound = frame.param_map.lookup_param(p3)
+        assert bound == both
+
+    def test_uniqueness_cleared_on_multi_source_multi_value(self):
+        analyzer, frame = make_frame()
+        b1 = LocalBlock("caller_a", "caller")
+        b2 = LocalBlock("caller_b", "caller")
+        both = frozenset({LocationSet(b1, 0, 0), LocationSet(b2, 0, 0)})
+        s1 = LocationSet(LocalBlock("main::p", "main"), 0, 0)
+        s2 = LocationSet(LocalBlock("main::q", "main"), 0, 0)
+        param = next(iter(frame.to_callee_targets(both, s1))).base
+        frame.to_callee_targets(both, s2)
+        assert not param.representative().is_unique
+
+    def test_heap_values_become_parameters(self):
+        analyzer, frame = make_frame()
+        heap = HeapBlock("site1")
+        vals = frozenset({LocationSet(heap, 0, 0)})
+        source = LocationSet(LocalBlock("main::p", "main"), 0, 0)
+        targets = frame.to_callee_targets(vals, source)
+        # heap blocks passed in from a caller are extended parameters (§3)
+        assert all(isinstance(t.base, ExtendedParameter) for t in targets)
+
+
+class TestGlobalParams:
+    def test_global_param_cached(self):
+        analyzer, frame = make_frame("int g; int main(void){ return 0; }")
+        sym = frame.program.globals["g"]
+        p1 = frame.global_param(sym)
+        p2 = frame.global_param(sym)
+        assert p1 is p2
+        assert p1.global_block is frame.program.global_block("g")
+
+    def test_caller_block_for_global(self):
+        analyzer, frame = make_frame("int g; int main(void){ return 0; }")
+        block = frame.caller_block_for_global("g")
+        # main's caller is the root: the concrete global block
+        assert isinstance(block, GlobalBlock) or isinstance(block, ExtendedParameter)

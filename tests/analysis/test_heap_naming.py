@@ -1,0 +1,72 @@
+"""Heap-block naming and re-keying units (§3)."""
+
+import pytest
+
+from repro import AnalyzerOptions, load_program
+from repro.analysis.engine import Analyzer
+from repro.memory.blocks import HeapBlock
+
+
+def analyzer(depth=0):
+    prog = load_program("int main(void){ return 0; }", "t.c")
+    return Analyzer(prog, AnalyzerOptions(heap_context_depth=depth))
+
+
+class TestHeapBlockIdentity:
+    def test_same_site_same_block(self):
+        a = analyzer()
+        assert a.heap_block("site1") is a.heap_block("site1")
+
+    def test_distinct_sites_distinct_blocks(self):
+        a = analyzer()
+        assert a.heap_block("s1") is not a.heap_block("s2")
+
+    def test_chain_part_of_identity(self):
+        a = analyzer(depth=2)
+        plain = a.heap_block("s")
+        chained = a.heap_block("s", ("edge1",))
+        assert plain is not chained
+        assert chained.chain == ("edge1",)
+
+    def test_display_name_includes_chain(self):
+        a = analyzer(depth=2)
+        b = a.heap_block("alloc", ("callerA", "callerB"))
+        assert "alloc" in b.name and "callerA" in b.name
+
+
+class TestRekey:
+    def test_depth_zero_identity(self):
+        a = analyzer(depth=0)
+        b = a.heap_block("s")
+        assert a.rekey_heap(b, "edge") is b
+
+    def test_depth_one_prepends_and_truncates(self):
+        a = analyzer(depth=1)
+        b = a.heap_block("s")
+        r1 = a.rekey_heap(b, "e1")
+        assert r1.chain == ("e1",)
+        r2 = a.rekey_heap(r1, "e2")
+        assert r2.chain == ("e2",)  # truncated to depth 1
+
+    def test_depth_two_keeps_two_edges(self):
+        a = analyzer(depth=2)
+        b = a.heap_block("s")
+        r = a.rekey_heap(a.rekey_heap(b, "inner"), "outer")
+        assert r.chain == ("outer", "inner")
+
+    def test_rekey_carries_pointer_registry(self):
+        a = analyzer(depth=1)
+        b = a.heap_block("s")
+        b.register_pointer_location(4, 0)
+        r = a.rekey_heap(b, "edge")
+        assert (4, 0) in r.pointer_locations
+
+    def test_rekey_idempotent_for_same_edge(self):
+        a = analyzer(depth=1)
+        b = a.heap_block("s", ("edge",))
+        assert a.rekey_heap(b, "edge") is b
+
+
+class TestHeapNeverUnique:
+    def test_chained_blocks_not_unique(self):
+        assert not HeapBlock("s", ("e",)).is_unique

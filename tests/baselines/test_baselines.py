@@ -1,0 +1,194 @@
+"""Baseline analyses: Andersen, Steensgaard, invocation graphs."""
+
+import pytest
+
+from repro import analyze_source, load_program
+from repro.baselines import (
+    andersen_analyze,
+    build_invocation_graph,
+    steensgaard_analyze,
+    syntactic_call_graph,
+)
+
+ID_PROGRAM = """
+int a, b;
+int *id(int *p) { return p; }
+int main(void) {
+    int *pa = id(&a);
+    int *pb = id(&b);
+    return 0;
+}
+"""
+
+
+class TestAndersen:
+    def test_basic_address_of(self):
+        prog = load_program("int a; int main(void){ int *p = &a; return 0; }", "t.c")
+        res = andersen_analyze(prog)
+        assert res.points_to_names("main", "p") == {"a"}
+
+    def test_context_insensitivity_smears(self):
+        """The motivating imprecision: Andersen merges all call sites."""
+        res = andersen_analyze(load_program(ID_PROGRAM, "t.c"))
+        assert res.points_to_names("main", "pa") == {"a", "b"}
+        assert res.points_to_names("main", "pb") == {"a", "b"}
+
+    def test_wilson_lam_strictly_more_precise_here(self):
+        wl = analyze_source(ID_PROGRAM)
+        ai = andersen_analyze(load_program(ID_PROGRAM, "t.c"))
+        assert wl.points_to_names("main", "pa") < ai.points_to_names("main", "pa")
+
+    def test_flow_insensitivity_keeps_old_values(self):
+        src = "int a, b; int main(void){ int *p = &a; p = &b; return 0; }"
+        res = andersen_analyze(load_program(src, "t.c"))
+        assert res.points_to_names("main", "p") == {"a", "b"}
+
+    def test_soundness_superset_of_wilson_lam(self):
+        """Andersen must over-approximate everything Wilson-Lam reports."""
+        src = """
+        #include <stdlib.h>
+        int g1, g2;
+        void store(int **s, int *v) { *s = v; }
+        int main(void) {
+            int *p, *q;
+            store(&p, &g1);
+            store(&q, &g2);
+            int **h = malloc(sizeof(int *));
+            *h = p;
+            int *r = *h;
+            return 0;
+        }
+        """
+        wl = analyze_source(src)
+        ai = andersen_analyze(load_program(src, "t.c"))
+        for var in ("p", "q", "r"):
+            assert wl.points_to_names("main", var) <= ai.points_to_names("main", var)
+
+    def test_malloc_sites(self):
+        src = """
+        #include <stdlib.h>
+        int main(void){ int *p = malloc(4); int *q = malloc(4); return 0; }
+        """
+        res = andersen_analyze(load_program(src, "t.c"))
+        assert res.points_to_names("main", "p") != res.points_to_names("main", "q")
+
+    def test_function_pointer_call(self):
+        src = """
+        int g;
+        int *get(void){ return &g; }
+        int main(void){ int *(*fp)(void) = get; int *p = fp(); return 0; }
+        """
+        res = andersen_analyze(load_program(src, "t.c"))
+        assert res.points_to_names("main", "p") == {"g"}
+
+    def test_converges(self):
+        res = andersen_analyze(load_program(ID_PROGRAM, "t.c"))
+        assert res.iterations < 50
+
+
+class TestSteensgaard:
+    def test_basic(self):
+        prog = load_program("int a; int main(void){ int *p = &a; return 0; }", "t.c")
+        res = steensgaard_analyze(prog)
+        assert "a" in res.points_to_names("main", "p")
+
+    def test_unification_coarser_than_andersen(self):
+        src = """
+        int a, b;
+        int main(void){
+            int *p = &a;
+            int *q = &b;
+            p = q;          /* unification merges pts(p) and pts(q) */
+            return 0;
+        }
+        """
+        st = steensgaard_analyze(load_program(src, "t.c"))
+        assert st.points_to_names("main", "q") >= {"a", "b"}
+
+    def test_alias_query(self):
+        st = steensgaard_analyze(load_program(ID_PROGRAM, "t.c"))
+        assert st.may_alias("main", "pa", "pb")
+
+    def test_superset_of_andersen(self):
+        src = """
+        int a, b, c;
+        int main(void){
+            int *p = &a;
+            int *q = &b;
+            int *r = c ? p : q;
+            return 0;
+        }
+        """
+        st = steensgaard_analyze(load_program(src, "t.c"))
+        ai = andersen_analyze(load_program(src, "t.c"))
+        for var in ("p", "q", "r"):
+            assert ai.points_to_names("main", var) <= st.points_to_names(
+                "main", var
+            ), var
+
+
+class TestInvocationGraph:
+    def test_linear_chain(self):
+        src = """
+        void c(void) { }
+        void b(void) { c(); }
+        void a(void) { b(); }
+        int main(void) { a(); }
+        """
+        ig = build_invocation_graph(load_program(src, "t.c"))
+        assert ig.nodes == 4
+        assert ig.depth == 4
+
+    def test_fanout_multiplies(self):
+        src = """
+        void leaf(void) { }
+        void mid(void) { leaf(); leaf(); }
+        int main(void) { mid(); mid(); }
+        """
+        ig = build_invocation_graph(load_program(src, "t.c"))
+        # main + 2*mid + 4*leaf
+        assert ig.nodes == 7
+
+    def test_recursion_adds_approximate_node(self):
+        src = """
+        void r(int n) { if (n) r(n - 1); }
+        int main(void) { r(3); }
+        """
+        ig = build_invocation_graph(load_program(src, "t.c"))
+        assert ig.approximate_nodes >= 1
+        assert not ig.truncated
+
+    def test_exponential_blowup_truncates(self):
+        """A 20-deep binary call tree has ~2^21 nodes: must hit the cap."""
+        lines = ["void f0(void) { }"]
+        for i in range(1, 21):
+            lines.append(f"void f{i}(void) {{ f{i-1}(); f{i-1}(); }}")
+        lines.append("int main(void) { f20(); }")
+        prog = load_program("\n".join(lines), "t.c")
+        ig = build_invocation_graph(prog, limit=100_000)
+        assert ig.truncated
+        assert ig.nodes >= 100_000
+
+    def test_syntactic_call_graph(self):
+        src = """
+        void helper(void) { }
+        int main(void) { helper(); }
+        """
+        cg = syntactic_call_graph(load_program(src, "t.c"))
+        assert cg["main"] == {"helper"}
+
+    def test_invocation_graph_vs_ptf_counts(self):
+        """The §7 comparison in miniature: contexts multiply, PTFs do not."""
+        src = """
+        int g;
+        void leaf(int *p) { g = *p; }
+        void mid1(int *p) { leaf(p); leaf(p); }
+        void mid2(int *p) { mid1(p); mid1(p); }
+        int main(void) { int x; mid2(&x); mid2(&x); }
+        """
+        prog = load_program(src, "t.c")
+        ig = build_invocation_graph(prog)
+        wl = analyze_source(src)
+        total_ptfs = sum(len(wl.ptfs_of(p)) for p in ("leaf", "mid1", "mid2", "main"))
+        assert ig.nodes > total_ptfs
+        assert total_ptfs == 4  # exactly one per procedure

@@ -1,0 +1,84 @@
+"""Benchmark registry and harness sanity (fast subset only)."""
+
+import os
+
+import pytest
+
+from repro.bench import PROGRAMS, analyze_benchmark, table2_rows, table2_text
+from repro.bench.harness import invocation_rows, table3_rows
+from repro.bench.programs import by_name, load_source, source_path
+
+
+class TestRegistry:
+    def test_thirteen_programs(self):
+        assert len(PROGRAMS) == 13
+
+    def test_matches_paper_row_order(self):
+        # Table 2 is sorted by (paper) size
+        sizes = [p.paper_lines for p in PROGRAMS]
+        assert sizes == sorted(sizes)
+
+    def test_all_sources_exist(self):
+        for p in PROGRAMS:
+            assert os.path.isfile(source_path(p.name)), p.name
+
+    def test_sources_have_main(self):
+        for p in PROGRAMS:
+            assert "int main(" in load_source(p.name), p.name
+
+    def test_by_name(self):
+        assert by_name("grep").paper_procedures == 9
+        with pytest.raises(KeyError):
+            by_name("nope")
+
+    def test_paper_values_recorded(self):
+        compiler = by_name("compiler")
+        assert compiler.paper_avg_ptfs == 1.14
+        assert compiler.paper_procedures == 37
+
+    def test_table3_programs_flagged(self):
+        assert by_name("alvinn").table3_invocations
+        assert by_name("ear").table3_invocations
+        assert by_name("grep").table3_invocations is None
+
+
+class TestHarness:
+    def test_analyze_benchmark_small(self):
+        result = analyze_benchmark("allroots")
+        stats = result.stats()
+        assert stats.procedures >= 4
+        assert stats.avg_ptfs >= 1.0
+
+    def test_table2_rows_subset(self):
+        rows = table2_rows(names=["allroots", "grep"])
+        assert [r.name for r in rows] == ["allroots", "grep"]
+        for r in rows:
+            assert r.seconds > 0
+            assert r.avg_ptfs >= 1.0
+
+    def test_table2_text_format(self):
+        rows = table2_rows(names=["allroots"])
+        text = table2_text(rows)
+        assert "allroots" in text and "paper" in text
+
+    def test_invocation_rows_subset(self):
+        rows = invocation_rows(names=["grep"])
+        assert rows[0]["name"] == "grep"
+        assert rows[0]["invocation_nodes"] >= rows[0]["procedures"] - 1
+
+
+class TestSuiteAnalyzability:
+    """Every program in the suite must analyze cleanly under both state
+    representations — the suite is itself a large integration test."""
+
+    @pytest.mark.parametrize("name", [p.name for p in PROGRAMS])
+    def test_analyzes_sparse(self, name):
+        result = analyze_benchmark(name)
+        assert result.stats().avg_ptfs < 2.0
+
+    @pytest.mark.parametrize("name", ["allroots", "grep", "compress", "simulator"])
+    def test_analyzes_dense(self, name):
+        from repro import AnalyzerOptions
+
+        result = analyze_benchmark(name, AnalyzerOptions(state_kind="dense"))
+        assert result.stats().procedures > 0

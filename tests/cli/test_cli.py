@@ -1,0 +1,103 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def prog_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(
+        """
+        int g;
+        int *q;
+        void set(int **slot, int *v) { *slot = v; }
+        int main(void) { set(&q, &g); return 0; }
+        """
+    )
+    return str(path)
+
+
+class TestAnalyze:
+    def test_basic(self, prog_file, capsys):
+        assert main(["analyze", prog_file]) == 0
+        out = capsys.readouterr().out
+        assert "procedures" in out and "avg PTFs" in out
+
+    def test_points_to_flag(self, prog_file, capsys):
+        assert main(["analyze", prog_file, "--points-to", "q"]) == 0
+        out = capsys.readouterr().out
+        assert "'g'" in out
+
+    def test_points_to_with_proc(self, prog_file, capsys):
+        assert main(["analyze", prog_file, "--points-to", "main:q"]) == 0
+        assert "'g'" in capsys.readouterr().out
+
+    def test_ptfs_flag(self, prog_file, capsys):
+        assert main(["analyze", prog_file, "--ptfs", "set"]) == 0
+        out = capsys.readouterr().out
+        assert "PTF#" in out and "initial" in out
+
+    def test_dense_state_flag(self, prog_file, capsys):
+        assert main(["analyze", prog_file, "--state", "dense"]) == 0
+
+    def test_heap_context_flag(self, prog_file, capsys):
+        assert main(["analyze", prog_file, "--heap-context", "2"]) == 0
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/no/such/file.c"]) == 2
+
+    def test_parse_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main(void { return 0; }")
+        assert main(["analyze", str(bad)]) == 2
+
+
+class TestCallgraph:
+    def test_edges_printed(self, prog_file, capsys):
+        assert main(["callgraph", prog_file]) == 0
+        out = capsys.readouterr().out
+        assert "main -> set" in out
+
+
+class TestCompare:
+    def test_three_analyses(self, prog_file, capsys):
+        assert main(["compare", prog_file, "--var", "q"]) == 0
+        out = capsys.readouterr().out
+        assert "wilson-lam" in out and "andersen" in out and "steensgaard" in out
+
+
+class TestParallelize:
+    def test_loop_report(self, tmp_path, capsys):
+        path = tmp_path / "loops.c"
+        path.write_text(
+            """
+            double a[64], b[64];
+            int main(void) {
+                int i;
+                for (i = 0; i < 64; i++)
+                    b[i] = a[i] * 2.0;
+                return 0;
+            }
+            """
+        )
+        assert main(["parallelize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "PARALLEL" in out and "speedups" in out
+
+
+class TestTables:
+    def test_table2_subset(self, capsys):
+        assert main(["table2", "--names", "allroots"]) == 0
+        out = capsys.readouterr().out
+        assert "allroots" in out
+
+
+class TestReport:
+    def test_report_runs(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "Table 3" in out
+        assert "reproduction report" in out
+        assert "per-context" in out

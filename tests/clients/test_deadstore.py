@@ -1,0 +1,160 @@
+"""Dead-store / redundant-load client: precision-driven findings."""
+
+import pytest
+
+from repro import analyze_source
+from repro.clients import find_dead_stores, find_redundant_loads
+
+
+class TestDeadStores:
+    def test_simple_dead_store(self):
+        src = """
+        int a, b;
+        void f(int **pp) {
+            *pp = &a;
+            *pp = &b;
+        }
+        int main(void){ int *t; f(&t); return 0; }
+        """
+        r = analyze_source(src, "t.c")
+        findings = find_dead_stores(r)
+        assert any(f.proc == "f" for f in findings)
+
+    def test_read_between_keeps_store(self):
+        src = """
+        int a, b;
+        int g;
+        void f(int **pp) {
+            *pp = &a;
+            g = (**pp);     /* read through pp: the store is live */
+            *pp = &b;
+        }
+        int main(void){ int *t = 0; f(&t); return 0; }
+        """
+        r = analyze_source(src, "t.c")
+        findings = [f for f in find_dead_stores(r) if f.proc == "f"]
+        assert not findings
+
+    def test_aliased_destination_not_flagged(self):
+        """When the destination is not provably unique, the first store
+        may be to different storage than the second — never flag it."""
+        src = """
+        int a, b, c;
+        int *t1, *t2;
+        void f(int **pp, int **qq) {
+            *pp = &a;
+            *qq = &b;   /* may or may not be the same cell */
+        }
+        int main(void){
+            f(&t1, c ? &t1 : &t2);
+            return 0;
+        }
+        """
+        r = analyze_source(src, "t.c")
+        findings = [f for f in find_dead_stores(r) if f.proc == "f"]
+        assert not findings
+
+    def test_call_between_blocks_finding(self):
+        src = """
+        int a, b;
+        void observe(void);
+        void f(int **pp) {
+            *pp = &a;
+            observe();   /* may read *pp */
+            *pp = &b;
+        }
+        int main(void){ int *t; f(&t); return 0; }
+        """
+        r = analyze_source(src, "t.c")
+        findings = [f for f in find_dead_stores(r) if f.proc == "f"]
+        assert not findings
+
+    def test_local_variable_dead_store(self):
+        src = """
+        int a, b;
+        int main(void){
+            int *p = &a;
+            p = &b;
+            return p != 0;
+        }
+        """
+        r = analyze_source(src, "t.c")
+        findings = [f for f in find_dead_stores(r) if f.proc == "main"]
+        assert findings
+
+
+class TestRedundantLoads:
+    def test_repeated_load(self):
+        src = """
+        void f(int **src) {
+            int *x = *src;
+            int *y = *src;
+        }
+        int main(void){ int *s = 0; f(&s); return 0; }
+        """
+        r = analyze_source(src, "t.c")
+        findings = [f for f in find_redundant_loads(r) if f.proc == "f"]
+        assert findings
+
+    def test_intervening_aliasing_store_blocks(self):
+        src = """
+        int g;
+        void f(int **src) {
+            int *x = *src;
+            *src = &g;      /* changes the loaded location */
+            int *y = *src;
+        }
+        int main(void){ int *s = 0; f(&s); return 0; }
+        """
+        r = analyze_source(src, "t.c")
+        findings = [
+            f for f in find_redundant_loads(r)
+            if f.proc == "f" and "src" in f.detail and "::" not in f.detail.split("(")[1]
+        ]
+        # the reload of *src after the store must not be flagged
+        reloads_of_target = [
+            f for f in find_redundant_loads(r)
+            if f.proc == "f" and "(1_src" in f.detail
+        ]
+        assert not reloads_of_target
+
+    def test_call_clears_window(self):
+        src = """
+        void mystery(void);
+        void f(int **src) {
+            int *x = *src;
+            mystery();
+            int *y = *src;
+        }
+        int main(void){ int *s = 0; f(&s); return 0; }
+        """
+        r = analyze_source(src, "t.c")
+        findings = [
+            f for f in find_redundant_loads(r)
+            if f.proc == "f" and "(1_src" in f.detail
+        ]
+        assert not findings
+
+    def test_precision_enables_findings(self):
+        """With distinct targets the store to *other cannot alias *src, so
+        the reload of *src stays redundant — exactly the precision the
+        analysis buys."""
+        src = """
+        int g;
+        void f(int **src, int **other) {
+            int *x = *src;
+            *other = &g;      /* provably does not alias *src */
+            int *y = *src;
+        }
+        int main(void){
+            int *s = 0, *o = 0;
+            f(&s, &o);
+            return 0;
+        }
+        """
+        r = analyze_source(src, "t.c")
+        findings = [
+            f for f in find_redundant_loads(r)
+            if f.proc == "f"
+        ]
+        assert any("src" in f.detail for f in findings)

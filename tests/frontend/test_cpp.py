@@ -1,0 +1,316 @@
+"""Tests for the mini C preprocessor."""
+
+import pytest
+
+from repro.frontend.cpp import (
+    MacroDefinition,
+    Preprocessor,
+    PreprocessorError,
+    detokenize,
+    preprocess,
+    strip_comments,
+    splice_lines,
+    tokenize,
+)
+
+
+def pp(text: str, **kw) -> str:
+    import re
+
+    out = preprocess(text, "test.c", **kw)
+    # drop #line markers and collapse runs of spaces for easy comparison
+    kept = [line for line in out.splitlines() if not line.startswith("#line")]
+    return re.sub(r" +", " ", "\n".join(kept)).strip()
+
+
+class TestTokenize:
+    def test_identifiers_and_numbers(self):
+        assert [t for t in tokenize("foo bar42 1e3") if t] == ["foo", "bar42", "1e3"]
+
+    def test_strings_are_single_tokens(self):
+        toks = [t for t in tokenize('x = "a b c";') if t]
+        assert '"a b c"' in toks
+
+    def test_char_constants(self):
+        toks = [t for t in tokenize("c = 'x';") if t]
+        assert "'x'" in toks
+
+    def test_escaped_quote_in_string(self):
+        toks = [t for t in tokenize(r'"a\"b"') if t]
+        assert toks == [r'"a\"b"']
+
+    def test_two_char_operators(self):
+        toks = [t for t in tokenize("a->b ++c <<= d") if t]
+        assert "->" in toks and "++" in toks and "<<=" in toks
+
+    def test_hash_and_double_hash(self):
+        toks = [t for t in tokenize("# x ## y") if t]
+        assert "#" in toks and "##" in toks
+
+    def test_detokenize_preserves_identifier_separation(self):
+        toks = tokenize("int x")
+        assert "int" in detokenize(toks) and "intx" not in detokenize(toks)
+
+
+class TestComments:
+    def test_block_comment_removed(self):
+        assert "gone" not in strip_comments("a /* gone */ b")
+
+    def test_line_comment_removed(self):
+        assert "gone" not in strip_comments("a // gone\nb")
+
+    def test_newlines_preserved_in_block_comment(self):
+        out = strip_comments("a /* x\ny\nz */ b")
+        assert out.count("\n") == 2
+
+    def test_comment_markers_in_string_kept(self):
+        out = strip_comments('s = "/* not a comment */";')
+        assert "not a comment" in out
+
+    def test_comment_in_char_literal(self):
+        out = strip_comments("c = '/'; d = '*';")
+        assert out == "c = '/'; d = '*';"
+
+    def test_unterminated_block_comment(self):
+        assert "tail" not in strip_comments("a /* tail")
+
+
+class TestSplice:
+    def test_basic_continuation(self):
+        lines = splice_lines("a \\\nb\nc")
+        assert lines[0] == (1, "a b")
+        assert lines[1] == (3, "c")
+
+    def test_multiple_continuations(self):
+        lines = splice_lines("x\\\ny\\\nz")
+        assert lines == [(1, "xyz")]
+
+
+class TestObjectMacros:
+    def test_simple_define(self):
+        assert pp("#define N 10\nint a = N;") == "int a = 10;"
+
+    def test_redefine(self):
+        assert pp("#define N 1\n#define N 2\nint a = N;") == "int a = 2;"
+
+    def test_undef(self):
+        assert pp("#define N 1\n#undef N\nint a = N;") == "int a = N;"
+
+    def test_chained_expansion(self):
+        assert pp("#define A B\n#define B 42\nint a = A;") == "int a = 42;"
+
+    def test_self_reference_does_not_loop(self):
+        assert pp("#define X X\nint a = X;") == "int a = X;"
+
+    def test_mutual_reference_stops(self):
+        out = pp("#define A B\n#define B A\nint a = A;")
+        assert out in ("int a = A;", "int a = B;")
+
+    def test_empty_body(self):
+        assert pp("#define EMPTY\nint a EMPTY = 1;") == "int a = 1;"
+
+    def test_line_macro(self):
+        out = pp("int a = __LINE__;")
+        assert out == "int a = 1;"
+
+    def test_file_macro(self):
+        out = pp('char *f = __FILE__;')
+        assert out == 'char *f = "test.c";'
+
+
+class TestFunctionMacros:
+    def test_basic_call(self):
+        assert pp("#define SQ(x) ((x)*(x))\nint a = SQ(3);") == "int a = ((3)*(3));"
+
+    def test_two_params(self):
+        out = pp("#define ADD(a,b) (a+b)\nint x = ADD(1, 2);")
+        assert out == "int x = (1+ 2);"
+
+    def test_nested_call_arguments(self):
+        out = pp("#define ID(x) x\nint a = ID(f(1, 2));")
+        assert out == "int a = f(1, 2);"
+
+    def test_name_without_parens_not_expanded(self):
+        out = pp("#define F(x) x\nint (*g)(int) = F;")
+        assert "F" in out
+
+    def test_stringize(self):
+        assert pp("#define S(x) #x\nchar *s = S(hi there);") == 'char *s = "hi there";'
+
+    def test_stringize_escapes_quotes(self):
+        out = pp('#define S(x) #x\nchar *s = S("q");')
+        assert out == 'char *s = "\\"q\\"";'
+
+    def test_token_paste(self):
+        assert pp("#define CAT(a,b) a##b\nint xy = 1; int z = CAT(x, y);") == (
+            "int xy = 1; int z = xy;"
+        )
+
+    def test_paste_builds_macro_name(self):
+        out = pp("#define AB 9\n#define CAT(a,b) a##b\nint z = CAT(A, B);")
+        assert out == "int z = 9;"
+
+    def test_variadic(self):
+        out = pp("#define P(fmt, ...) printf(fmt, __VA_ARGS__)\nP(\"%d\", 1);")
+        assert out == 'printf("%d", 1);'
+
+    def test_argument_expansion_before_substitution(self):
+        out = pp("#define N 5\n#define ID(x) x\nint a = ID(N);")
+        assert out == "int a = 5;"
+
+    def test_zero_arg_macro(self):
+        assert pp("#define F() 7\nint a = F();") == "int a = 7;"
+
+    def test_unterminated_args_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#define F(x) x\nint a = F(1;", "t.c")
+
+    def test_recursive_function_macro_suppressed(self):
+        out = pp("#define F(x) F(x)\nint a = F(1);")
+        assert out == "int a = F(1);"
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        assert pp("#define A\n#ifdef A\nint x;\n#endif") == "int x;"
+
+    def test_ifdef_not_taken(self):
+        assert pp("#ifdef A\nint x;\n#endif") == ""
+
+    def test_ifndef(self):
+        assert pp("#ifndef A\nint x;\n#endif") == "int x;"
+
+    def test_else(self):
+        assert pp("#ifdef A\nint x;\n#else\nint y;\n#endif") == "int y;"
+
+    def test_elif_chain(self):
+        src = "#define B 1\n#if defined(A)\nint a;\n#elif defined(B)\nint b;\n#else\nint c;\n#endif"
+        assert pp(src) == "int b;"
+
+    def test_nested_conditionals(self):
+        src = "#define A\n#ifdef A\n#ifdef B\nint x;\n#else\nint y;\n#endif\n#endif"
+        assert pp(src) == "int y;"
+
+    def test_dead_region_skips_directives(self):
+        src = "#ifdef NOPE\n#error should not fire\n#endif\nint x;"
+        assert pp(src) == "int x;"
+
+    def test_dead_region_tracks_nesting(self):
+        src = "#ifdef NOPE\n#ifdef ALSO\n#endif\nint bad;\n#endif\nint x;"
+        assert pp(src) == "int x;"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#ifdef A\nint x;", "t.c")
+
+    def test_else_without_if_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#else\n", "t.c")
+
+    def test_endif_without_if_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#endif\n", "t.c")
+
+    def test_duplicate_else_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#if 1\n#else\n#else\n#endif\n", "t.c")
+
+
+class TestIfExpressions:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1", True),
+            ("0", False),
+            ("1 + 1 == 2", True),
+            ("3 * 4 != 12", False),
+            ("(1 << 4) == 16", True),
+            ("10 / 3 == 3", True),
+            ("10 % 3 == 1", True),
+            ("-5 < 0", True),
+            ("!0", True),
+            ("~0 == -1", True),
+            ("1 && 0", False),
+            ("1 || 0", True),
+            ("1 ? 2 : 3", True),
+            ("0 ? 2 : 0", False),
+            ("0x10 == 16", True),
+            ("010 == 8", True),
+            ("'A' == 65", True),
+            ("UNDEFINED_NAME == 0", True),
+            ("5 > 4 && 4 > 3", True),
+            ("2147483647 > 0", True),
+        ],
+    )
+    def test_expression(self, expr, expected):
+        out = pp(f"#if {expr}\nyes\n#else\nno\n#endif")
+        assert out == ("yes" if expected else "no")
+
+    def test_defined_with_parens(self):
+        assert pp("#define A 1\n#if defined(A)\nyes\n#endif") == "yes"
+
+    def test_defined_without_parens(self):
+        assert pp("#define A 1\n#if defined A\nyes\n#endif") == "yes"
+
+    def test_macro_in_condition(self):
+        assert pp("#define N 10\n#if N > 5\nyes\n#endif") == "yes"
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#if 1/0\n#endif\n", "t.c")
+
+
+class TestIncludes:
+    def test_builtin_header(self):
+        out = preprocess("#include <stddef.h>\n", "t.c")
+        assert "size_t" in out
+
+    def test_unknown_include_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess('#include <no_such_header.h>\n', "t.c")
+
+    def test_local_include(self, tmp_path):
+        (tmp_path / "local.h").write_text("#define FROM_LOCAL 3\n")
+        out = preprocess(
+            '#include "local.h"\nint a = FROM_LOCAL;\n',
+            "t.c",
+            include_paths=[str(tmp_path)],
+        )
+        assert "int a = 3;" in out
+
+    def test_include_guards_idempotent(self):
+        out = preprocess("#include <stdio.h>\n#include <stdio.h>\n", "t.c")
+        assert out.count("typedef struct _FILE") == 1
+
+    def test_nested_includes(self):
+        out = preprocess("#include <stdio.h>\n", "t.c")
+        assert "size_t" in out  # stdio includes stddef
+
+    def test_error_directive(self):
+        with pytest.raises(PreprocessorError, match="boom"):
+            preprocess("#error boom\n", "t.c")
+
+    def test_pragma_ignored(self):
+        assert pp("#pragma whatever\nint x;") == "int x;"
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#frobnicate\n", "t.c")
+
+    def test_predefines(self):
+        p = Preprocessor(defines={"MODE": "2"})
+        out = p.preprocess("#if MODE == 2\nint yes;\n#endif\n", "t.c")
+        assert "int yes;" in out
+
+
+class TestLineMarkers:
+    def test_line_markers_present(self):
+        out = preprocess("int x;\n", "abc.c")
+        assert '#line 1 "abc.c"' in out
+
+    def test_line_marker_after_include(self):
+        out = preprocess("#include <stddef.h>\nint x;\n", "abc.c")
+        lines = out.splitlines()
+        idx = lines.index("int x;")
+        marker = [l for l in lines[:idx] if l.startswith("#line") and "abc.c" in l]
+        assert marker, "expected a #line marker returning to abc.c"

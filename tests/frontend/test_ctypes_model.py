@@ -1,0 +1,195 @@
+"""Tests for the C type model and ILP32 layout engine."""
+
+import pytest
+
+from repro.frontend import ctypes_model as tm
+
+
+class TestScalarSizes:
+    @pytest.mark.parametrize(
+        "ctype,size,align",
+        [
+            (tm.type_char, 1, 1),
+            (tm.type_uchar, 1, 1),
+            (tm.type_short, 2, 2),
+            (tm.type_int, 4, 4),
+            (tm.type_uint, 4, 4),
+            (tm.type_long, 4, 4),
+            (tm.type_longlong, 8, 4),
+            (tm.type_float, 4, 4),
+            (tm.type_double, 8, 4),
+            (tm.type_longdouble, 8, 4),
+            (tm.type_bool, 1, 1),
+        ],
+    )
+    def test_size_align(self, ctype, size, align):
+        assert ctype.size == size
+        assert ctype.align == align
+
+    def test_pointer_size(self):
+        assert tm.type_voidptr.size == tm.POINTER_SIZE == 4
+        assert tm.CPointer(tm.type_double).size == 4
+
+    def test_enum_is_int_sized(self):
+        assert tm.CEnum("color").size == 4
+
+    def test_void_has_no_size(self):
+        with pytest.raises(tm.TypeLayoutError):
+            tm.type_void.size
+
+    def test_function_has_no_size(self):
+        with pytest.raises(tm.TypeLayoutError):
+            tm.CFunction(tm.type_int).size
+
+
+class TestArrays:
+    def test_array_size(self):
+        assert tm.CArray(tm.type_int, 10).size == 40
+
+    def test_array_stride_is_element_size(self):
+        assert tm.CArray(tm.type_double, 3).stride == 8
+
+    def test_incomplete_array(self):
+        arr = tm.CArray(tm.type_int, None)
+        assert not arr.is_complete
+        with pytest.raises(tm.TypeLayoutError):
+            arr.size
+
+    def test_nested_array(self):
+        assert tm.CArray(tm.CArray(tm.type_int, 4), 3).size == 48
+
+    def test_array_align_is_element_align(self):
+        assert tm.CArray(tm.type_char, 100).align == 1
+
+
+class TestStructLayout:
+    def test_padding_between_fields(self):
+        s = tm.CRecord.build("s", [("c", tm.type_char, None), ("i", tm.type_int, None)])
+        assert s.field("c").offset == 0
+        assert s.field("i").offset == 4
+        assert s.size == 8
+
+    def test_tail_padding(self):
+        s = tm.CRecord.build("s", [("i", tm.type_int, None), ("c", tm.type_char, None)])
+        assert s.size == 8  # padded to int alignment
+
+    def test_no_padding_when_aligned(self):
+        s = tm.CRecord.build("s", [("a", tm.type_int, None), ("b", tm.type_int, None)])
+        assert s.size == 8
+        assert s.field("b").offset == 4
+
+    def test_char_only_struct(self):
+        s = tm.CRecord.build("s", [("a", tm.type_char, None), ("b", tm.type_char, None)])
+        assert s.size == 2 and s.align == 1
+
+    def test_double_aligns_to_four(self):
+        s = tm.CRecord.build("s", [("c", tm.type_char, None), ("d", tm.type_double, None)])
+        assert s.field("d").offset == 4  # i386-style 4-byte double alignment
+        assert s.size == 12
+
+    def test_nested_struct_field(self):
+        inner = tm.CRecord.build("in", [("x", tm.type_int, None), ("y", tm.type_int, None)])
+        outer = tm.CRecord.build(
+            "out", [("a", tm.type_char, None), ("inner", inner, None)]
+        )
+        assert outer.field("inner").offset == 4
+        assert outer.size == 12
+
+    def test_array_field(self):
+        s = tm.CRecord.build(
+            "s", [("tag", tm.type_int, None), ("buf", tm.CArray(tm.type_char, 10), None)]
+        )
+        assert s.field("buf").offset == 4
+        assert s.size == 16  # 4 + 10 padded to 4
+
+    def test_missing_field_raises(self):
+        s = tm.CRecord.build("s", [("x", tm.type_int, None)])
+        with pytest.raises(tm.TypeLayoutError):
+            s.field("nope")
+
+    def test_incomplete_struct_has_no_size(self):
+        s = tm.CRecord(tag="fwd", complete=False)
+        with pytest.raises(tm.TypeLayoutError):
+            s.size
+
+    def test_anonymous_member_lookup(self):
+        inner = tm.CRecord.build("in", [("x", tm.type_int, None)])
+        outer = tm.CRecord.build("out", [("pad", tm.type_int, None), (None, inner, None)])
+        assert outer.field("x").offset == 4
+
+
+class TestUnionLayout:
+    def test_union_size_is_max(self):
+        u = tm.CRecord.build(
+            "u",
+            [("c", tm.type_char, None), ("d", tm.type_double, None)],
+            is_union=True,
+        )
+        assert u.size == 8
+
+    def test_union_offsets_all_zero(self):
+        u = tm.CRecord.build(
+            "u",
+            [("a", tm.type_int, None), ("b", tm.CPointer(tm.type_int), None)],
+            is_union=True,
+        )
+        assert u.field("a").offset == 0
+        assert u.field("b").offset == 0
+
+    def test_union_padded_to_align(self):
+        u = tm.CRecord.build(
+            "u",
+            [("c", tm.CArray(tm.type_char, 5), None), ("i", tm.type_int, None)],
+            is_union=True,
+        )
+        assert u.size == 8
+
+
+class TestBitfields:
+    def test_bitfields_pack_into_unit(self):
+        s = tm.CRecord.build(
+            "s",
+            [("a", tm.type_int, 3), ("b", tm.type_int, 5), ("tail", tm.type_int, None)],
+        )
+        assert s.field("a").offset == 0
+        assert s.field("b").offset == 0
+        assert s.field("b").bit_offset == 3
+        assert s.field("tail").offset == 4
+
+    def test_overflowing_bitfield_starts_new_unit(self):
+        s = tm.CRecord.build(
+            "s", [("a", tm.type_int, 30), ("b", tm.type_int, 10)]
+        )
+        assert s.field("b").offset == 4
+
+    def test_zero_width_forces_alignment(self):
+        s = tm.CRecord.build(
+            "s",
+            [("a", tm.type_int, 3), (None, tm.type_int, 0), ("b", tm.type_int, 3)],
+        )
+        assert s.field("b").offset == 4
+
+
+class TestPredicates:
+    def test_may_hold_pointer(self):
+        assert tm.type_voidptr.may_hold_pointer()
+        assert tm.type_int.may_hold_pointer()  # casts are common in C
+        assert not tm.type_char.may_hold_pointer()
+        assert not tm.type_double.may_hold_pointer()
+
+    def test_record_may_hold_pointer(self):
+        s = tm.CRecord.build("s", [("p", tm.type_voidptr, None)])
+        assert s.may_hold_pointer()
+        t = tm.CRecord.build("t", [("c", tm.type_char, None)])
+        assert not t.may_hold_pointer()
+
+    def test_is_scalar(self):
+        assert tm.type_int.is_scalar
+        assert tm.type_voidptr.is_scalar
+        assert not tm.CArray(tm.type_int, 2).is_scalar
+
+    def test_str_representations(self):
+        assert str(tm.type_uint) == "unsigned int"
+        assert str(tm.CPointer(tm.type_char)) == "char*"
+        assert "struct" in str(tm.CRecord(tag="s"))
+        assert "[3]" in str(tm.CArray(tm.type_int, 3))

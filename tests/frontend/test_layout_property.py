@@ -1,0 +1,81 @@
+"""Property-based tests for the ILP32 struct layout engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import ctypes_model as tm
+
+SCALARS = st.sampled_from(
+    [
+        tm.type_char,
+        tm.type_short,
+        tm.type_int,
+        tm.type_long,
+        tm.type_longlong,
+        tm.type_float,
+        tm.type_double,
+        tm.type_voidptr,
+    ]
+)
+
+
+@st.composite
+def member_lists(draw):
+    n = draw(st.integers(1, 8))
+    return [(f"m{i}", draw(SCALARS), None) for i in range(n)]
+
+
+@given(member_lists())
+@settings(max_examples=200, deadline=None)
+def test_offsets_are_aligned(members):
+    rec = tm.CRecord.build("s", members)
+    for f in rec.fields:
+        assert f.offset % f.ctype.align == 0, f
+
+
+@given(member_lists())
+@settings(max_examples=200, deadline=None)
+def test_offsets_monotone_and_disjoint(members):
+    rec = tm.CRecord.build("s", members)
+    prev_end = 0
+    for f in rec.fields:
+        assert f.offset >= prev_end
+        prev_end = f.offset + f.ctype.size
+    assert rec.size >= prev_end
+
+
+@given(member_lists())
+@settings(max_examples=200, deadline=None)
+def test_size_is_multiple_of_align(members):
+    rec = tm.CRecord.build("s", members)
+    assert rec.size % rec.align == 0
+    assert rec.align == max(f.ctype.align for f in rec.fields)
+
+
+@given(member_lists())
+@settings(max_examples=200, deadline=None)
+def test_size_bounded_by_padding_worst_case(members):
+    rec = tm.CRecord.build("s", members)
+    payload = sum(f.ctype.size for f in rec.fields)
+    assert payload <= rec.size <= payload + 4 * len(rec.fields)
+
+
+@given(member_lists())
+@settings(max_examples=100, deadline=None)
+def test_union_layout(members):
+    rec = tm.CRecord.build("u", members, is_union=True)
+    assert all(f.offset == 0 for f in rec.fields)
+    assert rec.size >= max(f.ctype.size for f in rec.fields)
+
+
+@given(member_lists(), member_lists())
+@settings(max_examples=100, deadline=None)
+def test_nesting_preserves_member_alignment(inner_members, outer_members):
+    inner = tm.CRecord.build("in", inner_members)
+    outer = tm.CRecord.build("out", outer_members + [("nested", inner, None)])
+    nested = outer.field("nested")
+    assert nested.offset % inner.align == 0
+    for f in inner.fields:
+        absolute = nested.offset + f.offset
+        assert absolute % f.ctype.align == 0

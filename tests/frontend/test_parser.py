@@ -1,0 +1,110 @@
+"""Parser driver: error handling, includes, multi-unit projects."""
+
+import pytest
+
+from repro import ParseError, load_program, load_project
+from repro.frontend.parser import load_program_from_file, load_project_files, parse_c_source
+
+
+class TestErrors:
+    def test_syntax_error_raises_parse_error(self):
+        with pytest.raises(ParseError):
+            load_program("int main(void { return 0; }", "bad.c")
+
+    def test_preprocessor_error_raises_parse_error(self):
+        with pytest.raises(ParseError):
+            load_program("#include <no_such.h>\nint main(void){return 0;}", "bad.c")
+
+    def test_error_directive(self):
+        with pytest.raises(ParseError, match="unsupported"):
+            load_program("#error unsupported platform\n", "bad.c")
+
+
+class TestLoadProgram:
+    def test_counts_source_lines(self):
+        prog = load_program("int x;\nint main(void)\n{ return 0; }\n", "t.c")
+        assert prog.source_lines >= 3
+
+    def test_defines_injected(self):
+        prog = load_program(
+            "#if MODE == 2\nint picked;\n#endif\nint main(void){return 0;}",
+            "t.c",
+            defines={"MODE": "2"},
+        )
+        assert "picked" in prog.globals
+
+    def test_include_paths(self, tmp_path):
+        (tmp_path / "mine.h").write_text("int from_header;\n")
+        prog = load_program(
+            '#include "mine.h"\nint main(void){return 0;}',
+            "t.c",
+            include_paths=[str(tmp_path)],
+        )
+        assert "from_header" in prog.globals
+
+
+class TestFiles:
+    def test_load_program_from_file(self, tmp_path):
+        path = tmp_path / "prog.c"
+        path.write_text("int g; int main(void){ return 0; }\n")
+        prog = load_program_from_file(str(path))
+        assert "g" in prog.globals
+
+    def test_file_local_includes_resolve(self, tmp_path):
+        (tmp_path / "defs.h").write_text("#define ANSWER 42\n")
+        (tmp_path / "prog.c").write_text(
+            '#include "defs.h"\nint a[ANSWER]; int main(void){return 0;}\n'
+        )
+        prog = load_program_from_file(str(tmp_path / "prog.c"))
+        assert "a" in prog.globals
+
+    def test_load_project_files(self, tmp_path):
+        (tmp_path / "a.c").write_text("int shared; void touch(void){shared=1;}\n")
+        (tmp_path / "b.c").write_text(
+            "extern int shared; void touch(void); int main(void){touch(); return shared;}\n"
+        )
+        prog = load_project_files([str(tmp_path / "a.c"), str(tmp_path / "b.c")])
+        assert "main" in prog.procedures and "touch" in prog.procedures
+
+
+class TestProjects:
+    def test_extern_links_across_units(self):
+        prog = load_project(
+            [
+                ("a.c", "int v;"),
+                ("b.c", "extern int v; int main(void){ return v; }"),
+            ]
+        )
+        # one global block for both declarations
+        assert len([g for g in prog.globals if g == "v"]) == 1
+
+    def test_procedures_merged(self):
+        prog = load_project(
+            [
+                ("a.c", "void f(void){}"),
+                ("b.c", "void g(void){}"),
+                ("c.c", "void f(void); void g(void); int main(void){ f(); g(); return 0; }"),
+            ]
+        )
+        assert set(prog.procedures) == {"f", "g", "main"}
+
+    def test_struct_layout_consistent_across_units(self):
+        header = "struct pt { int x; int *payload; };\n"
+        prog = load_project(
+            [
+                ("a.c", header + "int datum; void fill(struct pt *p){ p->payload = &datum; }"),
+                ("b.c", header + "void fill(struct pt *p); int main(void){ struct pt v; fill(&v); return 0; }"),
+            ]
+        )
+        assert "fill" in prog.procedures
+
+
+class TestParseCSource:
+    def test_returns_ast(self):
+        ast = parse_c_source("int x;", "t.c")
+        assert ast.ext
+
+    def test_line_coords_survive_preprocessing(self):
+        ast = parse_c_source("#define A 1\n\n\nint late_decl = A;", "t.c")
+        decl = ast.ext[0]
+        assert decl.coord.line == 4

@@ -1,0 +1,144 @@
+"""Table 1: location sets computed for the paper's seven expression forms.
+
+| Expression    | Location set          |
+|---------------|-----------------------|
+| scalar        | (scalar, 0, 0)        |
+| struct.F      | (struct, f, 0)        |
+| array         | (array, 0, 0)         |
+| array[i]      | (array, 0, s)         |
+| array[i].F    | (array, f, s)         |
+| struct.F[i]   | (struct, f%s, s)      |
+| *(&p + X)     | (p, 0, 1)             |
+"""
+
+from repro import analyze_source
+
+
+def exit_targets(result, proc, var):
+    return result.points_to(proc, var)
+
+
+def single_target(result, var):
+    locs = exit_targets(result, "main", var)
+    assert len(locs) == 1, f"{var}: expected one target, got {locs}"
+    return next(iter(locs))
+
+
+def test_scalar_row():
+    r = analyze_source(
+        """
+        int scalar;
+        int main(void) { int *p = &scalar; return 0; }
+        """
+    )
+    t = single_target(r, "p")
+    assert (t.offset, t.stride) == (0, 0)
+    assert r.display_name(t.base) == "scalar"
+
+
+def test_struct_field_row():
+    r = analyze_source(
+        """
+        struct S { int a; int f; } s;
+        int main(void) { int *p = &s.f; return 0; }
+        """
+    )
+    t = single_target(r, "p")
+    assert (t.offset, t.stride) == (4, 0)
+
+
+def test_whole_array_row():
+    r = analyze_source(
+        """
+        int array[10];
+        int main(void) { int *p = array; return 0; }
+        """
+    )
+    t = single_target(r, "p")
+    assert (t.offset, t.stride) == (0, 0)
+
+
+def test_array_element_row():
+    r = analyze_source(
+        """
+        int array[10];
+        int main(void) { int i = 3; int *p = &array[i]; return 0; }
+        """
+    )
+    t = single_target(r, "p")
+    assert (t.offset, t.stride) == (0, 4)
+
+
+def test_array_of_struct_field_row():
+    r = analyze_source(
+        """
+        struct S { int a; int f; };
+        struct S array[8];
+        int main(void) { int i = 2; int *p = &array[i].f; return 0; }
+        """
+    )
+    t = single_target(r, "p")
+    # field f at offset 4 within an 8-byte element
+    assert (t.offset, t.stride) == (4, 8)
+
+
+def test_array_nested_in_struct_row():
+    """struct.F[i] -> (struct, f % s, s): the nested array is treated as
+    overlapping the entire structure (out-of-bounds indices are legal C
+    in practice, §3.1)."""
+    r = analyze_source(
+        """
+        struct S { int a; int f[4]; int z; } s;
+        int main(void) { int i = 1; int *p = &s.f[i]; return 0; }
+        """
+    )
+    t = single_target(r, "p")
+    # offset of f is 4, element size 4 -> offset 4 % 4 == 0, stride 4
+    assert (t.offset, t.stride) == (0, 4)
+
+
+def test_unknown_arithmetic_row():
+    """*(&p + X) with X unknown -> stride-1 whole-block set (§3.1)."""
+    r = analyze_source(
+        """
+        int x;
+        int unknown(void);
+        struct P { int *p; int *q; } s;
+        int main(void) {
+            s.p = &x;
+            int **w = (int **)((char *)&s + unknown());
+            int *r = *w;
+            return 0;
+        }
+        """
+    )
+    targets = exit_targets(r, "main", "w")
+    assert targets, "w should point into s"
+    t = next(t for t in targets if "s" in r.display_name(t.base))
+    assert t.stride == 1 and t.offset == 0
+
+    # reading through the blurred pointer still finds &x
+    assert "x" in r.points_to_names("main", "r")
+
+
+def test_pointer_increment_gets_element_stride():
+    r = analyze_source(
+        """
+        int array[10];
+        int main(void) { int *p = array; p++; return 0; }
+        """
+    )
+    targets = exit_targets(r, "main", "p")
+    strides = {t.stride for t in targets}
+    assert 4 in strides  # simple increments fold into strides (§3.1)
+
+
+def test_constant_pointer_offset_stride():
+    r = analyze_source(
+        """
+        int array[10];
+        int main(void) { int *p = array + 3; return 0; }
+        """
+    )
+    targets = exit_targets(r, "main", "p")
+    assert any(t.stride == 12 for t in targets)  # 3 * sizeof(int)

@@ -1,0 +1,223 @@
+"""TypeBuilder: pycparser types -> CType, constant expressions."""
+
+import pytest
+
+from repro.frontend import ctypes_model as tm
+from repro.frontend.parser import parse_c_source
+from repro.frontend.typebuild import ConstEvalError, TypeBuilder
+
+
+def first_decl_type(src):
+    ast = parse_c_source(src, "t.c")
+    tb = TypeBuilder()
+    for ext in ast.ext:
+        if ext.__class__.__name__ == "Typedef":
+            tb.add_typedef(ext.name, ext.type)
+            continue
+        return tb, tb.type_of(ext.type)
+    raise AssertionError("no declaration found")
+
+
+class TestBasicTypes:
+    @pytest.mark.parametrize(
+        "decl,expected",
+        [
+            ("int x;", tm.type_int),
+            ("unsigned x;", tm.type_uint),
+            ("unsigned int x;", tm.type_uint),
+            ("char x;", tm.type_char),
+            ("signed char x;", tm.type_schar),
+            ("unsigned char x;", tm.type_uchar),
+            ("short x;", tm.type_short),
+            ("unsigned short x;", tm.type_ushort),
+            ("long x;", tm.type_long),
+            ("unsigned long x;", tm.type_ulong),
+            ("long long x;", tm.type_longlong),
+            ("float x;", tm.type_float),
+            ("double x;", tm.type_double),
+            ("long double x;", tm.type_longdouble),
+        ],
+    )
+    def test_scalar(self, decl, expected):
+        _, t = first_decl_type(decl)
+        assert t == expected
+
+    def test_pointer(self):
+        _, t = first_decl_type("int *p;")
+        assert isinstance(t, tm.CPointer) and t.pointee == tm.type_int
+
+    def test_pointer_to_pointer(self):
+        _, t = first_decl_type("char **pp;")
+        assert t.pointee.pointee == tm.type_char
+
+    def test_array(self):
+        _, t = first_decl_type("double a[7];")
+        assert isinstance(t, tm.CArray) and t.length == 7
+
+    def test_array_of_pointers(self):
+        _, t = first_decl_type("int *a[4];")
+        assert isinstance(t, tm.CArray) and t.element.is_pointer
+
+    def test_pointer_to_array(self):
+        _, t = first_decl_type("int (*p)[4];")
+        assert t.is_pointer and isinstance(t.pointee, tm.CArray)
+
+    def test_function_pointer(self):
+        _, t = first_decl_type("int (*fp)(int, char *);")
+        assert t.is_pointer and isinstance(t.pointee, tm.CFunction)
+        assert len(t.pointee.params) == 2
+
+    def test_varargs_function(self):
+        _, t = first_decl_type("int printf(const char *, ...);")
+        assert isinstance(t, tm.CFunction) and t.varargs
+
+    def test_void_param_list_empty(self):
+        _, t = first_decl_type("int f(void);")
+        assert t.params == ()
+
+
+class TestTypedefs:
+    def test_simple_typedef(self):
+        src = "typedef unsigned int size_t; size_t n;"
+        _, t = first_decl_type(src)
+        assert t == tm.type_uint
+
+    def test_typedef_of_pointer(self):
+        src = "typedef char *string; string s;"
+        _, t = first_decl_type(src)
+        assert t.is_pointer and t.pointee == tm.type_char
+
+    def test_typedef_of_struct(self):
+        src = "typedef struct { int a; int b; } pair; pair p;"
+        _, t = first_decl_type(src)
+        assert isinstance(t, tm.CRecord) and t.size == 8
+
+
+class TestRecords:
+    def test_struct_by_tag(self):
+        tb, t = first_decl_type("struct point { int x; int y; } p;")
+        assert t.field("y").offset == 4
+        assert tb.record_by_tag("point") is t
+
+    def test_forward_then_complete(self):
+        src = """
+        struct node;
+        struct node { struct node *next; int v; };
+        struct node n;
+        """
+        ast = parse_c_source(src, "t.c")
+        tb = TypeBuilder()
+        types = [tb.type_of(ext.type) for ext in ast.ext]
+        completed = tb.record_by_tag("node")
+        assert completed.complete
+        assert completed.field("next").ctype.is_pointer
+
+    def test_refresh_resolves_stale_incomplete(self):
+        src = """
+        struct late;
+        struct late { int a; int b; };
+        struct late x;
+        """
+        ast = parse_c_source(src, "t.c")
+        tb = TypeBuilder()
+        stale = tb.type_of(ast.ext[0].type)
+        tb.type_of(ast.ext[1].type)
+        fresh = tb.refresh(stale)
+        assert fresh.complete and fresh.size == 8
+
+    def test_refresh_through_pointer(self):
+        src = """
+        struct late;
+        struct late *p;
+        struct late { int a; };
+        """
+        ast = parse_c_source(src, "t.c")
+        tb = TypeBuilder()
+        tb.type_of(ast.ext[0].type)
+        ptr = tb.type_of(ast.ext[1].type)
+        tb.type_of(ast.ext[2].type)
+        fresh = tb.refresh(ptr)
+        assert fresh.pointee.complete
+
+    def test_union(self):
+        _, t = first_decl_type("union u { int i; char c[8]; } x;")
+        assert t.is_union and t.size == 8
+
+    def test_anonymous_struct_distinct(self):
+        src = "struct { int a; } x;"
+        _, t = first_decl_type(src)
+        assert t.complete and t.size == 4
+
+
+class TestEnums:
+    def test_enum_values_sequential(self):
+        tb, t = first_decl_type("enum color { RED, GREEN, BLUE } c;")
+        assert tb.enum_constants == {"RED": 0, "GREEN": 1, "BLUE": 2}
+
+    def test_enum_explicit_values(self):
+        tb, _ = first_decl_type("enum e { A = 5, B, C = 10 } x;")
+        assert tb.enum_constants == {"A": 5, "B": 6, "C": 10}
+
+    def test_enum_size(self):
+        _, t = first_decl_type("enum e { A } x;")
+        assert t.size == 4
+
+
+class TestConstEval:
+    def eval(self, expr, prelude=""):
+        src = f"{prelude}\nint a[{expr}];"
+        ast = parse_c_source(src, "t.c")
+        tb = TypeBuilder()
+        for ext in ast.ext:
+            t = tb.type_of(ext.type)
+        return t.length
+
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("3", 3),
+            ("2 + 3", 5),
+            ("2 * 3 + 1", 7),
+            ("(1 << 4)", 16),
+            ("0x10", 16),
+            ("010", 8),
+            ("15 / 4", 3),
+            ("15 % 4", 3),
+            ("7 & 3", 3),
+            ("1 | 4", 5),
+            ("5 ^ 1", 4),
+            ("1 ? 9 : 2", 9),
+            ("0 ? 9 : 2", 2),
+            ("'A' - 'A' + 4", 4),
+            ("-(-6)", 6),
+            ("~0 + 9", 8),
+            ("!0 + 1", 2),
+            ("sizeof(int)", 4),
+            ("sizeof(double)", 8),
+            ("sizeof(char *)", 4),
+        ],
+    )
+    def test_expressions(self, expr, expected):
+        assert self.eval(expr) == expected
+
+    def test_enum_constant_in_expression(self):
+        assert self.eval("N + 1", prelude="enum { N = 7 };") == 8
+
+    def test_sizeof_struct(self):
+        assert self.eval(
+            "sizeof(struct s)", prelude="struct s { int a; char c; };"
+        ) == 8
+
+    def test_negative_division_truncates_toward_zero(self):
+        src = "int a[(-7) / 2 + 5];"
+        ast = parse_c_source(src, "t.c")
+        tb = TypeBuilder()
+        t = tb.type_of(ast.ext[0].type)
+        assert t.length == 2  # C truncation: -7/2 == -3
+
+    def test_try_const_value_none_for_variables(self):
+        ast = parse_c_source("int n; int f(void) { return n; }", "t.c")
+        tb = TypeBuilder()
+        fn = ast.ext[1]
+        ret = fn.body.block_items[0].expr
+        assert tb.try_const_value(ret) is None

@@ -1,0 +1,114 @@
+"""Dominator tree / dominance frontier computation."""
+
+import pytest
+
+from repro.ir.dominators import compute_rpo, compute_dominators, finalize_graph, iterated_frontier
+from repro.ir.nodes import BranchNode, EntryNode, ExitNode, MeetNode, Node
+
+
+class FakeProc:
+    name = "fake"
+
+
+def build(edges, n_nodes):
+    """Construct a graph with node 0 as entry."""
+    proc = FakeProc()
+    nodes = [BranchNode(proc) for _ in range(n_nodes)]
+    for a, b in edges:
+        nodes[a].add_succ(nodes[b])
+    rpo = finalize_graph(nodes[0])
+    return nodes, rpo
+
+
+class TestRPO:
+    def test_linear_chain(self):
+        nodes, rpo = build([(0, 1), (1, 2), (2, 3)], 4)
+        assert [n.uid for n in rpo] == [n.uid for n in nodes]
+
+    def test_diamond_order(self):
+        nodes, rpo = build([(0, 1), (0, 2), (1, 3), (2, 3)], 4)
+        idx = {n.uid: i for i, n in enumerate(rpo)}
+        assert idx[nodes[0].uid] == 0
+        assert idx[nodes[3].uid] == 3
+
+    def test_unreachable_excluded(self):
+        nodes, rpo = build([(0, 1), (2, 3)], 4)
+        uids = {n.uid for n in rpo}
+        assert nodes[2].uid not in uids
+        assert nodes[3].uid not in uids
+
+    def test_cycle_terminates(self):
+        nodes, rpo = build([(0, 1), (1, 2), (2, 1), (2, 3)], 4)
+        assert len(rpo) == 4
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 5000
+        edges = [(i, i + 1) for i in range(n - 1)]
+        nodes, rpo = build(edges, n)
+        assert len(rpo) == n
+
+
+class TestIdom:
+    def test_linear(self):
+        nodes, _ = build([(0, 1), (1, 2)], 3)
+        assert nodes[1].idom is nodes[0]
+        assert nodes[2].idom is nodes[1]
+        assert nodes[0].idom is None
+
+    def test_diamond_join_dominated_by_branch(self):
+        nodes, _ = build([(0, 1), (0, 2), (1, 3), (2, 3)], 4)
+        assert nodes[3].idom is nodes[0]
+        assert nodes[1].idom is nodes[0]
+
+    def test_loop(self):
+        # 0 -> 1(head) -> 2(body) -> 1 ; 1 -> 3(exit)
+        nodes, _ = build([(0, 1), (1, 2), (2, 1), (1, 3)], 4)
+        assert nodes[1].idom is nodes[0]
+        assert nodes[2].idom is nodes[1]
+        assert nodes[3].idom is nodes[1]
+
+    def test_nested_diamonds(self):
+        # 0 -> (1|2) -> 3 -> (4|5) -> 6
+        nodes, _ = build(
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)], 7
+        )
+        assert nodes[3].idom is nodes[0]
+        assert nodes[6].idom is nodes[3]
+
+    def test_dominates_query(self):
+        nodes, _ = build([(0, 1), (0, 2), (1, 3), (2, 3)], 4)
+        assert nodes[0].dominates(nodes[3])
+        assert nodes[0].dominates(nodes[0])
+        assert not nodes[1].dominates(nodes[3])
+        assert not nodes[3].dominates(nodes[1])
+
+
+class TestFrontiers:
+    def test_diamond_frontier(self):
+        nodes, _ = build([(0, 1), (0, 2), (1, 3), (2, 3)], 4)
+        assert nodes[3] in nodes[1].dom_frontier
+        assert nodes[3] in nodes[2].dom_frontier
+        assert nodes[3] not in nodes[0].dom_frontier
+
+    def test_loop_head_in_own_frontier_via_body(self):
+        nodes, _ = build([(0, 1), (1, 2), (2, 1), (1, 3)], 4)
+        assert nodes[1] in nodes[2].dom_frontier
+        # the head's frontier includes itself (back edge)
+        assert nodes[1] in nodes[1].dom_frontier
+
+    def test_iterated_frontier(self):
+        # two sequential diamonds: a def in the first arm needs phis at
+        # both joins only if values propagate; IDF of node1 is {3}; IDF
+        # of {3} alone is {} (3 dominates 6's preds? no: 4,5 dominated by 3)
+        nodes, _ = build(
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)], 7
+        )
+        idf = iterated_frontier([nodes[1]])
+        assert nodes[3] in idf
+        idf2 = iterated_frontier([nodes[4]])
+        assert nodes[6] in idf2
+
+    def test_frontier_empty_for_dominating_node(self):
+        nodes, _ = build([(0, 1), (1, 2)], 3)
+        assert nodes[0].dom_frontier == []
+        assert nodes[1].dom_frontier == []

@@ -1,0 +1,89 @@
+"""DOT export sanity."""
+
+import pytest
+
+from repro import analyze_source
+from repro.ir.dot import call_graph_to_dot, cfg_to_dot, points_to_graph_to_dot
+
+SRC = """
+int g;
+int *get(void) { return &g; }
+int main(void) {
+    int *(*fp)(void) = get;
+    int *p = fp();
+    if (p) p = 0;
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def result():
+    return analyze_source(SRC, "dot.c")
+
+
+class TestCFG:
+    def test_valid_digraph(self, result):
+        dot = cfg_to_dot(result.program.procedures["main"])
+        assert dot.startswith("digraph") and dot.endswith("}")
+
+    def test_has_entry_and_exit(self, result):
+        dot = cfg_to_dot(result.program.procedures["main"])
+        assert "entry" in dot and "exit" in dot
+
+    def test_edges_present(self, result):
+        dot = cfg_to_dot(result.program.procedures["main"])
+        assert "->" in dot
+
+    def test_branch_shapes(self, result):
+        dot = cfg_to_dot(result.program.procedures["main"])
+        assert "diamond" in dot
+
+    def test_back_edges_dashed(self):
+        r = analyze_source("int c; int main(void){ while(c) c--; return 0; }")
+        dot = cfg_to_dot(r.program.procedures["main"])
+        assert "style=dashed" in dot
+
+
+class TestCallGraph:
+    def test_indirect_edge_dotted(self, result):
+        dot = call_graph_to_dot(result)
+        assert '"main" -> "get" [style=dotted]' in dot
+
+    def test_all_procs_listed(self, result):
+        dot = call_graph_to_dot(result)
+        assert '"main"' in dot and '"get"' in dot
+
+    def test_direct_edge_solid(self):
+        r = analyze_source("void f(void){} int main(void){ f(); return 0; }")
+        dot = call_graph_to_dot(r)
+        assert '"main" -> "f";' in dot
+
+
+class TestPointsToGraph:
+    def test_summary_edges(self, result):
+        dot = points_to_graph_to_dot(result, "get")
+        assert "->" in dot and "digraph" in dot
+
+    def test_initial_edges_dashed(self):
+        r = analyze_source(
+            """
+            int g;
+            int *id(int *p) { return p; }
+            int main(void){ int *q = id(&g); return 0; }
+            """
+        )
+        dot = points_to_graph_to_dot(r, "id")
+        assert "label=init" in dot
+
+    def test_missing_proc_empty(self, result):
+        assert points_to_graph_to_dot(result, "nope") == "digraph empty {}"
+
+    def test_quotes_escaped(self):
+        r = analyze_source(
+            'int main(void){ char *s = "say \\"hi\\""; return 0; }'
+        )
+        dot = points_to_graph_to_dot(r, "main")
+        # must remain parseable: balanced quotes per line
+        for line in dot.splitlines():
+            assert line.count('"') % 2 == 0, line

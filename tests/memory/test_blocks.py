@@ -1,0 +1,98 @@
+"""Tests for memory blocks (§3, §4.1 uniqueness rules)."""
+
+from repro.memory.blocks import (
+    ExtendedParameter,
+    GlobalBlock,
+    HeapBlock,
+    LocalBlock,
+    ProcedureBlock,
+    ReturnBlock,
+    StringBlock,
+    all_pointer_locations,
+)
+
+
+class TestUniqueness:
+    def test_locals_always_unique(self):
+        assert LocalBlock("x", "f").is_unique
+
+    def test_return_block_unique(self):
+        assert ReturnBlock("f").is_unique
+
+    def test_heap_never_unique(self):
+        assert not HeapBlock("site").is_unique
+
+    def test_strings_not_unique(self):
+        assert not StringBlock("hello", "s0").is_unique
+
+    def test_globals_unique(self):
+        assert GlobalBlock("g").is_unique
+
+    def test_param_unique_until_marked(self):
+        p = ExtendedParameter("1_p", "f")
+        assert p.is_unique
+        p.known_unique = False
+        assert not p.is_unique
+
+
+class TestPointerRegistry:
+    def test_register_new_location(self):
+        b = LocalBlock("x", "f")
+        assert b.register_pointer_location(0, 0)
+        assert (0, 0) in b.pointer_locations
+
+    def test_register_duplicate_returns_false(self):
+        b = LocalBlock("x", "f")
+        b.register_pointer_location(4, 0)
+        assert not b.register_pointer_location(4, 0)
+
+    def test_version_bumps_on_new_only(self):
+        b = LocalBlock("x", "f")
+        v0 = b.pointer_version
+        b.register_pointer_location(0, 0)
+        v1 = b.pointer_version
+        b.register_pointer_location(0, 0)
+        assert v1 == v0 + 1 == b.pointer_version
+
+    def test_all_pointer_locations_union(self):
+        a = LocalBlock("a", "f")
+        b = LocalBlock("b", "f")
+        a.register_pointer_location(0, 0)
+        b.register_pointer_location(4, 0)
+        assert all_pointer_locations([a, b]) == {(0, 0), (4, 0)}
+
+
+class TestSubsumption:
+    def test_representative_follows_chain(self):
+        p1 = ExtendedParameter("1_p", "f")
+        p2 = ExtendedParameter("2_p", "f")
+        p3 = ExtendedParameter("3_p", "f")
+        p1.subsumed_by = p2
+        p2.subsumed_by = p3
+        assert p1.representative() is p3
+        assert p3.representative() is p3
+
+    def test_global_identity_preserved(self):
+        g = GlobalBlock("g")
+        p = ExtendedParameter("1_g", "f", global_block=g)
+        assert p.global_block is g
+
+
+class TestIdentity:
+    def test_blocks_have_distinct_uids(self):
+        a = LocalBlock("x", "f")
+        b = LocalBlock("x", "f")
+        assert a.uid != b.uid
+        assert a != b  # identity-based equality
+
+    def test_string_block_display_truncated(self):
+        sb = StringBlock("a" * 50, "s1")
+        assert len(sb.name) < 30
+
+    def test_string_block_size(self):
+        assert StringBlock("hello", "s2").size == 6  # includes NUL
+
+    def test_procedure_block(self):
+        pb = ProcedureBlock("main")
+        assert pb.is_unique
+        assert pb.proc_name == "main"

@@ -1,0 +1,61 @@
+"""Every example script must run cleanly and demonstrate what it claims."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart.py",
+    "context_sensitivity.py",
+    "parallelize.py",
+    "function_pointers.py",
+    "optimize.py",
+    "whole_project.py",
+]
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    path = os.path.join(REPO, "examples", name)
+    assert os.path.isfile(path), path
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{name} produced no output"
+
+
+def test_quickstart_shows_ptfs():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO, "examples", "quickstart.py")],
+        capture_output=True, text=True, timeout=120, cwd=REPO,
+    )
+    assert "PTF" in proc.stdout
+    assert "avg PTFs / procedure" in proc.stdout
+
+
+def test_context_sensitivity_shows_spectrum():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO, "examples", "context_sensitivity.py")],
+        capture_output=True, text=True, timeout=120, cwd=REPO,
+    )
+    assert "Wilson-Lam" in proc.stdout
+    assert "Andersen" in proc.stdout
+    assert "Steensgaard" in proc.stdout
+
+
+def test_parallelize_reports_speedups():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO, "examples", "parallelize.py")],
+        capture_output=True, text=True, timeout=120, cwd=REPO,
+    )
+    assert "PARALLEL" in proc.stdout
+    assert "speedup" in proc.stdout
