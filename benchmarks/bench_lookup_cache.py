@@ -1,0 +1,154 @@
+"""Before/after benchmark for the sparse lookup memoization.
+
+Runs the full Wilson-Lam analysis over a set of the larger benchmark
+programs twice per program — once with ``AnalyzerOptions.lookup_cache``
+enabled (the default) and once with it disabled — and reports
+
+* best-of-N analysis wall time per mode and the resulting speedup,
+* the cache hit rate and the dominator-walk steps actually taken
+  (both from the metrics layer, the same numbers ``--stats-json`` emits),
+* whether the two modes produced byte-identical points-to results
+  (the caches are pure memoization, so they must).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_lookup_cache.py           # full run
+    PYTHONPATH=src python benchmarks/bench_lookup_cache.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_lookup_cache.py \
+        --programs compiler,loader --rounds 5 --check --stats-json out.json
+
+``--check`` exits non-zero unless at least two programs reach the 1.3x
+speedup target; ``--quick`` runs a reduced set with a single round (for
+CI, where timing thresholds would be flaky).
+
+The identity comparison resets the process-global uid counter and intern
+tables before every analysis (``repro.memory.pointsto.reset_interning``)
+so both modes start from an identical interpreter state; without the
+reset, block uids — and with them set iteration orders and extended-
+parameter creation order — depend on what ran earlier in the process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+# allow running straight from a checkout without installing
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.analysis.engine import AnalyzerOptions  # noqa: E402
+from repro.analysis.results import run_analysis  # noqa: E402
+from repro.bench.programs import load_source  # noqa: E402
+from repro.frontend.parser import load_program  # noqa: E402
+from repro.memory.pointsto import reset_interning  # noqa: E402
+
+#: the larger programs — small ones finish in milliseconds and measure
+#: interpreter noise, not the cache.  ``dbase`` and ``interp`` are the two
+#: cache-stress companions (not Table 2 rows): dbase converges quickly and
+#: then re-reads stable state (the cache's best case), interp's recursive
+#: eval/apply churns the interprocedural fixpoint (its worst case).
+DEFAULT_PROGRAMS = ("compiler", "dbase", "interp", "football", "assembler")
+QUICK_PROGRAMS = ("dbase", "loader")
+SPEEDUP_TARGET = 1.3
+
+
+def _analyze(name: str, lookup_cache: bool):
+    """One full analysis from an identical process state."""
+    reset_interning()
+    program = load_program(load_source(name), f"{name}.c", name)
+    return run_analysis(program, AnalyzerOptions(lookup_cache=lookup_cache))
+
+
+def _result_fingerprint(result) -> str:
+    d = result.to_dict()
+    keep = {k: d[k] for k in ("procedures", "call_graph") if k in d}
+    return json.dumps(keep, sort_keys=True)
+
+
+def bench_program(name: str, rounds: int) -> dict:
+    row: dict = {"program": name}
+    fingerprints = {}
+    for cache in (True, False):
+        best = float("inf")
+        for _ in range(rounds):
+            result = _analyze(name, cache)
+            best = min(best, result.analyzer.elapsed_seconds)
+        fingerprints[cache] = _result_fingerprint(result)
+        metrics = result.analyzer.metrics
+        key = "cached" if cache else "uncached"
+        row[f"{key}_seconds"] = round(best, 4)
+        row[f"{key}_dom_walk_steps"] = metrics.dom_walk_steps
+        if cache:
+            row["cache_hit_rate"] = round(metrics.cache_hit_rate(), 4)
+    row["speedup"] = round(row["uncached_seconds"] / row["cached_seconds"], 3)
+    row["identical_results"] = fingerprints[True] == fingerprints[False]
+    return row
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--programs", metavar="A,B,...",
+                    help=f"comma-separated program names "
+                         f"(default: {','.join(DEFAULT_PROGRAMS)})")
+    ap.add_argument("--rounds", type=int, default=3,
+                    help="timing rounds per mode; best is reported (default 3)")
+    ap.add_argument("--quick", action="store_true",
+                    help="reduced program set, one round (CI smoke test)")
+    ap.add_argument("--check", action="store_true",
+                    help=f"exit non-zero unless >=2 programs reach "
+                         f"{SPEEDUP_TARGET}x")
+    ap.add_argument("--stats-json", metavar="PATH",
+                    help="also write the rows as JSON to PATH")
+    args = ap.parse_args(argv)
+
+    if args.programs:
+        names = tuple(n.strip() for n in args.programs.split(",") if n.strip())
+    elif args.quick:
+        names = QUICK_PROGRAMS
+    else:
+        names = DEFAULT_PROGRAMS
+    rounds = 1 if args.quick and args.rounds == 3 else max(1, args.rounds)
+
+    print(f"lookup-cache benchmark: {len(names)} programs, "
+          f"best of {rounds} round(s)")
+    print(f"{'program':<12} {'cached':>8} {'uncached':>9} {'speedup':>8} "
+          f"{'hit rate':>9} {'dom steps':>10} {'identical':>10}")
+    rows = []
+    t0 = time.perf_counter()
+    for name in names:
+        row = bench_program(name, rounds)
+        rows.append(row)
+        print(f"{row['program']:<12} {row['cached_seconds']:>7.3f}s "
+              f"{row['uncached_seconds']:>8.3f}s {row['speedup']:>7.2f}x "
+              f"{row['cache_hit_rate'] * 100:>8.1f}% "
+              f"{row['cached_dom_walk_steps']:>10} "
+              f"{'yes' if row['identical_results'] else 'NO':>10}")
+    elapsed = time.perf_counter() - t0
+
+    fast = [r for r in rows if r["speedup"] >= SPEEDUP_TARGET]
+    mismatched = [r["program"] for r in rows if not r["identical_results"]]
+    print(f"\n{len(fast)}/{len(rows)} programs at >= {SPEEDUP_TARGET}x; "
+          f"total {elapsed:.1f}s")
+    if mismatched:
+        print(f"RESULT MISMATCH (cached vs uncached): {', '.join(mismatched)}")
+
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            json.dump({"rounds": rounds, "rows": rows}, fh, indent=2)
+        print(f"wrote {args.stats_json}")
+
+    if mismatched:
+        return 2
+    if args.check and len(fast) < 2:
+        print(f"FAIL: fewer than 2 programs reached {SPEEDUP_TARGET}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

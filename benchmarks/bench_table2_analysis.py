@@ -20,9 +20,12 @@ def test_analysis_time(benchmark, name):
         analyze_benchmark, args=(name,), rounds=3, iterations=1, warmup_rounds=1
     )
     stats = result.stats()
+    metrics = result.analyzer.metrics
     benchmark.extra_info["procedures"] = stats.procedures
     benchmark.extra_info["avg_ptfs"] = round(stats.avg_ptfs, 2)
     benchmark.extra_info["source_lines"] = stats.source_lines
+    benchmark.extra_info["cache_hit_rate"] = round(metrics.cache_hit_rate(), 4)
+    benchmark.extra_info["dom_walk_steps"] = metrics.dom_walk_steps
     # the paper's headline: a single PTF per procedure is usually enough
     assert stats.avg_ptfs < 2.0, f"{name}: avg PTFs {stats.avg_ptfs}"
     assert stats.procedures > 0

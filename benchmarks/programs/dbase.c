@@ -1,0 +1,1448 @@
+/* dbase: an in-memory two-table database engine.
+ *
+ * Companion stress program for the sparse-lookup benchmark (not a Table 2
+ * row).  Where interp.c exercises the analysis under heavy interprocedural
+ * churn (mutually recursive eval/apply over a heap cell graph), dbase.c is
+ * the opposite regime: a handful of long, loop-heavy procedures over
+ * static struct tables, hash chains and comparator function pointers.
+ * Long bodies make the dominator chains deep, so uncached lookups walk
+ * far; the flat call tree converges quickly, so the walks are repeated
+ * over a stable points-to state — the workload the dominator-walk
+ * memoization (§4.2) targets. */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ctype.h>
+
+#define MAXACCT 256
+#define MAXTXN 512
+#define NHASH 64
+#define MAXLINE 128
+
+/* ---------------------------------------------------------------- tables */
+
+struct account {
+    long id;
+    char name[20];
+    long balance;
+    long activity;
+    int kind;
+    int flags;
+    int ntxns;
+    struct account *next_hash;  /* bucket chain */
+    struct account *next_all;   /* insertion-order chain */
+};
+
+struct txn {
+    long serial;
+    long acct_id;
+    long amount;
+    int day;
+    struct account *acct;       /* resolved owner, filled by link_and_apply */
+    struct txn *next_hash;
+    struct txn *next_all;
+    struct txn *next_peer;      /* next txn of the same account */
+};
+
+static struct account acct_pool[MAXACCT];
+static int acct_used;
+static struct account *acct_hash[NHASH];
+static struct account *acct_head, *acct_tail;
+
+static struct txn txn_pool[MAXTXN];
+static int txn_used;
+static struct txn *txn_hash[NHASH];
+static struct txn *txn_head, *txn_tail;
+
+static struct account *sorted[MAXACCT];
+static int sorted_len;
+
+static long per_day[32];
+static int errors;
+
+/* comparator dispatch: read-only after table_init */
+typedef int (*acctcmp)(struct account *, struct account *);
+
+struct order {
+    char name[12];
+    acctcmp fn;
+};
+
+static struct order orders[4];
+static int norders;
+
+/* ---------------------------------------------------------- comparators */
+
+static int cmp_id(struct account *x, struct account *y)
+{
+    if (x->id < y->id)
+        return -1;
+    if (x->id > y->id)
+        return 1;
+    return 0;
+}
+
+static int cmp_name(struct account *x, struct account *y)
+{
+    return strcmp(x->name, y->name);
+}
+
+static int cmp_balance(struct account *x, struct account *y)
+{
+    if (x->balance < y->balance)
+        return 1;               /* descending */
+    if (x->balance > y->balance)
+        return -1;
+    if (x->id < y->id)
+        return -1;
+    if (x->id > y->id)
+        return 1;
+    return 0;
+}
+
+static void table_init(void)
+{
+    int i = 0;
+    while (i < NHASH) {
+        acct_hash[i] = NULL;
+        txn_hash[i] = NULL;
+        i++;
+    }
+    acct_head = NULL;
+    acct_tail = NULL;
+    txn_head = NULL;
+    txn_tail = NULL;
+    acct_used = 0;
+    txn_used = 0;
+    sorted_len = 0;
+    errors = 0;
+    strcpy(orders[0].name, "id");
+    orders[0].fn = cmp_id;
+    strcpy(orders[1].name, "name");
+    orders[1].fn = cmp_name;
+    strcpy(orders[2].name, "balance");
+    orders[2].fn = cmp_balance;
+    norders = 3;
+}
+
+/* -------------------------------------------------------------- loading */
+
+/* Parse the whole embedded text in one pass: line splitting, field
+ * scanning, allocation from the static pools, and hash/chain insertion
+ * all live in this one long body so the dominator chain under the loop
+ * is deep and the pointers it reads stay stable. */
+static int load_text(char *text)
+{
+    char line[MAXLINE];
+    char word[MAXLINE];
+    char *p = text;
+    char *q;
+    int n = 0;
+    int loaded = 0;
+    int want_more = 1;
+    while (want_more) {
+        int ch = *p;
+        if (ch != '\n' && ch != '\0') {
+            if (n < MAXLINE - 1) {
+                line[n] = (char)ch;
+                n++;
+            }
+            p++;
+            continue;
+        }
+        line[n] = '\0';
+        n = 0;
+        if (ch == '\0')
+            want_more = 0;
+        else
+            p++;
+        /* --- one record --------------------------------------------- */
+        q = line;
+        while (*q == ' ' || *q == '\t')
+            q++;
+        if (*q == '\0' || *q == '#')
+            continue;
+        if (*q == 'A') {
+            long id = 0;
+            long kind = 0;
+            int w = 0;
+            int h;
+            struct account *a;
+            struct account *scan;
+            q++;
+            while (*q == ' ' || *q == '\t')
+                q++;
+            while (isdigit((unsigned char)*q)) {
+                id = id * 10 + (*q - '0');
+                q++;
+            }
+            while (*q == ' ' || *q == '\t')
+                q++;
+            while (*q && *q != ' ' && *q != '\t' && w < 19) {
+                word[w] = *q;
+                w++;
+                q++;
+            }
+            word[w] = '\0';
+            while (*q == ' ' || *q == '\t')
+                q++;
+            while (isdigit((unsigned char)*q)) {
+                kind = kind * 10 + (*q - '0');
+                q++;
+            }
+            /* duplicate id check down the bucket chain */
+            h = (int)(id % NHASH);
+            scan = acct_hash[h];
+            while (scan != NULL && scan->id != id)
+                scan = scan->next_hash;
+            if (scan != NULL) {
+                errors++;
+                continue;
+            }
+            if (acct_used >= MAXACCT) {
+                errors++;
+                continue;
+            }
+            a = &acct_pool[acct_used];
+            acct_used++;
+            a->id = id;
+            strcpy(a->name, word);
+            a->balance = 0;
+            a->activity = 0;
+            a->kind = (int)kind;
+            a->flags = 0;
+            a->ntxns = 0;
+            a->next_hash = acct_hash[h];
+            acct_hash[h] = a;
+            a->next_all = NULL;
+            if (acct_tail != NULL)
+                acct_tail->next_all = a;
+            else
+                acct_head = a;
+            acct_tail = a;
+            loaded++;
+        } else if (*q == 'T') {
+            long serial = 0;
+            long acct_id = 0;
+            long amount = 0;
+            long day = 0;
+            int neg = 0;
+            int h;
+            struct txn *t;
+            q++;
+            while (*q == ' ' || *q == '\t')
+                q++;
+            while (isdigit((unsigned char)*q)) {
+                serial = serial * 10 + (*q - '0');
+                q++;
+            }
+            while (*q == ' ' || *q == '\t')
+                q++;
+            while (isdigit((unsigned char)*q)) {
+                acct_id = acct_id * 10 + (*q - '0');
+                q++;
+            }
+            while (*q == ' ' || *q == '\t')
+                q++;
+            if (*q == '-') {
+                neg = 1;
+                q++;
+            }
+            while (isdigit((unsigned char)*q)) {
+                amount = amount * 10 + (*q - '0');
+                q++;
+            }
+            if (neg)
+                amount = -amount;
+            while (*q == ' ' || *q == '\t')
+                q++;
+            while (isdigit((unsigned char)*q)) {
+                day = day * 10 + (*q - '0');
+                q++;
+            }
+            if (txn_used >= MAXTXN) {
+                errors++;
+                continue;
+            }
+            t = &txn_pool[txn_used];
+            txn_used++;
+            t->serial = serial;
+            t->acct_id = acct_id;
+            t->amount = amount;
+            t->day = (int)day;
+            t->acct = NULL;
+            t->next_peer = NULL;
+            h = (int)(serial % NHASH);
+            t->next_hash = txn_hash[h];
+            txn_hash[h] = t;
+            t->next_all = NULL;
+            if (txn_tail != NULL)
+                txn_tail->next_all = t;
+            else
+                txn_head = t;
+            txn_tail = t;
+            loaded++;
+        } else {
+            errors++;
+        }
+    }
+    return loaded;
+}
+
+/* ---------------------------------------------------------------- joins */
+
+/* Resolve every txn's owning account, thread per-account peer chains,
+ * apply the amounts, and accumulate the per-day histogram — the join
+ * between the two tables, all in one long body. */
+static long link_and_apply(void)
+{
+    struct txn *t;
+    struct txn *scan;
+    struct account *a;
+    long applied = 0;
+    int d = 0;
+    while (d < 32) {
+        per_day[d] = 0;
+        d++;
+    }
+    t = txn_head;
+    while (t != NULL) {
+        int h = (int)(t->acct_id % NHASH);
+        a = acct_hash[h];
+        while (a != NULL && a->id != t->acct_id)
+            a = a->next_hash;
+        if (a == NULL) {
+            errors++;
+            t->acct = NULL;
+        } else {
+            t->acct = a;
+        }
+        t->next_peer = NULL;
+        t = t->next_all;
+    }
+    t = txn_head;
+    while (t != NULL) {
+        a = t->acct;
+        if (a != NULL && (a->flags & 1) == 0) {
+            a->balance += t->amount;
+            a->activity += t->amount;
+            a->ntxns++;
+            applied += t->amount;
+            if (t->day >= 0 && t->day < 32)
+                per_day[t->day] += 1;
+            /* thread the peer chain: next txn of the same account */
+            scan = t->next_all;
+            while (scan != NULL && scan->acct != a)
+                scan = scan->next_all;
+            t->next_peer = scan;
+        }
+        t = t->next_all;
+    }
+    return applied;
+}
+
+/* --------------------------------------------------------------- report */
+
+/* Select live accounts, insertion-sort them under the comparator named by
+ * `order`, print the table with per-account peer-chain walks, then the
+ * aggregate summary: totals, kind counts, richest account, busiest day.
+ * One long procedure so every loop shares one deep dominator region. */
+static long report(char *order)
+{
+    acctcmp cmp = cmp_id;
+    struct account *a;
+    struct account *key;
+    struct account *best;
+    struct txn *t;
+    long sum = 0;
+    long walked;
+    int kinds[3];
+    int i, j, d, bestday;
+    i = 0;
+    while (i < norders) {
+        if (strcmp(orders[i].name, order) == 0)
+            cmp = orders[i].fn;
+        i++;
+    }
+    sorted_len = 0;
+    a = acct_head;
+    while (a != NULL) {
+        if ((a->flags & 1) == 0) {
+            sorted[sorted_len] = a;
+            sorted_len++;
+        }
+        a = a->next_all;
+    }
+    i = 1;
+    while (i < sorted_len) {
+        key = sorted[i];
+        j = i - 1;
+        while (j >= 0 && (*cmp)(sorted[j], key) > 0) {
+            sorted[j + 1] = sorted[j];
+            j--;
+        }
+        sorted[j + 1] = key;
+        i++;
+    }
+    printf("accounts by %s:\n", order);
+    i = 0;
+    while (i < sorted_len) {
+        a = sorted[i];
+        /* recompute activity through the join's peer chains */
+        walked = 0;
+        t = txn_head;
+        while (t != NULL && t->acct != a)
+            t = t->next_all;
+        while (t != NULL) {
+            walked += t->amount;
+            t = t->next_peer;
+        }
+        if (walked != a->activity)
+            errors++;
+        printf("  %ld %s kind=%d balance=%ld activity=%ld n=%d\n",
+               a->id, a->name, a->kind, a->balance, a->activity, a->ntxns);
+        i++;
+    }
+    kinds[0] = 0;
+    kinds[1] = 0;
+    kinds[2] = 0;
+    best = NULL;
+    a = acct_head;
+    while (a != NULL) {
+        if ((a->flags & 1) == 0) {
+            sum += a->balance;
+            if (a->kind >= 0 && a->kind < 3)
+                kinds[a->kind]++;
+            if (best == NULL || a->balance > best->balance)
+                best = a;
+        }
+        a = a->next_all;
+    }
+    bestday = 0;
+    d = 1;
+    while (d < 32) {
+        if (per_day[d] > per_day[bestday])
+            bestday = d;
+        d++;
+    }
+    printf("total=%ld kinds=%d/%d/%d day=%d\n",
+           sum, kinds[0], kinds[1], kinds[2], bestday);
+    if (best != NULL)
+        printf("richest=%s (%ld)\n", best->name, best->balance);
+    return sum;
+}
+
+/* ------------------------------------------------------------ integrity */
+
+/* Verify every invariant in one sweep: bucket residency, tombstone
+ * exclusion, join consistency, peer-chain ownership, sortedness of the
+ * last report, and pool bounds. */
+static int check_all(char *order)
+{
+    acctcmp cmp = cmp_id;
+    struct account *a;
+    struct txn *t;
+    int bad = 0;
+    int h, i;
+    i = 0;
+    while (i < norders) {
+        if (strcmp(orders[i].name, order) == 0)
+            cmp = orders[i].fn;
+        i++;
+    }
+    h = 0;
+    while (h < NHASH) {
+        a = acct_hash[h];
+        while (a != NULL) {
+            if ((int)(a->id % NHASH) != h)
+                bad++;
+            if (a->flags & 1)
+                bad++;          /* tombstones must leave the hash */
+            if (a < &acct_pool[0] || a >= &acct_pool[MAXACCT])
+                bad++;
+            a = a->next_hash;
+        }
+        t = txn_hash[h];
+        while (t != NULL) {
+            if ((int)(t->serial % NHASH) != h)
+                bad++;
+            t = t->next_hash;
+        }
+        h++;
+    }
+    t = txn_head;
+    while (t != NULL) {
+        if (t->acct != NULL) {
+            if (t->acct->id != t->acct_id)
+                bad++;
+            if (t->next_peer != NULL && t->next_peer->acct != t->acct)
+                bad++;
+        }
+        t = t->next_all;
+    }
+    i = 1;
+    while (i < sorted_len) {
+        if ((*cmp)(sorted[i - 1], sorted[i]) > 0)
+            bad++;
+        i++;
+    }
+    a = acct_head;
+    i = 0;
+    while (a != NULL) {
+        i++;
+        a = a->next_all;
+    }
+    if (i != acct_used)
+        bad++;
+    return bad;
+}
+
+/* -------------------------------------------------------------- queries */
+
+/* A query language over accounts, compiled recursive-descent into a heap
+ * AST through a full precedence ladder, constant-folded, lowered to a
+ * small stack bytecode, and run per record by a dispatch VM — the tree
+ * evaluator cross-checks the VM:
+ *
+ *     query  := orexp
+ *     orexp  := andexp { '|' andexp }
+ *     andexp := notexp { '&' notexp }
+ *     notexp := '!' notexp | cmpexp
+ *     cmpexp := sumexp [ ('<'|'>'|'=') sumexp ]
+ *     sumexp := prodexp { ('+'|'-') prodexp }
+ *     prodexp:= unary { '*' unary }
+ *     unary  := '-' unary | primary
+ *     primary:= number | field | '(' orexp ')'
+ *     field  := "id" | "balance" | "kind" | "activity" | "ntxns"
+ *
+ * The ladder means AST pointers flow through many mutually recursive
+ * procedures with several call sites each (the §7 invocation-graph
+ * blow-up shape), and the heap nodes come from one allocation site
+ * reached along many paths, so value sets ascend over a few passes and
+ * are then re-read many times from a converged state. */
+
+enum qkind {
+    Q_AND, Q_OR, Q_NOT, Q_LT, Q_GT, Q_EQ,
+    Q_ADD, Q_SUB, Q_MUL, Q_NEG, Q_NUM, Q_FIELD
+};
+enum qfield { F_ID, F_BALANCE, F_KIND, F_ACTIVITY, F_NTXNS };
+
+struct qnode {
+    int kind;
+    int field;
+    long number;
+    struct qnode *left;
+    struct qnode *right;
+};
+
+/* stack bytecode the planner lowers queries to */
+enum qop { QOP_PUSH, QOP_FIELD, QOP_ADD, QOP_SUB, QOP_MUL, QOP_NEG,
+           QOP_LT, QOP_GT, QOP_EQ, QOP_AND, QOP_OR, QOP_NOT, QOP_END };
+
+#define MAXQCODE 128
+
+struct qinsn {
+    int op;
+    long arg;
+};
+
+static struct qinsn qcode[MAXQCODE];
+static int qcode_len;
+
+static char *qp;                /* query cursor */
+
+static struct qnode *parse_or(void);
+static struct qnode *parse_unary(void);
+
+static struct qnode *qnode_new(int kind)
+{
+    struct qnode *n = (struct qnode *)malloc(sizeof(struct qnode));
+    if (n == NULL) {
+        errors++;
+        exit(1);
+    }
+    n->kind = kind;
+    n->field = F_ID;
+    n->number = 0;
+    n->left = NULL;
+    n->right = NULL;
+    return n;
+}
+
+static void qskip(void)
+{
+    while (*qp == ' ')
+        qp++;
+}
+
+static struct qnode *parse_primary(void)
+{
+    struct qnode *n;
+    char word[16];
+    int w = 0;
+    qskip();
+    if (*qp == '(') {
+        qp++;
+        n = parse_or();
+        qskip();
+        if (*qp == ')')
+            qp++;
+        else
+            errors++;
+        return n;
+    }
+    if (isdigit((unsigned char)*qp)) {
+        long v = 0;
+        while (isdigit((unsigned char)*qp)) {
+            v = v * 10 + (*qp - '0');
+            qp++;
+        }
+        n = qnode_new(Q_NUM);
+        n->number = v;
+        return n;
+    }
+    while (isalpha((unsigned char)*qp) && w < 15) {
+        word[w] = *qp;
+        w++;
+        qp++;
+    }
+    word[w] = '\0';
+    n = qnode_new(Q_FIELD);
+    if (strcmp(word, "id") == 0)
+        n->field = F_ID;
+    else if (strcmp(word, "balance") == 0)
+        n->field = F_BALANCE;
+    else if (strcmp(word, "kind") == 0)
+        n->field = F_KIND;
+    else if (strcmp(word, "activity") == 0)
+        n->field = F_ACTIVITY;
+    else if (strcmp(word, "ntxns") == 0)
+        n->field = F_NTXNS;
+    else
+        errors++;
+    return n;
+}
+
+static struct qnode *parse_unary(void)
+{
+    qskip();
+    if (*qp == '-') {
+        struct qnode *n;
+        qp++;
+        n = qnode_new(Q_NEG);
+        n->left = parse_unary();
+        return n;
+    }
+    return parse_primary();
+}
+
+static struct qnode *parse_prod(void)
+{
+    struct qnode *left = parse_unary();
+    while (1) {
+        struct qnode *n;
+        qskip();
+        if (*qp != '*')
+            return left;
+        qp++;
+        n = qnode_new(Q_MUL);
+        n->left = left;
+        n->right = parse_unary();
+        left = n;
+    }
+}
+
+static struct qnode *parse_sum(void)
+{
+    struct qnode *left = parse_prod();
+    while (1) {
+        struct qnode *n;
+        int op;
+        qskip();
+        if (*qp == '+')
+            op = Q_ADD;
+        else if (*qp == '-')
+            op = Q_SUB;
+        else
+            return left;
+        qp++;
+        n = qnode_new(op);
+        n->left = left;
+        n->right = parse_prod();
+        left = n;
+    }
+}
+
+static struct qnode *parse_cmp(void)
+{
+    struct qnode *left = parse_sum();
+    struct qnode *n;
+    int op;
+    qskip();
+    if (*qp == '<')
+        op = Q_LT;
+    else if (*qp == '>')
+        op = Q_GT;
+    else if (*qp == '=')
+        op = Q_EQ;
+    else
+        return left;
+    qp++;
+    n = qnode_new(op);
+    n->left = left;
+    n->right = parse_sum();
+    return n;
+}
+
+static struct qnode *parse_not(void)
+{
+    qskip();
+    if (*qp == '!') {
+        struct qnode *n;
+        qp++;
+        n = qnode_new(Q_NOT);
+        n->left = parse_not();
+        return n;
+    }
+    return parse_cmp();
+}
+
+static struct qnode *parse_and(void)
+{
+    struct qnode *left = parse_not();
+    while (1) {
+        struct qnode *n;
+        qskip();
+        if (*qp != '&')
+            return left;
+        qp++;
+        n = qnode_new(Q_AND);
+        n->left = left;
+        n->right = parse_not();
+        left = n;
+    }
+}
+
+static struct qnode *parse_or(void)
+{
+    struct qnode *left = parse_and();
+    while (1) {
+        struct qnode *n;
+        qskip();
+        if (*qp != '|')
+            return left;
+        qp++;
+        n = qnode_new(Q_OR);
+        n->left = left;
+        n->right = parse_and();
+        left = n;
+    }
+}
+
+static struct qnode *query_compile(char *text)
+{
+    qp = text;
+    return parse_or();
+}
+
+/* constant folding + double-negation elimination, bottom-up */
+static struct qnode *query_simplify(struct qnode *n)
+{
+    if (n == NULL)
+        return NULL;
+    n->left = query_simplify(n->left);
+    n->right = query_simplify(n->right);
+    if (n->kind == Q_NOT && n->left != NULL && n->left->kind == Q_NOT) {
+        struct qnode *inner = n->left->left;
+        free(n->left);
+        free(n);
+        return inner;
+    }
+    if (n->kind == Q_NEG && n->left != NULL && n->left->kind == Q_NUM) {
+        struct qnode *inner = n->left;
+        inner->number = -inner->number;
+        free(n);
+        return inner;
+    }
+    if (n->left != NULL && n->right != NULL
+        && n->left->kind == Q_NUM && n->right->kind == Q_NUM) {
+        long x = n->left->number;
+        long y = n->right->number;
+        long v;
+        if (n->kind == Q_ADD)
+            v = x + y;
+        else if (n->kind == Q_SUB)
+            v = x - y;
+        else if (n->kind == Q_MUL)
+            v = x * y;
+        else
+            return n;
+        free(n->left);
+        free(n->right);
+        n->kind = Q_NUM;
+        n->left = NULL;
+        n->right = NULL;
+        n->number = v;
+    }
+    return n;
+}
+
+/* ---- lowering to bytecode ---- */
+
+static void qemit(int op, long arg)
+{
+    if (qcode_len >= MAXQCODE) {
+        errors++;
+        return;
+    }
+    qcode[qcode_len].op = op;
+    qcode[qcode_len].arg = arg;
+    qcode_len++;
+}
+
+static void query_lower(struct qnode *n)
+{
+    if (n == NULL) {
+        qemit(QOP_PUSH, 1);
+        return;
+    }
+    if (n->kind == Q_NUM) {
+        qemit(QOP_PUSH, n->number);
+        return;
+    }
+    if (n->kind == Q_FIELD) {
+        qemit(QOP_FIELD, n->field);
+        return;
+    }
+    if (n->kind == Q_NEG || n->kind == Q_NOT) {
+        query_lower(n->left);
+        qemit(n->kind == Q_NEG ? QOP_NEG : QOP_NOT, 0);
+        return;
+    }
+    query_lower(n->left);
+    query_lower(n->right);
+    if (n->kind == Q_ADD)
+        qemit(QOP_ADD, 0);
+    else if (n->kind == Q_SUB)
+        qemit(QOP_SUB, 0);
+    else if (n->kind == Q_MUL)
+        qemit(QOP_MUL, 0);
+    else if (n->kind == Q_LT)
+        qemit(QOP_LT, 0);
+    else if (n->kind == Q_GT)
+        qemit(QOP_GT, 0);
+    else if (n->kind == Q_EQ)
+        qemit(QOP_EQ, 0);
+    else if (n->kind == Q_AND)
+        qemit(QOP_AND, 0);
+    else
+        qemit(QOP_OR, 0);
+}
+
+static long field_of(struct account *a, int field)
+{
+    if (field == F_BALANCE)
+        return a->balance;
+    if (field == F_KIND)
+        return a->kind;
+    if (field == F_ACTIVITY)
+        return a->activity;
+    if (field == F_NTXNS)
+        return a->ntxns;
+    return a->id;
+}
+
+/* run the lowered program for one record */
+static long query_vm(struct account *a)
+{
+    long stack[MAXQCODE];
+    int sp = 0;
+    int pc = 0;
+    while (pc < qcode_len) {
+        struct qinsn *ins = &qcode[pc];
+        long x, y;
+        if (ins->op == QOP_PUSH) {
+            stack[sp] = ins->arg;
+            sp++;
+        } else if (ins->op == QOP_FIELD) {
+            stack[sp] = field_of(a, (int)ins->arg);
+            sp++;
+        } else if (ins->op == QOP_NEG) {
+            stack[sp - 1] = -stack[sp - 1];
+        } else if (ins->op == QOP_NOT) {
+            stack[sp - 1] = !stack[sp - 1];
+        } else {
+            sp--;
+            y = stack[sp];
+            x = stack[sp - 1];
+            if (ins->op == QOP_ADD)
+                stack[sp - 1] = x + y;
+            else if (ins->op == QOP_SUB)
+                stack[sp - 1] = x - y;
+            else if (ins->op == QOP_MUL)
+                stack[sp - 1] = x * y;
+            else if (ins->op == QOP_LT)
+                stack[sp - 1] = x < y;
+            else if (ins->op == QOP_GT)
+                stack[sp - 1] = x > y;
+            else if (ins->op == QOP_EQ)
+                stack[sp - 1] = x == y;
+            else if (ins->op == QOP_AND)
+                stack[sp - 1] = x && y;
+            else
+                stack[sp - 1] = x || y;
+        }
+        pc++;
+    }
+    if (sp != 1) {
+        errors++;
+        return 0;
+    }
+    return stack[0];
+}
+
+/* reference tree-walking evaluator, cross-checks the VM */
+static long query_eval(struct qnode *n, struct account *a)
+{
+    if (n == NULL)
+        return 1;
+    if (n->kind == Q_NUM)
+        return n->number;
+    if (n->kind == Q_FIELD)
+        return field_of(a, n->field);
+    if (n->kind == Q_NEG)
+        return -query_eval(n->left, a);
+    if (n->kind == Q_NOT)
+        return !query_eval(n->left, a);
+    if (n->kind == Q_AND)
+        return query_eval(n->left, a) && query_eval(n->right, a);
+    if (n->kind == Q_OR)
+        return query_eval(n->left, a) || query_eval(n->right, a);
+    {
+        long x = query_eval(n->left, a);
+        long y = query_eval(n->right, a);
+        if (n->kind == Q_ADD)
+            return x + y;
+        if (n->kind == Q_SUB)
+            return x - y;
+        if (n->kind == Q_MUL)
+            return x * y;
+        if (n->kind == Q_LT)
+            return x < y;
+        if (n->kind == Q_GT)
+            return x > y;
+        return x == y;
+    }
+}
+
+static void query_release(struct qnode *n)
+{
+    if (n == NULL)
+        return;
+    query_release(n->left);
+    query_release(n->right);
+    free(n);
+}
+
+/* compile, simplify, lower, run over the live accounts via the VM with
+ * the tree evaluator as cross-check, count matches */
+static int query_run(char *text)
+{
+    struct qnode *q = query_compile(text);
+    struct account *a;
+    int matched = 0;
+    q = query_simplify(q);
+    qcode_len = 0;
+    query_lower(q);
+    a = acct_head;
+    while (a != NULL) {
+        if ((a->flags & 1) == 0) {
+            long vm = query_vm(a);
+            long tree = query_eval(q, a);
+            if ((vm != 0) != (tree != 0))
+                errors++;
+            if (vm)
+                matched++;
+        }
+        a = a->next_all;
+    }
+    printf("query [%s] -> %d\n", text, matched);
+    query_release(q);
+    return matched;
+}
+
+/* ------------------------------------------------------------- ledger */
+
+/* Monthly-statement pipeline: per-account heap line items built from the
+ * txn join, merged day-ordered into one master ledger, then reconciled
+ * against the account balances.  Three dependent stages — each loop
+ * consumes the pointer structures the previous one built, so the
+ * points-to sets close over a cascade of passes and are then re-walked
+ * from converged state. */
+
+struct stmtline {
+    struct account *acct;
+    struct txn *txn;
+    long running;               /* balance after this line */
+    int day;
+    struct stmtline *next;      /* per-account statement chain */
+    struct stmtline *ledger;    /* master ledger chain, day-ordered */
+};
+
+static struct stmtline *stmt_heads[MAXACCT];
+static int stmt_count;
+static struct stmtline *ledger_head;
+
+static struct stmtline *stmt_new(struct account *a, struct txn *t)
+{
+    struct stmtline *s = (struct stmtline *)malloc(sizeof(struct stmtline));
+    if (s == NULL) {
+        errors++;
+        exit(1);
+    }
+    s->acct = a;
+    s->txn = t;
+    s->running = 0;
+    s->day = t != NULL ? t->day : 0;
+    s->next = NULL;
+    s->ledger = NULL;
+    return s;
+}
+
+static long build_statements(void)
+{
+    struct account *a;
+    struct txn *t;
+    struct stmtline *s;
+    struct stmtline *tail;
+    struct stmtline *probe;
+    struct stmtline *prev;
+    long grand = 0;
+    int idx = 0;
+
+    /* stage 1: one statement chain per live account, txn order */
+    a = acct_head;
+    while (a != NULL) {
+        if ((a->flags & 1) != 0) {
+            a = a->next_all;
+            continue;
+        }
+        stmt_heads[idx] = NULL;
+        tail = NULL;
+        t = txn_head;
+        while (t != NULL && t->acct != a)
+            t = t->next_all;
+        while (t != NULL) {
+            s = stmt_new(a, t);
+            if (tail != NULL)
+                tail->next = s;
+            else
+                stmt_heads[idx] = s;
+            tail = s;
+            t = t->next_peer;
+        }
+        /* running balances down the fresh chain */
+        s = stmt_heads[idx];
+        {
+            long run = 0;
+            while (s != NULL) {
+                run += s->txn->amount;
+                s->running = run;
+                s = s->next;
+            }
+            if (run != a->activity)
+                errors++;
+        }
+        idx++;
+        a = a->next_all;
+    }
+    stmt_count = idx;
+
+    /* stage 2: merge every chain into the day-ordered master ledger */
+    ledger_head = NULL;
+    idx = 0;
+    while (idx < stmt_count) {
+        s = stmt_heads[idx];
+        while (s != NULL) {
+            prev = NULL;
+            probe = ledger_head;
+            while (probe != NULL && probe->day <= s->day) {
+                prev = probe;
+                probe = probe->ledger;
+            }
+            s->ledger = probe;
+            if (prev != NULL)
+                prev->ledger = s;
+            else
+                ledger_head = s;
+            s = s->next;
+        }
+        idx++;
+    }
+
+    /* stage 3: reconcile the ledger against the join */
+    probe = ledger_head;
+    prev = NULL;
+    while (probe != NULL) {
+        if (prev != NULL && prev->day > probe->day)
+            errors++;
+        if (probe->txn->acct != probe->acct)
+            errors++;
+        grand += probe->txn->amount;
+        prev = probe;
+        probe = probe->ledger;
+    }
+    return grand;
+}
+
+static void release_statements(void)
+{
+    struct stmtline *s;
+    struct stmtline *next;
+    int idx = 0;
+    while (idx < stmt_count) {
+        s = stmt_heads[idx];
+        while (s != NULL) {
+            next = s->next;
+            free(s);
+            s = next;
+        }
+        stmt_heads[idx] = NULL;
+        idx++;
+    }
+    ledger_head = NULL;
+    stmt_count = 0;
+}
+
+/* ------------------------------------------------------------ mutation */
+
+/* Find by name down the all-chain, tombstone the account, unlink it from
+ * its bucket, and orphan its txns (drop their owner pointers). */
+static int delete_by_name(char *name)
+{
+    struct account *a = acct_head;
+    struct account *prev;
+    struct txn *t;
+    int h;
+    while (a != NULL && strcmp(a->name, name) != 0)
+        a = a->next_all;
+    if (a == NULL)
+        return 0;
+    h = (int)(a->id % NHASH);
+    prev = NULL;
+    if (acct_hash[h] == a) {
+        acct_hash[h] = a->next_hash;
+    } else {
+        prev = acct_hash[h];
+        while (prev != NULL && prev->next_hash != a)
+            prev = prev->next_hash;
+        if (prev != NULL)
+            prev->next_hash = a->next_hash;
+        else
+            errors++;
+    }
+    a->flags |= 1;
+    t = txn_head;
+    while (t != NULL) {
+        if (t->acct == a) {
+            t->acct = NULL;
+            t->next_peer = NULL;
+        }
+        t = t->next_all;
+    }
+    return 1;
+}
+
+
+/* ------------------------------------------------------------- audit */
+
+/* A register file of stable pointers into the tables, filled once after
+ * the join, and a long straight-line audit over them.  Nothing below
+ * writes a pointer, so for the analysis every dereference re-reads the
+ * same converged points-to state from a little deeper in the procedure
+ * body -- the worst case for the raw dominator walks (each read walks
+ * back to the entry) and the best case for the memoized ones (the first
+ * walk path-fills the chain, the rest are O(1)). */
+
+static struct account *reg[8];
+static struct txn *treg[8];
+
+static void fill_registers(void)
+{
+    struct account *a;
+    struct txn *t;
+    int i;
+
+    for (i = 0; i < 8; i++) {
+        reg[i] = NULL;
+        treg[i] = NULL;
+    }
+    i = 0;
+    a = acct_head;
+    while (a != NULL && i < 8) {
+        if ((a->flags & 1) == 0) {
+            reg[i] = a;
+            i++;
+        }
+        a = a->next_all;
+    }
+    while (i < 8) {
+        reg[i] = acct_head;
+        i++;
+    }
+    i = 0;
+    t = txn_head;
+    while (t != NULL && i < 8) {
+        treg[i] = t;
+        i++;
+        t = t->next_all;
+    }
+    while (i < 8) {
+        treg[i] = txn_head;
+        i++;
+    }
+}
+
+static long audit_books(void)
+{
+    long s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+
+    s0 += reg[0]->balance + reg[3]->activity;
+    s1 += treg[0]->amount + (long)treg[4]->day;
+    s2 += reg[5]->next_all->activity + (long)reg[1]->ntxns;
+    s3 += treg[4]->acct->balance + per_day[0];
+    s1 += reg[1]->activity + reg[4]->id;
+    s2 += treg[1]->serial + (long)treg[5]->day;
+    s3 += reg[6]->next_all->id + (long)reg[2]->ntxns;
+    s0 += treg[5]->acct->activity + per_day[7];
+    s2 += reg[2]->id + reg[5]->balance;
+    s3 += treg[2]->amount + (long)treg[6]->day;
+    s0 += reg[7]->next_all->balance + (long)reg[3]->ntxns;
+    s1 += treg[6]->acct->id + per_day[14];
+    s3 += reg[3]->balance + reg[6]->activity;
+    s0 += treg[3]->serial + (long)treg[7]->day;
+    s1 += reg[0]->next_all->activity + (long)reg[4]->ntxns;
+    s2 += treg[7]->acct->balance + per_day[21];
+    s0 += reg[4]->activity + reg[7]->id;
+    s1 += treg[4]->amount + (long)treg[0]->day;
+    s2 += reg[1]->next_all->id + (long)reg[5]->ntxns;
+    s3 += treg[0]->acct->activity + per_day[28];
+    s1 += reg[5]->id + reg[0]->balance;
+    s2 += treg[5]->serial + (long)treg[1]->day;
+    s3 += reg[2]->next_all->balance + (long)reg[6]->ntxns;
+    s0 += treg[1]->acct->id + per_day[3];
+    s2 += reg[6]->balance + reg[1]->activity;
+    s3 += treg[6]->amount + (long)treg[2]->day;
+    s0 += reg[3]->next_all->activity + (long)reg[7]->ntxns;
+    s1 += treg[2]->acct->balance + per_day[10];
+    s3 += reg[7]->activity + reg[2]->id;
+    s0 += treg[7]->serial + (long)treg[3]->day;
+    s1 += reg[4]->next_all->id + (long)reg[0]->ntxns;
+    s2 += treg[3]->acct->activity + per_day[17];
+    s0 += reg[0]->id + reg[3]->balance;
+    s1 += treg[0]->amount + (long)treg[4]->day;
+    s2 += reg[5]->next_all->balance + (long)reg[1]->ntxns;
+    s3 += treg[4]->acct->id + per_day[24];
+    s1 += reg[1]->balance + reg[4]->activity;
+    s2 += treg[1]->serial + (long)treg[5]->day;
+    s3 += reg[6]->next_all->activity + (long)reg[2]->ntxns;
+    s0 += treg[5]->acct->balance + per_day[31];
+    s2 += reg[2]->activity + reg[5]->id;
+    s3 += treg[2]->amount + (long)treg[6]->day;
+    s0 += reg[7]->next_all->id + (long)reg[3]->ntxns;
+    s1 += treg[6]->acct->activity + per_day[6];
+    s3 += reg[3]->id + reg[6]->balance;
+    s0 += treg[3]->serial + (long)treg[7]->day;
+    s1 += reg[0]->next_all->balance + (long)reg[4]->ntxns;
+    s2 += treg[7]->acct->id + per_day[13];
+    s0 += reg[4]->balance + reg[7]->activity;
+    s1 += treg[4]->amount + (long)treg[0]->day;
+    s2 += reg[1]->next_all->activity + (long)reg[5]->ntxns;
+    s3 += treg[0]->acct->balance + per_day[20];
+    s1 += reg[5]->activity + reg[0]->id;
+    s2 += treg[5]->serial + (long)treg[1]->day;
+    s3 += reg[2]->next_all->id + (long)reg[6]->ntxns;
+    s0 += treg[1]->acct->activity + per_day[27];
+    s2 += reg[6]->id + reg[1]->balance;
+    s3 += treg[6]->amount + (long)treg[2]->day;
+    s0 += reg[3]->next_all->balance + (long)reg[7]->ntxns;
+    s1 += treg[2]->acct->id + per_day[2];
+    s3 += reg[7]->balance + reg[2]->activity;
+    s0 += treg[7]->serial + (long)treg[3]->day;
+    s1 += reg[4]->next_all->activity + (long)reg[0]->ntxns;
+    s2 += treg[3]->acct->balance + per_day[9];
+    s0 += reg[0]->activity + reg[3]->id;
+    s1 += treg[0]->amount + (long)treg[4]->day;
+    s2 += reg[5]->next_all->id + (long)reg[1]->ntxns;
+    s3 += treg[4]->acct->activity + per_day[16];
+    s1 += reg[1]->id + reg[4]->balance;
+    s2 += treg[1]->serial + (long)treg[5]->day;
+    s3 += reg[6]->next_all->balance + (long)reg[2]->ntxns;
+    s0 += treg[5]->acct->id + per_day[23];
+    s2 += reg[2]->balance + reg[5]->activity;
+    s3 += treg[2]->amount + (long)treg[6]->day;
+    s0 += reg[7]->next_all->activity + (long)reg[3]->ntxns;
+    s1 += treg[6]->acct->balance + per_day[30];
+    s3 += reg[3]->activity + reg[6]->id;
+    s0 += treg[3]->serial + (long)treg[7]->day;
+    s1 += reg[0]->next_all->id + (long)reg[4]->ntxns;
+    s2 += treg[7]->acct->activity + per_day[5];
+    s0 += reg[4]->id + reg[7]->balance;
+    s1 += treg[4]->amount + (long)treg[0]->day;
+    s2 += reg[1]->next_all->balance + (long)reg[5]->ntxns;
+    s3 += treg[0]->acct->id + per_day[12];
+    s1 += reg[5]->balance + reg[0]->activity;
+    s2 += treg[5]->serial + (long)treg[1]->day;
+    s3 += reg[2]->next_all->activity + (long)reg[6]->ntxns;
+    s0 += treg[1]->acct->balance + per_day[19];
+    s2 += reg[6]->activity + reg[1]->id;
+    s3 += treg[6]->amount + (long)treg[2]->day;
+    s0 += reg[3]->next_all->id + (long)reg[7]->ntxns;
+    s1 += treg[2]->acct->activity + per_day[26];
+    s3 += reg[7]->id + reg[2]->balance;
+    s0 += treg[7]->serial + (long)treg[3]->day;
+    s1 += reg[4]->next_all->balance + (long)reg[0]->ntxns;
+    s2 += treg[3]->acct->id + per_day[1];
+    s0 += reg[0]->balance + reg[3]->activity;
+    s1 += treg[0]->amount + (long)treg[4]->day;
+    s2 += reg[5]->next_all->activity + (long)reg[1]->ntxns;
+    s3 += treg[4]->acct->balance + per_day[8];
+    s1 += reg[1]->activity + reg[4]->id;
+    s2 += treg[1]->serial + (long)treg[5]->day;
+    s3 += reg[6]->next_all->id + (long)reg[2]->ntxns;
+    s0 += treg[5]->acct->activity + per_day[15];
+    s2 += reg[2]->id + reg[5]->balance;
+    s3 += treg[2]->amount + (long)treg[6]->day;
+    s0 += reg[7]->next_all->balance + (long)reg[3]->ntxns;
+    s1 += treg[6]->acct->id + per_day[22];
+    s3 += reg[3]->balance + reg[6]->activity;
+    s0 += treg[3]->serial + (long)treg[7]->day;
+    s1 += reg[0]->next_all->activity + (long)reg[4]->ntxns;
+    s2 += treg[7]->acct->balance + per_day[29];
+    s0 += reg[4]->activity + reg[7]->id;
+    s1 += treg[4]->amount + (long)treg[0]->day;
+    s2 += reg[1]->next_all->id + (long)reg[5]->ntxns;
+    s3 += treg[0]->acct->activity + per_day[4];
+    s1 += reg[5]->id + reg[0]->balance;
+    s2 += treg[5]->serial + (long)treg[1]->day;
+    s3 += reg[2]->next_all->balance + (long)reg[6]->ntxns;
+    s0 += treg[1]->acct->id + per_day[11];
+    s2 += reg[6]->balance + reg[1]->activity;
+    s3 += treg[6]->amount + (long)treg[2]->day;
+    s0 += reg[3]->next_all->activity + (long)reg[7]->ntxns;
+    s1 += treg[2]->acct->balance + per_day[18];
+    s3 += reg[7]->activity + reg[2]->id;
+    s0 += treg[7]->serial + (long)treg[3]->day;
+    s1 += reg[4]->next_all->id + (long)reg[0]->ntxns;
+    s2 += treg[3]->acct->activity + per_day[25];
+    s0 += reg[0]->id + reg[3]->balance;
+    s1 += treg[0]->amount + (long)treg[4]->day;
+    s2 += reg[5]->next_all->balance + (long)reg[1]->ntxns;
+    s3 += treg[4]->acct->id + per_day[0];
+    s1 += reg[1]->balance + reg[4]->activity;
+    s2 += treg[1]->serial + (long)treg[5]->day;
+    s3 += reg[6]->next_all->activity + (long)reg[2]->ntxns;
+    s0 += treg[5]->acct->balance + per_day[7];
+    s2 += reg[2]->activity + reg[5]->id;
+    s3 += treg[2]->amount + (long)treg[6]->day;
+    s0 += reg[7]->next_all->id + (long)reg[3]->ntxns;
+    s1 += treg[6]->acct->activity + per_day[14];
+    s3 += reg[3]->id + reg[6]->balance;
+    s0 += treg[3]->serial + (long)treg[7]->day;
+    s1 += reg[0]->next_all->balance + (long)reg[4]->ntxns;
+    s2 += treg[7]->acct->id + per_day[21];
+    s0 += reg[4]->balance + reg[7]->activity;
+    s1 += treg[4]->amount + (long)treg[0]->day;
+    s2 += reg[1]->next_all->activity + (long)reg[5]->ntxns;
+    s3 += treg[0]->acct->balance + per_day[28];
+    s1 += reg[5]->activity + reg[0]->id;
+    s2 += treg[5]->serial + (long)treg[1]->day;
+    s3 += reg[2]->next_all->id + (long)reg[6]->ntxns;
+    s0 += treg[1]->acct->activity + per_day[3];
+    s2 += reg[6]->id + reg[1]->balance;
+    s3 += treg[6]->amount + (long)treg[2]->day;
+    s0 += reg[3]->next_all->balance + (long)reg[7]->ntxns;
+    s1 += treg[2]->acct->id + per_day[10];
+    s3 += reg[7]->balance + reg[2]->activity;
+    s0 += treg[7]->serial + (long)treg[3]->day;
+    s1 += reg[4]->next_all->activity + (long)reg[0]->ntxns;
+    s2 += treg[3]->acct->balance + per_day[17];
+
+    return s0 + 3 * s1 - s2 + 7 * s3;
+}
+
+/* ----------------------------------------------------------------- main */
+
+static char sample[] =
+    "# accounts\n"
+    "A 101 alice 0\n"
+    "A 102 bob 1\n"
+    "A 103 carol 1\n"
+    "A 104 dave 2\n"
+    "A 105 erin 0\n"
+    "A 106 frank 2\n"
+    "# transactions\n"
+    "T 1 101 500 3\n"
+    "T 2 102 250 3\n"
+    "T 3 101 -120 4\n"
+    "T 4 103 900 5\n"
+    "T 5 104 40 5\n"
+    "T 6 105 775 5\n"
+    "T 7 101 60 6\n"
+    "T 8 106 -30 7\n"
+    "T 9 102 310 8\n"
+    "T 10 103 -45 9\n";
+
+int main(int argc, char **argv)
+{
+    int loaded, bad;
+    long applied, sum1, sum2;
+
+    table_init();
+    loaded = load_text(sample);
+    printf("loaded %d rows\n", loaded);
+    if (argc > 1)
+        printf("ignoring extra input %s\n", argv[1]);
+
+    applied = link_and_apply();
+    printf("applied %ld\n", applied);
+
+    sum1 = report("id");
+    sum2 = report("balance");
+    if (sum1 != sum2)
+        errors++;
+
+    query_run("balance > 100");
+    query_run("kind = 1 & activity > 0");
+    query_run("!(balance < 0) | ntxns > 2");
+    query_run("(kind = 0 | kind = 2) & !!(id > 103)");
+    query_run("balance + activity > 2 * ntxns + 100");
+    query_run("-balance < 0 & balance - activity = 0");
+    query_run("(balance + -50) * 2 > 100 | kind = 2 & ntxns > 1");
+    query_run("2 * 3 + 4 < balance & !(id = 104)");
+
+    applied = build_statements();
+    printf("ledger total %ld\n", applied);
+    release_statements();
+
+    fill_registers();
+    printf("audit %ld\n", audit_books());
+
+    if (delete_by_name("carol")) {
+        printf("deleted carol\n");
+        applied = link_and_apply();
+        printf("reapplied %ld\n", applied);
+        fill_registers();
+        printf("re-audit %ld\n", audit_books());
+    }
+
+    report("name");
+    bad = check_all("name");
+    if (bad > 0 || errors > 0) {
+        printf("integrity: %d bad, %d errors\n", bad, errors);
+        return 1;
+    }
+    printf("ok\n");
+    return 0;
+}

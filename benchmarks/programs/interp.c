@@ -1,0 +1,659 @@
+/* interp - a tree-walking interpreter for a small Lisp-like language:
+ * reader building heap cells, a hash-bucketed symbol table, environment
+ * chains, a recursive evaluator with function-pointer builtins, and a
+ * mark phase over the live object graph.  The largest program in the
+ * local suite: long procedures with deep dominator chains and global
+ * pointer state consulted from everywhere, which makes it the stress
+ * test for the sparse representation's lookup path (§4.2). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ctype.h>
+
+/* ----- cells ----- */
+
+enum ctag { C_NIL, C_NUM, C_SYM, C_PAIR, C_BUILTIN, C_LAMBDA };
+
+struct cell {
+    enum ctag tag;
+    long num;
+    char *sym;
+    struct cell *car;
+    struct cell *cdr;
+    struct cell *(*fn)(struct cell *args, struct cell *env);
+    struct cell *params;
+    struct cell *body;
+    struct cell *captured;
+    int mark;
+    struct cell *next_alloc;
+};
+
+static struct cell *nil_cell;
+static struct cell *true_cell;
+static struct cell *all_cells;
+static long cells_alive;
+static long cells_made;
+
+/* ----- symbol table ----- */
+
+#define NBUCKETS 64
+
+struct symentry {
+    char *name;
+    struct cell *symbol;
+    struct symentry *next;
+};
+
+static struct symentry *buckets[NBUCKETS];
+static int nsymbols;
+
+/* ----- reader state ----- */
+
+static char *input;
+static int read_errors;
+
+/* ----- evaluator state ----- */
+
+static struct cell *global_env;
+static struct cell *sym_quote;
+static struct cell *sym_if;
+static struct cell *sym_define;
+static struct cell *sym_lambda;
+static struct cell *sym_begin;
+static struct cell *sym_set;
+static struct cell *sym_while;
+static long eval_depth;
+static long eval_calls;
+
+/* ----- allocation ----- */
+
+struct cell *new_cell(enum ctag tag)
+{
+    struct cell *c = (struct cell *)malloc(sizeof(struct cell));
+    c->tag = tag;
+    c->num = 0;
+    c->sym = 0;
+    c->car = 0;
+    c->cdr = 0;
+    c->fn = 0;
+    c->params = 0;
+    c->body = 0;
+    c->captured = 0;
+    c->mark = 0;
+    c->next_alloc = all_cells;
+    all_cells = c;
+    cells_made = cells_made + 1;
+    cells_alive = cells_alive + 1;
+    return c;
+}
+
+struct cell *make_num(long v)
+{
+    struct cell *c = new_cell(C_NUM);
+    c->num = v;
+    return c;
+}
+
+struct cell *cons(struct cell *a, struct cell *d)
+{
+    struct cell *c = new_cell(C_PAIR);
+    c->car = a;
+    c->cdr = d;
+    return c;
+}
+
+/* ----- symbols ----- */
+
+unsigned hash_name(char *name)
+{
+    unsigned h = 5381;
+    char *p = name;
+    while (*p) {
+        h = h * 33 + (unsigned char)*p;
+        p = p + 1;
+    }
+    return h % NBUCKETS;
+}
+
+struct cell *intern(char *name)
+{
+    unsigned h = hash_name(name);
+    struct symentry *e = buckets[h];
+    while (e) {
+        if (strcmp(e->name, name) == 0)
+            return e->symbol;
+        e = e->next;
+    }
+    e = (struct symentry *)malloc(sizeof(struct symentry));
+    e->name = (char *)malloc(strlen(name) + 1);
+    strcpy(e->name, name);
+    e->symbol = new_cell(C_SYM);
+    e->symbol->sym = e->name;
+    e->next = buckets[h];
+    buckets[h] = e;
+    nsymbols = nsymbols + 1;
+    return e->symbol;
+}
+
+/* ----- reader ----- */
+
+void skip_space(void)
+{
+    while (*input) {
+        if (isspace((unsigned char)*input)) {
+            input = input + 1;
+        } else if (*input == ';') {
+            while (*input && *input != '\n')
+                input = input + 1;
+        } else {
+            break;
+        }
+    }
+}
+
+struct cell *read_expr(void);
+
+struct cell *read_list(void)
+{
+    struct cell *head = nil_cell;
+    struct cell *tail = nil_cell;
+    skip_space();
+    while (*input && *input != ')') {
+        struct cell *item = read_expr();
+        struct cell *link = cons(item, nil_cell);
+        if (head == nil_cell) {
+            head = link;
+            tail = link;
+        } else {
+            tail->cdr = link;
+            tail = link;
+        }
+        skip_space();
+    }
+    if (*input == ')')
+        input = input + 1;
+    else
+        read_errors = read_errors + 1;
+    return head;
+}
+
+struct cell *read_atom(void)
+{
+    char buf[64];
+    int n = 0;
+    if (isdigit((unsigned char)*input) ||
+        (*input == '-' && isdigit((unsigned char)input[1]))) {
+        long v = 0;
+        long sign = 1;
+        if (*input == '-') {
+            sign = -1;
+            input = input + 1;
+        }
+        while (isdigit((unsigned char)*input)) {
+            v = v * 10 + (*input - '0');
+            input = input + 1;
+        }
+        return make_num(v * sign);
+    }
+    while (*input && !isspace((unsigned char)*input) &&
+           *input != '(' && *input != ')' && n < 63) {
+        buf[n] = *input;
+        n = n + 1;
+        input = input + 1;
+    }
+    buf[n] = 0;
+    if (n == 0) {
+        read_errors = read_errors + 1;
+        return nil_cell;
+    }
+    return intern(buf);
+}
+
+struct cell *read_expr(void)
+{
+    skip_space();
+    if (*input == '(') {
+        input = input + 1;
+        return read_list();
+    }
+    if (*input == '\'') {
+        input = input + 1;
+        return cons(sym_quote, cons(read_expr(), nil_cell));
+    }
+    return read_atom();
+}
+
+/* ----- environments ----- */
+
+struct cell *env_extend(struct cell *parent)
+{
+    /* an environment is (bindings . parent); bindings is an alist */
+    return cons(nil_cell, parent);
+}
+
+void env_define(struct cell *env, struct cell *sym, struct cell *val)
+{
+    struct cell *binding = cons(sym, val);
+    env->car = cons(binding, env->car);
+}
+
+struct cell *env_lookup(struct cell *env, struct cell *sym)
+{
+    struct cell *frame = env;
+    while (frame != nil_cell) {
+        struct cell *b = frame->car;
+        while (b != nil_cell) {
+            struct cell *binding = b->car;
+            if (binding->car == sym)
+                return binding->cdr;
+            b = b->cdr;
+        }
+        frame = frame->cdr;
+    }
+    return nil_cell;
+}
+
+int env_set(struct cell *env, struct cell *sym, struct cell *val)
+{
+    struct cell *frame = env;
+    while (frame != nil_cell) {
+        struct cell *b = frame->car;
+        while (b != nil_cell) {
+            struct cell *binding = b->car;
+            if (binding->car == sym) {
+                binding->cdr = val;
+                return 1;
+            }
+            b = b->cdr;
+        }
+        frame = frame->cdr;
+    }
+    return 0;
+}
+
+/* ----- builtins ----- */
+
+struct cell *eval(struct cell *expr, struct cell *env);
+
+struct cell *eval_list(struct cell *args, struct cell *env)
+{
+    struct cell *head = nil_cell;
+    struct cell *tail = nil_cell;
+    struct cell *a = args;
+    while (a != nil_cell) {
+        struct cell *v = eval(a->car, env);
+        struct cell *link = cons(v, nil_cell);
+        if (head == nil_cell) {
+            head = link;
+            tail = link;
+        } else {
+            tail->cdr = link;
+            tail = link;
+        }
+        a = a->cdr;
+    }
+    return head;
+}
+
+struct cell *builtin_add(struct cell *args, struct cell *env)
+{
+    long acc = 0;
+    struct cell *a = args;
+    while (a != nil_cell) {
+        if (a->car->tag == C_NUM)
+            acc = acc + a->car->num;
+        a = a->cdr;
+    }
+    return make_num(acc);
+}
+
+struct cell *builtin_sub(struct cell *args, struct cell *env)
+{
+    long acc = 0;
+    struct cell *a = args;
+    if (a != nil_cell && a->car->tag == C_NUM) {
+        acc = a->car->num;
+        a = a->cdr;
+        if (a == nil_cell)
+            return make_num(-acc);
+    }
+    while (a != nil_cell) {
+        if (a->car->tag == C_NUM)
+            acc = acc - a->car->num;
+        a = a->cdr;
+    }
+    return make_num(acc);
+}
+
+struct cell *builtin_mul(struct cell *args, struct cell *env)
+{
+    long acc = 1;
+    struct cell *a = args;
+    while (a != nil_cell) {
+        if (a->car->tag == C_NUM)
+            acc = acc * a->car->num;
+        a = a->cdr;
+    }
+    return make_num(acc);
+}
+
+struct cell *builtin_lt(struct cell *args, struct cell *env)
+{
+    struct cell *a = args;
+    if (a == nil_cell || a->cdr == nil_cell)
+        return nil_cell;
+    if (a->car->tag == C_NUM && a->cdr->car->tag == C_NUM &&
+        a->car->num < a->cdr->car->num)
+        return true_cell;
+    return nil_cell;
+}
+
+struct cell *builtin_eq(struct cell *args, struct cell *env)
+{
+    struct cell *a = args;
+    if (a == nil_cell || a->cdr == nil_cell)
+        return nil_cell;
+    if (a->car->tag == C_NUM && a->cdr->car->tag == C_NUM) {
+        if (a->car->num == a->cdr->car->num)
+            return true_cell;
+        return nil_cell;
+    }
+    if (a->car == a->cdr->car)
+        return true_cell;
+    return nil_cell;
+}
+
+struct cell *builtin_cons(struct cell *args, struct cell *env)
+{
+    struct cell *a = args;
+    if (a == nil_cell || a->cdr == nil_cell)
+        return nil_cell;
+    return cons(a->car, a->cdr->car);
+}
+
+struct cell *builtin_car(struct cell *args, struct cell *env)
+{
+    if (args == nil_cell || args->car->tag != C_PAIR)
+        return nil_cell;
+    return args->car->car;
+}
+
+struct cell *builtin_cdr(struct cell *args, struct cell *env)
+{
+    if (args == nil_cell || args->car->tag != C_PAIR)
+        return nil_cell;
+    return args->car->cdr;
+}
+
+struct cell *builtin_list(struct cell *args, struct cell *env)
+{
+    return args;
+}
+
+struct cell *builtin_nullp(struct cell *args, struct cell *env)
+{
+    if (args != nil_cell && args->car == nil_cell)
+        return true_cell;
+    return nil_cell;
+}
+
+struct cell *builtin_print(struct cell *args, struct cell *env)
+{
+    struct cell *a = args;
+    while (a != nil_cell) {
+        if (a->car->tag == C_NUM)
+            printf("%ld ", a->car->num);
+        else if (a->car->tag == C_SYM)
+            printf("%s ", a->car->sym);
+        a = a->cdr;
+    }
+    printf("\n");
+    return nil_cell;
+}
+
+/* ----- the evaluator ----- */
+
+struct cell *eval_sequence(struct cell *body, struct cell *env)
+{
+    struct cell *result = nil_cell;
+    struct cell *b = body;
+    while (b != nil_cell) {
+        result = eval(b->car, env);
+        b = b->cdr;
+    }
+    return result;
+}
+
+struct cell *apply(struct cell *fn, struct cell *args, struct cell *env)
+{
+    if (fn->tag == C_BUILTIN)
+        return fn->fn(args, env);
+    if (fn->tag == C_LAMBDA) {
+        struct cell *frame = env_extend(fn->captured);
+        struct cell *p = fn->params;
+        struct cell *a = args;
+        while (p != nil_cell) {
+            if (a != nil_cell) {
+                env_define(frame, p->car, a->car);
+                a = a->cdr;
+            } else {
+                env_define(frame, p->car, nil_cell);
+            }
+            p = p->cdr;
+        }
+        return eval_sequence(fn->body, frame);
+    }
+    return nil_cell;
+}
+
+struct cell *eval(struct cell *expr, struct cell *env)
+{
+    eval_calls = eval_calls + 1;
+    eval_depth = eval_depth + 1;
+
+    if (expr->tag == C_NUM || expr->tag == C_BUILTIN ||
+        expr->tag == C_LAMBDA || expr == nil_cell) {
+        eval_depth = eval_depth - 1;
+        return expr;
+    }
+    if (expr->tag == C_SYM) {
+        struct cell *v = env_lookup(env, expr);
+        eval_depth = eval_depth - 1;
+        return v;
+    }
+    /* a pair: special forms first */
+    if (expr->car == sym_quote) {
+        eval_depth = eval_depth - 1;
+        return expr->cdr->car;
+    }
+    if (expr->car == sym_if) {
+        struct cell *cond = eval(expr->cdr->car, env);
+        struct cell *result;
+        if (cond != nil_cell)
+            result = eval(expr->cdr->cdr->car, env);
+        else if (expr->cdr->cdr->cdr != nil_cell)
+            result = eval(expr->cdr->cdr->cdr->car, env);
+        else
+            result = nil_cell;
+        eval_depth = eval_depth - 1;
+        return result;
+    }
+    if (expr->car == sym_define) {
+        struct cell *name = expr->cdr->car;
+        struct cell *val = eval(expr->cdr->cdr->car, env);
+        env_define(env, name, val);
+        eval_depth = eval_depth - 1;
+        return val;
+    }
+    if (expr->car == sym_set) {
+        struct cell *name = expr->cdr->car;
+        struct cell *val = eval(expr->cdr->cdr->car, env);
+        if (!env_set(env, name, val))
+            env_define(global_env, name, val);
+        eval_depth = eval_depth - 1;
+        return val;
+    }
+    if (expr->car == sym_lambda) {
+        struct cell *fn = new_cell(C_LAMBDA);
+        fn->params = expr->cdr->car;
+        fn->body = expr->cdr->cdr;
+        fn->captured = env;
+        eval_depth = eval_depth - 1;
+        return fn;
+    }
+    if (expr->car == sym_begin) {
+        struct cell *result = eval_sequence(expr->cdr, env);
+        eval_depth = eval_depth - 1;
+        return result;
+    }
+    if (expr->car == sym_while) {
+        struct cell *result = nil_cell;
+        while (eval(expr->cdr->car, env) != nil_cell)
+            result = eval_sequence(expr->cdr->cdr, env);
+        eval_depth = eval_depth - 1;
+        return result;
+    }
+    /* application */
+    {
+        struct cell *fn = eval(expr->car, env);
+        struct cell *args = eval_list(expr->cdr, env);
+        struct cell *result = apply(fn, args, env);
+        eval_depth = eval_depth - 1;
+        return result;
+    }
+}
+
+/* ----- mark phase ----- */
+
+long mark_cell(struct cell *c)
+{
+    long n = 0;
+    if (c == 0 || c->mark)
+        return 0;
+    c->mark = 1;
+    n = 1;
+    n = n + mark_cell(c->car);
+    n = n + mark_cell(c->cdr);
+    n = n + mark_cell(c->params);
+    n = n + mark_cell(c->body);
+    n = n + mark_cell(c->captured);
+    return n;
+}
+
+long mark_roots(void)
+{
+    long n = 0;
+    int i = 0;
+    n = n + mark_cell(global_env);
+    n = n + mark_cell(nil_cell);
+    n = n + mark_cell(true_cell);
+    while (i < NBUCKETS) {
+        struct symentry *e = buckets[i];
+        while (e) {
+            n = n + mark_cell(e->symbol);
+            e = e->next;
+        }
+        i = i + 1;
+    }
+    return n;
+}
+
+void clear_marks(void)
+{
+    struct cell *c = all_cells;
+    while (c) {
+        c->mark = 0;
+        c = c->next_alloc;
+    }
+}
+
+/* ----- setup ----- */
+
+void def_builtin(char *name, struct cell *(*fn)(struct cell *, struct cell *))
+{
+    struct cell *b = new_cell(C_BUILTIN);
+    struct cell *sym = intern(name);
+    b->fn = fn;
+    env_define(global_env, sym, b);
+}
+
+void setup(void)
+{
+    nil_cell = new_cell(C_NIL);
+    true_cell = new_cell(C_SYM);
+    true_cell->sym = "t";
+    global_env = cons(nil_cell, nil_cell);
+
+    sym_quote = intern("quote");
+    sym_if = intern("if");
+    sym_define = intern("define");
+    sym_lambda = intern("lambda");
+    sym_begin = intern("begin");
+    sym_set = intern("set!");
+    sym_while = intern("while");
+
+    def_builtin("+", builtin_add);
+    def_builtin("-", builtin_sub);
+    def_builtin("*", builtin_mul);
+    def_builtin("<", builtin_lt);
+    def_builtin("=", builtin_eq);
+    def_builtin("cons", builtin_cons);
+    def_builtin("car", builtin_car);
+    def_builtin("cdr", builtin_cdr);
+    def_builtin("list", builtin_list);
+    def_builtin("null?", builtin_nullp);
+    def_builtin("print", builtin_print);
+
+    env_define(global_env, intern("t"), true_cell);
+    env_define(global_env, intern("nil"), nil_cell);
+}
+
+/* ----- driver ----- */
+
+static char program_text[] =
+    "(define fib (lambda (n)"
+    "  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))))"
+    "(define count (lambda (xs)"
+    "  (if (null? xs) 0 (+ 1 (count (cdr xs))))))"
+    "(define xs (list 1 2 3 4 5))"
+    "(define total 0)"
+    "(define i 0)"
+    "(while (< i 10)"
+    "  (set! total (+ total (fib i)))"
+    "  (set! i (+ i 1)))"
+    "(print total (count xs))";
+
+int run_program(char *text)
+{
+    struct cell *result = nil_cell;
+    int exprs = 0;
+    input = text;
+    skip_space();
+    while (*input) {
+        struct cell *expr = read_expr();
+        result = eval(expr, global_env);
+        exprs = exprs + 1;
+        skip_space();
+    }
+    if (result->tag == C_NUM)
+        printf("=> %ld\n", result->num);
+    return exprs;
+}
+
+int main(int argc, char **argv)
+{
+    int exprs;
+    long live;
+
+    setup();
+    exprs = run_program(program_text);
+
+    clear_marks();
+    live = mark_roots();
+
+    printf("exprs=%d symbols=%d cells=%ld live=%ld evals=%ld\n",
+           exprs, nsymbols, cells_made, live, eval_calls);
+    if (read_errors)
+        printf("read errors: %d\n", read_errors);
+    return 0;
+}

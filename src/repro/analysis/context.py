@@ -64,6 +64,12 @@ class RootFrame:
         self.argv_array = HeapBlock("<argv[]>")
         self.argv_strings = HeapBlock("<argv-strings>")
         self.argv_array.register_pointer_location(0, WORD_SIZE)
+        # envp gets its own synthetic vector: argv and envp never alias in
+        # a real process, so sharing argv's block would manufacture a
+        # spurious alias between main's second and third formals
+        self.envp_array = HeapBlock("<envp[]>")
+        self.envp_strings = HeapBlock("<envp-strings>")
+        self.envp_array.register_pointer_location(0, WORD_SIZE)
         self._static_values: Optional[dict] = None
 
     # -- the caller-side API used by callee frames -----------------------
@@ -72,6 +78,8 @@ class RootFrame:
         base = loc.base
         if base is self.argv_array:
             return frozenset({LocationSet(self.argv_strings, 0, 1)})
+        if base is self.envp_array:
+            return frozenset({LocationSet(self.envp_strings, 0, 1)})
         if isinstance(base, GlobalBlock):
             return self._static_value(loc)
         if isinstance(base, StringBlock):
@@ -255,6 +263,7 @@ class Frame:
             targets = self.to_callee_targets(caller_vals, loc)
             self.ptf.add_initial_entry(loc, targets)
             self.ptf.snapshot_pointer_versions(self.param_map)
+            self.analyzer.metrics.initial_fetches += 1
             self.changed = True
             return
         if isinstance(base, LocalBlock):
@@ -266,6 +275,7 @@ class Frame:
             caller_vals = self._actual_values(symbol.name, loc)
             targets = self.to_callee_targets(caller_vals, loc)
             self.ptf.add_initial_entry(loc, targets)
+            self.analyzer.metrics.initial_fetches += 1
             self.changed = True
 
     def _caller_values(self, caller_locs: frozenset, size: int) -> frozenset:
@@ -433,7 +443,12 @@ class Frame:
             only = next(iter(bound))
             if only.is_unique:
                 return
-        param.known_unique = False
+        if param.known_unique:
+            param.known_unique = False
+            # the downgrade changes strong-update/fence applicability for
+            # every location based on this parameter: force reevaluation and
+            # drop the state's memoized lookups
+            self.ptf.state.mark_changed()
 
     @staticmethod
     def _hint(source: LocationSet) -> str:

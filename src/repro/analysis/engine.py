@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..diagnostics import Metrics
 from ..frontend.ctypes_model import WORD_SIZE
 from ..ir.program import Procedure, Program
 from ..memory.blocks import GlobalBlock, HeapBlock
@@ -57,6 +58,11 @@ class AnalyzerOptions:
     #: reanalyze-per-context behaviour (§6); expect invocation-graph-sized
     #: PTF counts and analysis blow-up
     reuse_ptfs: bool = True
+    #: memoize the sparse representation's dominator-walk lookups behind
+    #: generation-invalidated caches; disabling must produce bit-identical
+    #: points-to results (the caches are pure memoization) and exists for
+    #: the before/after benchmark and as a debugging escape hatch
+    lookup_cache: bool = True
 
 
 class Analyzer(InterproceduralMixin):
@@ -74,6 +80,9 @@ class Analyzer(InterproceduralMixin):
         self.root = RootFrame(self)
         self.main_frame: Optional[Frame] = None
         self.elapsed_seconds: float = 0.0
+        #: hot-path counters and phase/procedure timers, shared by every
+        #: points-to state this analyzer creates
+        self.metrics = Metrics()
         self.stats: dict[str, int] = {
             "ptf_created": 0,
             "ptf_reuses": 0,
@@ -119,7 +128,12 @@ class Analyzer(InterproceduralMixin):
         return block
 
     def new_ptf(self, proc: Procedure) -> PTF:
-        ptf = PTF(proc, state_kind=self.options.state_kind)
+        ptf = PTF(
+            proc,
+            state_kind=self.options.state_kind,
+            lookup_cache=self.options.lookup_cache,
+            metrics=self.metrics,
+        )
         self.ptfs.setdefault(proc.name, []).append(ptf)
         self._ptf_by_uid[ptf.uid] = ptf
         return ptf
@@ -128,7 +142,8 @@ class Analyzer(InterproceduralMixin):
 
     def run(self) -> "Analyzer":
         start = time.perf_counter()
-        self.program.finalize()
+        with self.metrics.phase("finalize"):
+            self.program.finalize()
         main = self.program.main
         ptf = self.new_ptf(main)
         param_map = self._main_param_map(main)
@@ -138,28 +153,45 @@ class Analyzer(InterproceduralMixin):
         ptf.analyzing = True
         self.stack.append(frame)
         try:
-            ProcEvaluator(self, frame).run()
+            with self.metrics.phase("analysis"):
+                ProcEvaluator(self, frame).run()
         finally:
             self.stack.pop()
             ptf.analyzing = False
-        ptf.summary()
+        with self.metrics.phase("summary"):
+            ptf.summary()
         self.elapsed_seconds = time.perf_counter() - start
+        # surface the hot-path counters next to the interprocedural ones
+        self.stats.update(self.metrics.counters())
         return self
 
     def _main_param_map(self, main: Procedure) -> ParamMap:
         """Bind main's formals: argc is scalar, argv points at the synthetic
-        argument vector."""
+        argument vector, envp at its own synthetic environment vector (a
+        distinct block — argv and envp never alias in a real process)."""
         param_map = ParamMap()
         for i, formal in enumerate(main.formals):
             if i == 1:
                 argv = LocationSet(self.root.argv_array, 0, 0)
                 param_map.actuals[formal.name] = ((0, 0, frozenset({argv})),)
             elif i == 2:  # envp
-                envp = LocationSet(self.root.argv_array, 0, 0)
+                envp = LocationSet(self.root.envp_array, 0, 0)
                 param_map.actuals[formal.name] = ((0, 0, frozenset({envp})),)
             else:
                 param_map.actuals[formal.name] = tuple()
         return param_map
+
+    # -- diagnostics ------------------------------------------------------
+
+    def stats_dict(self) -> dict:
+        """JSON-serializable snapshot: interprocedural counters + the
+        metrics layer's counters, hit rate and timers (``--stats-json``)."""
+        out = self.metrics.as_dict()
+        out["interprocedural"] = dict(self.stats)
+        out["elapsed_seconds"] = round(self.elapsed_seconds, 6)
+        out["lookup_cache"] = self.options.lookup_cache
+        out["state_kind"] = self.options.state_kind
+        return out
 
     # -- statistics (Table 2 columns) -------------------------------------
 

@@ -18,6 +18,7 @@ location (§4.1).
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Optional
 
 from ..frontend.ctypes_model import WORD_SIZE
@@ -65,7 +66,25 @@ class ProcEvaluator:
     # ------------------------------------------------------------------
 
     def run(self) -> None:
+        """Iterate the procedure body to a local fixpoint.
+
+        Wall-clock time is attributed to this procedure *inclusively* (time
+        spent in callees analyzed from its call sites counts here too), and
+        each full pass over the body bumps the ``eval_passes`` counter.
+        """
+        metrics = self.analyzer.metrics
+        start = time.perf_counter()
+        passes = 0
+        try:
+            passes = self._run_passes()
+        finally:
+            metrics.add_proc_time(
+                self.proc.name, time.perf_counter() - start, passes
+            )
+
+    def _run_passes(self) -> int:
         max_passes = self.analyzer.options.max_passes
+        metrics = self.analyzer.metrics
         passes = 0
         while True:
             before = self.state.change_counter
@@ -88,8 +107,9 @@ class ProcEvaluator:
                 self.state.finish_node(node)
                 self.evaluated.add(node.uid)
             passes += 1
+            metrics.eval_passes += 1
             if self.state.change_counter == before and not self.frame.changed:
-                break
+                return passes
             if passes >= max_passes:
                 raise AnalysisBudgetExceeded(
                     f"{self.proc.name}: no fixpoint after {passes} passes"

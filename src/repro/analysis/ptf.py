@@ -113,10 +113,20 @@ class ParamMap:
 class PTF:
     """A partial transfer function for one procedure."""
 
-    def __init__(self, proc: Procedure, state_kind: str = "sparse") -> None:
+    def __init__(
+        self,
+        proc: Procedure,
+        state_kind: str = "sparse",
+        lookup_cache: bool = True,
+        metrics=None,
+    ) -> None:
         self.uid = next(_ptf_counter)
         self.proc = proc
         self.state_kind = state_kind
+        self.lookup_cache = lookup_cache
+        #: shared diagnostics sink (``Analyzer.metrics``); every state this
+        #: PTF creates (including after ``reset``) reports into it
+        self.metrics = metrics
         self.state: PointsToState = self._new_state()
         #: extended parameters in creation order (§5.2 compares in order)
         self.params: list[ExtendedParameter] = []
@@ -152,7 +162,7 @@ class PTF:
 
     def _new_state(self) -> PointsToState:
         cls = SparseState if self.state_kind == "sparse" else DenseState
-        return cls(self.proc.entry)
+        return cls(self.proc.entry, lookup_cache=self.lookup_cache, metrics=self.metrics)
 
     # -- parameters -------------------------------------------------------
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from ..frontend.ctypes_model import WORD_SIZE
 from ..ir.expr import GlobalSymbol, LocalSymbol
 from ..ir.nodes import CallNode
 from ..ir.program import Procedure, Program
@@ -88,7 +89,7 @@ class AnalysisResult:
             loc = self._var_loc(proc, ptf, var)
             if loc is None:
                 continue
-            vals = ptf.state.lookup_overlapping(loc, proc.exit, width=4)
+            vals = ptf.state.lookup_overlapping(loc, proc.exit, width=WORD_SIZE)
             if not vals:
                 initial = ptf.state.get_initial(normalize_loc(loc))
                 if initial:
@@ -143,7 +144,7 @@ class AnalysisResult:
                 if not node.coord:
                     continue
                 if f":{line}:" in node.coord or node.coord.endswith(f":{line}"):
-                    vals = ptf.state.lookup_overlapping(loc, node, width=4)
+                    vals = ptf.state.lookup_overlapping(loc, node, width=WORD_SIZE)
                     for v in self._concretize(ptf, vals):
                         out.add(self.display_name(v.base))
                     break
@@ -209,7 +210,7 @@ class AnalysisResult:
             b = self._targets_in_ptf(ptf, var_b)
             for la in a:
                 for lb in b:
-                    if la.base is lb.base and la.overlaps(lb, width=4, other_width=4):
+                    if la.base is lb.base and la.overlaps(lb, width=WORD_SIZE, other_width=WORD_SIZE):
                         return True
         return False
 
@@ -218,7 +219,7 @@ class AnalysisResult:
         loc = self._var_loc(proc, ptf, var)
         if loc is None:
             return set()
-        vals = set(ptf.state.lookup_overlapping(loc, proc.exit, width=4))
+        vals = set(ptf.state.lookup_overlapping(loc, proc.exit, width=WORD_SIZE))
         initial = ptf.state.get_initial(normalize_loc(loc))
         if initial:
             vals |= initial
@@ -242,7 +243,7 @@ class AnalysisResult:
                     for la in ta:
                         for lb in tb:
                             if la.base is lb.base and la.overlaps(
-                                lb, width=4, other_width=4
+                                lb, width=WORD_SIZE, other_width=WORD_SIZE
                             ):
                                 return True
         return False

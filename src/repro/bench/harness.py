@@ -45,11 +45,16 @@ class Table2Row:
     seconds: float
     avg_ptfs: float
     paper: BenchmarkProgram
+    #: fraction of memoized sparse lookups answered from cache
+    cache_hit_rate: float = 0.0
+    #: dominator-tree steps actually walked (cache misses only)
+    dom_walk_steps: int = 0
 
     def display(self) -> str:
         return (
             f"{self.name:<12} {self.lines:>6} {self.procedures:>6} "
-            f"{self.seconds:>9.3f} {self.avg_ptfs:>6.2f}   "
+            f"{self.seconds:>9.3f} {self.avg_ptfs:>6.2f} "
+            f"{self.cache_hit_rate * 100:>5.1f}% {self.dom_walk_steps:>9}   "
             f"(paper: {self.paper.paper_lines:>5} lines, "
             f"{self.paper.paper_procedures:>3} procs, "
             f"{self.paper.paper_seconds:>6.2f}s, "
@@ -75,6 +80,7 @@ def table2_rows(
             continue
         result = analyze_benchmark(prog.name, options)
         stats = result.stats()
+        metrics = result.analyzer.metrics
         rows.append(
             Table2Row(
                 name=prog.name,
@@ -83,6 +89,8 @@ def table2_rows(
                 seconds=stats.analysis_seconds,
                 avg_ptfs=stats.avg_ptfs,
                 paper=prog,
+                cache_hit_rate=metrics.cache_hit_rate(),
+                dom_walk_steps=metrics.dom_walk_steps,
             )
         )
     return rows
@@ -93,7 +101,8 @@ def table2_text(rows: Optional[list[Table2Row]] = None) -> str:
         rows = table2_rows()
     lines = [
         "Table 2: Benchmark and Analysis Measurements",
-        f"{'Benchmark':<12} {'Lines':>6} {'Procs':>6} {'Secs':>9} {'PTFs':>6}",
+        f"{'Benchmark':<12} {'Lines':>6} {'Procs':>6} {'Secs':>9} {'PTFs':>6} "
+        f"{'Hit%':>6} {'DomSteps':>9}",
     ]
     lines.extend(r.display() for r in rows)
     avg = sum(r.avg_ptfs for r in rows) / len(rows) if rows else 0.0

@@ -13,6 +13,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
@@ -29,6 +30,7 @@ def _options_from(args: argparse.Namespace) -> AnalyzerOptions:
         external_policy=args.external,
         strong_updates=not args.no_strong_updates,
         heap_context_depth=args.heap_context,
+        lookup_cache=not args.no_lookup_cache,
     )
 
 
@@ -41,6 +43,26 @@ def _add_analysis_flags(p: argparse.ArgumentParser) -> None:
                    help="disable strong updates (ablation)")
     p.add_argument("--heap-context", type=int, default=0, metavar="K",
                    help="heap naming call-chain depth (default 0: site only)")
+    p.add_argument("--no-lookup-cache", action="store_true",
+                   help="disable the sparse lookup memoization (debugging / "
+                        "benchmark baseline; results are bit-identical)")
+
+
+def _emit_stats_json(args: argparse.Namespace, analyzer) -> None:
+    """Write the metrics snapshot when ``--stats-json`` was given.
+
+    ``--stats-json`` (bare) writes to stdout; ``--stats-json PATH`` writes
+    to the file at PATH.
+    """
+    dest = getattr(args, "stats_json", None)
+    if dest is None:
+        return
+    payload = json.dumps(analyzer.stats_dict(), indent=2, sort_keys=True)
+    if dest == "-":
+        print(payload)
+    else:
+        with open(dest, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -61,6 +83,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     for proc in args.ptfs or []:
         for ptf in result.ptfs_of(proc):
             print(ptf.describe())
+    _emit_stats_json(args, result.analyzer)
     return 0
 
 
@@ -177,6 +200,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("files", nargs="+")
     p.add_argument("--points-to", action="append", metavar="[PROC:]VAR",
                    help="print the points-to set of a variable")
+    p.add_argument("--stats-json", nargs="?", const="-", metavar="PATH",
+                   help="dump analysis metrics as JSON (to PATH, or stdout "
+                        "when no PATH is given)")
     p.add_argument("--ptfs", action="append", metavar="PROC",
                    help="print the PTFs of a procedure")
     _add_analysis_flags(p)

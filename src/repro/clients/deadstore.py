@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..frontend.ctypes_model import WORD_SIZE
 from ..analysis.intra import ProcEvaluator
 from ..analysis.context import Frame
 from ..analysis.ptf import ParamMap
@@ -73,7 +74,7 @@ class DeadStoreAnalysis:
     def _may_touch(a: list[LocationSet], b: list[LocationSet]) -> bool:
         for la in a:
             for lb in b:
-                if la.base is lb.base and la.overlaps(lb, width=4, other_width=4):
+                if la.base is lb.base and la.overlaps(lb, width=WORD_SIZE, other_width=WORD_SIZE):
                     return True
         return False
 

@@ -1,0 +1,12 @@
+"""Analysis diagnostics: counters and timers for the hot paths.
+
+The :class:`Metrics` object is threaded through the engine so that the
+cost of the sparse representation's dominator walks — and the effect of
+the lookup memoization layer on them — shows up as numbers in
+``Analyzer.stats``, the ``--stats-json`` CLI flag, and the bench harness
+instead of being guessed at.
+"""
+
+from .metrics import Metrics
+
+__all__ = ["Metrics"]

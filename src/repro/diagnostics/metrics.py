@@ -1,0 +1,139 @@
+"""Counters and timers for the analysis engine.
+
+One :class:`Metrics` instance is owned by the
+:class:`~repro.analysis.engine.Analyzer` and shared by every points-to
+state it creates, so the counters aggregate across all PTFs of a run.
+
+Counter semantics:
+
+* ``lookups`` — calls to the public ``lookup``/``lookup_overlapping`` of
+  any points-to state (dense or sparse);
+* ``cache_hits`` / ``cache_misses`` — probes of the sparse lookup
+  memoization caches (``_search``, ``_find_strong_fence`` and
+  ``lookup_overlapping`` result caches).  The hit rate only counts probes
+  while the cache is enabled; with ``AnalyzerOptions.lookup_cache=False``
+  both stay zero;
+* ``dom_walk_steps`` — dominator-tree edges traversed by the sparse
+  representation's searches (the paper's §4.2 walk).  This is the number
+  the memoization layer exists to shrink;
+* ``phi_insertions`` — φ-functions inserted at iterated dominance
+  frontiers (§4.2, Figure 9);
+* ``strong_updates`` / ``weak_updates`` — assignments recorded by kind
+  (§4.1);
+* ``initial_fetches`` — lazy initial-value fetches that added an entry to
+  a PTF's input domain (§3.2);
+* ``eval_passes`` — full reverse-postorder passes executed by
+  ``ProcEvaluator.run``.
+
+Timers: ``phase_seconds`` buckets the top-level driver phases
+(``finalize`` / ``analysis`` / ``summary``); ``proc_seconds`` buckets
+*inclusive* per-procedure evaluation time (a caller's bucket includes the
+time spent analyzing its callees at its call nodes).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Metrics"]
+
+#: counter attribute names, in reporting order
+COUNTERS = (
+    "lookups",
+    "cache_hits",
+    "cache_misses",
+    "dom_walk_steps",
+    "phi_insertions",
+    "strong_updates",
+    "weak_updates",
+    "initial_fetches",
+    "eval_passes",
+)
+
+
+class Metrics:
+    """Mutable bag of analysis counters and timers.
+
+    The hot-path contract is that incrementing a counter is a plain
+    attribute ``+=`` on this object — no dict probes, no method calls —
+    so the instrumentation itself stays off the profile.
+    """
+
+    __slots__ = COUNTERS + ("phase_seconds", "proc_seconds", "proc_passes")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for name in COUNTERS:
+            setattr(self, name, 0)
+        #: phase name -> accumulated seconds
+        self.phase_seconds: dict[str, float] = {}
+        #: procedure name -> accumulated (inclusive) evaluation seconds
+        self.proc_seconds: dict[str, float] = {}
+        #: procedure name -> accumulated evaluation passes
+        self.proc_passes: dict[str, int] = {}
+
+    # -- timers -----------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a top-level driver phase (accumulating on re-entry)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phase_seconds[name] = (
+                self.phase_seconds.get(name, 0.0) + time.perf_counter() - start
+            )
+
+    def add_proc_time(self, proc_name: str, seconds: float, passes: int = 0) -> None:
+        """Accumulate inclusive evaluation time for one procedure."""
+        self.proc_seconds[proc_name] = self.proc_seconds.get(proc_name, 0.0) + seconds
+        if passes:
+            self.proc_passes[proc_name] = self.proc_passes.get(proc_name, 0) + passes
+
+    # -- derived ----------------------------------------------------------
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of sparse lookup-cache probes that hit (0.0 when the
+        cache was never probed, e.g. dense states or cache disabled)."""
+        probes = self.cache_hits + self.cache_misses
+        if probes == 0:
+            return 0.0
+        return self.cache_hits / probes
+
+    def counters(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in COUNTERS}
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot of every counter and timer."""
+        return {
+            "counters": self.counters(),
+            "cache_hit_rate": round(self.cache_hit_rate(), 4),
+            "timers": {
+                "phases": {k: round(v, 6) for k, v in sorted(self.phase_seconds.items())},
+                "procedures": {
+                    k: round(v, 6) for k, v in sorted(self.proc_seconds.items())
+                },
+                "procedure_passes": dict(sorted(self.proc_passes.items())),
+            },
+        }
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another metrics object into this one (bench aggregation)."""
+        for name in COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for k, v in other.phase_seconds.items():
+            self.phase_seconds[k] = self.phase_seconds.get(k, 0.0) + v
+        for k, v in other.proc_seconds.items():
+            self.proc_seconds[k] = self.proc_seconds.get(k, 0.0) + v
+        for k, v in other.proc_passes.items():
+            self.proc_passes[k] = self.proc_passes.get(k, 0) + v
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        c = self.counters()
+        parts = ", ".join(f"{k}={v}" for k, v in c.items() if v)
+        return f"<Metrics {parts or 'empty'}>"

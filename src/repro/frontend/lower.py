@@ -46,9 +46,6 @@ from .typebuild import ConstEvalError, FrontendError, TypeBuilder
 __all__ = ["Lowerer", "lower_translation_unit", "FrontendError"]
 
 
-_string_counter = itertools.count()
-
-
 def _unescape_c_string(text: str) -> str:
     """Decode a C string literal's escapes (approximately)."""
     body = text
@@ -269,7 +266,11 @@ class Lowerer:
 
     def _string_symbol(self, node: c_ast.Constant) -> StringSymbol:
         text = _unescape_c_string(node.value)
-        site = f"str{next(_string_counter)}"
+        # number sites per *program*, not per process: a global counter would
+        # make block names (and thus rendered results) depend on how many
+        # programs were lowered earlier in the same interpreter, breaking
+        # run-to-run reproducibility of analysis output
+        site = f"str{len(self.program.string_blocks)}"
         sym = StringSymbol(f"<{site}>", size=len(text) + 1, text=text, site=site)
         self.program.string_block(sym)
         return sym

@@ -47,9 +47,37 @@ __all__ = [
     "StringBlock",
     "ProcedureBlock",
     "all_pointer_locations",
+    "subsumption_epoch",
+    "reset_uid_counter",
 ]
 
 _block_counter = itertools.count()
+
+#: monotone count of parameter subsumptions across the process; sparse
+#: states compare it against a snapshot to renormalize their def keys and
+#: drop memoized lookups lazily (they cannot observe the assignment to
+#: :attr:`ExtendedParameter.subsumed_by` directly)
+_subsumption_epoch = 0
+
+
+def subsumption_epoch() -> int:
+    """The current value of the global subsumption counter."""
+    return _subsumption_epoch
+
+
+def reset_uid_counter() -> None:
+    """Restart block uid numbering from zero (test/benchmark isolation).
+
+    Block uids feed :class:`~repro.memory.locset.LocationSet` hashes, so
+    set iteration order — and with it e.g. the order extended parameters
+    are created in — depends on how many blocks earlier analyses in the
+    same process allocated.  Resetting before each run makes independent
+    analyses of the same program reproduce byte-identical output, which
+    the cached-vs-uncached equivalence checks rely on.  Never call this
+    between analyses that share blocks.
+    """
+    global _block_counter
+    _block_counter = itertools.count()
 
 
 class MemoryBlock:
@@ -57,6 +85,11 @@ class MemoryBlock:
 
     #: subclasses override; used in display names
     kind = "block"
+
+    #: class-level default so hot paths can test ``base.subsumed_by is None``
+    #: without an ``isinstance`` check; only :class:`ExtendedParameter`
+    #: instances ever carry a non-None value (§3.2)
+    subsumed_by = None
 
     def __init__(self, name: str, size: Optional[int] = None) -> None:
         self.name = name
@@ -67,6 +100,9 @@ class MemoryBlock:
         # monotone version bump on each new pointer location; PTFs snapshot
         # this to detect that their inputs gained pointer locations (§5.2)
         self.pointer_version = 0
+        # hash-cons table for location sets based on this block, filled by
+        # :func:`repro.memory.locset.intern_locset`; keyed (offset, stride)
+        self._locset_interns: dict = {}
 
     @property
     def is_unique(self) -> bool:
@@ -250,10 +286,30 @@ class ExtendedParameter(MemoryBlock):
         #: set when the parameter is used as a call target; its values then
         #: become part of the PTF's input domain (§5.1)
         self.is_function_pointer = False
-        #: parameter that subsumed this one, if any (§3.2, Figure 6)
-        self.subsumed_by: Optional["ExtendedParameter"] = None
+        #: parameter that subsumed this one, if any (§3.2, Figure 6);
+        #: stored behind the ``subsumed_by`` property so assignments bump
+        #: the global subsumption epoch
+        self._subsumed_by: Optional["ExtendedParameter"] = None
         #: creation order within the PTF, used when matching PTFs (§5.2)
         self.order: int = -1
+
+    @property
+    def subsumed_by(self) -> Optional["ExtendedParameter"]:
+        return self._subsumed_by
+
+    @subsumed_by.setter
+    def subsumed_by(self, value: Optional["ExtendedParameter"]) -> None:
+        self._subsumed_by = value
+        if value is not None:
+            global _subsumption_epoch
+            _subsumption_epoch += 1
+            # the subsumed parameter's registered pointer locations carry
+            # over to the representative: renormalized def keys must stay
+            # visible to registry-driven overlap lookups (§3.3).  The
+            # parameter manager migrates these itself, so this is a no-op
+            # there; it makes direct assignments equally safe.
+            for off_stride in self.pointer_locations:
+                value.register_pointer_location(*off_stride)
 
     @property
     def is_unique(self) -> bool:

@@ -28,12 +28,20 @@ from typing import Iterable, Iterator
 
 from .blocks import MemoryBlock
 
-__all__ = ["LocationSet", "locations_overlap", "ranges_overlap_mod"]
+__all__ = ["LocationSet", "intern_locset", "locations_overlap", "ranges_overlap_mod"]
 
 
 @dataclass(frozen=True)
 class LocationSet:
-    """A set of byte positions within one block of memory."""
+    """A set of byte positions within one block of memory.
+
+    Instances are immutable and hashable; the hash is computed once at
+    construction (location sets are the keys of every points-to map and
+    every lookup-cache probe, so hashing is on the engine's hottest path)
+    and equality takes an identity fast path — :func:`intern_locset`
+    hash-conses instances per block so that equal sets usually *are* the
+    same object.
+    """
 
     base: MemoryBlock
     offset: int = 0
@@ -45,6 +53,28 @@ class LocationSet:
         if self.stride:
             # keep the invariant offset ∈ [0, stride)
             object.__setattr__(self, "offset", self.offset % self.stride)
+        object.__setattr__(
+            self, "_hash", hash((self.base.uid, self.offset, self.stride))
+        )
+        # set to True on the canonical instance by :func:`intern_locset`;
+        # lets normalize_loc() skip the intern-table probe entirely
+        object.__setattr__(self, "_interned", False)
+
+    # explicit __eq__/__hash__ (dataclass keeps user definitions): identity
+    # first, then field comparison with the base compared by identity
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not LocationSet:
+            return NotImplemented
+        return (
+            self.base is other.base
+            and self.offset == other.offset
+            and self.stride == other.stride
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     # -- derived sets --------------------------------------------------
 
@@ -111,6 +141,27 @@ class LocationSet:
         if self.stride:
             return f"({self.base.name}, {self.offset}, {self.stride})"
         return f"({self.base.name}, {self.offset})"
+
+
+def intern_locset(loc: LocationSet) -> LocationSet:
+    """Hash-cons ``loc``: one canonical instance per ``(base, offset,
+    stride)``, stored on the base block so the table's lifetime matches the
+    block's.
+
+    Interned location sets make dict probes and frozenset membership tests
+    hit the ``__eq__`` identity fast path, which matters because location
+    sets key every points-to map and every sparse lookup-cache entry.
+    """
+    if loc._interned:  # type: ignore[attr-defined]
+        return loc
+    cache = loc.base._locset_interns
+    key = (loc.offset, loc.stride)
+    hit = cache.get(key)
+    if hit is None:
+        object.__setattr__(loc, "_interned", True)
+        cache[key] = loc
+        return loc
+    return hit
 
 
 def ranges_overlap_mod(

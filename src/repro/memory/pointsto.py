@@ -19,36 +19,132 @@ single location set with no stride whose base is a unique block (§4.1).
 Keys follow parameter subsumption lazily: whenever a location set's base is
 an extended parameter that has been subsumed (§3.2), the key is normalized
 to the representative parameter before use.
+
+Lookup memoization (the hot path)
+---------------------------------
+
+The sparse representation's dominator walks are the hottest loop of the
+whole engine: every dereference triggers ``lookup_overlapping``, which
+walks the dominator tree once per registered pointer location of the base
+block.  :class:`SparseState` therefore memoizes
+
+* ``_search`` results keyed ``(loc, node.uid, inclusive, fence.uid)``,
+* ``_find_strong_fence`` results keyed ``(loc, node.uid, width, inclusive)``,
+* ``lookup_overlapping`` results keyed
+  ``(loc, node.uid, width, before, base.pointer_version)``,
+
+each partitioned *per base block*.  Every cached answer depends only on
+defs, φ results and initial entries whose key shares the probe's base
+block (searches are exact-key, fences and overlap sets consult only
+same-base entries), so recording a def for ``loc`` invalidates just the
+partition of ``loc.base`` — untouched bases stay warm across fixpoint
+passes, which is where most of the hit rate comes from.  The two events
+that are *not* attributable to one base — parameter subsumption, which
+rewrites keys wholesale, and a uniqueness downgrade, which changes fence
+applicability — funnel through :meth:`SparseState.mark_changed` and drop
+everything (both are rare).  Walks additionally *path-fill*: every
+dominator visited on the way to an answer caches that answer too (into
+the *inclusive* partition, where the answer is valid regardless of
+whether the walk that reaches it later starts at the node itself), and
+every walk consults that same partition at each dominator it visits — a
+warm entry there short-circuits the remaining walk.  Together the two
+halves amount to path compression: a cold walk of length k warms k
+future probes, and any later probe anywhere below the warmed chain
+terminates after at most one cold step.  The key list consulted by
+``lookup_overlapping`` is cached separately, keyed by the block's
+monotone ``pointer_version``, because the pointer-location registry
+changes far more rarely than the points-to values do.
+
+Values are interned (:func:`intern_values` hash-conses the frozensets,
+:func:`~repro.memory.locset.intern_locset` the location sets inside them)
+so that the equality checks behind dict probes and change detection
+usually succeed on identity.  ``lookup_cache=False`` switches every cache
+off and must produce bit-identical results — the caches are pure
+memoization, asserted by the property tests.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from ..diagnostics import Metrics
 from ..ir.dominators import iterated_frontier
 from ..ir.nodes import MeetNode, Node
+from . import blocks as _blocks
 from .blocks import ExtendedParameter, MemoryBlock
-from .locset import LocationSet
+from .locset import LocationSet, intern_locset
 
-__all__ = ["Values", "DenseState", "SparseState", "normalize_loc", "normalize_values"]
+__all__ = [
+    "Values",
+    "DenseState",
+    "SparseState",
+    "normalize_loc",
+    "normalize_values",
+    "intern_values",
+    "reset_interning",
+]
 
 #: A points-to value: the set of locations a pointer may target.
 Values = frozenset  # frozenset[LocationSet]
 
 EMPTY: frozenset = frozenset()
 
+#: hash-cons table for points-to value sets; bounded to keep a long-lived
+#: process (or a long test run) from accumulating dead blocks
+_VALUES_INTERN: dict = {}
+_VALUES_INTERN_CAP = 1 << 18
+
+#: cache-miss sentinel (``None`` is a valid fence result)
+_MISS = object()
+
+
+def intern_values(values: frozenset) -> frozenset:
+    """Return the canonical instance of ``values`` (hash-consing).
+
+    Interned value sets make the ``old != new`` change-detection compares
+    and dict probes across the engine hit the identity fast path.
+    """
+    if not values:
+        return EMPTY
+    hit = _VALUES_INTERN.get(values)
+    if hit is not None:
+        return hit
+    if len(_VALUES_INTERN) >= _VALUES_INTERN_CAP:
+        _VALUES_INTERN.clear()
+    _VALUES_INTERN[values] = values
+    return values
+
+
+def reset_interning() -> None:
+    """Drop the global value-intern table and restart block uid numbering
+    (see :func:`repro.memory.blocks.reset_uid_counter`).  Used by the
+    benchmark harness and the equivalence tests to give every analysis an
+    identical process state; never call it between analyses that share
+    memory blocks."""
+    _VALUES_INTERN.clear()
+    _blocks.reset_uid_counter()
+
 
 def normalize_loc(loc: LocationSet) -> LocationSet:
     """Rewrite a location set whose base parameter has been subsumed."""
     base = loc.base
-    if isinstance(base, ExtendedParameter) and base.subsumed_by is not None:
-        rep = base.representative()
-        return LocationSet(rep, loc.offset, loc.stride)
-    return loc
+    if base.subsumed_by is None:
+        # canonical-instance fast path: nothing to rewrite, already interned
+        if loc._interned:  # type: ignore[attr-defined]
+            return loc
+        return intern_locset(loc)
+    rep = base.representative()
+    return intern_locset(LocationSet(rep, loc.offset, loc.stride))
 
 
 def normalize_values(values: Iterable[LocationSet]) -> frozenset:
-    return frozenset(normalize_loc(v) for v in values)
+    if not isinstance(values, frozenset):
+        values = frozenset(values)
+    # fast path: nothing to rewrite — intern and return as-is
+    for v in values:
+        if v.base.subsumed_by is not None:
+            return intern_values(frozenset(normalize_loc(x) for x in values))
+    return intern_values(values)
 
 
 def _register(loc: LocationSet) -> bool:
@@ -61,13 +157,24 @@ class PointsToState:
 
     kind = "abstract"
 
-    def __init__(self, entry: Node) -> None:
+    def __init__(
+        self,
+        entry: Node,
+        lookup_cache: bool = True,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
         self.entry = entry
         #: keys ever assigned by the procedure body (excludes pure initial
         #: entries); the PTF summary is built from these
         self.assigned_keys: set[LocationSet] = set()
-        #: bumped whenever anything changes; drives the fixpoint loop
+        #: bumped whenever anything changes; drives the fixpoint loop *and*
+        #: the lookup-cache invalidation generation
         self.change_counter = 0
+        #: when False, every memoization layer is bypassed (ablation /
+        #: ``AnalyzerOptions.lookup_cache=False``)
+        self.lookup_cache = lookup_cache
+        #: shared diagnostics sink; a private one when not threaded in
+        self.metrics = metrics if metrics is not None else Metrics()
 
     # -- initial values (procedure inputs, recorded at the entry node) --
 
@@ -149,8 +256,13 @@ class DenseState(PointsToState):
 
     kind = "dense"
 
-    def __init__(self, entry: Node) -> None:
-        super().__init__(entry)
+    def __init__(
+        self,
+        entry: Node,
+        lookup_cache: bool = True,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        super().__init__(entry, lookup_cache=lookup_cache, metrics=metrics)
         self._initial: dict[LocationSet, frozenset] = {}
         #: node uid -> map at node exit
         self._out: dict[int, dict[LocationSet, frozenset]] = {}
@@ -166,8 +278,12 @@ class DenseState(PointsToState):
         vals = normalize_values(values)
         _register(loc)
         old = self._initial.get(loc)
-        if old != vals:
-            self._initial[loc] = vals if old is None else (old | vals)
+        # compare the *union* against the old entry: re-recording values
+        # already present must not mark the state changed, or redundant
+        # set_initial calls trigger spurious extra fixpoint passes
+        new = vals if old is None else intern_values(old | vals)
+        if old != new:
+            self._initial[loc] = new
             self.mark_changed()
 
     def get_initial(self, loc: LocationSet) -> Optional[frozenset]:
@@ -199,7 +315,7 @@ class DenseState(PointsToState):
                 key = normalize_loc(key)
                 vals = normalize_values(vals)
                 old = merged.get(key)
-                merged[key] = vals if old is None else old | vals
+                merged[key] = vals if old is None else intern_values(old | vals)
         self._in[node.uid] = merged
         # out starts as a copy of in; assign() then mutates it in place, and
         # finish_node compares against the previous pass's out map
@@ -244,13 +360,19 @@ class DenseState(PointsToState):
                 changed = True
         else:
             old = out.get(loc, EMPTY)
-            new = old | vals
+            new = intern_values(old | vals)
             if new != old:
                 out[loc] = new
                 changed = True
+        if changed:
+            if strong:
+                self.metrics.strong_updates += 1
+            else:
+                self.metrics.weak_updates += 1
         return changed
 
     def lookup(self, loc: LocationSet, node: Node, before: bool = True) -> frozenset:
+        self.metrics.lookups += 1
         loc = normalize_loc(loc)
         table = self._map_at(node, before)
         hit = table.get(loc)
@@ -265,6 +387,7 @@ class DenseState(PointsToState):
     def lookup_overlapping(
         self, loc: LocationSet, node: Node, width: int = 1, before: bool = True
     ) -> frozenset:
+        self.metrics.lookups += 1
         loc = normalize_loc(loc)
         result: set[LocationSet] = set()
         for key, vals in self._map_at(node, before).items():
@@ -287,17 +410,45 @@ class SparseState(PointsToState):
     graph nodes for the most recent assignment; meet nodes carry φ-functions
     (inserted at iterated dominance frontiers when a location is assigned)
     that combine the values from each predecessor (§4.2, Figure 9).
+
+    The dominator walks are memoized behind generation-invalidated caches;
+    see the module docstring for the invariants.
     """
 
     kind = "sparse"
 
-    def __init__(self, entry: Node) -> None:
-        super().__init__(entry)
+    def __init__(
+        self,
+        entry: Node,
+        lookup_cache: bool = True,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        super().__init__(entry, lookup_cache=lookup_cache, metrics=metrics)
         self._initial: dict[LocationSet, frozenset] = {}
-        #: node uid -> {loc: (values, strong)}
-        self._defs: dict[int, dict[LocationSet, tuple[frozenset, bool]]] = {}
+        #: node uid -> {loc: (values, strong, kill_size)}; kill_size is the
+        #: byte width a strong update overwrote (0 for weak and φ entries)
+        self._defs: dict[int, dict[LocationSet, tuple[frozenset, bool, int]]] = {}
         #: node uid -> φ locations attached to that (meet) node
         self.phis: dict[int, set[LocationSet]] = {}
+        # -- memoization, partitioned per base block (see module docstring);
+        # recording a def for ``loc`` drops only ``loc.base``'s partition.
+        # Two-level layout: the outer key carries everything but the node,
+        # the inner dict is keyed by bare node uid — path compression then
+        # fills int-keyed entries instead of allocating a tuple per node --
+        #: base uid -> {(loc, inclusive, fence uid): {node uid: values}}
+        self._search_cache: dict[int, dict[tuple, dict[int, frozenset]]] = {}
+        #: base uid -> {(loc, width): {node uid: fence node or None}}
+        self._fence_cache: dict[int, dict[tuple, dict[int, Optional[Node]]]] = {}
+        #: base uid -> {(loc, width, before, ptr_version): {node uid: values}}
+        self._overlap_cache: dict[int, dict[tuple, dict[int, frozenset]]] = {}
+        #: (loc, width, pointer_version) -> overlapping registered keys;
+        #: keyed by the block's monotone pointer_version, so *not* cleared
+        #: on value changes — the registry grows far more rarely
+        self._overlap_keys: dict[tuple, tuple[LocationSet, ...]] = {}
+        #: snapshot of the global subsumption epoch; when it moves, def keys
+        #: are renormalized and the memo partitions dropped (lazily — the
+        #: state cannot observe ``subsumed_by`` assignments directly)
+        self._keys_epoch = _blocks.subsumption_epoch()
 
     # -- initial ---------------------------------------------------------
 
@@ -306,10 +457,10 @@ class SparseState(PointsToState):
         vals = normalize_values(values)
         _register(loc)
         old = self._initial.get(loc)
-        new = vals if old is None else old | vals
+        new = vals if old is None else intern_values(old | vals)
         if old != new:
             self._initial[loc] = new
-            self.mark_changed()
+            self._note_write(loc)
 
     def get_initial(self, loc: LocationSet) -> Optional[frozenset]:
         return self._initial.get(normalize_loc(loc))
@@ -332,7 +483,11 @@ class SparseState(PointsToState):
             locs = self.phis.setdefault(meet.uid, set())
             if loc not in locs:
                 locs.add(loc)
-                self.mark_changed()
+                self.metrics.phi_insertions += 1
+                # a pending φ is only visible to lookups once assign_phi
+                # records its value (which invalidates), so bump the
+                # fixpoint counter without dropping any cache partition
+                self.change_counter += 1
 
     # -- transfer ---------------------------------------------------------
 
@@ -356,10 +511,14 @@ class SparseState(PointsToState):
         if not strong:
             # a weak update must preserve what was already visible here
             vals = vals | self._search(loc, node, inclusive=False)
-        new_entry = (vals, strong, size if strong else 0)
+        new_entry = (intern_values(vals), strong, size if strong else 0)
         if old != new_entry:
             defs[loc] = new_entry
-            self.mark_changed()
+            if strong:
+                self.metrics.strong_updates += 1
+            else:
+                self.metrics.weak_updates += 1
+            self._note_write(loc)
             self._insert_phis(loc, node)
             return True
         return False
@@ -377,7 +536,7 @@ class SparseState(PointsToState):
         new_entry = (vals, False, 0)
         if old != new_entry:
             defs[loc] = new_entry
-            self.mark_changed()
+            self._note_write(loc)
             self._insert_phis(loc, node)
             return True
         return False
@@ -385,21 +544,74 @@ class SparseState(PointsToState):
     # -- lookups -----------------------------------------------------------
 
     def lookup(self, loc: LocationSet, node: Node, before: bool = True) -> frozenset:
+        self.metrics.lookups += 1
         loc = normalize_loc(loc)
         return self._search(loc, node, inclusive=not before)
 
-    def _defs_at(self, node: Node, loc: LocationSet) -> Optional[tuple[frozenset, bool]]:
+    def _defs_at(
+        self, node: Node, loc: LocationSet
+    ) -> Optional[tuple[frozenset, bool, int]]:
         defs = self._defs.get(node.uid)
         if defs is None:
             return None
-        hit = defs.get(loc)
-        if hit is not None:
-            return hit
-        # keys may have been recorded pre-subsumption
-        for key, entry in defs.items():
-            if normalize_loc(key) == loc:
-                return entry
-        return None
+        # keys are kept canonical: mark_changed() renormalizes any key whose
+        # base was subsumed, so an exact probe is complete
+        return defs.get(loc)
+
+    # -- cache plumbing ---------------------------------------------------
+
+    def _note_write(self, loc: LocationSet) -> None:
+        """A def/φ/initial entry for ``loc`` changed: bump the fixpoint
+        counter and drop the memo partition of ``loc.base`` (cached answers
+        for other bases cannot depend on this entry)."""
+        self.change_counter += 1
+        uid = loc.base.uid
+        self._search_cache.pop(uid, None)
+        self._fence_cache.pop(uid, None)
+        self._overlap_cache.pop(uid, None)
+
+    def mark_changed(self) -> None:
+        """Non-local change (parameter subsumption, uniqueness downgrade):
+        no single base owns the effect, so drop every memo partition and
+        rewrite def keys whose base parameter was subsumed (§3.2).  The
+        ``_overlap_keys`` table survives: it depends only on the
+        pointer-location registry, whose monotone version is part of its
+        keys."""
+        self.change_counter += 1
+        self._search_cache.clear()
+        self._fence_cache.clear()
+        self._overlap_cache.clear()
+        self._renormalize_def_keys()
+        self._keys_epoch = _blocks.subsumption_epoch()
+
+    def _sync_keys(self) -> None:
+        """Catch up with subsumptions performed since the last lookup:
+        renormalize def keys and drop the memo partitions.  Cheap when
+        nothing happened (one module-attribute compare)."""
+        epoch = _blocks._subsumption_epoch
+        if self._keys_epoch != epoch:
+            self._keys_epoch = epoch
+            self._search_cache.clear()
+            self._fence_cache.clear()
+            self._overlap_cache.clear()
+            self._renormalize_def_keys()
+
+    def _renormalize_def_keys(self) -> None:
+        """Rewrite def keys recorded before their base was subsumed.
+
+        Exact-key probes then stay complete without a linear fallback scan.
+        When the canonical key already has an entry it wins — matching the
+        lookup semantics this replaces, where an exact hit shadowed any
+        stale aliases — and among several stale aliases the first in
+        insertion order is kept.
+        """
+        for defs in self._defs.values():
+            stale = [k for k in defs if k.base.subsumed_by is not None]
+            for k in stale:
+                entry = defs.pop(k)
+                k_n = normalize_loc(k)
+                if k_n not in defs:
+                    defs[k_n] = entry
 
     def _search(
         self,
@@ -408,65 +620,249 @@ class SparseState(PointsToState):
         inclusive: bool,
         fence: Optional[Node] = None,
     ) -> frozenset:
-        """Walk the dominator tree from ``node`` for the latest def of ``loc``.
+        """Memoized dominator-tree search for the latest def of ``loc``.
 
         ``fence`` (a strong-update node) bounds the search: defs at the
         fence itself are visible, anything strictly before it is not.
         """
+        self._sync_keys()
+        if not self.lookup_cache:
+            return self._search_walk(loc, node, inclusive, fence)
+        metrics = self.metrics
+        fence_uid = fence.uid if fence is not None else -1
+        cache = self._search_cache.get(loc.base.uid)
+        if cache is None:
+            cache = self._search_cache[loc.base.uid] = {}
+        key = (loc, inclusive, fence_uid)
+        by_node = cache.get(key)
+        if by_node is None:
+            by_node = cache[key] = {}
+        hit = by_node.get(node.uid)
+        if hit is not None:
+            metrics.cache_hits += 1
+            return hit
+        metrics.cache_misses += 1
+        # the *inclusive* partition doubles as the walk's shortcut table:
+        # the value-after-n cached there is exactly what the remaining walk
+        # from n would compute, so a walk that reaches a warm dominator
+        # stops right there instead of re-walking to the def/entry
+        if inclusive:
+            incl = by_node
+        else:
+            incl = cache.get((loc, True, fence_uid))
+            if incl is None:
+                incl = cache[(loc, True, fence_uid)] = {}
+        trail: list[int] = []
+        result = self._search_walk(loc, node, inclusive, fence, trail, incl)
+        by_node[node.uid] = result
+        # path compression: every dominator whose defs the walk checked and
+        # missed (and the one it stopped at) yields this same answer for an
+        # inclusive search starting there
+        for uid in trail:
+            incl[uid] = result
+        return result
+
+    def _search_walk(
+        self,
+        loc: LocationSet,
+        node: Node,
+        inclusive: bool,
+        fence: Optional[Node] = None,
+        trail: Optional[list[int]] = None,
+        memo: Optional[dict[int, frozenset]] = None,
+    ) -> frozenset:
+        """The raw walk of §4.2 (uncached); ``trail`` collects the uids of
+        nodes at which an inclusive restart would produce the same result.
+
+        ``memo`` is the inclusive-result shortcut table for this
+        (loc, fence) pair: a warm entry at a visited dominator is exactly
+        the remaining walk's answer, so the walk stops there.
+        """
+        steps = 0
         n: Optional[Node] = node
         first = True
+        result = EMPTY
         while n is not None:
             if not first or inclusive:
+                if memo is not None and n is not node:
+                    hit = memo.get(n.uid)
+                    if hit is not None:
+                        result = hit
+                        break
+                if trail is not None:
+                    trail.append(n.uid)
                 hit = self._defs_at(n, loc)
                 if hit is not None:
-                    return normalize_values(hit[0])
+                    result = normalize_values(hit[0])
+                    break
             if fence is not None and n is fence:
-                return EMPTY
+                result = EMPTY
+                break
             if n is self.entry:
-                return normalize_values(self._initial.get(loc, EMPTY))
+                result = normalize_values(self._initial.get(loc, EMPTY))
+                break
             first = False
             n = n.idom
-        return EMPTY
+            steps += 1
+        self.metrics.dom_walk_steps += steps
+        return result
 
-    def _find_strong_fence(self, loc: LocationSet, node: Node, width: int) -> Optional[Node]:
-        """The most recent dominating strong update covering ``loc`` (§4.3)."""
+    def _find_strong_fence(
+        self, loc: LocationSet, node: Node, width: int, inclusive: bool = False
+    ) -> Optional[Node]:
+        """The most recent dominating strong update that overwrote the
+        *entire* ``width``-byte read at ``loc`` (§4.3), memoized.
+
+        Coverage of the full read range is required: a narrower strong
+        update leaves the history of the uncovered bytes visible, exactly
+        as the dense representation's per-key kill does.  ``inclusive``
+        reads (the value *after* the node executes) also see a covering
+        strong update at the node itself.
+        """
+        self._sync_keys()
+        if not self.lookup_cache:
+            return self._fence_walk(loc, node, width, inclusive)
+        metrics = self.metrics
+        cache = self._fence_cache.get(loc.base.uid)
+        if cache is None:
+            cache = self._fence_cache[loc.base.uid] = {}
+        by_node = cache.get((loc, width, inclusive))
+        if by_node is None:
+            by_node = cache[(loc, width, inclusive)] = {}
+        hit = by_node.get(node.uid, _MISS)
+        if hit is not _MISS:
+            metrics.cache_hits += 1
+            return hit  # type: ignore[return-value]
+        metrics.cache_misses += 1
+        # inclusive partition = mid-walk shortcut table (see _search)
+        if inclusive:
+            incl = by_node
+        else:
+            incl = cache.get((loc, width, True))
+            if incl is None:
+                incl = cache[(loc, width, True)] = {}
+        trail: list[int] = []
+        result = self._fence_walk(loc, node, width, inclusive, trail, incl)
+        by_node[node.uid] = result
+        for uid in trail:
+            incl[uid] = result
+        return result
+
+    def _fence_walk(
+        self,
+        loc: LocationSet,
+        node: Node,
+        width: int,
+        inclusive: bool = False,
+        trail: Optional[list[int]] = None,
+        memo: Optional[dict[int, Optional[Node]]] = None,
+    ) -> Optional[Node]:
+        steps = 0
         n: Optional[Node] = node
         first = True
+        result: Optional[Node] = None
         while n is not None:
-            defs = self._defs.get(n.uid)
-            if defs is not None and not first:
-                for key, (vals, strong, kill_size) in defs.items():
-                    if not strong:
-                        continue
-                    key_n = normalize_loc(key)
-                    if key_n.base is loc.base and key_n.overlaps(
-                        loc, width=max(kill_size, width), other_width=1
-                    ):
-                        return n
+            if not first or inclusive:
+                if memo is not None and n is not node:
+                    hit = memo.get(n.uid, _MISS)
+                    if hit is not _MISS:
+                        result = hit  # type: ignore[assignment]
+                        break
+                defs = self._defs.get(n.uid)
+                if defs is not None and self._has_covering_strong_def(
+                    defs, loc, width
+                ):
+                    result = n
+                    break
+                # no covering strong def here: a restart from n checks (or
+                # skips) its own clean defs and then walks the same ancestors
+                if trail is not None:
+                    trail.append(n.uid)
             if n is self.entry:
-                return None
+                break
             first = False
             n = n.idom
-        return None
+            steps += 1
+        self.metrics.dom_walk_steps += steps
+        return result
+
+    @staticmethod
+    def _has_covering_strong_def(
+        defs: dict[LocationSet, tuple[frozenset, bool, int]],
+        loc: LocationSet,
+        width: int,
+    ) -> bool:
+        for key, (_vals, strong, kill_size) in defs.items():
+            if not strong:
+                continue
+            key_n = normalize_loc(key)
+            if key_n.base is not loc.base:
+                continue
+            if key_n.stride or loc.stride:
+                # strong updates only target stride-0 unique sets (§4.1);
+                # a strided read is never fully covered by one store
+                continue
+            if (
+                key_n.offset <= loc.offset
+                and key_n.offset + max(kill_size, 1) >= loc.offset + width
+            ):
+                return True
+        return False
+
+    def _overlapping_keys(self, loc: LocationSet, width: int) -> tuple[LocationSet, ...]:
+        """Registered pointer locations of ``loc.base`` that a ``width``-byte
+        read at ``loc`` can touch, cached per registry version."""
+        base = loc.base
+        cache_key = (loc, width, base.pointer_version)
+        if self.lookup_cache:
+            hit = self._overlap_keys.get(cache_key)
+            if hit is not None:
+                return hit
+        keys: list[LocationSet] = []
+        for offset, stride in sorted(base.pointer_locations):
+            key = intern_locset(LocationSet(base, offset, stride))
+            if loc.overlaps(key, width=width, other_width=1):
+                keys.append(key)
+        result = tuple(keys)
+        if self.lookup_cache:
+            self._overlap_keys[cache_key] = result
+        return result
 
     def lookup_overlapping(
         self, loc: LocationSet, node: Node, width: int = 1, before: bool = True
     ) -> frozenset:
+        metrics = self.metrics
+        metrics.lookups += 1
+        self._sync_keys()
         loc = normalize_loc(loc)
+        by_node = None
+        if self.lookup_cache:
+            cache = self._overlap_cache.get(loc.base.uid)
+            if cache is None:
+                cache = self._overlap_cache[loc.base.uid] = {}
+            cache_key = (loc, width, before, loc.base.pointer_version)
+            by_node = cache.get(cache_key)
+            if by_node is None:
+                by_node = cache[cache_key] = {}
+            hit = by_node.get(node.uid)
+            if hit is not None:
+                metrics.cache_hits += 1
+                return hit
+            metrics.cache_misses += 1
         fence: Optional[Node] = None
         if loc.is_unique:
-            fence = self._find_strong_fence(loc, node, width=4)
+            fence = self._find_strong_fence(
+                loc, node, width=width, inclusive=not before
+            )
         result: set[LocationSet] = set()
-        seen: set[tuple[int, int]] = set()
-        for offset, stride in list(loc.base.pointer_locations):
-            if (offset, stride) in seen:
-                continue
-            seen.add((offset, stride))
-            key = LocationSet(loc.base, offset, stride)
-            if not loc.overlaps(key, width=width, other_width=1):
-                continue
+        for key in self._overlapping_keys(loc, width):
             result |= self._search(key, node, inclusive=not before, fence=fence)
-        return frozenset(result)
+        # normalize like DenseState.lookup_overlapping does: values recorded
+        # before their base parameter was subsumed must not leak through
+        out = normalize_values(frozenset(result))
+        if by_node is not None:
+            by_node[node.uid] = out
+        return out
 
     def summary(self, exit_node: Node) -> dict[LocationSet, frozenset]:
         out: dict[LocationSet, frozenset] = {}

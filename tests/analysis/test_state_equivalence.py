@@ -1,0 +1,201 @@
+"""Property test: dense and sparse states agree on randomized sequences.
+
+Hypothesis drives random assignment/φ sequences over linear and diamond
+flow graphs and checks that
+
+* ``DenseState`` and ``SparseState`` return identical ``lookup``,
+  ``lookup_overlapping`` and ``summary`` results at every node,
+* the sparse state answers identically with the lookup memoization
+  enabled and disabled — including when lookups are interleaved with the
+  writes, which exercises invalidation rather than just cold-cache
+  warmup,
+* an optional parameter subsumption mid-sequence does not break either
+  equivalence.
+
+This is the state-level counterpart of ``test_property.py`` (which
+compares whole analyses over generated C sources): it reaches operation
+interleavings the evaluator never produces, which is exactly where a
+stale-cache bug would hide.
+
+The generated operations stay inside the domain over which the two
+representations promise equivalence, mirroring what the evaluator emits:
+strong updates are word-sized (``size=4``) at word-aligned stride-0
+locations, and writes never go through the strided whole-block set (the
+dense representation models a covering strong update by *deleting* the
+overlapping entries — precise for reads the update covers, exactly like
+the sparse fence — at the cost of the uncovered-read history the sparse
+walk retains; mixed-width kills and strided entries answer differently
+there by design).  Strided and unaligned location sets still appear as
+*probes*, and reads of width 1/4/8 run against word-sized updates, so the
+fence-coverage logic is exercised from both sides.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.dominators import finalize_graph
+from repro.ir.nodes import BranchNode, EntryNode, ExitNode, MeetNode
+from repro.memory.blocks import ExtendedParameter, HeapBlock, LocalBlock
+from repro.memory.locset import LocationSet
+from repro.memory.pointsto import DenseState, SparseState
+
+
+class FakeProc:
+    name = "fake"
+
+
+def linear_graph(n):
+    proc = FakeProc()
+    entry = EntryNode(proc)
+    nodes = [BranchNode(proc) for _ in range(n)]
+    exit_ = ExitNode(proc)
+    prev = entry
+    for nd in nodes:
+        prev.add_succ(nd)
+        prev = nd
+    prev.add_succ(exit_)
+    finalize_graph(entry)
+    # (ordered nodes, assignable nodes, meet nodes)
+    return entry, [entry, *nodes, exit_], nodes, [], exit_
+
+
+def diamond_graph():
+    proc = FakeProc()
+    entry = EntryNode(proc)
+    branch = BranchNode(proc)
+    left = BranchNode(proc)
+    right = BranchNode(proc)
+    meet = MeetNode(proc)
+    tail = BranchNode(proc)
+    exit_ = ExitNode(proc)
+    entry.add_succ(branch)
+    branch.add_succ(left)
+    branch.add_succ(right)
+    left.add_succ(meet)
+    right.add_succ(meet)
+    meet.add_succ(tail)
+    tail.add_succ(exit_)
+    finalize_graph(entry)
+    ordered = [entry, branch, left, right, meet, tail, exit_]
+    return entry, ordered, [branch, left, right, tail], [meet], exit_
+
+
+def make_pool():
+    """Fresh blocks/locations per example (uids must not leak across)."""
+    s = LocalBlock("s", "fake", size=8)
+    h = HeapBlock("site")
+    p1 = ExtendedParameter("1_p", "fake")
+    p2 = ExtendedParameter("2_p", "fake")
+    targets = [
+        LocationSet(LocalBlock("t1", "fake"), 0, 0),
+        LocationSet(LocalBlock("t2", "fake"), 0, 0),
+        LocationSet(p1, 0, 0),
+    ]
+    # writes: word-aligned stride-0 sets only (see module docstring)
+    write_locs = [
+        LocationSet(s, 0, 0),
+        LocationSet(s, 4, 0),
+        LocationSet(h, 0, 0),
+        LocationSet(p1, 0, 0),
+    ]
+    # probes additionally cover the strided whole-block set
+    probe_locs = [*write_locs, LocationSet(s, 0, 1)]
+    return write_locs, probe_locs, targets, p1, p2
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 99),  # node pick (mod #assignable)
+        st.integers(0, 3),  # write loc pick
+        st.sets(st.integers(0, 2), max_size=3),  # value pick
+        st.booleans(),  # want strong
+        st.booleans(),  # interleave a lookup after this op
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    graph_kind=st.sampled_from(["linear3", "linear5", "diamond"]),
+    ops=ops_strategy,
+    subsume=st.booleans(),
+    probe_width=st.sampled_from([1, 4, 8]),
+)
+def test_dense_sparse_and_cache_equivalence(graph_kind, ops, subsume, probe_width):
+    if graph_kind == "diamond":
+        entry, ordered, assignable, meets, exit_ = diamond_graph()
+    else:
+        n = 3 if graph_kind == "linear3" else 5
+        entry, ordered, assignable, meets, exit_ = linear_graph(n)
+    write_locs, probe_locs, targets, p1, p2 = make_pool()
+
+    dense = DenseState(entry)
+    cached = SparseState(entry, lookup_cache=True)
+    plain = SparseState(entry, lookup_cache=False)
+    states = (dense, cached, plain)
+
+    # Route each op to a *distinct* node (picked pseudo-randomly from the
+    # unused ones), then replay in topological order so the dense state's
+    # merge_at discipline is respected.  One assignment per node mirrors
+    # the evaluator: the representations make no intra-node ordering
+    # promise (dense applies a node's ops sequentially, sparse's per-node
+    # def map is unordered), so two ops on one node would compare
+    # semantics neither ever exhibits.
+    unused = list(assignable)
+    by_node: dict[int, list] = {}
+    for node_pick, loc_pick, val_pick, want_strong, probe in ops:
+        if not unused:
+            break
+        node = unused.pop(node_pick % len(unused))
+        by_node[node.uid] = [(loc_pick, val_pick, want_strong, probe)]
+
+    evaluated: set[int] = set()
+    for node in ordered:
+        if node is not entry:
+            dense.merge_at(node, evaluated)
+        if node in meets:
+            # evaluate pending φs the way the evaluator would
+            for phi_loc in sorted(
+                cached.phi_locations(node),
+                key=lambda l: (l.base.uid, l.offset, l.stride),
+            ):
+                for sp in (cached, plain):
+                    merged = frozenset()
+                    for pred in node.preds:
+                        merged |= sp.lookup(phi_loc, pred, before=False)
+                    sp.assign_phi(phi_loc, merged, node)
+        for loc_pick, val_pick, want_strong, probe in by_node.get(node.uid, ()):
+            loc = write_locs[loc_pick]
+            values = frozenset(targets[i] for i in sorted(val_pick))
+            strong = want_strong and loc.is_unique
+            for stt in states:
+                stt.assign(loc, values, node, strong=strong, size=4)
+            if probe:  # interleaved lookups: hit the caches mid-sequence
+                got = [
+                    stt.lookup_overlapping(loc, node, width=probe_width, before=False)
+                    for stt in states
+                ]
+                assert got[0] == got[1] == got[2]
+        evaluated.add(node.uid)
+
+    if subsume:
+        p1.subsumed_by = p2
+        # dense observes subsumption lazily; sparse via the global epoch
+
+    for node in ordered[1:]:
+        for loc in probe_locs:
+            d = dense.lookup_overlapping(loc, node, width=probe_width, before=False)
+            c = cached.lookup_overlapping(loc, node, width=probe_width, before=False)
+            p = plain.lookup_overlapping(loc, node, width=probe_width, before=False)
+            assert c == p, (str(loc), node.uid, c, p)
+            assert d == c, (str(loc), node.uid, d, c)
+            lc = cached.lookup(loc, node, before=False)
+            lp = plain.lookup(loc, node, before=False)
+            assert lc == lp
+
+    assert cached.summary(exit_) == plain.summary(exit_)
+    assert dense.summary(exit_) == cached.summary(exit_)

@@ -1,5 +1,7 @@
 """Command-line interface tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -47,6 +49,60 @@ class TestAnalyze:
 
     def test_missing_file(self, capsys):
         assert main(["analyze", "/no/such/file.c"]) == 2
+
+
+class TestStatsJson:
+    def test_bare_flag_dumps_to_stdout(self, prog_file, capsys):
+        assert main(["analyze", prog_file, "--stats-json"]) == 0
+        out = capsys.readouterr().out
+        start = out.index("{")
+        stats = json.loads(out[start : out.rindex("}") + 1])
+        assert stats["lookup_cache"] is True
+        assert stats["state_kind"] == "sparse"
+        assert stats["counters"]["lookups"] > 0
+        assert stats["counters"]["eval_passes"] > 0
+        assert 0.0 <= stats["cache_hit_rate"] <= 1.0
+        assert "analysis" in stats["timers"]["phases"]
+        assert "main" in stats["timers"]["procedures"]
+
+    def test_path_writes_file(self, prog_file, tmp_path, capsys):
+        dest = tmp_path / "stats.json"
+        assert main(["analyze", prog_file, "--stats-json", str(dest)]) == 0
+        stats = json.loads(dest.read_text())
+        assert stats["counters"]["dom_walk_steps"] >= 0
+        assert stats["elapsed_seconds"] >= 0
+        # the human-readable report still goes to stdout
+        assert "procedures" in capsys.readouterr().out
+
+    def test_no_lookup_cache_flag(self, prog_file, tmp_path, capsys):
+        dest = tmp_path / "stats.json"
+        assert (
+            main(
+                [
+                    "analyze",
+                    prog_file,
+                    "--no-lookup-cache",
+                    "--stats-json",
+                    str(dest),
+                ]
+            )
+            == 0
+        )
+        stats = json.loads(dest.read_text())
+        assert stats["lookup_cache"] is False
+        assert stats["counters"]["cache_hits"] == 0
+        assert stats["counters"]["cache_misses"] == 0
+        assert stats["counters"]["dom_walk_steps"] > 0
+
+    def test_cache_modes_agree_on_points_to(self, prog_file, capsys):
+        assert main(["analyze", prog_file, "--points-to", "q"]) == 0
+        with_cache = capsys.readouterr().out
+        assert (
+            main(["analyze", prog_file, "--no-lookup-cache", "--points-to", "q"])
+            == 0
+        )
+        without = capsys.readouterr().out
+        assert with_cache == without
 
     def test_parse_error_exit_code(self, tmp_path, capsys):
         bad = tmp_path / "bad.c"
