@@ -261,6 +261,25 @@ class Frame:
                 return
             caller_vals = self._caller_values(caller_locs, size)
             targets = self.to_callee_targets(caller_vals, loc)
+            prov = self.analyzer.provenance
+            if prov is not None:
+                # the caller-space locations are the chain's next hops
+                prov.set_initial_context(
+                    sources=tuple(
+                        sorted(str(normalize_loc(cl)) for cl in caller_locs)
+                    ),
+                    detail="input fetched from calling context",
+                )
+            tr = self.analyzer.trace
+            if tr is not None:
+                tr.instant(
+                    "initial_fetch",
+                    "interproc",
+                    proc=self.proc.name,
+                    ptf=self.ptf.uid,
+                    loc=str(loc),
+                    targets=len(targets),
+                )
             self.ptf.add_initial_entry(loc, targets)
             self.ptf.snapshot_pointer_versions(self.param_map)
             self.analyzer.metrics.initial_fetches += 1
@@ -274,6 +293,21 @@ class Frame:
                 return
             caller_vals = self._actual_values(symbol.name, loc)
             targets = self.to_callee_targets(caller_vals, loc)
+            prov = self.analyzer.provenance
+            if prov is not None:
+                prov.set_initial_context(
+                    detail=f"actual argument bound to formal {symbol.name}",
+                )
+            tr = self.analyzer.trace
+            if tr is not None:
+                tr.instant(
+                    "initial_fetch",
+                    "interproc",
+                    proc=self.proc.name,
+                    ptf=self.ptf.uid,
+                    loc=str(loc),
+                    targets=len(targets),
+                )
             self.ptf.add_initial_entry(loc, targets)
             self.analyzer.metrics.initial_fetches += 1
             self.changed = True

@@ -12,7 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..diagnostics import Metrics
+from ..diagnostics import Metrics, ProvenanceLog, Tracer
 from ..frontend.ctypes_model import WORD_SIZE
 from ..ir.program import Procedure, Program
 from ..memory.blocks import GlobalBlock, HeapBlock
@@ -63,6 +63,16 @@ class AnalyzerOptions:
     #: points-to results (the caches are pure memoization) and exists for
     #: the before/after benchmark and as a debugging escape hatch
     lookup_cache: bool = True
+    #: optional :class:`repro.diagnostics.trace.Tracer` collecting the
+    #: hierarchical span/event trace (driver phases, per-procedure
+    #: evaluations, fixpoint passes, interprocedural events).  ``None``
+    #: (the default) disables tracing entirely: instrument sites cost one
+    #: ``is not None`` check, results and metrics are bit-identical
+    trace: Optional[Tracer] = None
+    #: when True, every points-to derivation is recorded in
+    #: ``Analyzer.provenance`` (a ProvenanceLog) so ``repro explain`` can
+    #: answer "why does p point to x?"; off by default (same contract)
+    provenance: bool = False
 
 
 class Analyzer(InterproceduralMixin):
@@ -83,6 +93,13 @@ class Analyzer(InterproceduralMixin):
         #: hot-path counters and phase/procedure timers, shared by every
         #: points-to state this analyzer creates
         self.metrics = Metrics()
+        #: optional span/event tracer; instrument sites hold this in a
+        #: local and guard with ``is not None`` (no cost when disabled)
+        self.trace: Optional[Tracer] = self.options.trace
+        #: optional points-to derivation log for ``repro explain``
+        self.provenance: Optional[ProvenanceLog] = (
+            ProvenanceLog(tracer=self.trace) if self.options.provenance else None
+        )
         self.stats: dict[str, int] = {
             "ptf_created": 0,
             "ptf_reuses": 0,
@@ -133,6 +150,7 @@ class Analyzer(InterproceduralMixin):
             state_kind=self.options.state_kind,
             lookup_cache=self.options.lookup_cache,
             metrics=self.metrics,
+            provenance=self.provenance,
         )
         self.ptfs.setdefault(proc.name, []).append(ptf)
         self._ptf_by_uid[ptf.uid] = ptf
@@ -141,25 +159,48 @@ class Analyzer(InterproceduralMixin):
     # -- driver -----------------------------------------------------------
 
     def run(self) -> "Analyzer":
+        tr = self.trace
         start = time.perf_counter()
-        with self.metrics.phase("finalize"):
-            self.program.finalize()
-        main = self.program.main
-        ptf = self.new_ptf(main)
-        param_map = self._main_param_map(main)
-        frame = Frame(self, main, ptf, param_map, None, self.root)
-        self.main_frame = frame
-        ptf.current_map = param_map
-        ptf.analyzing = True
-        self.stack.append(frame)
+        if tr is not None:
+            tr.begin("analyze", "driver", program=self.program.name)
         try:
-            with self.metrics.phase("analysis"):
-                ProcEvaluator(self, frame).run()
+            if tr is not None:
+                tr.begin("finalize", "phase")
+            try:
+                with self.metrics.phase("finalize"):
+                    self.program.finalize()
+            finally:
+                if tr is not None:
+                    tr.end("finalize", "phase")
+            main = self.program.main
+            ptf = self.new_ptf(main)
+            param_map = self._main_param_map(main)
+            frame = Frame(self, main, ptf, param_map, None, self.root)
+            self.main_frame = frame
+            ptf.current_map = param_map
+            ptf.analyzing = True
+            self.stack.append(frame)
+            if tr is not None:
+                tr.begin("analysis", "phase")
+            try:
+                with self.metrics.phase("analysis"):
+                    ProcEvaluator(self, frame).run()
+            finally:
+                self.stack.pop()
+                ptf.analyzing = False
+                if tr is not None:
+                    tr.end("analysis", "phase")
+            if tr is not None:
+                tr.begin("summary", "phase")
+            try:
+                with self.metrics.phase("summary"):
+                    ptf.summary()
+            finally:
+                if tr is not None:
+                    tr.end("summary", "phase")
         finally:
-            self.stack.pop()
-            ptf.analyzing = False
-        with self.metrics.phase("summary"):
-            ptf.summary()
+            if tr is not None:
+                tr.end("analyze", "driver")
         self.elapsed_seconds = time.perf_counter() - start
         # surface the hot-path counters next to the interprocedural ones
         self.stats.update(self.metrics.counters())

@@ -129,6 +129,15 @@ class InterproceduralMixin:
             head_ptf = on_stack.ptf
             head_ptf.is_recursive = True
             self.stats["recursive_calls"] += 1
+            tr = self.trace
+            if tr is not None:
+                tr.instant(
+                    "recursive_call",
+                    "interproc",
+                    proc=proc.name,
+                    head_ptf=head_ptf.uid,
+                    call_site=node.site,
+                )
             self._merge_recursive_domain(frame, node, head_ptf, map_)
             if not head_ptf.summary():
                 if node.uid not in frame.deferred:
@@ -155,20 +164,36 @@ class InterproceduralMixin:
         to a fixpoint when the procedure heads a recursive cycle."""
         from .intra import ProcEvaluator
 
-        for _ in range(self.options.max_recursion_iters):
-            child = Frame(self, proc, ptf, map_, node, frame)
-            ptf.current_map = map_
-            ptf.analyzing = True
-            self.stack.append(child)
-            try:
-                ProcEvaluator(self, child).run()
-            finally:
-                self.stack.pop()
-                ptf.analyzing = False
-            gen_before = ptf.summary_generation
-            ptf.summary()  # refresh cache, possibly bumping the generation
-            if not ptf.is_recursive or ptf.summary_generation == gen_before:
-                break
+        tr = self.trace
+        if tr is not None:
+            tr.begin("analyze_ptf", "interproc", proc=proc.name, ptf=ptf.uid)
+        iterations = 0
+        try:
+            for _ in range(self.options.max_recursion_iters):
+                iterations += 1
+                child = Frame(self, proc, ptf, map_, node, frame)
+                ptf.current_map = map_
+                ptf.analyzing = True
+                self.stack.append(child)
+                try:
+                    ProcEvaluator(self, child).run()
+                finally:
+                    self.stack.pop()
+                    ptf.analyzing = False
+                gen_before = ptf.summary_generation
+                ptf.summary()  # refresh cache, possibly bumping the generation
+                if not ptf.is_recursive or ptf.summary_generation == gen_before:
+                    break
+        finally:
+            if tr is not None:
+                tr.end(
+                    "analyze_ptf",
+                    "interproc",
+                    proc=proc.name,
+                    ptf=ptf.uid,
+                    iterations=iterations,
+                    pattern=ptf.alias_pattern(),
+                )
         ptf.snapshot_pointer_versions(map_)
         self.stats["ptf_analyses"] += 1
 
@@ -243,6 +268,8 @@ class InterproceduralMixin:
     ) -> tuple[PTF, bool]:
         home_key = (node.uid, frame.ptf.uid if frame.ptf is not None else -1)
         home: Optional[PTF] = None
+        tr = self.trace
+        tried = 0
         # Emami mode (§6 ablation): only the same call site in the same
         # caller context may reuse a summary — cross-site reuse is what the
         # paper adds, so turning it off reproduces reanalysis-per-context
@@ -262,19 +289,55 @@ class InterproceduralMixin:
                     need_visit = True
                 if self._stale_recursive_deps(candidate):
                     need_visit = True
+                    if tr is not None:
+                        tr.instant(
+                            "ptf.invalidate",
+                            "interproc",
+                            proc=proc.name,
+                            ptf=candidate.uid,
+                            reason="recursive summary grew",
+                        )
                 self.stats["ptf_reuses"] += 1
+                if tr is not None:
+                    tr.instant(
+                        "ptf.reuse",
+                        "interproc",
+                        proc=proc.name,
+                        ptf=candidate.uid,
+                        pattern=candidate.alias_pattern(),
+                        call_site=node.site,
+                        revisit=need_visit,
+                        tried=tried,
+                    )
                 # a PTF created for an *intermediate* input of this same
                 # call site is now superseded by the matching one: drop it
                 # (§5.2 keeps one PTF per converged input pattern, not one
                 # per fixpoint-iteration artifact)
                 self._drop_orphan_home(proc, candidate, home_key)
                 return candidate, need_visit
+            tried += 1
             if candidate.home == home_key:
                 home = candidate
+        if tr is not None and tried:
+            tr.instant(
+                "ptf.miss",
+                "interproc",
+                proc=proc.name,
+                call_site=node.site,
+                tried=tried,
+            )
         if home is not None:
             # same call site, new inputs mid-iteration: update in place
             home.reset()
             self.stats["ptf_home_updates"] += 1
+            if tr is not None:
+                tr.instant(
+                    "ptf.home_update",
+                    "interproc",
+                    proc=proc.name,
+                    ptf=home.uid,
+                    call_site=node.site,
+                )
             return home, True
         if len(self.ptfs.get(proc.name, ())) >= self.options.ptf_limit:
             # §8: beyond the limit, generalize instead of multiplying PTFs —
@@ -282,10 +345,27 @@ class InterproceduralMixin:
             fallback = self.ptfs[proc.name][0]
             self._merge_into_ptf(frame, node, fallback, map_)
             self.stats["ptf_generalized"] = self.stats.get("ptf_generalized", 0) + 1
+            if tr is not None:
+                tr.instant(
+                    "ptf.generalize",
+                    "interproc",
+                    proc=proc.name,
+                    ptf=fallback.uid,
+                    call_site=node.site,
+                    limit=self.options.ptf_limit,
+                )
             return fallback, True
         ptf = self.new_ptf(proc)
         ptf.home = home_key
         self.stats["ptf_created"] += 1
+        if tr is not None:
+            tr.instant(
+                "ptf.create",
+                "interproc",
+                proc=proc.name,
+                ptf=ptf.uid,
+                call_site=node.site,
+            )
         return ptf, True
 
     def _drop_orphan_home(self, proc: Procedure, keep: PTF, home_key: tuple) -> None:
@@ -530,29 +610,66 @@ class InterproceduralMixin:
     ) -> None:
         self._bind_global_params(ptf, frame, map_)
         summary = ptf.summary()
+        tr = self.trace
+        if tr is not None:
+            tr.instant(
+                "apply_summary",
+                "interproc",
+                proc=ptf.proc.name,
+                ptf=ptf.uid,
+                call_site=node.site,
+                entries=len(summary),
+                weak=weak,
+            )
+        prov = self.provenance
         return_values: dict[int, frozenset] = {}
         site = node.site
-        for loc, vals in summary.items():
-            caller_vals = self._translate_values(vals, map_, site)
-            base = loc.base
-            if isinstance(base, ReturnBlock):
-                if base.proc_name == ptf.proc.name:
-                    old = return_values.get(loc.offset, EMPTY)
-                    return_values[loc.offset] = old | caller_vals
-                continue
-            caller_dsts = self._translate_location(loc, map_, site)
-            if not caller_dsts:
-                continue
-            strong = (
-                not weak
-                and self.options.strong_updates
-                and len(caller_dsts) == 1
-                and next(iter(caller_dsts)).is_unique
-            )
-            for dst in caller_dsts:
-                frame.assign(dst, caller_vals, node, strong)
+        try:
+            for loc, vals in summary.items():
+                caller_vals = self._translate_values(vals, map_, site)
+                base = loc.base
+                if isinstance(base, ReturnBlock):
+                    if base.proc_name == ptf.proc.name:
+                        old = return_values.get(loc.offset, EMPTY)
+                        return_values[loc.offset] = old | caller_vals
+                    continue
+                caller_dsts = self._translate_location(loc, map_, site)
+                if not caller_dsts:
+                    continue
+                strong = (
+                    not weak
+                    and self.options.strong_updates
+                    and len(caller_dsts) == 1
+                    and next(iter(caller_dsts)).is_unique
+                )
+                if prov is not None:
+                    # the callee-space location is the chain's next hop: its
+                    # own derivations were recorded while the PTF was analyzed
+                    prov.set_context(
+                        "summary",
+                        sources=(str(normalize_loc(loc)),),
+                        detail=f"summary of {ptf.proc.name} PTF#{ptf.uid}",
+                    )
+                for dst in caller_dsts:
+                    frame.assign(dst, caller_vals, node, strong)
+        finally:
+            if prov is not None:
+                prov.clear_context()
         if node.dst is not None and return_values:
-            self._assign_return(frame, node, return_values, weak)
+            if prov is not None:
+                prov.set_context(
+                    "summary",
+                    sources=tuple(
+                        str(LocationSet(ptf.proc.return_block, off, 0))
+                        for off in sorted(return_values)
+                    ),
+                    detail=f"return of {ptf.proc.name} PTF#{ptf.uid}",
+                )
+            try:
+                self._assign_return(frame, node, return_values, weak)
+            finally:
+                if prov is not None:
+                    prov.clear_context()
 
     def _bind_global_params(self, ptf: PTF, frame: Frame, map_: ParamMap) -> None:
         """Global parameters are structural: they always map to the caller's
@@ -640,6 +757,15 @@ class InterproceduralMixin:
         self, frame: Frame, evaluator: "ProcEvaluator", node: CallNode, name: str
     ) -> None:
         self.stats["external_calls"] += 1
+        tr = self.trace
+        if tr is not None:
+            tr.instant(
+                "external_call",
+                "interproc",
+                name=name,
+                policy=self.options.external_policy,
+                call_site=node.site,
+            )
         if self.options.external_policy == "ignore":
             return
         # havoc: anything reachable from the arguments may be overwritten
@@ -653,14 +779,23 @@ class InterproceduralMixin:
             {LocationSet(external, 0, 1)}
             | {v.blurred() for v in reachable}
         )
-        for target in reachable:
-            if isinstance(target.base, (ProcedureBlock, StringBlock)):
-                continue
-            frame.assign(target.blurred(), pool, node, False)
-        if node.dst is not None:
-            dsts = evaluator.eval_loc(node.dst, node)
-            for dst in dsts:
-                frame.assign(dst, pool, node, len(dsts) == 1 and dst.is_unique)
+        prov = self.provenance
+        if prov is not None:
+            prov.set_context("external", detail=f"havoc by extern {name}")
+        try:
+            for target in reachable:
+                if isinstance(target.base, (ProcedureBlock, StringBlock)):
+                    continue
+                frame.assign(target.blurred(), pool, node, False)
+            if node.dst is not None:
+                dsts = evaluator.eval_loc(node.dst, node)
+                for dst in dsts:
+                    frame.assign(
+                        dst, pool, node, len(dsts) == 1 and dst.is_unique
+                    )
+        finally:
+            if prov is not None:
+                prov.clear_context()
 
     def _external_block(self, name: str) -> GlobalBlock:
         blocks = self.__dict__.setdefault("_external_blocks", {})

@@ -18,7 +18,6 @@ location (§4.1).
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING, Optional
 
 from ..frontend.ctypes_model import WORD_SIZE
@@ -68,25 +67,39 @@ class ProcEvaluator:
     def run(self) -> None:
         """Iterate the procedure body to a local fixpoint.
 
-        Wall-clock time is attributed to this procedure *inclusively* (time
-        spent in callees analyzed from its call sites counts here too), and
-        each full pass over the body bumps the ``eval_passes`` counter.
+        Wall-clock time lands in two buckets: this procedure's *inclusive*
+        time (callees analyzed from its call sites count here too) and its
+        *exclusive* self-time (inclusive minus nested callee evaluations),
+        split by :meth:`Metrics.start_proc`/:meth:`Metrics.end_proc`.  Each
+        full pass over the body bumps the ``eval_passes`` counter, and when
+        tracing is on the evaluation becomes an ``eval`` span containing one
+        ``pass`` complete-event per iteration.
         """
         metrics = self.analyzer.metrics
-        start = time.perf_counter()
+        tr = self.analyzer.trace
+        metrics.start_proc(self.proc.name)
+        if tr is not None:
+            tr.begin(
+                f"eval {self.proc.name}",
+                "proc",
+                proc=self.proc.name,
+                ptf=self.frame.ptf.uid,
+            )
         passes = 0
         try:
             passes = self._run_passes()
         finally:
-            metrics.add_proc_time(
-                self.proc.name, time.perf_counter() - start, passes
-            )
+            metrics.end_proc(passes)
+            if tr is not None:
+                tr.end(f"eval {self.proc.name}", "proc", passes=passes)
 
     def _run_passes(self) -> int:
         max_passes = self.analyzer.options.max_passes
         metrics = self.analyzer.metrics
+        tr = self.analyzer.trace
         passes = 0
         while True:
+            t0 = tr.now_us() if tr is not None else 0
             before = self.state.change_counter
             self.frame.changed = False
             for node in self.proc.rpo:
@@ -108,7 +121,18 @@ class ProcEvaluator:
                 self.evaluated.add(node.uid)
             passes += 1
             metrics.eval_passes += 1
-            if self.state.change_counter == before and not self.frame.changed:
+            converged = self.state.change_counter == before and not self.frame.changed
+            if tr is not None:
+                tr.complete(
+                    "pass",
+                    "pass",
+                    t0,
+                    tr.now_us() - t0,
+                    proc=self.proc.name,
+                    index=passes,
+                    changed=not converged,
+                )
+            if converged:
                 return passes
             if passes >= max_passes:
                 raise AnalysisBudgetExceeded(
@@ -163,8 +187,32 @@ class ProcEvaluator:
             and len(dsts) == 1
             and dsts[0].is_unique
         )
-        for dst in dsts:
-            self.frame.assign(dst, srcs, node, strong, size=node.size)
+        prov = self.state.provenance
+        if prov is not None:
+            prov.set_context("assign", sources=self._source_locs(node))
+        try:
+            for dst in dsts:
+                self.frame.assign(dst, srcs, node, strong, size=node.size)
+        finally:
+            if prov is not None:
+                prov.clear_context()
+
+    def _source_locs(self, node: AssignNode) -> tuple[str, ...]:
+        """Canonical strings of the locations whose *contents* flow into
+        this assignment (provenance chain sources).  Address-of and unknown
+        terms are chain terminators and contribute nothing."""
+        out: list[str] = []
+
+        def visit(terms) -> None:
+            for term in terms:
+                if isinstance(term, ContentsTerm):
+                    for loc in self.eval_loc(term.loc, node):
+                        out.append(str(normalize_loc(loc)))
+                elif isinstance(term, AdjustTerm):
+                    visit(term.value.terms)
+
+        visit(node.src.terms)
+        return tuple(dict.fromkeys(out))
 
     def eval_aggregate_assign(self, node: AssignNode, dsts: list[LocationSet]) -> None:
         """Multi-word copy: move pointer fields at matching offsets (§4.4)."""
@@ -193,31 +241,42 @@ class ProcEvaluator:
             elif isinstance(term, AdjustTerm):
                 vals = self._eval_adjust(term, node)
                 copied.setdefault(0, set()).update(vals)
-        if strong:
-            # one strong write per copied offset; the offset-0 write
-            # carries the full copy width so it kills every stale pointer
-            # within the copied range
-            dst = dsts[0]
-            self.frame.assign(
-                dst, frozenset(copied.get(0, set())), node, True, size=node.size
+        prov = self.state.provenance
+        if prov is not None:
+            prov.set_context(
+                "assign", sources=self._source_locs(node), detail="aggregate copy"
             )
-            for delta, vals in sorted(copied.items()):
-                if delta == 0:
-                    continue
-                target = dst.with_offset(delta) if dst.stride == 0 else dst
-                self.frame.assign(target, frozenset(vals), node, True, size=WORD_SIZE)
-        else:
-            for delta, vals in sorted(copied.items()):
-                for dst in dsts:
+        try:
+            if strong:
+                # one strong write per copied offset; the offset-0 write
+                # carries the full copy width so it kills every stale pointer
+                # within the copied range
+                dst = dsts[0]
+                self.frame.assign(
+                    dst, frozenset(copied.get(0, set())), node, True, size=node.size
+                )
+                for delta, vals in sorted(copied.items()):
+                    if delta == 0:
+                        continue
                     target = dst.with_offset(delta) if dst.stride == 0 else dst
                     self.frame.assign(
-                        target, frozenset(vals), node, False, size=WORD_SIZE
+                        target, frozenset(vals), node, True, size=WORD_SIZE
                     )
-        if blurred:
-            for dst in dsts:
-                self.frame.assign(
-                    dst.blurred(), frozenset(blurred), node, False, size=node.size
-                )
+            else:
+                for delta, vals in sorted(copied.items()):
+                    for dst in dsts:
+                        target = dst.with_offset(delta) if dst.stride == 0 else dst
+                        self.frame.assign(
+                            target, frozenset(vals), node, False, size=WORD_SIZE
+                        )
+            if blurred:
+                for dst in dsts:
+                    self.frame.assign(
+                        dst.blurred(), frozenset(blurred), node, False, size=node.size
+                    )
+        finally:
+            if prov is not None:
+                prov.clear_context()
 
     def _pointer_fields(
         self, src: LocationSet, node: Node, size: int

@@ -119,6 +119,7 @@ class PTF:
         state_kind: str = "sparse",
         lookup_cache: bool = True,
         metrics=None,
+        provenance=None,
     ) -> None:
         self.uid = next(_ptf_counter)
         self.proc = proc
@@ -127,6 +128,8 @@ class PTF:
         #: shared diagnostics sink (``Analyzer.metrics``); every state this
         #: PTF creates (including after ``reset``) reports into it
         self.metrics = metrics
+        #: optional shared derivation log (``Analyzer.provenance``)
+        self.provenance = provenance
         self.state: PointsToState = self._new_state()
         #: extended parameters in creation order (§5.2 compares in order)
         self.params: list[ExtendedParameter] = []
@@ -162,7 +165,12 @@ class PTF:
 
     def _new_state(self) -> PointsToState:
         cls = SparseState if self.state_kind == "sparse" else DenseState
-        return cls(self.proc.entry, lookup_cache=self.lookup_cache, metrics=self.metrics)
+        return cls(
+            self.proc.entry,
+            lookup_cache=self.lookup_cache,
+            metrics=self.metrics,
+            provenance=self.provenance,
+        )
 
     # -- parameters -------------------------------------------------------
 
@@ -192,6 +200,20 @@ class PTF:
             self._summary_cache = new
             self._summary_version = self.state.change_counter
         return self._summary_cache or {}
+
+    # -- diagnostics ------------------------------------------------------
+
+    def alias_pattern(self) -> str:
+        """A compact, stable rendering of the input alias pattern this PTF
+        summarizes (its ordered initial points-to entries, §2.2).  Used by
+        the tracer so ``ptf.reuse`` / ``ptf.create`` events say *which*
+        pattern matched, and by the explain CLI."""
+        parts = []
+        for raw in self.initial_entries:
+            entry = raw.normalized()
+            targets = ",".join(sorted(str(t) for t in entry.targets)) or "-"
+            parts.append(f"{entry.source}->{{{targets}}}")
+        return "; ".join(parts) if parts else "<empty>"
 
     # -- maintenance ------------------------------------------------------
 

@@ -131,6 +131,62 @@ class AnalysisResult:
             out.add(v)
         return out
 
+    # ------------------------------------------------------------------
+    # provenance ("why does p point to x?")
+    # ------------------------------------------------------------------
+
+    def explain(
+        self, proc_name: str, var: str, max_depth: int = 8
+    ) -> list[dict]:
+        """Derivation chains answering *why* ``var`` points to each of its
+        targets at the exit of ``proc_name``.
+
+        Requires the analysis to have run with
+        ``AnalyzerOptions.provenance=True``; raises ``ValueError``
+        otherwise.  One dict per (PTF, value) pair: the queried location,
+        the value, its display name, and the chain of
+        :class:`~repro.diagnostics.provenance.Derivation` records
+        (root — the final write — first) as dicts with a ``depth`` key.
+        """
+        prov = self.analyzer.provenance
+        if prov is None:
+            raise ValueError(
+                "analysis ran without provenance; "
+                "set AnalyzerOptions.provenance=True"
+            )
+        proc = self.program.procedures.get(proc_name)
+        if proc is None:
+            raise KeyError(f"no procedure named {proc_name!r}")
+        out: list[dict] = []
+        for ptf in self.ptfs_of(proc_name):
+            loc = self._var_loc(proc, ptf, var)
+            if loc is None:
+                continue
+            loc = normalize_loc(loc)
+            vals = ptf.state.lookup_overlapping(loc, proc.exit, width=WORD_SIZE)
+            if not vals:
+                initial = ptf.state.get_initial(loc)
+                if initial:
+                    vals = initial
+            for v in sorted(vals, key=str):
+                value = normalize_loc(v)
+                chain = prov.explain(str(loc), str(value), max_depth=max_depth)
+                out.append(
+                    {
+                        "proc": proc_name,
+                        "var": var,
+                        "ptf": ptf.uid,
+                        "loc": str(loc),
+                        "value": str(value),
+                        "display": self.display_name(value.base),
+                        "chain": [
+                            dict(rec.as_dict(), depth=depth)
+                            for depth, rec in chain
+                        ],
+                    }
+                )
+        return out
+
     def points_to_at(self, proc_name: str, var: str, line: int) -> set[str]:
         """Flow-sensitive query: the names ``var`` may point to just before
         the first statement at source ``line`` of ``proc_name``."""

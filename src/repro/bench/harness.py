@@ -51,15 +51,35 @@ class Table2Row:
     dom_walk_steps: int = 0
 
     def display(self) -> str:
+        # thousands separators keep the column readable (and aligned) once
+        # dom_walk_steps crosses 999,999 on the larger benchmarks
         return (
-            f"{self.name:<12} {self.lines:>6} {self.procedures:>6} "
+            f"{self.name:<12} {self.lines:>6,} {self.procedures:>6} "
             f"{self.seconds:>9.3f} {self.avg_ptfs:>6.2f} "
-            f"{self.cache_hit_rate * 100:>5.1f}% {self.dom_walk_steps:>9}   "
+            f"{self.cache_hit_rate * 100:>5.1f}% {self.dom_walk_steps:>11,}   "
             f"(paper: {self.paper.paper_lines:>5} lines, "
             f"{self.paper.paper_procedures:>3} procs, "
             f"{self.paper.paper_seconds:>6.2f}s, "
             f"{self.paper.paper_avg_ptfs:.2f} PTFs)"
         )
+
+    def as_dict(self) -> dict:
+        """JSON-serializable row (``repro table2 --json``)."""
+        return {
+            "name": self.name,
+            "lines": self.lines,
+            "procedures": self.procedures,
+            "seconds": round(self.seconds, 6),
+            "avg_ptfs": round(self.avg_ptfs, 4),
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "dom_walk_steps": self.dom_walk_steps,
+            "paper": {
+                "lines": self.paper.paper_lines,
+                "procedures": self.paper.paper_procedures,
+                "seconds": self.paper.paper_seconds,
+                "avg_ptfs": self.paper.paper_avg_ptfs,
+            },
+        }
 
 
 def analyze_benchmark(
@@ -102,7 +122,7 @@ def table2_text(rows: Optional[list[Table2Row]] = None) -> str:
     lines = [
         "Table 2: Benchmark and Analysis Measurements",
         f"{'Benchmark':<12} {'Lines':>6} {'Procs':>6} {'Secs':>9} {'PTFs':>6} "
-        f"{'Hit%':>6} {'DomSteps':>9}",
+        f"{'Hit%':>6} {'DomSteps':>11}",
     ]
     lines.extend(r.display() for r in rows)
     avg = sum(r.avg_ptfs for r in rows) / len(rows) if rows else 0.0

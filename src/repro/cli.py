@@ -3,9 +3,11 @@
 ::
 
     python -m repro analyze prog.c [more.c ...] [--points-to VAR] [--ptfs PROC]
+    python -m repro analyze prog.c --trace-json trace.json   # Perfetto-loadable
+    python -m repro explain prog.c --query VAR[@PROC]        # why does p -> x?
     python -m repro callgraph prog.c
     python -m repro compare prog.c --var VAR        # WL vs Andersen vs Steensgaard
-    python -m repro table2 [--names a,b,c]
+    python -m repro table2 [--names a,b,c] [--json]
     python -m repro table3
     python -m repro parallelize prog.c
 """
@@ -25,13 +27,20 @@ __all__ = ["main"]
 
 
 def _options_from(args: argparse.Namespace) -> AnalyzerOptions:
-    return AnalyzerOptions(
+    opts = AnalyzerOptions(
         state_kind=args.state,
         external_policy=args.external,
         strong_updates=not args.no_strong_updates,
         heap_context_depth=args.heap_context,
         lookup_cache=not args.no_lookup_cache,
     )
+    if getattr(args, "trace_json", None) or getattr(args, "trace_jsonl", None):
+        from .diagnostics import Tracer
+
+        opts.trace = Tracer()
+    if getattr(args, "provenance", False):
+        opts.provenance = True
+    return opts
 
 
 def _add_analysis_flags(p: argparse.ArgumentParser) -> None:
@@ -65,6 +74,27 @@ def _emit_stats_json(args: argparse.Namespace, analyzer) -> None:
             fh.write(payload + "\n")
 
 
+def _emit_trace_json(args: argparse.Namespace, analyzer) -> None:
+    """Write the collected trace when ``--trace-json``/``--trace-jsonl``
+    was given.  Follows the ``--stats-json`` convention: ``-`` (or a bare
+    flag) writes to stdout, anything else is a file path."""
+    tracer = analyzer.trace
+    if tracer is None:
+        return
+    dest = getattr(args, "trace_json", None)
+    if dest is not None:
+        if dest == "-":
+            tracer.write_chrome(sys.stdout)
+        else:
+            tracer.save_chrome(dest)
+    dest = getattr(args, "trace_jsonl", None)
+    if dest is not None:
+        if dest == "-":
+            tracer.write_jsonl(sys.stdout)
+        else:
+            tracer.save_jsonl(dest)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     program = load_project_files(args.files)
     result = run_analysis(program, _options_from(args))
@@ -84,7 +114,62 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         for ptf in result.ptfs_of(proc):
             print(ptf.describe())
     _emit_stats_json(args, result.analyzer)
+    _emit_trace_json(args, result.analyzer)
     return 0
+
+
+def _parse_query(query: str) -> tuple[str, str]:
+    """``VAR[@PROC]`` -> ``(proc, var)``; PROC defaults to ``main``."""
+    var, _, proc = query.partition("@")
+    return (proc or "main", var)
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    args.provenance = True
+    program = load_project_files(args.files)
+    result = run_analysis(program, _options_from(args))
+    payloads = []
+    status = 0
+    for query in args.query:
+        proc, var = _parse_query(query)
+        try:
+            explanations = result.explain(proc, var, max_depth=args.depth)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            status = 2
+            continue
+        payloads.append(
+            {"query": query, "proc": proc, "var": var, "explanations": explanations}
+        )
+    if args.json:
+        print(json.dumps(payloads, indent=2, sort_keys=True))
+        _emit_trace_json(args, result.analyzer)
+        return status
+    prov = result.analyzer.provenance
+    for payload in payloads:
+        proc, var = payload["proc"], payload["var"]
+        explanations = payload["explanations"]
+        if not explanations:
+            print(f"{proc}:{var} -> (no pointer values at exit)")
+            continue
+        seen: set[tuple] = set()
+        for exp in explanations:
+            # values differing only in offset/stride resolve to the same
+            # display name and chain; print each distinct chain once
+            key = (exp["display"], tuple(s["eid"] for s in exp["chain"]))
+            if key in seen:
+                continue
+            seen.add(key)
+            print(f"{proc}:{var} -> {exp['display']}   (PTF#{exp['ptf']})")
+            if not exp["chain"]:
+                print("    (no derivation on record: value predates the "
+                      "analysis, e.g. a static initializer or synthetic input)")
+                continue
+            for step in exp["chain"]:
+                rec = prov.records[step["eid"] - 1]
+                print("    " + "  " * step["depth"] + rec.render())
+    _emit_trace_json(args, result.analyzer)
+    return status
 
 
 def cmd_callgraph(args: argparse.Namespace) -> int:
@@ -119,7 +204,11 @@ def cmd_table2(args: argparse.Namespace) -> int:
     from .bench import table2_rows, table2_text
 
     names = args.names.split(",") if args.names else None
-    print(table2_text(table2_rows(names=names)))
+    rows = table2_rows(names=names)
+    if args.json:
+        print(json.dumps([r.as_dict() for r in rows], indent=2, sort_keys=True))
+    else:
+        print(table2_text(rows))
     return 0
 
 
@@ -205,8 +294,34 @@ def build_parser() -> argparse.ArgumentParser:
                         "when no PATH is given)")
     p.add_argument("--ptfs", action="append", metavar="PROC",
                    help="print the PTFs of a procedure")
+    p.add_argument("--trace-json", nargs="?", const="-", metavar="PATH",
+                   help="record a hierarchical analysis trace and write it "
+                        "as Chrome trace-event JSON (Perfetto-loadable) to "
+                        "PATH, or stdout when no PATH is given")
+    p.add_argument("--trace-jsonl", metavar="PATH",
+                   help="also/instead write the trace as one JSON event per "
+                        "line ('-' for stdout)")
     _add_analysis_flags(p)
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "explain",
+        help="explain why a pointer points where it does (provenance)",
+    )
+    p.add_argument("files", nargs="+")
+    p.add_argument("--query", action="append", required=True,
+                   metavar="VAR[@PROC]",
+                   help="pointer variable to explain (PROC defaults to "
+                        "main); repeatable")
+    p.add_argument("--depth", type=int, default=8,
+                   help="maximum derivation-chain depth (default 8)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the derivation chains as JSON")
+    p.add_argument("--trace-json", nargs="?", const="-", metavar="PATH",
+                   help="also record and write the Chrome trace")
+    p.add_argument("--trace-jsonl", metavar="PATH", help=argparse.SUPPRESS)
+    _add_analysis_flags(p)
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("callgraph", help="print the resolved call graph")
     p.add_argument("files", nargs="+")
@@ -221,6 +336,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table2", help="regenerate the paper's Table 2")
     p.add_argument("--names", help="comma-separated subset of benchmarks")
+    p.add_argument("--json", action="store_true",
+                   help="emit the rows as JSON instead of the text table")
     p.set_defaults(func=cmd_table2)
 
     p = sub.add_parser("table3", help="regenerate the paper's Table 3")

@@ -1,12 +1,25 @@
-"""Analysis diagnostics: counters and timers for the hot paths.
+"""Analysis diagnostics: counters, timers, traces, and provenance.
 
-The :class:`Metrics` object is threaded through the engine so that the
-cost of the sparse representation's dominator walks — and the effect of
-the lookup memoization layer on them — shows up as numbers in
-``Analyzer.stats``, the ``--stats-json`` CLI flag, and the bench harness
-instead of being guessed at.
+Three cooperating layers, all pay-for-what-you-use:
+
+* :class:`Metrics` — hot-path counters and phase/procedure timers,
+  threaded through the engine unconditionally (plain attribute ``+=``,
+  no dict probes).  Surfaces as ``Analyzer.stats``, ``--stats-json``
+  and the bench harness columns.
+* :class:`Tracer` — hierarchical span/event tracing of the driver
+  phases, per-procedure evaluations, fixpoint passes and the
+  interprocedural events, exported as Chrome trace-event JSON
+  (Perfetto-loadable) or JSONL.  Off (``None``) by default; instrument
+  sites cost one ``is not None`` check when disabled.
+* :class:`ProvenanceLog` — derivation records for points-to entries
+  ("why does ``p`` point to ``x``?"), walked by the ``repro explain``
+  CLI.  Also off by default.
+
+See ``docs/OBSERVABILITY.md`` for the walkthrough.
 """
 
 from .metrics import Metrics
+from .provenance import Derivation, ProvenanceLog
+from .trace import EVENT_VOCABULARY, Tracer
 
-__all__ = ["Metrics"]
+__all__ = ["Metrics", "Tracer", "EVENT_VOCABULARY", "ProvenanceLog", "Derivation"]

@@ -28,14 +28,25 @@ Counter semantics:
 Timers: ``phase_seconds`` buckets the top-level driver phases
 (``finalize`` / ``analysis`` / ``summary``); ``proc_seconds`` buckets
 *inclusive* per-procedure evaluation time (a caller's bucket includes the
-time spent analyzing its callees at its call nodes).
+time spent analyzing its callees at its call nodes), and
+``proc_self_seconds`` the *exclusive* complement (inclusive minus the
+time spent in nested callee evaluations) so per-procedure hotspots are
+not all attributed to ``main``.  ``as_dict`` additionally derives
+``dom_steps_per_lookup`` — the average dominator-walk length per public
+lookup, the single number the memoization layer optimizes.
+
+This is the **counter vocabulary**; the companion **event vocabulary**
+(the span/instant names the optional tracer emits — driver phases,
+``eval``/``pass`` spans, ``ptf.create``/``ptf.reuse``/``ptf.miss``,
+``apply_summary``, ``initial_fetch``, …) is documented in
+:data:`repro.diagnostics.trace.EVENT_VOCABULARY` next to the tracer.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Optional
 
 __all__ = ["Metrics"]
 
@@ -61,7 +72,13 @@ class Metrics:
     so the instrumentation itself stays off the profile.
     """
 
-    __slots__ = COUNTERS + ("phase_seconds", "proc_seconds", "proc_passes")
+    __slots__ = COUNTERS + (
+        "phase_seconds",
+        "proc_seconds",
+        "proc_self_seconds",
+        "proc_passes",
+        "_proc_stack",
+    )
 
     def __init__(self) -> None:
         self.reset()
@@ -73,8 +90,14 @@ class Metrics:
         self.phase_seconds: dict[str, float] = {}
         #: procedure name -> accumulated (inclusive) evaluation seconds
         self.proc_seconds: dict[str, float] = {}
+        #: procedure name -> accumulated *exclusive* seconds (inclusive
+        #: minus time spent in callee evaluations nested within)
+        self.proc_self_seconds: dict[str, float] = {}
         #: procedure name -> accumulated evaluation passes
         self.proc_passes: dict[str, int] = {}
+        #: live evaluation stack: [name, start, child_seconds] frames,
+        #: maintained by start_proc/end_proc to split self vs callee time
+        self._proc_stack: list[list] = []
 
     # -- timers -----------------------------------------------------------
 
@@ -89,13 +112,53 @@ class Metrics:
                 self.phase_seconds.get(name, 0.0) + time.perf_counter() - start
             )
 
-    def add_proc_time(self, proc_name: str, seconds: float, passes: int = 0) -> None:
-        """Accumulate inclusive evaluation time for one procedure."""
+    def add_proc_time(
+        self,
+        proc_name: str,
+        seconds: float,
+        passes: int = 0,
+        self_seconds: Optional[float] = None,
+    ) -> None:
+        """Accumulate evaluation time for one procedure.
+
+        ``seconds`` is inclusive; ``self_seconds`` is the exclusive share
+        (defaults to ``seconds`` when the caller tracked no nesting).
+        """
         self.proc_seconds[proc_name] = self.proc_seconds.get(proc_name, 0.0) + seconds
+        self.proc_self_seconds[proc_name] = self.proc_self_seconds.get(
+            proc_name, 0.0
+        ) + (seconds if self_seconds is None else self_seconds)
         if passes:
             self.proc_passes[proc_name] = self.proc_passes.get(proc_name, 0) + passes
 
+    def start_proc(self, proc_name: str) -> None:
+        """Open a (possibly nested) procedure-evaluation timer frame."""
+        self._proc_stack.append([proc_name, time.perf_counter(), 0.0])
+
+    def end_proc(self, passes: int = 0) -> float:
+        """Close the innermost frame; attributes inclusive time to the
+        procedure, exclusive time (inclusive minus nested frames) to its
+        self bucket, and charges the elapsed time to the parent frame's
+        child accumulator.  Returns the inclusive seconds."""
+        name, start, child = self._proc_stack.pop()
+        elapsed = time.perf_counter() - start
+        self.add_proc_time(
+            name, elapsed, passes, self_seconds=max(elapsed - child, 0.0)
+        )
+        if self._proc_stack:
+            self._proc_stack[-1][2] += elapsed
+        return elapsed
+
     # -- derived ----------------------------------------------------------
+
+    def dom_steps_per_lookup(self) -> float:
+        """Average dominator-walk steps per public lookup (0.0 when no
+        lookup ran).  This is the per-operation cost the memoization
+        layer exists to shrink — comparable across program sizes where
+        the raw ``dom_walk_steps`` total is not."""
+        if self.lookups == 0:
+            return 0.0
+        return self.dom_walk_steps / self.lookups
 
     def cache_hit_rate(self) -> float:
         """Fraction of sparse lookup-cache probes that hit (0.0 when the
@@ -113,10 +176,18 @@ class Metrics:
         return {
             "counters": self.counters(),
             "cache_hit_rate": round(self.cache_hit_rate(), 4),
+            "derived": {
+                "dom_steps_per_lookup": round(self.dom_steps_per_lookup(), 4),
+                "cache_hit_rate": round(self.cache_hit_rate(), 4),
+            },
             "timers": {
                 "phases": {k: round(v, 6) for k, v in sorted(self.phase_seconds.items())},
                 "procedures": {
                     k: round(v, 6) for k, v in sorted(self.proc_seconds.items())
+                },
+                "procedures_self": {
+                    k: round(v, 6)
+                    for k, v in sorted(self.proc_self_seconds.items())
                 },
                 "procedure_passes": dict(sorted(self.proc_passes.items())),
             },
@@ -130,6 +201,8 @@ class Metrics:
             self.phase_seconds[k] = self.phase_seconds.get(k, 0.0) + v
         for k, v in other.proc_seconds.items():
             self.proc_seconds[k] = self.proc_seconds.get(k, 0.0) + v
+        for k, v in other.proc_self_seconds.items():
+            self.proc_self_seconds[k] = self.proc_self_seconds.get(k, 0.0) + v
         for k, v in other.proc_passes.items():
             self.proc_passes[k] = self.proc_passes.get(k, 0) + v
 

@@ -1,0 +1,254 @@
+"""Points-to provenance: why does ``p`` point to ``x``?
+
+When enabled (``AnalyzerOptions.provenance=True``) every points-to entry
+recorded by a state (:mod:`repro.memory.pointsto`) is tagged with a
+**derivation record** describing the event that introduced it:
+
+* ``assign`` — an assignment node wrote the value (strong or weak);
+* ``initial`` — a lazy initial-value fetch materialized a procedure
+  input (§3.2 of the paper);
+* ``summary`` — a callee summary was translated into the caller (§5.3);
+* ``phi`` — a φ-function merged values at a control-flow join (§4.2);
+* ``call`` — a library model or external-call havoc wrote through a
+  call node;
+* ``external`` — the conservative havoc for unknown externals.
+
+Each record remembers the flow-graph node (with its source coordinate),
+the procedure, the written location, the values, and — where the
+recording site knows them — the *source locations* whose contents flowed
+into the write.  :meth:`ProvenanceLog.explain` then walks the chain:
+"``p -> x`` because node N assigned ``*q``; ``*q`` held ``x`` because
+the initial fetch at the entry of ``f`` bound it from the caller…",
+terminating at address-of constants, static initializers, or the depth
+bound.
+
+Name spaces: the chain may cross a PTF boundary (caller space to callee
+space).  Location/value keys are canonical strings of normalized
+location sets; when an exact ``(loc, value)`` pair is not on record —
+typically because a summary translation renamed the value between name
+spaces — the walk falls back to the recorded derivations of the location
+itself.  The output is therefore a faithful *may*-derivation: every step
+shown is an event that really happened, in order, but a step across a
+name-space boundary may cover siblings of the queried value too.
+
+The recording sites push a short-lived *context* (kind, source
+locations, human detail) before calling into the state layer; the state
+hooks in :mod:`repro.memory.pointsto` consume it.  Like the tracer, the
+whole layer is pay-for-what-you-use: states hold ``provenance=None``
+unless the option is set, and every hook site is guarded by one ``is
+not None`` check.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .trace import Tracer
+
+__all__ = ["Derivation", "ProvenanceLog"]
+
+#: safety valve: stop recording beyond this many derivations (provenance
+#: is an interactive debugging aid, not a production data sink)
+MAX_RECORDS = 500_000
+
+
+class Derivation:
+    """One points-to derivation event (immutable once recorded)."""
+
+    __slots__ = (
+        "eid",
+        "kind",
+        "loc",
+        "values",
+        "node_uid",
+        "coord",
+        "node_desc",
+        "proc",
+        "sources",
+        "detail",
+        "trace_eid",
+    )
+
+    def __init__(
+        self,
+        eid: int,
+        kind: str,
+        loc: str,
+        values: tuple[str, ...],
+        node_uid: int,
+        coord: Optional[str],
+        node_desc: str,
+        proc: str,
+        sources: tuple[str, ...],
+        detail: str,
+        trace_eid: Optional[int],
+    ) -> None:
+        self.eid = eid
+        self.kind = kind
+        self.loc = loc
+        self.values = values
+        self.node_uid = node_uid
+        self.coord = coord
+        self.node_desc = node_desc
+        self.proc = proc
+        self.sources = sources
+        self.detail = detail
+        self.trace_eid = trace_eid
+
+    def as_dict(self) -> dict:
+        return {
+            "eid": self.eid,
+            "kind": self.kind,
+            "loc": self.loc,
+            "values": list(self.values),
+            "node": self.node_uid,
+            "coord": self.coord,
+            "node_desc": self.node_desc,
+            "proc": self.proc,
+            "sources": list(self.sources),
+            "detail": self.detail,
+            "trace_eid": self.trace_eid,
+        }
+
+    def render(self) -> str:
+        """One human-readable line for the ``explain`` CLI."""
+        where = self.coord or f"node#{self.node_uid}"
+        vals = ", ".join(self.values) if self.values else "-"
+        extra = f"  [{self.detail}]" if self.detail else ""
+        return (
+            f"[d{self.eid}] {self.kind:<8} {self.loc} <- {{{vals}}} "
+            f"at {where} in {self.proc}{extra}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Derivation d{self.eid} {self.kind} {self.loc}>"
+
+
+class ProvenanceLog:
+    """Shared derivation log, one per :class:`~repro.analysis.engine.Analyzer`.
+
+    The engine layers set a context before performing state writes; the
+    state hooks call :meth:`tag` / :meth:`tag_phi` / :meth:`tag_initial`
+    which consume it.  Queries go through :meth:`explain`.
+    """
+
+    def __init__(self, tracer: Optional["Tracer"] = None) -> None:
+        self.records: list[Derivation] = []
+        #: (loc str, value str) -> index of the *first* deriving record
+        self._first: dict[tuple[str, str], int] = {}
+        #: loc str -> indices of records writing that location (bounded)
+        self._by_loc: dict[str, list[int]] = {}
+        self.tracer = tracer
+        # pending context from the engine layer (overwritten per site)
+        self._ctx: Optional[tuple[str, tuple[str, ...], str]] = None
+        self._initial_ctx: Optional[tuple[tuple[str, ...], str]] = None
+
+    # -- context (set by engine layers, consumed by the state hooks) ------
+
+    def set_context(self, kind: str, sources: tuple = (), detail: str = "") -> None:
+        self._ctx = (kind, tuple(sources), detail)
+
+    def clear_context(self) -> None:
+        self._ctx = None
+
+    def set_initial_context(self, sources: tuple = (), detail: str = "") -> None:
+        self._initial_ctx = (tuple(sources), detail)
+
+    # -- recording hooks (called from repro.memory.pointsto) --------------
+
+    def tag(self, loc, values, node, strong: bool) -> None:
+        """An ``assign`` happened; kind may be refined by the context."""
+        kind, sources, detail = "assign", (), ""
+        if self._ctx is not None:
+            kind, sources, detail = self._ctx
+        elif node is not None and node.kind == "call":
+            kind = "call"
+        if strong and kind == "assign":
+            kind = "assign!"  # strong update
+        self._record(kind, loc, values, node, sources, detail)
+
+    def tag_phi(self, loc, values, node) -> None:
+        self._record("phi", loc, values, node, (), "")
+
+    def tag_initial(self, loc, values, node) -> None:
+        sources: tuple[str, ...] = ()
+        detail = ""
+        if self._initial_ctx is not None:
+            sources, detail = self._initial_ctx
+            self._initial_ctx = None
+        self._record("initial", loc, values, node, sources, detail)
+
+    def _record(self, kind, loc, values, node, sources, detail) -> None:
+        if len(self.records) >= MAX_RECORDS:
+            return
+        eid = len(self.records) + 1
+        tracer = self.tracer
+        rec = Derivation(
+            eid,
+            kind,
+            str(loc),
+            tuple(sorted(str(v) for v in values)),
+            node.uid if node is not None else -1,
+            getattr(node, "coord", None),
+            node.describe() if node is not None else "",
+            node.proc.name if node is not None else "<root>",
+            tuple(str(s) for s in sources),
+            detail,
+            tracer.last_eid if tracer is not None else None,
+        )
+        idx = len(self.records)
+        self.records.append(rec)
+        first = self._first
+        for v in rec.values:
+            first.setdefault((rec.loc, v), idx)
+        bucket = self._by_loc.setdefault(rec.loc, [])
+        if len(bucket) < 16:  # keep early (defining) records per location
+            bucket.append(idx)
+
+    # -- queries ----------------------------------------------------------
+
+    def derivation_of(self, loc: str, value: str) -> Optional[Derivation]:
+        """The first record that wrote ``value`` into ``loc`` (exact), or
+        the first record writing ``loc`` at all (name-space fallback)."""
+        idx = self._first.get((loc, value))
+        if idx is None:
+            bucket = self._by_loc.get(loc)
+            if not bucket:
+                return None
+            # name-space fallback: prefer the earliest record that carries
+            # values at all — an empty record (an initial fetch of a
+            # then-empty input) only answers when nothing better exists
+            idx = next(
+                (i for i in bucket if self.records[i].values), bucket[0]
+            )
+        return self.records[idx]
+
+    def explain(
+        self, loc: str, value: str, max_depth: int = 8
+    ) -> list[tuple[int, Derivation]]:
+        """The derivation chain of ``loc -> value`` as ``(depth, record)``
+        pairs, root (the final write) first, cycle-guarded."""
+        out: list[tuple[int, Derivation]] = []
+        seen: set[int] = set()
+
+        def walk(l: str, v: str, depth: int) -> None:
+            if depth > max_depth:
+                return
+            rec = self.derivation_of(l, v)
+            if rec is None or rec.eid in seen:
+                return
+            seen.add(rec.eid)
+            out.append((depth, rec))
+            for src in rec.sources:
+                if src != l:
+                    walk(src, v, depth + 1)
+
+        walk(loc, value, 0)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ProvenanceLog {len(self.records)} derivations>"

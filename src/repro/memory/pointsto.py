@@ -55,6 +55,18 @@ terminates after at most one cold step.  The key list consulted by
 monotone ``pointer_version``, because the pointer-location registry
 changes far more rarely than the points-to values do.
 
+Provenance
+----------
+
+When an :class:`repro.diagnostics.provenance.ProvenanceLog` is threaded
+in (``AnalyzerOptions.provenance=True``), every state mutation that
+records new points-to information — ``assign``, ``assign_phi``,
+``set_initial`` — tags the written ``(location, values)`` entry with a
+derivation record (the assigning node, initial-value fetch, summary
+binding or φ-merge, plus the engine-provided source context), which the
+``repro explain`` CLI walks back to source lines.  With provenance off
+(the default) each hook is one ``is not None`` check.
+
 Values are interned (:func:`intern_values` hash-conses the frozensets,
 :func:`~repro.memory.locset.intern_locset` the location sets inside them)
 so that the equality checks behind dict probes and change detection
@@ -162,6 +174,7 @@ class PointsToState:
         entry: Node,
         lookup_cache: bool = True,
         metrics: Optional[Metrics] = None,
+        provenance=None,
     ) -> None:
         self.entry = entry
         #: keys ever assigned by the procedure body (excludes pure initial
@@ -175,6 +188,10 @@ class PointsToState:
         self.lookup_cache = lookup_cache
         #: shared diagnostics sink; a private one when not threaded in
         self.metrics = metrics if metrics is not None else Metrics()
+        #: optional shared :class:`repro.diagnostics.provenance.
+        #: ProvenanceLog`; when None (the default) every provenance hook
+        #: is a single ``is not None`` check — same contract as tracing
+        self.provenance = provenance
 
     # -- initial values (procedure inputs, recorded at the entry node) --
 
@@ -261,8 +278,11 @@ class DenseState(PointsToState):
         entry: Node,
         lookup_cache: bool = True,
         metrics: Optional[Metrics] = None,
+        provenance=None,
     ) -> None:
-        super().__init__(entry, lookup_cache=lookup_cache, metrics=metrics)
+        super().__init__(
+            entry, lookup_cache=lookup_cache, metrics=metrics, provenance=provenance
+        )
         self._initial: dict[LocationSet, frozenset] = {}
         #: node uid -> map at node exit
         self._out: dict[int, dict[LocationSet, frozenset]] = {}
@@ -285,6 +305,8 @@ class DenseState(PointsToState):
         if old != new:
             self._initial[loc] = new
             self.mark_changed()
+            if self.provenance is not None:
+                self.provenance.tag_initial(loc, vals, self.entry)
 
     def get_initial(self, loc: LocationSet) -> Optional[frozenset]:
         return self._initial.get(normalize_loc(loc))
@@ -369,6 +391,8 @@ class DenseState(PointsToState):
                 self.metrics.strong_updates += 1
             else:
                 self.metrics.weak_updates += 1
+            if self.provenance is not None:
+                self.provenance.tag(loc, vals, node, strong)
         return changed
 
     def lookup(self, loc: LocationSet, node: Node, before: bool = True) -> frozenset:
@@ -422,8 +446,11 @@ class SparseState(PointsToState):
         entry: Node,
         lookup_cache: bool = True,
         metrics: Optional[Metrics] = None,
+        provenance=None,
     ) -> None:
-        super().__init__(entry, lookup_cache=lookup_cache, metrics=metrics)
+        super().__init__(
+            entry, lookup_cache=lookup_cache, metrics=metrics, provenance=provenance
+        )
         self._initial: dict[LocationSet, frozenset] = {}
         #: node uid -> {loc: (values, strong, kill_size)}; kill_size is the
         #: byte width a strong update overwrote (0 for weak and φ entries)
@@ -461,6 +488,8 @@ class SparseState(PointsToState):
         if old != new:
             self._initial[loc] = new
             self._note_write(loc)
+            if self.provenance is not None:
+                self.provenance.tag_initial(loc, vals, self.entry)
 
     def get_initial(self, loc: LocationSet) -> Optional[frozenset]:
         return self._initial.get(normalize_loc(loc))
@@ -518,6 +547,8 @@ class SparseState(PointsToState):
                 self.metrics.strong_updates += 1
             else:
                 self.metrics.weak_updates += 1
+            if self.provenance is not None:
+                self.provenance.tag(loc, new_entry[0], node, strong)
             self._note_write(loc)
             self._insert_phis(loc, node)
             return True
@@ -536,6 +567,8 @@ class SparseState(PointsToState):
         new_entry = (vals, False, 0)
         if old != new_entry:
             defs[loc] = new_entry
+            if self.provenance is not None:
+                self.provenance.tag_phi(loc, vals, node)
             self._note_write(loc)
             self._insert_phis(loc, node)
             return True

@@ -64,6 +64,15 @@ class TestStatsJson:
         assert 0.0 <= stats["cache_hit_rate"] <= 1.0
         assert "analysis" in stats["timers"]["phases"]
         assert "main" in stats["timers"]["procedures"]
+        # the exclusive (self) buckets and the derived block are part of
+        # the --stats-json schema
+        assert "main" in stats["timers"]["procedures_self"]
+        assert (
+            stats["timers"]["procedures_self"]["main"]
+            <= stats["timers"]["procedures"]["main"] + 1e-9
+        )
+        assert stats["derived"]["dom_steps_per_lookup"] >= 0.0
+        assert 0.0 <= stats["derived"]["cache_hit_rate"] <= 1.0
 
     def test_path_writes_file(self, prog_file, tmp_path, capsys):
         dest = tmp_path / "stats.json"
@@ -95,6 +104,10 @@ class TestStatsJson:
         assert stats["counters"]["dom_walk_steps"] > 0
 
     def test_cache_modes_agree_on_points_to(self, prog_file, capsys):
+        def lines(out):
+            # everything but the wall-clock line must agree exactly
+            return [l for l in out.splitlines() if "analysis time" not in l]
+
         assert main(["analyze", prog_file, "--points-to", "q"]) == 0
         with_cache = capsys.readouterr().out
         assert (
@@ -102,12 +115,73 @@ class TestStatsJson:
             == 0
         )
         without = capsys.readouterr().out
-        assert with_cache == without
+        assert lines(with_cache) == lines(without)
 
     def test_parse_error_exit_code(self, tmp_path, capsys):
         bad = tmp_path / "bad.c"
         bad.write_text("int main(void { return 0; }")
         assert main(["analyze", str(bad)]) == 2
+
+
+class TestTraceJson:
+    def test_path_writes_chrome_trace(self, prog_file, tmp_path, capsys):
+        dest = tmp_path / "trace.json"
+        assert main(["analyze", prog_file, "--trace-json", str(dest)]) == 0
+        doc = json.loads(dest.read_text())
+        events = doc["traceEvents"]
+        assert events
+        assert all(e["ph"] in {"B", "E", "X", "i"} for e in events)
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        names = {e["name"] for e in events}
+        assert "analyze" in names and "ptf.create" in names
+
+    def test_bare_flag_dumps_to_stdout(self, prog_file, capsys):
+        assert main(["analyze", prog_file, "--trace-json"]) == 0
+        out = capsys.readouterr().out
+        start = out.index('{"traceEvents"')
+        doc = json.loads(out[start:].strip())
+        assert doc["traceEvents"]
+
+    def test_jsonl_variant(self, prog_file, tmp_path, capsys):
+        dest = tmp_path / "trace.jsonl"
+        assert main(["analyze", prog_file, "--trace-jsonl", str(dest)]) == 0
+        lines = dest.read_text().splitlines()
+        assert lines
+        assert all(json.loads(l)["ph"] in {"B", "E", "X", "i"} for l in lines)
+
+    def test_no_trace_flag_no_tracer(self, prog_file, tmp_path, capsys):
+        # without the flag nothing trace-related reaches stdout or disk
+        assert main(["analyze", prog_file]) == 0
+        out = capsys.readouterr().out
+        assert "traceEvents" not in out
+
+
+class TestExplain:
+    def test_explains_pointer(self, prog_file, capsys):
+        assert main(["explain", prog_file, "--query", "q"]) == 0
+        out = capsys.readouterr().out
+        assert "main:q -> g" in out
+        assert "summary" in out or "assign" in out
+
+    def test_json_output(self, prog_file, capsys):
+        assert main(["explain", prog_file, "--query", "q", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["query"] == "q"
+        exps = payload[0]["explanations"]
+        assert exps and exps[0]["display"] == "g"
+        assert exps[0]["chain"], "derivation chain must be present"
+
+    def test_query_with_proc(self, prog_file, capsys):
+        assert main(["explain", prog_file, "--query", "q@main"]) == 0
+        assert "main:q -> g" in capsys.readouterr().out
+
+    def test_unknown_proc_exits_nonzero(self, prog_file, capsys):
+        assert main(["explain", prog_file, "--query", "q@nope"]) == 2
+
+    def test_unknown_var_reports_no_values(self, prog_file, capsys):
+        assert main(["explain", prog_file, "--query", "zzz"]) == 0
+        assert "no pointer values" in capsys.readouterr().out
 
 
 class TestCallgraph:
@@ -148,6 +222,13 @@ class TestTables:
         assert main(["table2", "--names", "allroots"]) == 0
         out = capsys.readouterr().out
         assert "allroots" in out
+
+    def test_table2_json(self, capsys):
+        assert main(["table2", "--names", "allroots", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["name"] == "allroots"
+        assert rows[0]["dom_walk_steps"] >= 0
+        assert "paper" in rows[0]
 
 
 class TestReport:

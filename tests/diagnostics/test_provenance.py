@@ -1,0 +1,161 @@
+"""Tests for the points-to provenance layer ("why does p point to x?").
+
+The round-trip contract: after ``*pp = &x`` the explain chain for ``p``
+names the assigning node, with its source coordinate, and interprocedural
+chains cross the summary boundary back to the callee's own derivations.
+"""
+
+import pytest
+
+from repro.analysis.engine import AnalyzerOptions, analyze
+from repro.analysis.results import AnalysisResult, run_analysis
+from repro.diagnostics import ProvenanceLog
+from repro.frontend.parser import load_program
+
+
+def _result(source: str, **opts) -> AnalysisResult:
+    program = load_program(source, "prog.c", "prog")
+    return run_analysis(program, AnalyzerOptions(provenance=True, **opts))
+
+
+class TestLogUnit:
+    def test_records_and_first_index(self):
+        log = ProvenanceLog()
+        log.tag_phi("(p, 0)", ["(x, 0)", "(y, 0)"], None)
+        log.tag_phi("(p, 0)", ["(x, 0)"], None)
+        rec = log.derivation_of("(p, 0)", "(x, 0)")
+        assert rec is not None
+        assert rec.eid == 1  # the *first* deriving record wins
+        assert rec.kind == "phi"
+        assert len(log) == 2
+
+    def test_fallback_to_location_records(self):
+        log = ProvenanceLog()
+        log.tag_phi("(p, 0)", ["(callee_name, 0)"], None)
+        # the queried value was renamed crossing a summary boundary:
+        # no exact pair, but the location's own records still answer
+        rec = log.derivation_of("(p, 0)", "(caller_name, 0)")
+        assert rec is not None and rec.eid == 1
+
+    def test_explain_is_cycle_safe(self):
+        log = ProvenanceLog()
+        log.set_context("assign", sources=("(b, 0)",))
+        log.tag("(a, 0)", ["(x, 0)"], None, strong=False)
+        log.set_context("assign", sources=("(a, 0)",))
+        log.tag("(b, 0)", ["(x, 0)"], None, strong=False)
+        log.clear_context()
+        chain = log.explain("(a, 0)", "(x, 0)")
+        assert [rec.eid for _, rec in chain] == [1, 2]  # a <- b <- a stops
+
+    def test_render_mentions_kind_loc_and_values(self):
+        log = ProvenanceLog()
+        log.tag("(p, 0)", ["(x, 0)"], None, strong=True)
+        line = log.records[0].render()
+        assert "assign!" in line and "(p, 0)" in line and "(x, 0)" in line
+
+
+class TestRoundTrip:
+    def test_direct_assignment_names_node_and_coord(self):
+        result = _result(
+            "int x;\n"
+            "int main(void) {\n"
+            "    int *p;\n"
+            "    int **pp;\n"
+            "    pp = &p;\n"
+            "    *pp = &x;\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        explanations = result.explain("main", "p")
+        assert explanations, "p must point somewhere"
+        exp = next(e for e in explanations if e["display"] == "x")
+        assert exp["chain"], "the derivation must be on record"
+        root = exp["chain"][0]
+        assert root["kind"].startswith("assign")
+        assert root["proc"] == "main"
+        assert root["coord"] and ":6" in root["coord"]  # the *pp = &x line
+
+    def test_interprocedural_chain_reaches_callee(self):
+        result = _result(
+            "int x;\n"
+            "void set(int **pp) { *pp = &x; }\n"
+            "int main(void) {\n"
+            "    int *p;\n"
+            "    set(&p);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        explanations = result.explain("main", "p")
+        exp = next(e for e in explanations if e["display"] == "x")
+        kinds = [step["kind"] for step in exp["chain"]]
+        # the final write is the summary application at the call site...
+        assert kinds[0] == "summary"
+        assert "set" in exp["chain"][0]["detail"]
+        # ...and the chain crosses into the callee's own assignment
+        assert any(
+            step["kind"].startswith("assign") and step["proc"] == "set"
+            for step in exp["chain"]
+        )
+
+    def test_initial_fetch_recorded_for_inputs(self):
+        result = _result(
+            "int g;\n"
+            "void reader(int *q) { g = *q; }\n"
+            "int main(void) { int v; reader(&v); return 0; }\n"
+        )
+        prov = result.analyzer.provenance
+        assert prov is not None
+        kinds = {rec.kind for rec in prov.records}
+        assert "initial" in kinds
+
+    def test_strong_update_marked(self):
+        result = _result(
+            "int x, y;\n"
+            "int main(void) { int *p; p = &x; p = &y; return 0; }\n"
+        )
+        prov = result.analyzer.provenance
+        assert any(rec.kind == "assign!" for rec in prov.records)
+
+    def test_as_dict_serializable(self):
+        import json
+
+        result = _result(
+            "int x;\nint main(void) { int *p; p = &x; return 0; }\n"
+        )
+        for rec in result.analyzer.provenance.records:
+            json.dumps(rec.as_dict())
+
+
+class TestGuards:
+    def test_explain_requires_provenance(self):
+        program = load_program(
+            "int main(void) { return 0; }\n", "m.c", "m"
+        )
+        result = run_analysis(program, AnalyzerOptions())
+        with pytest.raises(ValueError, match="provenance"):
+            result.explain("main", "p")
+
+    def test_unknown_procedure(self):
+        result = _result("int main(void) { return 0; }\n")
+        with pytest.raises(KeyError):
+            result.explain("nope", "p")
+
+    def test_off_by_default(self):
+        program = load_program("int main(void) { return 0; }\n", "m.c", "m")
+        analyzer = analyze(program, AnalyzerOptions())
+        assert analyzer.provenance is None
+
+    def test_trace_eid_links_into_trace(self):
+        from repro.diagnostics import Tracer
+
+        tracer = Tracer()
+        result = _result(
+            "int x;\nint main(void) { int *p; p = &x; return 0; }\n",
+            trace=tracer,
+        )
+        prov = result.analyzer.provenance
+        assert prov.tracer is tracer
+        assert all(
+            rec.trace_eid is not None and rec.trace_eid <= tracer.last_eid
+            for rec in prov.records
+        )
