@@ -5,6 +5,14 @@ this host vs. 1995 C on a DECstation 5000/260); the claims under test are
 the *shape*: every program analyzes in seconds, time scales with program
 complexity rather than blowing up, and the average number of PTFs per
 procedure stays near one (paper range: 1.00-1.39).
+
+Besides the pytest-benchmark entry points this file is directly runnable
+for fault-isolated batch measurement (CI uses this)::
+
+    python benchmarks/bench_table2_analysis.py --per-program-timeout 120
+
+which runs every benchmark in its own subprocess via
+``repro.bench.harness`` so one hang or crash cannot take down the batch.
 """
 
 import pytest
@@ -56,3 +64,11 @@ def test_most_programs_need_exactly_one_ptf_per_proc():
     exact_one = sum(1 for r in rows if r.avg_ptfs == 1.0)
     # the paper has 6 of 13 rows at exactly 1.00
     assert exact_one >= len(rows) // 2
+
+
+if __name__ == "__main__":  # pragma: no cover - CI batch entry point
+    import sys
+
+    from repro.bench.harness import main
+
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,6 +1,13 @@
 """The paper's contribution: the context-sensitive analysis itself."""
 
 from .engine import Analyzer, AnalyzerOptions, analyze
+from .guards import (
+    AnalysisBudget,
+    DegradationRecord,
+    DegradationReport,
+    FrontendFault,
+    GuardTripped,
+)
 from .ptf import PTF, InitialEntry, ParamMap
 from .results import AnalysisResult, PTFStats, run_analysis
 
@@ -8,6 +15,11 @@ __all__ = [
     "Analyzer",
     "AnalyzerOptions",
     "analyze",
+    "AnalysisBudget",
+    "DegradationRecord",
+    "DegradationReport",
+    "FrontendFault",
+    "GuardTripped",
     "PTF",
     "ParamMap",
     "InitialEntry",

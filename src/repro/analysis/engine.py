@@ -8,16 +8,18 @@ reusing them whenever the input aliases match.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..diagnostics import Metrics, ProvenanceLog, Tracer
+from ..diagnostics import FaultPlan, Metrics, ProvenanceLog, Tracer
 from ..frontend.ctypes_model import WORD_SIZE
 from ..ir.program import Procedure, Program
 from ..memory.blocks import GlobalBlock, HeapBlock
 from ..memory.locset import LocationSet
 from .context import Frame, RootFrame
+from .guards import AnalysisBudget, DegradationReport, GuardTripped, Region
 from .interproc import InterproceduralMixin
 from .intra import ProcEvaluator
 from .libc import LibcSummaries
@@ -73,6 +75,29 @@ class AnalyzerOptions:
     #: ``Analyzer.provenance`` (a ProvenanceLog) so ``repro explain`` can
     #: answer "why does p point to x?"; off by default (same contract)
     provenance: bool = False
+    # -- resource budgets + the degradation ladder (guards.py) -----------
+    #: wall-clock budget for the whole run in seconds (None = unlimited);
+    #: on expiry, remaining procedures degrade to conservative summaries
+    deadline_seconds: Optional[float] = None
+    #: maximum analysis call-stack depth — the explicit, checked
+    #: replacement for unbounded Python recursion through
+    #: ``_dispatch_internal`` (the interpreter recursion limit is raised
+    #: in ``run`` so this guard always fires first)
+    max_call_depth: int = 200
+    #: cap on the number of live PTFs across the whole run (None = off);
+    #: at the cap, contexts force-merge into existing summaries and
+    #: never-summarized procedures degrade
+    max_ptfs_total: Optional[int] = None
+    #: cap on points-to entries per procedure state (None = off)
+    max_state_entries: Optional[int] = None
+    #: restore the historical raise-through behaviour: a tripped guard
+    #: propagates as :class:`repro.analysis.guards.GuardTripped` instead
+    #: of degrading the procedure
+    strict: bool = False
+    #: optional deterministic fault-injection plan
+    #: (:class:`repro.diagnostics.faults.FaultPlan`) exercising the
+    #: degradation paths; None (the default) injects nothing
+    faults: Optional[FaultPlan] = None
 
 
 class Analyzer(InterproceduralMixin):
@@ -105,10 +130,24 @@ class Analyzer(InterproceduralMixin):
             "ptf_reuses": 0,
             "ptf_home_updates": 0,
             "ptf_analyses": 0,
+            "ptf_generalized": 0,
             "recursive_calls": 0,
             "external_calls": 0,
             "libc_calls": 0,
         }
+        #: the resource envelope of this run (armed by ``run``)
+        self.budget: AnalysisBudget = AnalysisBudget.from_options(self.options)
+        #: structured account of everything that degraded
+        self.degradation: DegradationReport = DegradationReport()
+        self.degradation.budget = self.budget
+        #: optional deterministic fault-injection plan
+        self.faults: Optional[FaultPlan] = self.options.faults
+        #: conservative-region cache for the degraded-call havoc
+        self._regions: dict[str, Region] = {}
+        # frontend faults travel with the program: quarantine the affected
+        # procedures before the first dispatch can reach them
+        for fault in getattr(program, "frontend_failures", ()):
+            self.degradation.add_frontend(fault)
 
     # -- shared allocation ----------------------------------------------
 
@@ -161,8 +200,25 @@ class Analyzer(InterproceduralMixin):
     def run(self) -> "Analyzer":
         tr = self.trace
         start = time.perf_counter()
+        self.budget.start()
+        # the explicit call-depth guard must fire before CPython's own
+        # recursion limit: each analysis call level costs a bounded number
+        # of interpreter frames, so raise the limit proportionally (and
+        # restore it afterwards)
+        old_limit = sys.getrecursionlimit()
+        needed_limit = 20 * self.budget.max_call_depth + 1000
+        if needed_limit > old_limit:
+            sys.setrecursionlimit(needed_limit)
         if tr is not None:
             tr.begin("analyze", "driver", program=self.program.name)
+            for fault in self.degradation.frontend:
+                tr.instant(
+                    "degrade.frontend",
+                    "driver",
+                    file=fault.filename,
+                    proc=fault.proc,
+                    reason=fault.reason,
+                )
         try:
             if tr is not None:
                 tr.begin("finalize", "phase")
@@ -180,11 +236,34 @@ class Analyzer(InterproceduralMixin):
             ptf.current_map = param_map
             ptf.analyzing = True
             self.stack.append(frame)
+            self.budget.note_depth(len(self.stack))
             if tr is not None:
                 tr.begin("analysis", "phase")
             try:
                 with self.metrics.phase("analysis"):
-                    ProcEvaluator(self, frame).run()
+                    try:
+                        ProcEvaluator(self, frame).run()
+                    except GuardTripped as trip:
+                        # a guard tripped in main's own evaluation: there
+                        # is no caller to degrade into — keep the partial
+                        # state, flag the run as partial (exit code 4)
+                        if self.options.strict:
+                            raise
+                        if not trip.proc:
+                            trip.proc = main.name
+                        self.metrics.guard_trips += 1
+                        self.degradation.partial = True
+                        self.degradation.record(
+                            trip.proc, trip.reason, trip.detail
+                        )
+                        if tr is not None:
+                            tr.instant(
+                                "degrade.proc",
+                                "interproc",
+                                proc=trip.proc,
+                                reason=trip.reason,
+                                detail=trip.detail,
+                            )
             finally:
                 self.stack.pop()
                 ptf.analyzing = False
@@ -199,6 +278,8 @@ class Analyzer(InterproceduralMixin):
                 if tr is not None:
                     tr.end("summary", "phase")
         finally:
+            if needed_limit > old_limit:
+                sys.setrecursionlimit(old_limit)
             if tr is not None:
                 tr.end("analyze", "driver")
         self.elapsed_seconds = time.perf_counter() - start
@@ -232,6 +313,7 @@ class Analyzer(InterproceduralMixin):
         out["elapsed_seconds"] = round(self.elapsed_seconds, 6)
         out["lookup_cache"] = self.options.lookup_cache
         out["state_kind"] = self.options.state_kind
+        out["degradation"] = self.degradation.as_dict()
         return out
 
     # -- statistics (Table 2 columns) -------------------------------------

@@ -25,6 +25,7 @@ from ..memory.blocks import (
 from ..memory.locset import LocationSet
 from ..memory.pointsto import normalize_loc
 from .context import Frame, RootFrame
+from .guards import GuardTripped, conservative_region
 from .ptf import PTF, InitialEntry, ParamMap
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -35,12 +36,19 @@ __all__ = ["InterproceduralMixin"]
 EMPTY: frozenset = frozenset()
 
 
+def _loc_key(loc: LocationSet) -> tuple:
+    return (loc.base.uid, loc.offset, loc.stride)
+
+
 class InterproceduralMixin:
     """Call-site evaluation for :class:`Analyzer`.
 
     Relies on attributes provided by the engine: ``program``, ``options``,
     ``stack`` (list of Frames), ``ptfs`` (proc name -> list of PTFs),
-    ``libc`` (library summaries), ``stats``.
+    ``libc`` (library summaries), ``stats``, ``metrics``, and the
+    degradation machinery: ``budget`` (:class:`AnalysisBudget`),
+    ``degradation`` (:class:`DegradationReport`), ``faults`` (optional
+    :class:`FaultPlan`), ``_regions`` (conservative-region cache).
     """
 
     # ------------------------------------------------------------------
@@ -114,9 +122,32 @@ class InterproceduralMixin:
     ) -> None:
         on_stack = self._stack_frame(proc.name)
         if on_stack is None:
+            guard = self._guard_reason(proc.name)
+            if guard is not None:
+                reason, detail = guard
+                if self.options.strict:
+                    raise GuardTripped(reason, proc.name, detail)
+                if reason != "quarantined":
+                    self.metrics.guard_trips += 1
+                if reason == "injected":
+                    # deterministic per-procedure verdict: it would trip on
+                    # every dispatch, so quarantine it outright
+                    self.degradation.quarantine(proc.name, reason, detail)
+                    tr = self.trace
+                    if tr is not None:
+                        tr.instant(
+                            "degrade.proc",
+                            "interproc",
+                            proc=proc.name,
+                            reason=reason,
+                            detail=detail,
+                        )
+                self._degrade_call(frame, node, proc.name, reason, detail)
+                return
             ptf, need_visit = self.get_ptf(frame, node, proc, map_)
             if need_visit:
-                self._analyze_ptf(frame, node, proc, ptf, map_)
+                if not self._analyze_ptf(frame, node, proc, ptf, map_):
+                    return  # guard tripped: havoc fallback already applied
             self.apply_summary(frame, node, ptf, map_, weak=apply_weak)
             # record the summary generation we consumed, so callers of
             # recursive cycles revisit when the head's summary grows
@@ -159,31 +190,53 @@ class InterproceduralMixin:
         proc: Procedure,
         ptf: PTF,
         map_: ParamMap,
-    ) -> None:
+    ) -> bool:
         """(Re)analyze ``proc`` for the context bound in ``map_``; iterate
-        to a fixpoint when the procedure heads a recursive cycle."""
+        to a fixpoint when the procedure heads a recursive cycle.
+
+        Returns True on success.  When a resource guard trips during the
+        evaluation (and ``--strict`` is off), the partial PTF — an
+        *under*-approximation, unsound to apply — is discarded, the
+        procedure is quarantined, the call is summarized by the
+        conservative havoc stub, and False is returned so the caller
+        skips ``apply_summary``.
+        """
         from .intra import ProcEvaluator
 
         tr = self.trace
         if tr is not None:
             tr.begin("analyze_ptf", "interproc", proc=proc.name, ptf=ptf.uid)
         iterations = 0
+        budget = self.budget
         try:
-            for _ in range(self.options.max_recursion_iters):
-                iterations += 1
-                child = Frame(self, proc, ptf, map_, node, frame)
-                ptf.current_map = map_
-                ptf.analyzing = True
-                self.stack.append(child)
-                try:
-                    ProcEvaluator(self, child).run()
-                finally:
-                    self.stack.pop()
-                    ptf.analyzing = False
-                gen_before = ptf.summary_generation
-                ptf.summary()  # refresh cache, possibly bumping the generation
-                if not ptf.is_recursive or ptf.summary_generation == gen_before:
-                    break
+            try:
+                for _ in range(self.options.max_recursion_iters):
+                    iterations += 1
+                    child = Frame(self, proc, ptf, map_, node, frame)
+                    ptf.current_map = map_
+                    ptf.analyzing = True
+                    self.stack.append(child)
+                    budget.note_depth(len(self.stack))
+                    try:
+                        ProcEvaluator(self, child).run()
+                    finally:
+                        self.stack.pop()
+                        ptf.analyzing = False
+                    gen_before = ptf.summary_generation
+                    ptf.summary()  # refresh cache, maybe bumping the generation
+                    if not ptf.is_recursive or ptf.summary_generation == gen_before:
+                        break
+            except GuardTripped as trip:
+                if not trip.proc:
+                    trip.proc = proc.name
+                if self.options.strict:
+                    raise
+                self._quarantine_ptf(proc, ptf, trip)
+                if node is not None:
+                    self._degrade_call(
+                        frame, node, proc.name, trip.reason, trip.detail
+                    )
+                return False
         finally:
             if tr is not None:
                 tr.end(
@@ -196,6 +249,7 @@ class InterproceduralMixin:
                 )
         ptf.snapshot_pointer_versions(map_)
         self.stats["ptf_analyses"] += 1
+        return True
 
     def _stack_frame(self, proc_name: str) -> Optional[Frame]:
         for fr in reversed(self.stack):
@@ -339,12 +393,19 @@ class InterproceduralMixin:
                     call_site=node.site,
                 )
             return home, True
-        if len(self.ptfs.get(proc.name, ())) >= self.options.ptf_limit:
+        per_proc = self.ptfs.get(proc.name, ())
+        cap = self.budget.max_ptfs_total
+        over_total = cap is not None and len(self._ptf_by_uid) >= cap
+        if per_proc and (len(per_proc) >= self.options.ptf_limit or over_total):
             # §8: beyond the limit, generalize instead of multiplying PTFs —
-            # reuse the first PTF, merging this context into its domain
-            fallback = self.ptfs[proc.name][0]
+            # reuse the first PTF, merging this context into its domain.
+            # The same force-merge serves the run-wide PTF budget
+            # (``max_ptfs_total``): at the cap no procedure may grow its
+            # PTF list, so every new context folds into the first summary.
+            fallback = per_proc[0]
             self._merge_into_ptf(frame, node, fallback, map_)
-            self.stats["ptf_generalized"] = self.stats.get("ptf_generalized", 0) + 1
+            self.stats["ptf_generalized"] += 1
+            self.metrics.ptf_generalizations += 1
             if tr is not None:
                 tr.instant(
                     "ptf.generalize",
@@ -352,7 +413,7 @@ class InterproceduralMixin:
                     proc=proc.name,
                     ptf=fallback.uid,
                     call_site=node.site,
-                    limit=self.options.ptf_limit,
+                    limit=cap if over_total else self.options.ptf_limit,
                 )
             return fallback, True
         ptf = self.new_ptf(proc)
@@ -748,6 +809,205 @@ class InterproceduralMixin:
                     out |= mapped
             # locals vanish (a dangling pointer has no caller-space name)
         return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # the degradation ladder (guards.py): guard checks, quarantine, and
+    # the sound conservative havoc fallback for degraded internal calls
+    # ------------------------------------------------------------------
+
+    def _guard_reason(self, proc_name: str) -> Optional[tuple[str, str]]:
+        """Pre-dispatch resource checks: the explicit replacement for
+        "recurse until Python's stack gives out".
+
+        Returns ``(reason, detail)`` when dispatching to ``proc_name``
+        must degrade, or None when the call may proceed.  Checked before
+        every internal dispatch; with all budgets at their defaults this
+        is a set probe, two None compares and an int compare.
+        """
+        if proc_name in self.degradation.quarantined:
+            return "quarantined", "procedure previously quarantined"
+        budget = self.budget
+        if budget.deadline_at is not None and budget.deadline_exceeded():
+            return (
+                "deadline",
+                f"wall-clock budget of {budget.deadline_seconds}s exhausted",
+            )
+        depth = len(self.stack) + 1
+        if depth > budget.max_call_depth:
+            return (
+                "call_depth",
+                f"analysis call depth {depth} exceeds the bound of "
+                f"{budget.max_call_depth}",
+            )
+        cap = budget.max_ptfs_total
+        if (
+            cap is not None
+            and len(self._ptf_by_uid) >= cap
+            and not self.ptfs.get(proc_name)
+        ):
+            # at the cap and no PTF of this procedure to generalize into
+            return "ptf_cap", f"{len(self._ptf_by_uid)} live PTFs at the cap of {cap}"
+        faults = self.faults
+        if faults is not None and faults.exhaust(proc_name):
+            return "injected", "injected budget exhaustion"
+        return None
+
+    def _quarantine_ptf(self, proc: Procedure, ptf: PTF, trip: GuardTripped) -> None:
+        """Discard a guard-tripped partial PTF and quarantine its procedure.
+
+        The tripped PTF's state is an *under*-approximation of the
+        procedure's behaviour (the fixpoint never completed), so applying
+        it would be unsound; every call to the procedure — this one and
+        all later ones — degrades to the conservative havoc stub instead.
+        """
+        self.metrics.guard_trips += 1
+        ptfs = self.ptfs.get(proc.name)
+        if ptfs is not None and ptf in ptfs:
+            ptfs.remove(ptf)
+        self._ptf_by_uid.pop(ptf.uid, None)
+        self.degradation.quarantine(proc.name, trip.reason, trip.detail)
+        tr = self.trace
+        if tr is not None:
+            tr.instant(
+                "degrade.proc",
+                "interproc",
+                proc=proc.name,
+                reason=trip.reason,
+                detail=trip.detail,
+            )
+
+    def _region(self, proc_name: str):
+        regions = self._regions
+        region = regions.get(proc_name)
+        if region is None:
+            region = conservative_region(self.program, proc_name)
+            regions[proc_name] = region
+        return region
+
+    def _degrade_call(
+        self,
+        frame: Frame,
+        node: CallNode,
+        proc_name: str,
+        reason: str,
+        detail: str = "",
+    ) -> None:
+        """Summarize a degraded call with a *sound* conservative havoc.
+
+        This widens the external-call policy (``_call_external``) to be
+        sound for *internal* procedures.  An unknown external can only
+        touch its arguments and its own storage; a skipped internal
+        procedure can additionally read and write every global it
+        transitively references (and, through an indirect call, anything
+        address-taken).  So the havoc set is the transitive pointer
+        closure of
+
+        * the argument values at this call site, plus
+        * the procedure's conservative region (``guards.conservative_
+          region``): its statically reachable globals — resolved through
+          this frame's extended-parameter representation so the caller's
+          own reads observe the havoc — widened to the whole program
+          when the region contains an indirect or unknown call,
+
+        and every reachable storage block is weakly assigned the whole
+        pool: the region's code addresses (function pointers the callee
+        could hand out), its string literals, every reachable block
+        blurred, and one opaque ``<degraded:proc>`` block standing for
+        storage the callee allocates or owns.  Because the call node is
+        re-evaluated on every fixpoint pass of the caller, values that
+        grow later re-enter the closure — exactly the external-call
+        discipline.
+        """
+        from .intra import ProcEvaluator
+
+        self.metrics.degraded_calls += 1
+        site = node.site
+        self.degradation.record(proc_name, reason, detail, call_site=site)
+        evaluator = ProcEvaluator(self, frame)
+        program = self.program
+        region = self._region(proc_name)
+        # -- roots: argument values + the region's globals -----------------
+        roots: set[LocationSet] = set()
+        for arg in node.args:
+            roots |= evaluator.eval_value(arg, node)
+        gnames = set(program.globals) if region.world else set(region.globals)
+        for gname in sorted(gnames):
+            block = frame.caller_block_for_global(gname)
+            roots.add(LocationSet(block, 0, 0))
+        # -- transitive pointer closure over reachable storage -------------
+        pool: set[LocationSet] = set()
+        havoc_targets: set[LocationSet] = set()
+        seen_blocks: set = set()
+        work = sorted(roots, key=_loc_key, reverse=True)
+        while work:
+            v = work.pop()
+            base = v.base
+            if isinstance(base, (ProcedureBlock, StringBlock)):
+                pool.add(v)  # code / read-only characters: values, not storage
+                continue
+            if base in seen_blocks:
+                continue
+            seen_blocks.add(base)
+            blurred = v.blurred()
+            havoc_targets.add(blurred)
+            pool.add(blurred)
+            # pointers already stored in the block extend the closure
+            for off, stride in sorted(base.pointer_locations):
+                probe = LocationSet(base, off, stride)
+                for nv in sorted(
+                    frame.lookup_value(probe, node, WORD_SIZE), key=_loc_key
+                ):
+                    if nv.base not in seen_blocks:
+                        work.append(nv)
+        # -- the region's code and string addresses -------------------------
+        pnames = set(program.procedures) if region.world else set(region.procs)
+        for pname in sorted(pnames):
+            pool.add(LocationSet(program.proc_block(pname), 0, 0))
+        sites = set(program.string_blocks) if region.world else set(region.strings)
+        for ssite in sorted(sites):
+            sblock = program.string_blocks.get(ssite)
+            if sblock is not None:
+                pool.add(LocationSet(sblock, 0, 1))
+        # -- the callee's own opaque storage --------------------------------
+        internal = self._degraded_block(proc_name)
+        internal_loc = LocationSet(internal, 0, 1)
+        havoc_targets.add(internal_loc)
+        pool.add(internal_loc)
+        pool_f = frozenset(pool)
+        prov = self.provenance
+        if prov is not None:
+            prov.set_context(
+                "external", detail=f"degraded call to {proc_name} ({reason})"
+            )
+        try:
+            for target in sorted(havoc_targets, key=_loc_key):
+                frame.assign(target, pool_f, node, False)
+            if node.dst is not None:
+                dsts = evaluator.eval_loc(node.dst, node)
+                for dst in dsts:
+                    frame.assign(dst, pool_f, node, len(dsts) == 1 and dst.is_unique)
+        finally:
+            if prov is not None:
+                prov.clear_context()
+        tr = self.trace
+        if tr is not None:
+            tr.instant(
+                "degrade.call",
+                "interproc",
+                proc=proc_name,
+                reason=reason,
+                call_site=site,
+                pool=len(pool_f),
+            )
+
+    def _degraded_block(self, name: str) -> GlobalBlock:
+        blocks = self.__dict__.setdefault("_degraded_blocks", {})
+        block = blocks.get(name)
+        if block is None:
+            block = GlobalBlock(f"<degraded:{name}>")
+            block.register_pointer_location(0, 1)
+            blocks[name] = block
+        return block
 
     # ------------------------------------------------------------------
     # external (non-libc) calls

@@ -35,6 +35,7 @@ from ..ir.nodes import AssignNode, CallNode, EntryNode, ExitNode, MeetNode, Node
 from ..memory.locset import LocationSet
 from ..memory.pointsto import SparseState, normalize_loc
 from .context import Frame
+from .guards import GuardTripped
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import Analyzer
@@ -44,8 +45,19 @@ __all__ = ["ProcEvaluator", "AnalysisBudgetExceeded"]
 EMPTY: frozenset = frozenset()
 
 
-class AnalysisBudgetExceeded(Exception):
-    """The fixpoint iteration failed to converge within the pass budget."""
+class AnalysisBudgetExceeded(GuardTripped):
+    """The fixpoint iteration failed to converge within the pass budget.
+
+    Historically this was the engine's only safety valve (and it *raised*
+    out of the whole analysis).  It is now one rung of the degradation
+    ladder: a :class:`~repro.analysis.guards.GuardTripped` subclass with
+    ``reason="max_passes"``, caught by the interprocedural layer, which
+    quarantines the procedure and degrades its callers to the
+    conservative havoc summary (``--strict`` restores raise-through).
+    """
+
+    def __init__(self, proc: str = "", detail: str = "") -> None:
+        super().__init__("max_passes", proc, detail)
 
 
 class ProcEvaluator:
@@ -94,11 +106,24 @@ class ProcEvaluator:
                 tr.end(f"eval {self.proc.name}", "proc", passes=passes)
 
     def _run_passes(self) -> int:
-        max_passes = self.analyzer.options.max_passes
+        budget = self.analyzer.budget
+        max_passes = budget.max_passes
+        max_entries = budget.max_state_entries
+        faults = self.analyzer.faults
+        forced_nonconvergence = (
+            faults is not None and faults.nonconverge(self.proc.name)
+        )
         metrics = self.analyzer.metrics
         tr = self.analyzer.trace
         passes = 0
         while True:
+            if budget.deadline_at is not None and budget.deadline_exceeded():
+                raise GuardTripped(
+                    "deadline",
+                    self.proc.name,
+                    f"wall-clock budget of {budget.deadline_seconds}s "
+                    f"exhausted after {passes} passes",
+                )
             t0 = tr.now_us() if tr is not None else 0
             before = self.state.change_counter
             self.frame.changed = False
@@ -122,6 +147,8 @@ class ProcEvaluator:
             passes += 1
             metrics.eval_passes += 1
             converged = self.state.change_counter == before and not self.frame.changed
+            if converged and forced_nonconvergence:
+                converged = False  # injected: pretend the pass changed state
             if tr is not None:
                 tr.complete(
                     "pass",
@@ -132,12 +159,28 @@ class ProcEvaluator:
                     index=passes,
                     changed=not converged,
                 )
+            if max_entries is not None and self._state_entries() > max_entries:
+                raise GuardTripped(
+                    "state_entries",
+                    self.proc.name,
+                    f"{self._state_entries()} points-to entries exceed the "
+                    f"cap of {max_entries}",
+                )
             if converged:
                 return passes
             if passes >= max_passes:
                 raise AnalysisBudgetExceeded(
-                    f"{self.proc.name}: no fixpoint after {passes} passes"
+                    self.proc.name,
+                    "injected non-convergence"
+                    if forced_nonconvergence
+                    else f"no fixpoint after {passes} passes",
                 )
+
+    def _state_entries(self) -> int:
+        """Size proxy for the procedure state: assigned keys plus lazily
+        fetched initial entries (both representations maintain the two)."""
+        state = self.state
+        return len(state.assigned_keys) + len(getattr(state, "_initial", ()))
 
     def _predecessor_evaluated(self, node: Node) -> bool:
         return any(

@@ -25,6 +25,7 @@ from ..memory.blocks import ExtendedParameter, MemoryBlock, ProcedureBlock
 from ..memory.locset import LocationSet
 from ..memory.pointsto import normalize_loc
 from .engine import Analyzer, AnalyzerOptions, analyze
+from .guards import DegradationReport
 from .ptf import PTF
 
 __all__ = ["AnalysisResult", "run_analysis", "PTFStats"]
@@ -64,6 +65,13 @@ class AnalysisResult:
     def __init__(self, analyzer: Analyzer) -> None:
         self.analyzer = analyzer
         self.program: Program = analyzer.program
+
+    @property
+    def degradation(self) -> "DegradationReport":
+        """The run's structured degradation report (guards.py): which
+        procedures were quarantined, why, and the budget consumed.  A
+        fully precise run has ``degradation.ok == True``."""
+        return self.analyzer.degradation
 
     # ------------------------------------------------------------------
     # points-to queries
@@ -233,7 +241,7 @@ class AnalysisResult:
                     }
                 )
             procedures[name] = {"ptfs": summaries}
-        return {
+        out = {
             "program": self.program.name,
             "stats": {
                 "procedures": stats.procedures,
@@ -248,6 +256,12 @@ class AnalysisResult:
             },
             "procedures": procedures,
         }
+        report = self.analyzer.degradation
+        if not report.ok:
+            # additive key, only for degraded runs: a default-config run's
+            # snapshot stays byte-identical to the pre-guard engine
+            out["degradation"] = report.as_dict()
+        return out
 
     def display_name(self, block: MemoryBlock) -> str:
         name = block.name

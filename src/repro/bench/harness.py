@@ -10,12 +10,29 @@ numeric programs and reports (% parallel, average ms per loop, speedup on
 
 ``invocation_rows()`` reproduces the §7 comparison of invocation-graph
 sizes against PTF counts.
+
+Fault isolation
+---------------
+
+A batch run over the whole suite must not die because one program does:
+``table2_rows`` runs each benchmark under a per-program ``try/except`` by
+default (``fault_tolerant=True``), turning a crash into an error row with
+the exception in ``Table2Row.error``.  ``per_program_timeout=SECONDS``
+goes further and runs every program in its own subprocess (``python -m
+repro.bench.harness --row ...``), so a hung or memory-exploding analysis
+is killed by the OS without taking the harness down.  Programs whose
+analysis degraded (guard trips, quarantines — see ``docs/ROBUSTNESS.md``)
+report the record count in ``Table2Row.degraded``.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, fields as _dataclass_fields
 from typing import Optional
 
 from ..analysis.engine import AnalyzerOptions
@@ -49,11 +66,18 @@ class Table2Row:
     cache_hit_rate: float = 0.0
     #: dominator-tree steps actually walked (cache misses only)
     dom_walk_steps: int = 0
+    #: non-empty when the program crashed or timed out under the
+    #: fault-isolated harness; measurement columns are zero then
+    error: str = ""
+    #: number of degradation records the analysis accumulated (0 = clean)
+    degraded: int = 0
 
     def display(self) -> str:
+        if self.error:
+            return f"{self.name:<12} ERROR: {self.error}"
         # thousands separators keep the column readable (and aligned) once
         # dom_walk_steps crosses 999,999 on the larger benchmarks
-        return (
+        out = (
             f"{self.name:<12} {self.lines:>6,} {self.procedures:>6} "
             f"{self.seconds:>9.3f} {self.avg_ptfs:>6.2f} "
             f"{self.cache_hit_rate * 100:>5.1f}% {self.dom_walk_steps:>11,}   "
@@ -62,10 +86,13 @@ class Table2Row:
             f"{self.paper.paper_seconds:>6.2f}s, "
             f"{self.paper.paper_avg_ptfs:.2f} PTFs)"
         )
+        if self.degraded:
+            out += f" [degraded:{self.degraded}]"
+        return out
 
     def as_dict(self) -> dict:
         """JSON-serializable row (``repro table2 --json``)."""
-        return {
+        out = {
             "name": self.name,
             "lines": self.lines,
             "procedures": self.procedures,
@@ -80,6 +107,13 @@ class Table2Row:
                 "avg_ptfs": self.paper.paper_avg_ptfs,
             },
         }
+        # additive keys, only on degraded/failed rows, so a clean run's
+        # JSON is byte-identical to the pre-guard harness
+        if self.error:
+            out["error"] = self.error
+        if self.degraded:
+            out["degraded"] = self.degraded
+        return out
 
 
 def analyze_benchmark(
@@ -90,29 +124,118 @@ def analyze_benchmark(
     return run_analysis(program, options)
 
 
+def _row_from_result(prog: BenchmarkProgram, result: AnalysisResult) -> Table2Row:
+    stats = result.stats()
+    metrics = result.analyzer.metrics
+    report = result.degradation
+    return Table2Row(
+        name=prog.name,
+        lines=stats.source_lines,
+        procedures=stats.procedures,
+        seconds=stats.analysis_seconds,
+        avg_ptfs=stats.avg_ptfs,
+        paper=prog,
+        cache_hit_rate=metrics.cache_hit_rate(),
+        dom_walk_steps=metrics.dom_walk_steps,
+        degraded=len(report.records) + len(report.frontend),
+    )
+
+
+def _error_row(prog: BenchmarkProgram, error: str) -> Table2Row:
+    return Table2Row(
+        name=prog.name, lines=0, procedures=0, seconds=0.0,
+        avg_ptfs=0.0, paper=prog, error=error,
+    )
+
+
+def _options_payload(options: Optional[AnalyzerOptions]) -> dict:
+    """Scalar option fields that differ from the defaults.
+
+    Used to forward analyzer options into the per-program subprocess;
+    non-serializable fields (tracer, fault plan) are dropped — subprocess
+    isolation is a batch-robustness feature, not an observability one.
+    """
+    if options is None:
+        return {}
+    defaults = AnalyzerOptions()
+    out = {}
+    for f in _dataclass_fields(AnalyzerOptions):
+        value = getattr(options, f.name)
+        if value == getattr(defaults, f.name):
+            continue
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            out[f.name] = value
+    return out
+
+
+def _subprocess_row(
+    prog: BenchmarkProgram,
+    timeout: float,
+    options: Optional[AnalyzerOptions],
+) -> Table2Row:
+    """Run one benchmark in its own interpreter; kill it on timeout."""
+    import repro
+
+    payload = {"name": prog.name}
+    opt_payload = _options_payload(options)
+    if opt_payload:
+        payload["options"] = opt_payload
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    # -c (not -m) so runpy does not re-execute an already-imported module
+    cmd = [
+        sys.executable,
+        "-c",
+        "import sys; from repro.bench.harness import _child_row; "
+        "sys.exit(_child_row(sys.argv[1]))",
+        json.dumps(payload),
+    ]
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=timeout, env=env
+        )
+    except subprocess.TimeoutExpired:
+        return _error_row(prog, f"timeout after {timeout:g}s")
+    if proc.returncode != 0:
+        tail = (proc.stderr or "").strip().splitlines()
+        detail = tail[-1] if tail else f"exit status {proc.returncode}"
+        return _error_row(prog, detail)
+    data = json.loads(proc.stdout)
+    return Table2Row(
+        name=prog.name,
+        lines=data["lines"],
+        procedures=data["procedures"],
+        seconds=data["seconds"],
+        avg_ptfs=data["avg_ptfs"],
+        paper=prog,
+        cache_hit_rate=data["cache_hit_rate"],
+        dom_walk_steps=data["dom_walk_steps"],
+        degraded=data.get("degraded", 0),
+    )
+
+
 def table2_rows(
     names: Optional[list[str]] = None,
     options: Optional[AnalyzerOptions] = None,
+    fault_tolerant: bool = True,
+    per_program_timeout: Optional[float] = None,
 ) -> list[Table2Row]:
     rows = []
     for prog in PROGRAMS:
         if names is not None and prog.name not in names:
             continue
-        result = analyze_benchmark(prog.name, options)
-        stats = result.stats()
-        metrics = result.analyzer.metrics
-        rows.append(
-            Table2Row(
-                name=prog.name,
-                lines=stats.source_lines,
-                procedures=stats.procedures,
-                seconds=stats.analysis_seconds,
-                avg_ptfs=stats.avg_ptfs,
-                paper=prog,
-                cache_hit_rate=metrics.cache_hit_rate(),
-                dom_walk_steps=metrics.dom_walk_steps,
-            )
-        )
+        if per_program_timeout is not None:
+            rows.append(_subprocess_row(prog, per_program_timeout, options))
+            continue
+        try:
+            result = analyze_benchmark(prog.name, options)
+        except Exception as exc:  # noqa: BLE001 - fault isolation by design
+            if not fault_tolerant:
+                raise
+            rows.append(_error_row(prog, f"{type(exc).__name__}: {exc}"))
+            continue
+        rows.append(_row_from_result(prog, result))
     return rows
 
 
@@ -125,8 +248,12 @@ def table2_text(rows: Optional[list[Table2Row]] = None) -> str:
         f"{'Hit%':>6} {'DomSteps':>11}",
     ]
     lines.extend(r.display() for r in rows)
-    avg = sum(r.avg_ptfs for r in rows) / len(rows) if rows else 0.0
+    good = [r for r in rows if not r.error]
+    avg = sum(r.avg_ptfs for r in good) / len(good) if good else 0.0
     lines.append(f"{'(suite avg PTFs/proc)':<37} {avg:>6.2f}")
+    failed = len(rows) - len(good)
+    if failed:
+        lines.append(f"({failed} of {len(rows)} programs failed; see ERROR rows)")
     return "\n".join(lines)
 
 
@@ -202,3 +329,65 @@ def invocation_rows(names: Optional[list[str]] = None, limit: int = 2_000_000):
             }
         )
     return out
+
+
+# ---------------------------------------------------------------------------
+# subprocess entry point (fault-isolated batch mode)
+# ---------------------------------------------------------------------------
+
+
+def _child_row(payload_json: str) -> int:
+    """``python -m repro.bench.harness --row '{...}'``: analyze one
+    benchmark and print its measurement columns as JSON on stdout.
+
+    The parent (:func:`_subprocess_row`) uses this so a crash, hang, or
+    runaway allocation in one benchmark is contained by process isolation
+    and the subprocess timeout.
+    """
+    payload = json.loads(payload_json)
+    options = None
+    if payload.get("options"):
+        options = AnalyzerOptions(**payload["options"])
+    result = analyze_benchmark(payload["name"], options)
+    row = _row_from_result(by_name(payload["name"]), result)
+    print(json.dumps({
+        "lines": row.lines,
+        "procedures": row.procedures,
+        "seconds": row.seconds,
+        "avg_ptfs": row.avg_ptfs,
+        "cache_hit_rate": row.cache_hit_rate,
+        "dom_walk_steps": row.dom_walk_steps,
+        "degraded": row.degraded,
+    }))
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.harness",
+        description="Fault-isolated Table 2 batch runner",
+    )
+    parser.add_argument("--row", metavar="JSON",
+                        help="(internal) analyze one benchmark, print row JSON")
+    parser.add_argument("--names", help="comma-separated subset of benchmarks")
+    parser.add_argument("--per-program-timeout", type=float, metavar="SECONDS",
+                        help="run each benchmark in its own subprocess, "
+                             "killed after SECONDS")
+    parser.add_argument("--json", action="store_true",
+                        help="emit rows as JSON instead of the text table")
+    args = parser.parse_args(argv)
+    if args.row is not None:
+        return _child_row(args.row)
+    names = args.names.split(",") if args.names else None
+    rows = table2_rows(names=names, per_program_timeout=args.per_program_timeout)
+    if args.json:
+        print(json.dumps([r.as_dict() for r in rows], indent=2, sort_keys=True))
+    else:
+        print(table2_text(rows))
+    return 1 if any(r.error for r in rows) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -20,10 +20,19 @@ import sys
 from typing import Optional
 
 from .analysis.engine import AnalyzerOptions
+from .analysis.guards import GuardTripped
 from .analysis.results import run_analysis
 from .frontend.parser import ParseError, load_project_files
+from .frontend.typebuild import FrontendError
 
 __all__ = ["main"]
+
+#: exit-code convention: 0 clean, 2 hard error (nothing analyzable /
+#: strict-mode abort), 4 partial results (analysis finished but the
+#: degradation report is non-empty — some summaries are conservative)
+EXIT_OK = 0
+EXIT_ERROR = 2
+EXIT_PARTIAL = 4
 
 
 def _options_from(args: argparse.Namespace) -> AnalyzerOptions:
@@ -40,6 +49,23 @@ def _options_from(args: argparse.Namespace) -> AnalyzerOptions:
         opts.trace = Tracer()
     if getattr(args, "provenance", False):
         opts.provenance = True
+    # resource budget / degradation knobs (docs/ROBUSTNESS.md)
+    if getattr(args, "deadline", None) is not None:
+        opts.deadline_seconds = args.deadline
+    if getattr(args, "max_passes", None) is not None:
+        opts.max_passes = args.max_passes
+    if getattr(args, "max_call_depth", None) is not None:
+        opts.max_call_depth = args.max_call_depth
+    if getattr(args, "max_ptfs", None) is not None:
+        opts.max_ptfs_total = args.max_ptfs
+    if getattr(args, "max_state_entries", None) is not None:
+        opts.max_state_entries = args.max_state_entries
+    if getattr(args, "strict", False):
+        opts.strict = True
+    if getattr(args, "inject_faults", None):
+        from .diagnostics.faults import FaultPlan
+
+        opts.faults = FaultPlan.from_spec(args.inject_faults)
     return opts
 
 
@@ -55,6 +81,35 @@ def _add_analysis_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-lookup-cache", action="store_true",
                    help="disable the sparse lookup memoization (debugging / "
                         "benchmark baseline; results are bit-identical)")
+    g = p.add_argument_group(
+        "robustness", "resource budgets and graceful degradation "
+                      "(see docs/ROBUSTNESS.md; exit code 4 = partial result)")
+    g.add_argument("--deadline", type=float, metavar="SECONDS",
+                   help="wall-clock budget; on expiry remaining work is "
+                        "summarized conservatively instead of aborting")
+    g.add_argument("--max-passes", type=int, metavar="N",
+                   help="per-procedure fixpoint pass budget (default 200)")
+    g.add_argument("--max-call-depth", type=int, metavar="N",
+                   help="analysis call-stack depth budget (default 200)")
+    g.add_argument("--max-ptfs", type=int, metavar="N",
+                   help="global PTF-count cap; above it new contexts merge "
+                        "into existing PTFs (§8 generalization)")
+    g.add_argument("--max-state-entries", type=int, metavar="N",
+                   help="per-procedure points-to state size cap")
+    g.add_argument("--strict", action="store_true",
+                   help="disable graceful degradation: guard trips and "
+                        "frontend faults abort with an error (exit 2)")
+    g.add_argument("--inject-faults", metavar="SPEC",
+                   help="deterministic fault injection for testing, e.g. "
+                        "'seed=7,parse=0.2,exhaust=qsort;lookup,"
+                        "nonconverge=0.05' (sites: parse, exhaust, "
+                        "nonconverge; values are rates or ;-joined names)")
+
+
+def _report_degradation(report) -> None:
+    """One line per quarantine/degradation on stderr (grep-friendly)."""
+    for line in report.summary_lines():
+        print(f"repro: {line}", file=sys.stderr)
 
 
 def _emit_stats_json(args: argparse.Namespace, analyzer) -> None:
@@ -96,8 +151,18 @@ def _emit_trace_json(args: argparse.Namespace, analyzer) -> None:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    program = load_project_files(args.files)
-    result = run_analysis(program, _options_from(args))
+    opts = _options_from(args)
+    program = load_project_files(
+        args.files, tolerant=not opts.strict, faults=opts.faults
+    )
+    if "main" not in program.procedures:
+        # nothing analyzable survived the frontend: hard error, with one
+        # structured diagnostic line per dropped unit/procedure
+        for fault in program.frontend_failures:
+            print(f"repro: frontend fault: {fault.render()}", file=sys.stderr)
+        print("error: no analyzable main procedure", file=sys.stderr)
+        return EXIT_ERROR
+    result = run_analysis(program, opts)
     stats = result.stats()
     print(f"program       : {program.name}")
     print(f"source lines  : {stats.source_lines}")
@@ -115,7 +180,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             print(ptf.describe())
     _emit_stats_json(args, result.analyzer)
     _emit_trace_json(args, result.analyzer)
-    return 0
+    report = result.degradation
+    if not report.ok:
+        _report_degradation(report)
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def _parse_query(query: str) -> tuple[str, str]:
@@ -361,10 +430,18 @@ def main(argv: Optional[list[str]] = None) -> int:
         return args.func(args)
     except ParseError as exc:
         print(f"parse error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
+    except FrontendError as exc:
+        print(f"frontend error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    except GuardTripped as exc:
+        # only reachable under --strict: the budget aborts instead of
+        # degrading; report which guard fired and where
+        print(f"analysis aborted (strict): {exc}", file=sys.stderr)
+        return EXIT_ERROR
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,11 +15,23 @@ Three cooperating layers, all pay-for-what-you-use:
   ("why does ``p`` point to ``x``?"), walked by the ``repro explain``
   CLI.  Also off by default.
 
+Plus :class:`FaultPlan`, the deterministic seeded fault-injection hook
+that exercises the degradation ladder (``--inject-faults``; see
+``docs/ROBUSTNESS.md``).
+
 See ``docs/OBSERVABILITY.md`` for the walkthrough.
 """
 
+from .faults import FaultPlan
 from .metrics import Metrics
 from .provenance import Derivation, ProvenanceLog
 from .trace import EVENT_VOCABULARY, Tracer
 
-__all__ = ["Metrics", "Tracer", "EVENT_VOCABULARY", "ProvenanceLog", "Derivation"]
+__all__ = [
+    "Metrics",
+    "Tracer",
+    "EVENT_VOCABULARY",
+    "ProvenanceLog",
+    "Derivation",
+    "FaultPlan",
+]

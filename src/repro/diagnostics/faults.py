@@ -1,0 +1,138 @@
+"""Deterministic fault injection for the degradation ladder.
+
+The graceful-degradation paths (quarantine + conservative havoc stubs,
+see :mod:`repro.analysis.guards`) only run when something goes wrong —
+which, on the healthy benchmark suite, is never.  :class:`FaultPlan`
+makes "something goes wrong" reproducible: a seeded plan injects
+
+* **parse failures** — a translation unit refuses to parse
+  (``site="parse"``, keyed by filename),
+* **budget exhaustion** — a procedure's dispatch trips as if a resource
+  guard had fired (``site="exhaust"``, keyed by procedure name),
+* **forced non-convergence** — a procedure's fixpoint never converges,
+  so the ``max_passes`` valve trips (``site="nonconverge"``, keyed by
+  procedure name),
+
+either at *named* sites (exact filenames / procedure names) or at a
+*rate* (each candidate site flips an independent, deterministic coin).
+
+Determinism contract: the verdict for a given ``(seed, site, name)``
+triple is a pure function — same plan, same program, same faults, on
+every run and in any order of evaluation.  That is what makes the
+degradation tests assertable (``random.Random(f"{seed}:{site}:{name}")``
+per query; no shared stream, so query order cannot matter).
+
+``FaultPlan.from_spec`` parses the CLI's ``--inject-faults`` argument::
+
+    seed=7,parse=0.2,exhaust=qsort;lookup,nonconverge=0.05
+
+Comma-separated ``key=value`` entries; values that parse as floats are
+rates in [0, 1], anything else is a ``;``-separated list of names.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["FaultPlan"]
+
+#: valid injection sites, also the spec keys accepting rates/names
+SITES = ("parse", "exhaust", "nonconverge")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seeded plan of injected analysis faults."""
+
+    seed: int = 0
+    #: per-site probability that an *unnamed* candidate faults
+    parse_rate: float = 0.0
+    exhaust_rate: float = 0.0
+    nonconverge_rate: float = 0.0
+    #: exact names that always fault (filenames for parse, procedure
+    #: names otherwise)
+    parse_names: frozenset = field(default_factory=frozenset)
+    exhaust_names: frozenset = field(default_factory=frozenset)
+    nonconverge_names: frozenset = field(default_factory=frozenset)
+
+    # -- the three injection hooks ----------------------------------------
+
+    def fail_parse(self, filename: str) -> bool:
+        """Should this translation unit pretend to be unparseable?"""
+        return self._hit("parse", filename, self.parse_rate, self.parse_names)
+
+    def exhaust(self, proc: str) -> bool:
+        """Should dispatching to ``proc`` trip as if a budget ran out?"""
+        return self._hit("exhaust", proc, self.exhaust_rate, self.exhaust_names)
+
+    def nonconverge(self, proc: str) -> bool:
+        """Should ``proc``'s fixpoint pretend it never converges?"""
+        return self._hit(
+            "nonconverge", proc, self.nonconverge_rate, self.nonconverge_names
+        )
+
+    def _hit(self, site: str, name: str, rate: float, names: frozenset) -> bool:
+        if name in names:
+            return True
+        if rate <= 0.0:
+            return False
+        # one private generator per (seed, site, name): the verdict is a
+        # pure function of the triple, independent of query order
+        return random.Random(f"{self.seed}:{site}:{name}").random() < rate
+
+    # -- CLI spec ----------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse ``--inject-faults`` syntax (see module docstring)."""
+        seed = 0
+        rates = {site: 0.0 for site in SITES}
+        names = {site: set() for site in SITES}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if not sep or not value:
+                raise ValueError(f"fault spec entry {part!r} is not key=value")
+            if key == "seed":
+                seed = int(value)
+                continue
+            if key not in SITES:
+                raise ValueError(
+                    f"unknown fault site {key!r} (expected one of "
+                    f"{', '.join(SITES)}, or seed)"
+                )
+            try:
+                rate = float(value)
+            except ValueError:
+                names[key].update(n for n in value.split(";") if n)
+                continue
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate {key}={rate} outside [0, 1]")
+            rates[key] = rate
+        return cls(
+            seed=seed,
+            parse_rate=rates["parse"],
+            exhaust_rate=rates["exhaust"],
+            nonconverge_rate=rates["nonconverge"],
+            parse_names=frozenset(names["parse"]),
+            exhaust_names=frozenset(names["exhaust"]),
+            nonconverge_names=frozenset(names["nonconverge"]),
+        )
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for site, rate, named in (
+            ("parse", self.parse_rate, self.parse_names),
+            ("exhaust", self.exhaust_rate, self.exhaust_names),
+            ("nonconverge", self.nonconverge_rate, self.nonconverge_names),
+        ):
+            if rate:
+                parts.append(f"{site}={rate}")
+            if named:
+                parts.append(f"{site}={';'.join(sorted(named))}")
+        return ",".join(parts)

@@ -23,7 +23,14 @@ Counter semantics:
 * ``initial_fetches`` — lazy initial-value fetches that added an entry to
   a PTF's input domain (§3.2);
 * ``eval_passes`` — full reverse-postorder passes executed by
-  ``ProcEvaluator.run``.
+  ``ProcEvaluator.run``;
+* ``guard_trips`` — resource guards that fired (deadline, pass budget,
+  call depth, PTF cap, state-entry cap, injected faults);
+* ``degraded_calls`` — call sites summarized by the conservative havoc
+  stub instead of a real PTF (the degradation ladder's fallback);
+* ``ptf_generalizations`` — contexts force-merged into a procedure's
+  first PTF because ``ptf_limit`` (or the total-PTF budget) was reached
+  (§8's generalization fallback).
 
 Timers: ``phase_seconds`` buckets the top-level driver phases
 (``finalize`` / ``analysis`` / ``summary``); ``proc_seconds`` buckets
@@ -61,6 +68,9 @@ COUNTERS = (
     "weak_updates",
     "initial_fetches",
     "eval_passes",
+    "guard_trips",
+    "degraded_calls",
+    "ptf_generalizations",
 )
 
 

@@ -104,6 +104,15 @@ EVENT_VOCABULARY: dict[str, str] = {
                      "policy",
     "initial_fetch": "i lazy initial-value fetch added an input entry to "
                      "a PTF (§3.2); args: proc, loc",
+    "degrade.call": "i a call site was summarized by the conservative "
+                    "havoc stub instead of a real PTF (degradation "
+                    "ladder); args: proc, reason, call_site, pool",
+    "degrade.proc": "i a procedure was quarantined — its partial PTF "
+                    "discarded — after a resource guard tripped; args: "
+                    "proc, reason, detail",
+    "degrade.frontend": "i a translation unit or single procedure was "
+                        "dropped by the tolerant frontend; args: file, "
+                        "proc, reason",
 }
 
 

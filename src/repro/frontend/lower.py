@@ -128,6 +128,11 @@ class Lowerer:
         # file-scope symbol table: name -> (Symbol, CType)
         self.file_scope: dict[str, tuple[Symbol, tm.CType]] = {}
         self._static_counter = itertools.count()
+        #: tolerant-mode hook: ``fault_handler(proc_name, exc)`` is called
+        #: (and the partial procedure discarded) instead of propagating a
+        #: :class:`FrontendError` out of one function definition.  ``None``
+        #: (the default) keeps the historical raise-through behavior.
+        self.fault_handler = None
 
     # ------------------------------------------------------------------
     # top level
@@ -138,17 +143,34 @@ class Lowerer:
         # function pointers to later-defined functions resolve
         for ext in ast.ext:
             if isinstance(ext, c_ast.FuncDef):
-                name = ext.decl.name
-                ftype = self.types.type_of(ext.decl.type)
-                assert isinstance(ftype, tm.CFunction)
-                self.file_scope[name] = (ProcSymbol(name), ftype)
+                try:
+                    name = ext.decl.name
+                    ftype = self.types.type_of(ext.decl.type)
+                    assert isinstance(ftype, tm.CFunction)
+                    self.file_scope[name] = (ProcSymbol(name), ftype)
+                except FrontendError:
+                    if self.fault_handler is None:
+                        raise
+                    # leave unregistered; the definition pass below hits
+                    # the same error and records the quarantine there
         for ext in ast.ext:
             if isinstance(ext, c_ast.Typedef):
                 self.types.add_typedef(ext.name, ext.type)
             elif isinstance(ext, c_ast.Decl):
                 self._lower_file_decl(ext)
             elif isinstance(ext, c_ast.FuncDef):
-                self._lower_funcdef(ext)
+                if self.fault_handler is None:
+                    self._lower_funcdef(ext)
+                else:
+                    name = getattr(ext.decl, "name", None) or "?"
+                    try:
+                        self._lower_funcdef(ext)
+                    except FrontendError as exc:
+                        # quarantine just this procedure: drop the partial
+                        # (under-approximating, unsound-to-apply) lowering
+                        # and let the engine havoc its call sites
+                        self.program.procedures.pop(name, None)
+                        self.fault_handler(name, exc)
             elif isinstance(ext, (c_ast.Pragma,)):
                 pass
             else:

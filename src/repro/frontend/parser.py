@@ -14,7 +14,7 @@ from pycparser import c_ast
 from pycparser.c_parser import ParseError as _PycparserParseError
 
 from .cpp import Preprocessor, PreprocessorError
-from .lower import Lowerer
+from .lower import FrontendError, Lowerer
 from ..ir.program import Program
 
 __all__ = ["parse_c_source", "load_program", "load_program_from_file", "load_project", "load_project_files", "ParseError"]
@@ -72,11 +72,25 @@ def load_program_from_file(
     return load_program(source, os.path.basename(path), os.path.basename(path), paths, defines)
 
 
+def _frontend_fault(filename: str, proc: str, reason: str, detail: str):
+    """Build a :class:`~repro.analysis.guards.FrontendFault` lazily.
+
+    The import lives inside the function because ``repro.analysis``
+    imports ``repro.frontend.ctypes_model`` at module level; a top-level
+    import here would close the cycle.
+    """
+    from ..analysis.guards import FrontendFault
+
+    return FrontendFault(filename=filename, proc=proc, reason=reason, detail=detail)
+
+
 def load_project(
     units: list[tuple[str, str]],
     name: str = "<project>",
     include_paths: Optional[list[str]] = None,
     defines: Optional[dict[str, str]] = None,
+    tolerant: bool = False,
+    faults=None,
 ) -> Program:
     """Parse + lower several translation units into one program.
 
@@ -85,16 +99,59 @@ def load_project(
     definitions in another — the usual whole-program link model.  (File-
     local ``static`` functions are not renamed per unit; give them distinct
     names across files.)
+
+    With ``tolerant=True`` a unit that fails to preprocess/parse, and a
+    single procedure that fails to lower, is *quarantined* instead of
+    aborting the whole load: a
+    :class:`~repro.analysis.guards.FrontendFault` is appended to
+    ``program.frontend_failures`` and the rest of the project is kept.
+    (Procedures of a unit lowered *before* a mid-unit top-level fault are
+    retained — the drop granularity is "everything at and after the
+    fault".)  The analyzer reads ``frontend_failures`` and replaces calls
+    to quarantined procedures with conservative havoc stubs, so the
+    partial result stays sound for the procedures that remain.
+
+    ``faults`` is an optional
+    :class:`~repro.diagnostics.faults.FaultPlan`; units matching its
+    ``parse`` site are dropped as injected parse failures (forcing
+    ``tolerant`` behavior for those units) to exercise the degradation
+    path deterministically.
     """
     from .lower import Lowerer
 
     lowerer = Lowerer(name)
+    failures: list = []
     total_lines = 0
     for filename, source in units:
-        ast = parse_c_source(source, filename, include_paths, defines)
-        lowerer.lower(ast)
+        if faults is not None and faults.fail_parse(filename):
+            failures.append(
+                _frontend_fault(filename, "", "injected", "injected parse failure")
+            )
+            continue
+        if tolerant:
+            lowerer.fault_handler = (
+                lambda proc, exc, _f=filename: failures.append(
+                    _frontend_fault(_f, proc, "lower_error", str(exc))
+                )
+            )
+        try:
+            ast = parse_c_source(source, filename, include_paths, defines)
+            lowerer.lower(ast)
+        except ParseError as exc:
+            if not tolerant:
+                raise
+            failures.append(_frontend_fault(filename, "", "parse_error", str(exc)))
+            continue
+        except FrontendError as exc:
+            if not tolerant:
+                raise
+            failures.append(_frontend_fault(filename, "", "lower_error", str(exc)))
+            continue
+        finally:
+            lowerer.fault_handler = None
         total_lines += source.count("\n") + 1
     program = lowerer.program
+    program.frontend_failures = failures
     program.source_lines = total_lines
     program.finalize()
     return program
@@ -105,6 +162,8 @@ def load_project_files(
     name: str = "<project>",
     include_paths: Optional[list[str]] = None,
     defines: Optional[dict[str, str]] = None,
+    tolerant: bool = False,
+    faults=None,
 ) -> Program:
     """Parse + lower several C files on disk into one program."""
     import os
@@ -117,4 +176,4 @@ def load_project_files(
         d = os.path.dirname(os.path.abspath(path))
         if d not in dirs:
             dirs.append(d)
-    return load_project(units, name, dirs, defines)
+    return load_project(units, name, dirs, defines, tolerant=tolerant, faults=faults)

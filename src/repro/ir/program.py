@@ -135,6 +135,11 @@ class Program:
         self.source_lines = 0
         #: names of called-but-undefined functions (library or external)
         self.external_calls: set[str] = set()
+        #: translation units / procedures the tolerant frontend dropped
+        #: (:class:`repro.analysis.guards.FrontendFault` records); the
+        #: engine reads these at construction and quarantines the named
+        #: procedures behind conservative havoc stubs
+        self.frontend_failures: list = []
 
     # -- procedures -------------------------------------------------------
 

@@ -90,21 +90,93 @@ class TestPTFLimit:
             "int g; int *id(int *p){return p;} int main(void){ int *q = id(&g); return 0;}"
         )
         assert r.analyzer.stats.get("ptf_generalized", 0) == 0
+        assert r.analyzer.metrics.ptf_generalizations == 0
+
+    #: calls with genuinely distinct alias patterns (aliased arguments,
+    #: distinct arguments, a null argument, indirection through pp) so
+    #: the paper's PTF reuse cannot collapse them to one PTF
+    BLOWUP_SRC = """
+    int v0, v1, v2, v3, v4, v5;
+    int *p0, *p1, *p2, *p3, *p4, *p5;
+    int **pp;
+    void f(int **a, int **b) { *a = *b; }
+    int main(void) {
+        p0 = &v0; p1 = &v1; p2 = &v2; p3 = &v3; p4 = &v4; p5 = &v5;
+        f(&p0, &p0);        /* a == b        */
+        f(&p1, &p2);        /* a != b        */
+        f(&p3, 0);          /* b null        */
+        pp = &p4;
+        f(pp, &p5);         /* a through pp  */
+        f(&p5, pp);         /* b through pp  */
+        return 0;
+    }
+    """
+    BLOWUP_VARS = [f"p{i}" for i in range(6)]
+
+    def test_force_merge_counts_and_stays_sound(self):
+        """§8 generalization: past ptf_limit, new contexts merge into the
+        first PTF.  The merged summary must over-approximate — every
+        precise binding survives — and the metrics layer must count each
+        forced merge."""
+        precise = analyze_source(self.BLOWUP_SRC)
+        # the distinct patterns really do need >2 PTFs when unconstrained
+        assert len(precise.ptfs_of("f")) >= 3
+        assert precise.analyzer.stats["ptf_generalized"] == 0
+        merged = analyze_source(
+            self.BLOWUP_SRC, options=AnalyzerOptions(ptf_limit=2)
+        )
+        assert len(merged.ptfs_of("f")) <= 2
+        # both the stats dict and the metrics counter record the merges
+        assert merged.analyzer.stats["ptf_generalized"] >= 1
+        assert merged.analyzer.metrics.ptf_generalizations >= 1
+        assert (
+            merged.analyzer.metrics.ptf_generalizations
+            == merged.analyzer.stats["ptf_generalized"]
+        )
+        for var in self.BLOWUP_VARS:
+            p = precise.points_to_names("main", var)
+            m = merged.points_to_names("main", var)
+            assert p <= m, f"{var}: precise {p} not within merged {m}"
+
+    def test_global_ptf_cap_also_generalizes(self):
+        """--max-ptfs caps the whole-program PTF pool: once reached,
+        procedures that already own a PTF generalize instead of growing."""
+        precise = analyze_source(self.BLOWUP_SRC)
+        r = analyze_source(
+            self.BLOWUP_SRC, options=AnalyzerOptions(max_ptfs_total=2)
+        )
+        assert r.analyzer.metrics.ptf_generalizations >= 1
+        for var in self.BLOWUP_VARS:
+            p = precise.points_to_names("main", var)
+            m = r.points_to_names("main", var)
+            assert p <= m, f"{var}: precise {p} not within capped {m}"
 
 
 class TestBudget:
-    def test_budget_exceeded_raises(self):
-        src = """
-        int a, b, c;
-        int main(void) {
-            int *p = &a;
-            while (c) { p = c ? &a : &b; }
-            return 0;
-        }
-        """
-        prog = load_program(src, "t.c")
+    SRC = """
+    int a, b, c;
+    int main(void) {
+        int *p = &a;
+        while (c) { p = c ? &a : &b; }
+        return 0;
+    }
+    """
+
+    def test_budget_exceeded_raises_in_strict_mode(self):
+        prog = load_program(self.SRC, "t.c")
         with pytest.raises(AnalysisBudgetExceeded):
-            Analyzer(prog, AnalyzerOptions(max_passes=1)).run()
+            Analyzer(prog, AnalyzerOptions(max_passes=1, strict=True)).run()
+
+    def test_budget_exceeded_degrades_by_default(self):
+        # without --strict the trip is recorded, not raised: the run
+        # completes and the degradation report names the guard
+        prog = load_program(self.SRC, "t.c")
+        analyzer = Analyzer(prog, AnalyzerOptions(max_passes=1))
+        analyzer.run()
+        report = analyzer.degradation
+        assert not report.ok
+        assert "max_passes" in report.reasons()
+        assert analyzer.metrics.guard_trips >= 1
 
     def test_generous_budget_converges(self):
         src = """

@@ -67,6 +67,74 @@ class TestHarness:
         assert rows[0]["invocation_nodes"] >= rows[0]["procedures"] - 1
 
 
+class TestFaultIsolation:
+    """One bad program must not take down a batch run."""
+
+    def test_crash_becomes_error_row(self, monkeypatch):
+        import repro.bench.harness as harness
+
+        orig = harness.analyze_benchmark
+
+        def boom(name, options=None):
+            if name == "grep":
+                raise RuntimeError("synthetic crash")
+            return orig(name, options)
+
+        monkeypatch.setattr(harness, "analyze_benchmark", boom)
+        rows = harness.table2_rows(names=["allroots", "grep"])
+        by = {r.name: r for r in rows}
+        assert not by["allroots"].error
+        assert "synthetic crash" in by["grep"].error
+        text = harness.table2_text(rows)
+        assert "ERROR" in text and "1 of 2 programs failed" in text
+
+    def test_fault_tolerant_false_raises(self, monkeypatch):
+        import repro.bench.harness as harness
+
+        def boom(name, options=None):
+            raise RuntimeError("synthetic crash")
+
+        monkeypatch.setattr(harness, "analyze_benchmark", boom)
+        with pytest.raises(RuntimeError):
+            harness.table2_rows(names=["allroots"], fault_tolerant=False)
+
+    def test_error_row_serializes_additively(self):
+        from repro.bench.harness import Table2Row, _error_row
+
+        prog = by_name("allroots")
+        row = _error_row(prog, "timeout after 1s")
+        d = row.as_dict()
+        assert d["error"] == "timeout after 1s"
+        clean = table2_rows(names=["allroots"])[0].as_dict()
+        assert "error" not in clean and "degraded" not in clean
+
+    def test_subprocess_row_round_trip(self):
+        from repro.bench.harness import _subprocess_row
+
+        row = _subprocess_row(by_name("allroots"), timeout=120.0, options=None)
+        assert not row.error
+        assert row.procedures >= 4
+        assert row.avg_ptfs >= 1.0
+
+    def test_subprocess_timeout_becomes_error_row(self):
+        from repro.bench.harness import _subprocess_row
+
+        row = _subprocess_row(by_name("compiler"), timeout=0.05, options=None)
+        assert "timeout" in row.error
+
+    def test_degraded_options_forward_into_subprocess(self):
+        from repro import AnalyzerOptions
+        from repro.bench.harness import _subprocess_row
+
+        row = _subprocess_row(
+            by_name("allroots"),
+            timeout=120.0,
+            options=AnalyzerOptions(max_passes=1),
+        )
+        assert not row.error
+        assert row.degraded >= 1
+
+
 class TestSuiteAnalyzability:
     """Every program in the suite must analyze cleanly under both state
     representations — the suite is itself a large integration test."""

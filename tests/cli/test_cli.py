@@ -123,6 +123,128 @@ class TestStatsJson:
         assert main(["analyze", str(bad)]) == 2
 
 
+class TestRobustness:
+    """Budget flags, fault injection, and the exit-code convention
+    (0 clean / 2 hard error / 4 partial; see docs/ROBUSTNESS.md)."""
+
+    def test_deadline_zero_exits_partial(self, prog_file, capsys):
+        assert main(["analyze", prog_file, "--deadline", "0"]) == 4
+        err = capsys.readouterr().err
+        assert "deadline" in err and "repro:" in err
+
+    def test_strict_deadline_is_hard_error(self, prog_file, capsys):
+        assert main(["analyze", prog_file, "--deadline", "0", "--strict"]) == 2
+        assert "strict" in capsys.readouterr().err
+
+    def test_injected_exhaustion_exits_partial_and_stays_sound(
+        self, prog_file, capsys
+    ):
+        assert (
+            main(
+                [
+                    "analyze",
+                    prog_file,
+                    "--inject-faults",
+                    "exhaust=set",
+                    "--points-to",
+                    "q",
+                ]
+            )
+            == 4
+        )
+        captured = capsys.readouterr()
+        # the precise answer {g} must survive inside the havoced superset
+        assert "'g'" in captured.out
+        assert "injected" in captured.err
+
+    def test_max_call_depth_flag(self, prog_file, capsys):
+        assert main(["analyze", prog_file, "--max-call-depth", "1"]) == 4
+        assert "call_depth" in capsys.readouterr().err
+
+    def test_bad_unit_in_project_degrades_to_partial(
+        self, prog_file, tmp_path, capsys
+    ):
+        bad = tmp_path / "broken.c"
+        bad.write_text("int broken( {{{")
+        assert main(["analyze", prog_file, str(bad)]) == 4
+        err = capsys.readouterr().err
+        assert "frontend" in err and "broken.c" in err
+
+    def test_bad_unit_strict_is_hard_error(self, prog_file, tmp_path, capsys):
+        bad = tmp_path / "broken.c"
+        bad.write_text("int broken( {{{")
+        assert main(["analyze", prog_file, str(bad), "--strict"]) == 2
+        assert "parse error" in capsys.readouterr().err
+
+    def test_default_guards_do_not_change_output(self, prog_file, capsys):
+        def lines(out):
+            return [l for l in out.splitlines() if "analysis time" not in l]
+
+        assert main(["analyze", prog_file, "--points-to", "q"]) == 0
+        default = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "analyze",
+                    prog_file,
+                    "--points-to",
+                    "q",
+                    "--max-passes",
+                    "200",
+                    "--max-call-depth",
+                    "200",
+                    "--deadline",
+                    "3600",
+                ]
+            )
+            == 0
+        )
+        generous = capsys.readouterr().out
+        assert lines(default) == lines(generous)
+
+    def test_degradation_lands_in_stats_json(self, prog_file, tmp_path, capsys):
+        dest = tmp_path / "stats.json"
+        assert (
+            main(
+                [
+                    "analyze",
+                    prog_file,
+                    "--max-call-depth",
+                    "1",
+                    "--stats-json",
+                    str(dest),
+                ]
+            )
+            == 4
+        )
+        stats = json.loads(dest.read_text())
+        assert stats["degradation"]["reasons"]["call_depth"] >= 1
+        assert stats["counters"]["guard_trips"] >= 1
+        assert stats["counters"]["degraded_calls"] >= 1
+
+    def test_degrade_events_reach_the_trace(self, prog_file, tmp_path, capsys):
+        dest = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "analyze",
+                    prog_file,
+                    "--max-call-depth",
+                    "1",
+                    "--trace-json",
+                    str(dest),
+                ]
+            )
+            == 4
+        )
+        names = {e["name"] for e in json.loads(dest.read_text())["traceEvents"]}
+        assert "degrade.call" in names
+
+    def test_bad_fault_spec_rejected(self, prog_file, capsys):
+        with pytest.raises(ValueError):
+            main(["analyze", prog_file, "--inject-faults", "bogus=0.5"])
+
+
 class TestTraceJson:
     def test_path_writes_chrome_trace(self, prog_file, tmp_path, capsys):
         dest = tmp_path / "trace.json"

@@ -1,0 +1,95 @@
+"""Deterministic fault injection (:mod:`repro.diagnostics.faults`)."""
+
+import pytest
+
+from repro.diagnostics.faults import SITES, FaultPlan
+
+
+class TestDeterminism:
+    def test_verdict_is_pure_function_of_triple(self):
+        a = FaultPlan(seed=3, exhaust_rate=0.4)
+        b = FaultPlan(seed=3, exhaust_rate=0.4)
+        names = [f"proc{i}" for i in range(100)]
+        assert [a.exhaust(n) for n in names] == [b.exhaust(n) for n in names]
+
+    def test_query_order_is_irrelevant(self):
+        plan = FaultPlan(seed=11, parse_rate=0.5)
+        names = [f"unit{i}.c" for i in range(40)]
+        forward = {n: plan.fail_parse(n) for n in names}
+        backward = {n: plan.fail_parse(n) for n in reversed(names)}
+        assert forward == backward
+
+    def test_different_seeds_differ(self):
+        names = [f"p{i}" for i in range(200)]
+        a = [FaultPlan(seed=1, exhaust_rate=0.5).exhaust(n) for n in names]
+        b = [FaultPlan(seed=2, exhaust_rate=0.5).exhaust(n) for n in names]
+        assert a != b
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan(seed=5, parse_rate=0.5, exhaust_rate=0.5)
+        names = [f"n{i}" for i in range(200)]
+        assert [plan.fail_parse(n) for n in names] != [
+            plan.exhaust(n) for n in names
+        ]
+
+
+class TestRatesAndNames:
+    def test_zero_rate_never_fires(self):
+        plan = FaultPlan(seed=9)
+        assert not any(plan.exhaust(f"p{i}") for i in range(100))
+
+    def test_full_rate_always_fires(self):
+        plan = FaultPlan(seed=9, nonconverge_rate=1.0)
+        assert all(plan.nonconverge(f"p{i}") for i in range(100))
+
+    def test_half_rate_fires_sometimes(self):
+        plan = FaultPlan(seed=9, exhaust_rate=0.5)
+        hits = [plan.exhaust(f"p{i}") for i in range(200)]
+        assert any(hits) and not all(hits)
+
+    def test_named_sites_always_fire(self):
+        plan = FaultPlan(exhaust_names=frozenset({"qsort"}))
+        assert plan.exhaust("qsort")
+        assert not plan.exhaust("lookup")
+
+
+class TestSpec:
+    def test_full_spec_round_trip(self):
+        plan = FaultPlan.from_spec(
+            "seed=7,parse=0.2,exhaust=qsort;lookup,nonconverge=0.05"
+        )
+        assert plan.seed == 7
+        assert plan.parse_rate == 0.2
+        assert plan.exhaust_names == frozenset({"qsort", "lookup"})
+        assert plan.nonconverge_rate == 0.05
+
+    def test_names_and_rates_are_distinguished_by_value(self):
+        plan = FaultPlan.from_spec("parse=bad.c")
+        assert plan.parse_names == frozenset({"bad.c"})
+        assert plan.parse_rate == 0.0
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("frobnicate=0.5")
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("parse=1.5")
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("parse")
+
+    def test_describe_mentions_configured_sites(self):
+        plan = FaultPlan.from_spec("seed=3,exhaust=leaf,parse=0.25")
+        text = plan.describe()
+        assert "seed=3" in text
+        assert "exhaust=leaf" in text
+        assert "parse=0.25" in text
+
+    def test_sites_constant_matches_plan_fields(self):
+        plan = FaultPlan()
+        for site in SITES:
+            assert hasattr(plan, f"{site}_rate")
+            assert hasattr(plan, f"{site}_names")
+        assert SITES == ("parse", "exhaust", "nonconverge")
