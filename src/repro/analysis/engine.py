@@ -98,6 +98,12 @@ class AnalyzerOptions:
     #: (:class:`repro.diagnostics.faults.FaultPlan`) exercising the
     #: degradation paths; None (the default) injects nothing
     faults: Optional[FaultPlan] = None
+    #: when True, ``run`` samples the interpreter's allocation peak with
+    #: :mod:`tracemalloc` for the duration of the analysis (expensive —
+    #: tracemalloc hooks every allocation; a factor of 2-4x on wall time)
+    #: and records it in ``Analyzer.peak_memory_kb``.  The cheap live
+    #: gauges of :meth:`Analyzer.memory_profile` are collected regardless
+    track_memory: bool = False
 
 
 class Analyzer(InterproceduralMixin):
@@ -144,6 +150,20 @@ class Analyzer(InterproceduralMixin):
         self.faults: Optional[FaultPlan] = self.options.faults
         #: conservative-region cache for the degraded-call havoc
         self._regions: dict[str, Region] = {}
+        #: process-global memory gauges at construction time; the per-run
+        #: deltas reported by :meth:`memory_profile` subtract these
+        from ..memory import blocks as _blocks_mod
+        from ..memory import locset as _locset_mod
+        from ..memory import pointsto as _pointsto_mod
+
+        self._mem_baseline = {
+            "blocks": _blocks_mod.blocks_created(),
+            "locsets": _locset_mod.locsets_interned(),
+            "values_intern": _pointsto_mod.values_intern_size(),
+        }
+        #: tracemalloc-sampled allocation peak of ``run`` in KiB, or None
+        #: when ``AnalyzerOptions.track_memory`` was off
+        self.peak_memory_kb: Optional[float] = None
         # frontend faults travel with the program: quarantine the affected
         # procedures before the first dispatch can reach them
         for fault in getattr(program, "frontend_failures", ()):
@@ -199,6 +219,7 @@ class Analyzer(InterproceduralMixin):
 
     def run(self) -> "Analyzer":
         tr = self.trace
+        mem_owner = self._start_memory_tracking()
         start = time.perf_counter()
         self.budget.start()
         # the explicit call-depth guard must fire before CPython's own
@@ -283,9 +304,84 @@ class Analyzer(InterproceduralMixin):
             if tr is not None:
                 tr.end("analyze", "driver")
         self.elapsed_seconds = time.perf_counter() - start
+        self._stop_memory_tracking(mem_owner)
         # surface the hot-path counters next to the interprocedural ones
         self.stats.update(self.metrics.counters())
         return self
+
+    # -- memory accounting ------------------------------------------------
+
+    def _start_memory_tracking(self) -> Optional[bool]:
+        """Arm tracemalloc when ``track_memory`` asked for it.
+
+        Returns None when tracking is off, else whether this run *owns*
+        the tracer (a surrounding harness may already be tracing — then we
+        only reset the peak and leave the tracer running on exit).
+        """
+        if not self.options.track_memory:
+            return None
+        import tracemalloc
+
+        owner = not tracemalloc.is_tracing()
+        if owner:
+            tracemalloc.start()
+        else:
+            tracemalloc.reset_peak()
+        return owner
+
+    def _stop_memory_tracking(self, owner: Optional[bool]) -> None:
+        if owner is None:
+            return
+        import tracemalloc
+
+        _current, peak = tracemalloc.get_traced_memory()
+        self.peak_memory_kb = round(peak / 1024.0, 1)
+        if owner:
+            tracemalloc.stop()
+
+    def memory_profile(self) -> dict:
+        """Live memory gauges of this run (the snapshot's memory profile).
+
+        Always available and cheap — sums of live container sizes plus
+        per-run deltas of the process-global interning counters
+        (:func:`repro.memory.blocks.blocks_created`,
+        :func:`repro.memory.locset.locsets_interned`,
+        :func:`repro.memory.pointsto.values_intern_size`).
+        ``tracemalloc_peak_kb`` is non-None only under
+        ``AnalyzerOptions.track_memory``.
+        """
+        from ..memory import blocks as _blocks_mod
+        from ..memory import locset as _locset_mod
+        from ..memory import pointsto as _pointsto_mod
+
+        state_totals: dict[str, int] = {}
+        ptf_count = 0
+        param_count = 0
+        initial_count = 0
+        for ptfs in self.ptfs.values():
+            for ptf in ptfs:
+                ptf_count += 1
+                param_count += len(ptf.params)
+                initial_count += len(ptf.initial_entries)
+                for key, value in ptf.state.footprint().items():
+                    state_totals[key] = state_totals.get(key, 0) + value
+        return {
+            "blocks_created": _blocks_mod.blocks_created()
+            - self._mem_baseline["blocks"],
+            "locsets_interned": _locset_mod.locsets_interned()
+            - self._mem_baseline["locsets"],
+            "values_intern_live": _pointsto_mod.values_intern_size(),
+            "values_intern_delta": _pointsto_mod.values_intern_size()
+            - self._mem_baseline["values_intern"],
+            "state": dict(sorted(state_totals.items())),
+            "ptf_store": {
+                "ptfs": ptf_count,
+                "params": param_count,
+                "initial_entries": initial_count,
+            },
+            "heap_blocks": len(self._heap_blocks),
+            "tracemalloc_peak_kb": self.peak_memory_kb,
+        }
 
     def _main_param_map(self, main: Procedure) -> ParamMap:
         """Bind main's formals: argc is scalar, argv points at the synthetic
@@ -314,6 +410,7 @@ class Analyzer(InterproceduralMixin):
         out["lookup_cache"] = self.options.lookup_cache
         out["state_kind"] = self.options.state_kind
         out["degradation"] = self.degradation.as_dict()
+        out["memory"] = self.memory_profile()
         return out
 
     # -- statistics (Table 2 columns) -------------------------------------

@@ -405,7 +405,7 @@ class InterproceduralMixin:
             fallback = per_proc[0]
             self._merge_into_ptf(frame, node, fallback, map_)
             self.stats["ptf_generalized"] += 1
-            self.metrics.ptf_generalizations += 1
+            self.metrics.note_generalization(proc.name)
             if tr is not None:
                 tr.instant(
                     "ptf.generalize",

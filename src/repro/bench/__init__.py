@@ -10,6 +10,13 @@ from .harness import (
     table3_text,
 )
 from .programs import PROGRAMS, BenchmarkProgram, load_source, source_path
+from .trajectory import (
+    TRAJECTORY_PATH,
+    build_entry,
+    compare_entries,
+    load_trajectory,
+    record_trajectory,
+)
 
 __all__ = [
     "PROGRAMS",
@@ -23,4 +30,9 @@ __all__ = [
     "table3_text",
     "invocation_rows",
     "analyze_benchmark",
+    "TRAJECTORY_PATH",
+    "build_entry",
+    "compare_entries",
+    "load_trajectory",
+    "record_trajectory",
 ]

@@ -71,6 +71,18 @@ class Table2Row:
     error: str = ""
     #: number of degradation records the analysis accumulated (0 = clean)
     degraded: int = 0
+    #: degradation detail for degraded rows: quarantined procedures and
+    #: one human-readable reason per record (None on clean/error rows)
+    degradation: Optional[dict] = None
+
+    @property
+    def status(self) -> str:
+        """``ok`` | ``degraded`` | ``error`` — the row's outcome class."""
+        if self.error:
+            return "error"
+        if self.degraded:
+            return "degraded"
+        return "ok"
 
     def display(self) -> str:
         if self.error:
@@ -100,6 +112,7 @@ class Table2Row:
             "avg_ptfs": round(self.avg_ptfs, 4),
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "dom_walk_steps": self.dom_walk_steps,
+            "status": self.status,
             "paper": {
                 "lines": self.paper.paper_lines,
                 "procedures": self.paper.paper_procedures,
@@ -107,12 +120,15 @@ class Table2Row:
                 "avg_ptfs": self.paper.paper_avg_ptfs,
             },
         }
-        # additive keys, only on degraded/failed rows, so a clean run's
-        # JSON is byte-identical to the pre-guard harness
+        # keys stay additive: error/degradation detail only on non-ok
+        # rows, so consumers of the clean-run JSON see no churn beyond
+        # the (always-present) status field
         if self.error:
             out["error"] = self.error
         if self.degraded:
             out["degraded"] = self.degraded
+        if self.degradation:
+            out["degradation"] = self.degradation
         return out
 
 
@@ -128,6 +144,13 @@ def _row_from_result(prog: BenchmarkProgram, result: AnalysisResult) -> Table2Ro
     stats = result.stats()
     metrics = result.analyzer.metrics
     report = result.degradation
+    degraded = len(report.records) + len(report.frontend)
+    degradation = None
+    if degraded:
+        degradation = {
+            "quarantined": sorted(report.quarantined),
+            "reasons": report.reasons(),
+        }
     return Table2Row(
         name=prog.name,
         lines=stats.source_lines,
@@ -137,7 +160,8 @@ def _row_from_result(prog: BenchmarkProgram, result: AnalysisResult) -> Table2Ro
         paper=prog,
         cache_hit_rate=metrics.cache_hit_rate(),
         dom_walk_steps=metrics.dom_walk_steps,
-        degraded=len(report.records) + len(report.frontend),
+        degraded=degraded,
+        degradation=degradation,
     )
 
 
@@ -212,6 +236,7 @@ def _subprocess_row(
         cache_hit_rate=data["cache_hit_rate"],
         dom_walk_steps=data["dom_walk_steps"],
         degraded=data.get("degraded", 0),
+        degradation=data.get("degradation"),
     )
 
 
@@ -358,6 +383,7 @@ def _child_row(payload_json: str) -> int:
         "cache_hit_rate": row.cache_hit_rate,
         "dom_walk_steps": row.dom_walk_steps,
         "degraded": row.degraded,
+        "degradation": row.degradation,
     }))
     return 0
 
@@ -377,15 +403,47 @@ def main(argv: Optional[list[str]] = None) -> int:
                              "killed after SECONDS")
     parser.add_argument("--json", action="store_true",
                         help="emit rows as JSON instead of the text table")
+    parser.add_argument("--record", nargs="?", const="BENCH_table2.json",
+                        metavar="PATH",
+                        help="append this run to the benchmark trajectory "
+                             "file (default BENCH_table2.json) and report "
+                             "drift against the previous entry")
     args = parser.parse_args(argv)
     if args.row is not None:
         return _child_row(args.row)
     names = args.names.split(",") if args.names else None
+    peak_kb = None
+    if args.record:
+        # sample the whole batch's heap peak for the trajectory record
+        import tracemalloc
+
+        already = tracemalloc.is_tracing()
+        if not already:
+            tracemalloc.start()
+        else:  # pragma: no cover - nested tracing
+            tracemalloc.reset_peak()
     rows = table2_rows(names=names, per_program_timeout=args.per_program_timeout)
+    if args.record:
+        peak_kb = tracemalloc.get_traced_memory()[1] / 1024.0
+        if not already:
+            tracemalloc.stop()
     if args.json:
         print(json.dumps([r.as_dict() for r in rows], indent=2, sort_keys=True))
     else:
         print(table2_text(rows))
+    if args.record:
+        from .trajectory import record_trajectory
+
+        entry, drift = record_trajectory(rows, path=args.record, peak_kb=peak_kb)
+        print(
+            f"repro-bench: recorded entry rev={entry['revision']} "
+            f"-> {args.record}",
+            file=sys.stderr,
+        )
+        for line in drift:
+            print(f"repro-bench: drift: {line}", file=sys.stderr)
+        if not drift:
+            print("repro-bench: no drift vs previous entry", file=sys.stderr)
     return 1 if any(r.error for r in rows) else 0
 
 

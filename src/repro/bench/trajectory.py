@@ -1,0 +1,205 @@
+"""Benchmark trajectory: the Table 2 suite's history, one entry per run.
+
+The snapshot/diff layer (:mod:`repro.diagnostics.snapshot`) compares two
+*runs*; this module compares a run against the suite's own *history*.
+``record_trajectory`` appends one entry per Table 2 batch to a JSON file
+(default ``BENCH_table2.json``) — revision, timestamp, per-program rows,
+suite totals, and the optional tracemalloc peak — and reports drift
+against the previous entry so a perf or precision regression shows up the
+moment the benchmark lands, not when someone remembers to read the table.
+
+File format (a JSON object, additive keys only)::
+
+    {
+      "format": "repro-bench-trajectory/1",
+      "entries": [
+        {"timestamp": "...", "revision": "abc1234", "rows": [...],
+         "totals": {"seconds": ..., "avg_ptfs": ..., "dom_walk_steps": ...,
+                    "errors": 0, "degraded": 0, "peak_kb": ...}},
+        ...
+      ]
+    }
+
+Writes are atomic (``<path>.tmp`` + ``os.replace``) so a crashed run
+never truncates the history; the ``.tmp`` spelling is gitignored.
+
+Drift reporting is deliberately looser than the snapshot differ — the
+trajectory is a *trend* instrument, comparing totals and per-program
+columns, not canonical solutions.  Thresholds mirror the differ's
+defaults (10% relative, small absolute floors).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from typing import Optional
+
+from .harness import Table2Row
+
+__all__ = [
+    "TRAJECTORY_FORMAT",
+    "TRAJECTORY_PATH",
+    "build_entry",
+    "compare_entries",
+    "load_trajectory",
+    "record_trajectory",
+]
+
+TRAJECTORY_FORMAT = "repro-bench-trajectory/1"
+TRAJECTORY_PATH = "BENCH_table2.json"
+
+#: suite-total drift below these floors is noise, never reported
+_SECONDS_FLOOR = 0.05
+_RELATIVE_THRESHOLD = 0.10
+
+
+def _revision() -> str:
+    """The current git revision (short), or ``unknown`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def build_entry(
+    rows: list[Table2Row],
+    peak_kb: Optional[float] = None,
+    revision: Optional[str] = None,
+) -> dict:
+    """One trajectory entry for a finished Table 2 batch."""
+    good = [r for r in rows if not r.error]
+    totals = {
+        "seconds": round(sum(r.seconds for r in good), 6),
+        "avg_ptfs": (
+            round(sum(r.avg_ptfs for r in good) / len(good), 4) if good else None
+        ),
+        "dom_walk_steps": sum(r.dom_walk_steps for r in good),
+        "errors": len(rows) - len(good),
+        "degraded": sum(1 for r in rows if r.degraded),
+    }
+    if peak_kb is not None:
+        totals["peak_kb"] = round(peak_kb, 1)
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "revision": revision if revision is not None else _revision(),
+        "rows": [r.as_dict() for r in rows],
+        "totals": totals,
+    }
+
+
+def compare_entries(prev: dict, cur: dict) -> list[str]:
+    """Human-readable drift lines between two trajectory entries.
+
+    Covers the three things a benchmark trend can move: wall time
+    (suite + per program), precision proxy (suite avg PTFs/proc and
+    per-program avg PTFs), and outcome class (new errors / degradations).
+    Empty list = steady state.
+    """
+    lines: list[str] = []
+    p_tot, c_tot = prev.get("totals", {}), cur.get("totals", {})
+
+    p_sec, c_sec = p_tot.get("seconds"), c_tot.get("seconds")
+    if p_sec and c_sec is not None:
+        delta = c_sec - p_sec
+        if abs(delta) >= _SECONDS_FLOOR and abs(delta) / p_sec >= _RELATIVE_THRESHOLD:
+            verb = "slower" if delta > 0 else "faster"
+            lines.append(
+                f"suite {verb}: {p_sec:.3f}s -> {c_sec:.3f}s "
+                f"({delta / p_sec:+.1%}) since {prev.get('revision', '?')}"
+            )
+
+    p_avg, c_avg = p_tot.get("avg_ptfs"), c_tot.get("avg_ptfs")
+    if p_avg is not None and c_avg is not None and p_avg != c_avg:
+        lines.append(f"suite avg PTFs/proc: {p_avg} -> {c_avg}")
+
+    p_peak, c_peak = p_tot.get("peak_kb"), c_tot.get("peak_kb")
+    if p_peak and c_peak is not None:
+        delta = c_peak - p_peak
+        if delta >= 64.0 and delta / p_peak >= _RELATIVE_THRESHOLD:
+            lines.append(
+                f"heap peak: {p_peak:.0f} KiB -> {c_peak:.0f} KiB "
+                f"(+{delta / p_peak:.1%})"
+            )
+
+    p_rows = {r["name"]: r for r in prev.get("rows", [])}
+    c_rows = {r["name"]: r for r in cur.get("rows", [])}
+    for name in sorted(set(p_rows) & set(c_rows)):
+        p_row, c_row = p_rows[name], c_rows[name]
+        p_status = p_row.get("status", "error" if p_row.get("error") else "ok")
+        c_status = c_row.get("status", "error" if c_row.get("error") else "ok")
+        if p_status != c_status:
+            lines.append(f"{name}: status {p_status} -> {c_status}")
+        if p_status == "error" or c_status == "error":
+            continue
+        if p_row.get("avg_ptfs") != c_row.get("avg_ptfs"):
+            lines.append(
+                f"{name}: avg PTFs {p_row.get('avg_ptfs')} -> "
+                f"{c_row.get('avg_ptfs')}"
+            )
+        ps, cs = p_row.get("seconds", 0.0), c_row.get("seconds", 0.0)
+        if ps and abs(cs - ps) >= _SECONDS_FLOOR and abs(cs - ps) / ps >= _RELATIVE_THRESHOLD:
+            verb = "slower" if cs > ps else "faster"
+            lines.append(f"{name}: {verb} {ps:.3f}s -> {cs:.3f}s")
+    only_prev = sorted(set(p_rows) - set(c_rows))
+    only_cur = sorted(set(c_rows) - set(p_rows))
+    if only_prev:
+        lines.append(f"programs dropped from suite: {', '.join(only_prev)}")
+    if only_cur:
+        lines.append(f"programs added to suite: {', '.join(only_cur)}")
+    return lines
+
+
+def load_trajectory(path: str = TRAJECTORY_PATH) -> dict:
+    """Read the trajectory file; an absent or corrupt file yields a fresh
+    empty trajectory (the recorder must never refuse to record because a
+    previous run crashed mid-write — that is what the history is *for*)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return {"format": TRAJECTORY_FORMAT, "entries": []}
+    if (
+        not isinstance(data, dict)
+        or data.get("format") != TRAJECTORY_FORMAT
+        or not isinstance(data.get("entries"), list)
+    ):
+        return {"format": TRAJECTORY_FORMAT, "entries": []}
+    return data
+
+
+def record_trajectory(
+    rows: list[Table2Row],
+    path: str = TRAJECTORY_PATH,
+    peak_kb: Optional[float] = None,
+    revision: Optional[str] = None,
+) -> tuple[dict, list[str]]:
+    """Append one entry for ``rows`` to the trajectory at ``path``.
+
+    Returns ``(entry, drift_lines)`` where ``drift_lines`` compares the
+    new entry against the previous last one (empty on the first run or
+    steady state).  The write is atomic: serialize to ``<path>.tmp``,
+    then ``os.replace``.
+    """
+    trajectory = load_trajectory(path)
+    entry = build_entry(rows, peak_kb=peak_kb, revision=revision)
+    drift: list[str] = []
+    if trajectory["entries"]:
+        drift = compare_entries(trajectory["entries"][-1], entry)
+    trajectory["entries"].append(entry)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(trajectory, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return entry, drift

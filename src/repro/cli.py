@@ -10,6 +10,8 @@
     python -m repro table2 [--names a,b,c] [--json]
     python -m repro table3
     python -m repro parallelize prog.c
+    python -m repro snapshot prog.c -o run.json      # canonical run snapshot
+    python -m repro diff old.json new.json --fail-on precision-loss,perf:5%
 """
 
 from __future__ import annotations
@@ -278,6 +280,14 @@ def cmd_table2(args: argparse.Namespace) -> int:
         print(json.dumps([r.as_dict() for r in rows], indent=2, sort_keys=True))
     else:
         print(table2_text(rows))
+    if getattr(args, "record", None):
+        from .bench import record_trajectory
+
+        entry, drift = record_trajectory(rows, path=args.record)
+        print(f"repro: recorded entry rev={entry['revision']} -> {args.record}",
+              file=sys.stderr)
+        for line in drift:
+            print(f"repro: drift: {line}", file=sys.stderr)
     return 0
 
 
@@ -325,6 +335,90 @@ def cmd_report(args: argparse.Namespace) -> int:
     print(f"  with reuse : {reuse.stats().total_ptfs} PTFs")
     print(f"  per-context: {emami.stats().total_ptfs} PTFs")
     return 0
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Analyze sources and emit the canonical run snapshot (JSON)."""
+    from .diagnostics.snapshot import build_snapshot, write_snapshot
+
+    opts = _options_from(args)
+    if args.memory:
+        opts.track_memory = True
+    program = load_project_files(
+        args.files, tolerant=not opts.strict, faults=opts.faults
+    )
+    if "main" not in program.procedures:
+        for fault in program.frontend_failures:
+            print(f"repro: frontend fault: {fault.render()}", file=sys.stderr)
+        print("error: no analyzable main procedure", file=sys.stderr)
+        return EXIT_ERROR
+    result = run_analysis(program, opts)
+    snap = build_snapshot(
+        result,
+        options=opts,
+        program_name=args.name,
+        include_solution=not args.no_solution,
+    )
+    write_snapshot(snap, args.output)
+    if args.output != "-":
+        digest = snap["digest"]["program"]
+        print(f"repro: snapshot {args.output} digest {digest[:16]}…",
+              file=sys.stderr)
+    report = result.degradation
+    if not report.ok:
+        _report_degradation(report)
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Compare two snapshots; classify + report drift, honoring --fail-on."""
+    from .diagnostics.diff import diff_snapshots, parse_fail_on
+    from .diagnostics.snapshot import load_snapshot
+
+    try:
+        fail_on = parse_fail_on(args.fail_on)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        old = load_snapshot(args.old)
+        new = load_snapshot(args.new)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        report = diff_snapshots(
+            old,
+            new,
+            perf_threshold=(
+                fail_on.perf_threshold
+                if fail_on.perf_threshold is not None
+                else args.perf_threshold / 100.0
+            ),
+            mem_threshold=(
+                fail_on.mem_threshold
+                if fail_on.mem_threshold is not None
+                else args.mem_threshold / 100.0
+            ),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"diff {report.old_program} -> {report.new_program}")
+        for line in report.summary_lines():
+            print(f"  {line}")
+    failing = report.failed(fail_on)
+    if failing:
+        print(
+            f"repro: drift gate failed on: {', '.join(sorted(failing))}",
+            file=sys.stderr,
+        )
+        return 1
+    return EXIT_OK
 
 
 def cmd_parallelize(args: argparse.Namespace) -> int:
@@ -407,6 +501,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--names", help="comma-separated subset of benchmarks")
     p.add_argument("--json", action="store_true",
                    help="emit the rows as JSON instead of the text table")
+    p.add_argument("--record", nargs="?", const="BENCH_table2.json",
+                   metavar="PATH",
+                   help="append this run to the benchmark trajectory file "
+                        "(default BENCH_table2.json) and report drift "
+                        "against the previous entry")
     p.set_defaults(func=cmd_table2)
 
     p = sub.add_parser("table3", help="regenerate the paper's Table 3")
@@ -419,6 +518,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("files", nargs="+")
     _add_analysis_flags(p)
     p.set_defaults(func=cmd_parallelize)
+
+    p = sub.add_parser(
+        "snapshot",
+        help="analyze C files and write the canonical run snapshot "
+             "(deterministic digest + precision/perf/memory profiles)",
+    )
+    p.add_argument("files", nargs="+")
+    p.add_argument("-o", "--output", default="-", metavar="PATH",
+                   help="snapshot destination ('-' = stdout, the default)")
+    p.add_argument("--name", metavar="NAME",
+                   help="program name recorded in the snapshot (defaults "
+                        "to the program's own name)")
+    p.add_argument("--no-solution", action="store_true",
+                   help="omit the full canonical solution (the digest is "
+                        "still computed from it; diffs fall back to "
+                        "profile-level attribution)")
+    p.add_argument("--memory", action="store_true",
+                   help="sample the tracemalloc heap peak (adds overhead; "
+                        "the live gauges are always recorded)")
+    _add_analysis_flags(p)
+    p.set_defaults(func=cmd_snapshot)
+
+    p = sub.add_parser(
+        "diff",
+        help="semantically compare two run snapshots and classify drift",
+    )
+    p.add_argument("old", help="baseline snapshot path ('-' = stdin)")
+    p.add_argument("new", help="candidate snapshot path ('-' = stdin)")
+    p.add_argument("--fail-on", metavar="SPEC",
+                   help="comma-separated drift classes that make the exit "
+                        "code 1, e.g. 'precision-loss,perf:5%%,mem:20%%' "
+                        "(perf:N%%/mem:N%% also tighten the thresholds)")
+    p.add_argument("--perf-threshold", type=float, default=10.0,
+                   metavar="PCT",
+                   help="relative elapsed-time change classified as perf "
+                        "drift (default 10%%; 5 ms absolute noise floor)")
+    p.add_argument("--mem-threshold", type=float, default=10.0,
+                   metavar="PCT",
+                   help="relative memory-gauge change classified as mem "
+                        "drift (default 10%%)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the classified drift report as JSON")
+    p.set_defaults(func=cmd_diff)
 
     return parser
 

@@ -19,12 +19,28 @@ Plus :class:`FaultPlan`, the deterministic seeded fault-injection hook
 that exercises the degradation ladder (``--inject-faults``; see
 ``docs/ROBUSTNESS.md``).
 
+On top of the per-run layers sits the **regression observatory**
+(:mod:`~repro.diagnostics.snapshot` / :mod:`~repro.diagnostics.diff`):
+canonical, deterministic snapshots of what a run computed — points-to
+digest, precision profile, perf profile, memory profile — and a semantic
+differ that classifies drift between two snapshots into the closed
+:data:`DRIFT_KINDS` vocabulary (``repro snapshot`` / ``repro diff``).
+
 See ``docs/OBSERVABILITY.md`` for the walkthrough.
 """
 
+from .diff import DRIFT_KINDS, DiffReport, DriftRecord, FailOn, diff_snapshots, parse_fail_on
 from .faults import FaultPlan
 from .metrics import Metrics
 from .provenance import Derivation, ProvenanceLog
+from .snapshot import (
+    SNAPSHOT_FORMAT,
+    build_snapshot,
+    canonical_bytes,
+    dump_snapshot,
+    load_snapshot,
+    write_snapshot,
+)
 from .trace import EVENT_VOCABULARY, Tracer
 
 __all__ = [
@@ -34,4 +50,16 @@ __all__ = [
     "ProvenanceLog",
     "Derivation",
     "FaultPlan",
+    "SNAPSHOT_FORMAT",
+    "build_snapshot",
+    "canonical_bytes",
+    "dump_snapshot",
+    "load_snapshot",
+    "write_snapshot",
+    "DRIFT_KINDS",
+    "DiffReport",
+    "DriftRecord",
+    "FailOn",
+    "diff_snapshots",
+    "parse_fail_on",
 ]

@@ -87,6 +87,7 @@ class Metrics:
         "proc_seconds",
         "proc_self_seconds",
         "proc_passes",
+        "proc_generalizations",
         "_proc_stack",
     )
 
@@ -105,6 +106,11 @@ class Metrics:
         self.proc_self_seconds: dict[str, float] = {}
         #: procedure name -> accumulated evaluation passes
         self.proc_passes: dict[str, int] = {}
+        #: procedure name -> contexts force-merged into its first PTF (the
+        #: per-procedure split of the ``ptf_generalizations`` counter; the
+        #: snapshot layer's precision profile attributes §8 generalization
+        #: pressure with it)
+        self.proc_generalizations: dict[str, int] = {}
         #: live evaluation stack: [name, start, child_seconds] frames,
         #: maintained by start_proc/end_proc to split self vs callee time
         self._proc_stack: list[list] = []
@@ -159,6 +165,13 @@ class Metrics:
             self._proc_stack[-1][2] += elapsed
         return elapsed
 
+    def note_generalization(self, proc_name: str) -> None:
+        """Count one §8 force-merge, both globally and per procedure."""
+        self.ptf_generalizations += 1
+        self.proc_generalizations[proc_name] = (
+            self.proc_generalizations.get(proc_name, 0) + 1
+        )
+
     # -- derived ----------------------------------------------------------
 
     def dom_steps_per_lookup(self) -> float:
@@ -182,13 +195,26 @@ class Metrics:
         return {name: getattr(self, name) for name in COUNTERS}
 
     def as_dict(self) -> dict:
-        """JSON-serializable snapshot of every counter and timer."""
+        """JSON-serializable snapshot of every counter and timer.
+
+        The derived ratios are emitted as ``null`` when their denominator
+        is zero (an empty or fully degraded run performed no lookups /
+        never probed a cache): a ratio of ``0.0`` would be
+        indistinguishable from a real all-miss run, and downstream
+        consumers (the snapshot differ, the bench trajectory) must not be
+        fed a fabricated number.
+        """
+        probes = self.cache_hits + self.cache_misses
+        hit_rate = round(self.cache_hit_rate(), 4) if probes else None
+        steps_per_lookup = (
+            round(self.dom_steps_per_lookup(), 4) if self.lookups else None
+        )
         return {
             "counters": self.counters(),
-            "cache_hit_rate": round(self.cache_hit_rate(), 4),
+            "cache_hit_rate": hit_rate,
             "derived": {
-                "dom_steps_per_lookup": round(self.dom_steps_per_lookup(), 4),
-                "cache_hit_rate": round(self.cache_hit_rate(), 4),
+                "dom_steps_per_lookup": steps_per_lookup,
+                "cache_hit_rate": hit_rate,
             },
             "timers": {
                 "phases": {k: round(v, 6) for k, v in sorted(self.phase_seconds.items())},
@@ -200,6 +226,9 @@ class Metrics:
                     for k, v in sorted(self.proc_self_seconds.items())
                 },
                 "procedure_passes": dict(sorted(self.proc_passes.items())),
+                "procedure_generalizations": dict(
+                    sorted(self.proc_generalizations.items())
+                ),
             },
         }
 
@@ -215,6 +244,8 @@ class Metrics:
             self.proc_self_seconds[k] = self.proc_self_seconds.get(k, 0.0) + v
         for k, v in other.proc_passes.items():
             self.proc_passes[k] = self.proc_passes.get(k, 0) + v
+        for k, v in other.proc_generalizations.items():
+            self.proc_generalizations[k] = self.proc_generalizations.get(k, 0) + v
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         c = self.counters()

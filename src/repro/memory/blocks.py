@@ -49,9 +49,14 @@ __all__ = [
     "all_pointer_locations",
     "subsumption_epoch",
     "reset_uid_counter",
+    "blocks_created",
 ]
 
 _block_counter = itertools.count()
+#: monotone count of blocks ever constructed in this process; survives
+#: :func:`reset_uid_counter` so per-run deltas (see
+#: ``Analyzer.memory_profile``) stay meaningful across resets
+_blocks_created = 0
 
 #: monotone count of parameter subsumptions across the process; sparse
 #: states compare it against a snapshot to renormalize their def keys and
@@ -63,6 +68,17 @@ _subsumption_epoch = 0
 def subsumption_epoch() -> int:
     """The current value of the global subsumption counter."""
     return _subsumption_epoch
+
+
+def blocks_created() -> int:
+    """Monotone count of :class:`MemoryBlock` constructions this process.
+
+    A live-memory gauge for the snapshot layer: the difference between two
+    readings bounds how many blocks (and with them per-block locset intern
+    tables) one analysis allocated.  Unlike the uid counter this is never
+    reset, so deltas across :func:`reset_uid_counter` remain valid.
+    """
+    return _blocks_created
 
 
 def reset_uid_counter() -> None:
@@ -92,6 +108,8 @@ class MemoryBlock:
     subsumed_by = None
 
     def __init__(self, name: str, size: Optional[int] = None) -> None:
+        global _blocks_created
+        _blocks_created += 1
         self.name = name
         self.size = size
         self.uid = next(_block_counter)

@@ -28,7 +28,24 @@ from typing import Iterable, Iterator
 
 from .blocks import MemoryBlock
 
-__all__ = ["LocationSet", "intern_locset", "locations_overlap", "ranges_overlap_mod"]
+__all__ = [
+    "LocationSet",
+    "intern_locset",
+    "locations_overlap",
+    "ranges_overlap_mod",
+    "locsets_interned",
+]
+
+#: monotone count of canonical location-set instances created by
+#: :func:`intern_locset` in this process; the snapshot layer's memory
+#: profile reads per-run deltas of it (the per-block intern tables die
+#: with their blocks, so a live sum would need a global block registry)
+_locsets_interned = 0
+
+
+def locsets_interned() -> int:
+    """Monotone count of interned (canonical) location sets this process."""
+    return _locsets_interned
 
 
 @dataclass(frozen=True)
@@ -158,6 +175,8 @@ def intern_locset(loc: LocationSet) -> LocationSet:
     key = (loc.offset, loc.stride)
     hit = cache.get(key)
     if hit is None:
+        global _locsets_interned
+        _locsets_interned += 1
         object.__setattr__(loc, "_interned", True)
         cache[key] = loc
         return loc

@@ -94,6 +94,7 @@ __all__ = [
     "normalize_values",
     "intern_values",
     "reset_interning",
+    "values_intern_size",
 ]
 
 #: A points-to value: the set of locations a pointer may target.
@@ -125,6 +126,16 @@ def intern_values(values: frozenset) -> frozenset:
         _VALUES_INTERN.clear()
     _VALUES_INTERN[values] = values
     return values
+
+
+def values_intern_size() -> int:
+    """Live entry count of the global value-set hash-cons table.
+
+    A memory gauge for the snapshot layer: the table is bounded by
+    ``_VALUES_INTERN_CAP`` (it clears wholesale at the cap), so this also
+    tells *how close* a run drove it to the flush threshold.
+    """
+    return len(_VALUES_INTERN)
 
 
 def reset_interning() -> None:
@@ -261,6 +272,23 @@ class PointsToState:
 
     def mark_changed(self) -> None:
         self.change_counter += 1
+
+    # -- memory accounting -------------------------------------------------
+
+    def entry_count(self) -> int:
+        """Assigned keys plus lazily fetched initial entries — the same
+        size proxy the ``max_state_entries`` guard polls."""
+        return len(self.assigned_keys) + len(getattr(self, "_initial", ()))
+
+    def footprint(self) -> dict[str, int]:
+        """Live per-representation size gauges (snapshot memory profile).
+
+        Both representations report ``entries`` (the guard proxy) and
+        ``initial``; each adds its own dominant structures — per-node map
+        cells for the dense state, defs/φ/memo-partition entries for the
+        sparse one.
+        """
+        return {"entries": self.entry_count(), "initial": len(getattr(self, "_initial", ()))}
 
 
 # ---------------------------------------------------------------------------
@@ -419,6 +447,14 @@ class DenseState(PointsToState):
             if key_n.base is loc.base and loc.overlaps(key_n, width=width, other_width=1):
                 result |= vals
         return normalize_values(result)
+
+    def footprint(self) -> dict[str, int]:
+        out = super().footprint()
+        out["map_cells"] = sum(len(m) for m in self._in.values()) + sum(
+            len(m) for m in self._out.values()
+        )
+        out["nodes_mapped"] = len(self._in)
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -906,4 +942,28 @@ class SparseState(PointsToState):
             vals = self._search(key_n, exit_node, inclusive=True)
             if vals:
                 out[key_n] = vals
+        return out
+
+    def footprint(self) -> dict[str, int]:
+        out = super().footprint()
+        out["defs"] = sum(len(d) for d in self._defs.values())
+        out["phis"] = sum(len(p) for p in self.phis.values())
+        out["cache_entries"] = (
+            sum(
+                len(by_node)
+                for part in self._search_cache.values()
+                for by_node in part.values()
+            )
+            + sum(
+                len(by_node)
+                for part in self._fence_cache.values()
+                for by_node in part.values()
+            )
+            + sum(
+                len(by_node)
+                for part in self._overlap_cache.values()
+                for by_node in part.values()
+            )
+            + len(self._overlap_keys)
+        )
         return out

@@ -360,3 +360,133 @@ class TestReport:
         assert "Table 2" in out and "Table 3" in out
         assert "reproduction report" in out
         assert "per-context" in out
+
+
+class TestTable2Status:
+    def test_json_rows_carry_status(self, capsys):
+        assert main(["table2", "--names", "allroots", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["status"] == "ok"
+
+    def test_record_appends_trajectory(self, tmp_path, capsys, monkeypatch):
+        dest = tmp_path / "BENCH_table2.json"
+        assert main(["table2", "--names", "allroots", "--record", str(dest)]) == 0
+        capsys.readouterr()
+        assert main(["table2", "--names", "allroots", "--record", str(dest)]) == 0
+        err = capsys.readouterr().err
+        assert "recorded entry" in err
+        data = json.loads(dest.read_text())
+        assert len(data["entries"]) == 2
+        assert data["entries"][-1]["rows"][0]["name"] == "allroots"
+
+
+class TestSnapshot:
+    def test_snapshot_to_file(self, prog_file, tmp_path, capsys):
+        dest = tmp_path / "snap.json"
+        assert main(["snapshot", prog_file, "-o", str(dest)]) == 0
+        err = capsys.readouterr().err
+        assert "digest" in err
+        snap = json.loads(dest.read_text())
+        assert snap["format"] == "repro-snapshot/1"
+        assert snap["digest"]["program"]
+        assert "solution" in snap
+
+    def test_snapshot_to_stdout(self, prog_file, capsys):
+        assert main(["snapshot", prog_file]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["format"] == "repro-snapshot/1"
+
+    def test_no_solution_flag(self, prog_file, capsys):
+        assert main(["snapshot", prog_file, "--no-solution"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert "solution" not in snap
+        assert snap["digest"]["program"]
+
+    def test_memory_flag_samples_peak(self, prog_file, capsys):
+        assert main(["snapshot", prog_file, "--memory"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["volatile"]["memory"]["tracemalloc_peak_kb"] > 0
+
+    def test_repeat_runs_share_a_digest(self, prog_file, tmp_path, capsys):
+        # same-process reruns need fresh interning for bit-identity
+        # (block uids seed iteration order; a fresh process — the real
+        # CLI usage — gets this for free, see the snapshot docstring)
+        from repro.memory.pointsto import reset_interning
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        reset_interning()
+        assert main(["snapshot", prog_file, "-o", str(a)]) == 0
+        reset_interning()
+        assert main(["snapshot", prog_file, "-o", str(b)]) == 0
+        sa = json.loads(a.read_text())
+        sb = json.loads(b.read_text())
+        assert sa["digest"]["program"] == sb["digest"]["program"]
+
+    def test_degraded_run_exits_partial(self, prog_file, tmp_path, capsys):
+        dest = tmp_path / "snap.json"
+        code = main(["snapshot", prog_file, "--max-ptfs", "1",
+                     "-o", str(dest)])
+        assert code == 4
+        snap = json.loads(dest.read_text())
+        assert snap["degradation"]["partial"] or snap["degradation"]["records"]
+
+    def test_missing_file(self, capsys):
+        assert main(["snapshot", "/no/such/file.c"]) == 2
+
+
+class TestDiff:
+    def make_snaps(self, prog_file, tmp_path):
+        from repro.memory.pointsto import reset_interning
+
+        a, b, c = (tmp_path / n for n in ("a.json", "b.json", "c.json"))
+        reset_interning()
+        assert main(["snapshot", prog_file, "-o", str(a)]) == 0
+        reset_interning()
+        assert main(["snapshot", prog_file, "-o", str(b)]) == 0
+        reset_interning()
+        assert main(["snapshot", prog_file, "--max-ptfs", "1",
+                     "-o", str(c)]) == 4
+        return str(a), str(b), str(c)
+
+    def test_identical_snapshots(self, prog_file, tmp_path, capsys):
+        a, b, _ = self.make_snaps(prog_file, tmp_path)
+        capsys.readouterr()
+        assert main(["diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+
+    def test_drifted_snapshots_report_loss(self, prog_file, tmp_path, capsys):
+        a, _, c = self.make_snaps(prog_file, tmp_path)
+        capsys.readouterr()
+        assert main(["diff", a, c]) == 0  # no --fail-on: report only
+        out = capsys.readouterr().out
+        assert "precision-loss" in out
+
+    def test_fail_on_gates_exit_code(self, prog_file, tmp_path, capsys):
+        a, b, c = self.make_snaps(prog_file, tmp_path)
+        capsys.readouterr()
+        assert main(["diff", a, c, "--fail-on", "precision-loss"]) == 1
+        err = capsys.readouterr().err
+        assert "drift gate failed" in err
+        assert main(["diff", a, b, "--fail-on", "precision-loss"]) == 0
+
+    def test_json_report(self, prog_file, tmp_path, capsys):
+        a, _, c = self.make_snaps(prog_file, tmp_path)
+        capsys.readouterr()
+        assert main(["diff", a, c, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "precision-loss" in payload["classes"]
+        assert payload["records"]
+
+    def test_bad_fail_on_spec(self, prog_file, tmp_path, capsys):
+        a, b, _ = self.make_snaps(prog_file, tmp_path)
+        capsys.readouterr()
+        assert main(["diff", a, b, "--fail-on", "nonsense"]) == 2
+        assert "unknown --fail-on" in capsys.readouterr().err
+
+    def test_not_a_snapshot(self, prog_file, tmp_path, capsys):
+        a, _, _ = self.make_snaps(prog_file, tmp_path)
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        capsys.readouterr()
+        assert main(["diff", a, str(bogus)]) == 2
