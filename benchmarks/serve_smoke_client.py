@@ -1,0 +1,116 @@
+"""CI smoke client for the query daemon (docs/QUERY.md).
+
+Starts ``repro serve <store> --tcp`` as a subprocess, replays a scripted
+batch of points-to/alias/modref queries built from the store's own index
+— the second half repeats the first, so the shared LRU cache must report
+hits — then shuts the daemon down and asserts a clean exit.
+
+Usage::
+
+    python benchmarks/serve_smoke_client.py stores/allroots.store.json \
+        --log query-logs/allroots.jsonl [--port 7893]
+
+Exit 0 on success; any assertion failure or daemon misbehavior exits
+non-zero (CI treats both as a failed smoke).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+
+
+def build_requests(store: dict, cap: int = 12) -> list[dict]:
+    """A scripted mix over real store facts: call-graph + modref of
+    main, then points-to/alias over the first procedures' variables."""
+    reqs: list[dict] = [
+        {"op": "callees", "proc": "main"},
+        {"op": "modref", "proc": "main"},
+    ]
+    for pname, rec in sorted(store["index"]["procedures"].items()):
+        pool = sorted(rec["vars"])
+        for var in pool:
+            reqs.append({"op": "points_to", "var": var, "proc": pname})
+        if len(pool) >= 2:
+            reqs.append(
+                {"op": "alias", "a": pool[0], "b": pool[1], "proc": pname}
+            )
+        if len(reqs) >= cap:
+            break
+    return reqs
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("store", help="store path written by 'repro index'")
+    parser.add_argument("--log", required=True,
+                        help="where to write the response log (JSONL)")
+    parser.add_argument("--port", type=int, default=7893)
+    args = parser.parse_args(argv)
+
+    with open(args.store, "r", encoding="utf-8") as fh:
+        store = json.load(fh)
+
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", args.store,
+         "--tcp", f"127.0.0.1:{args.port}"],
+        env={**os.environ},
+    )
+    try:
+        for _ in range(100):
+            try:
+                sock = socket.create_connection(
+                    ("127.0.0.1", args.port), timeout=1
+                )
+                break
+            except OSError:
+                time.sleep(0.1)
+        else:
+            raise SystemExit(f"daemon for {args.store} never came up")
+
+        reqs = build_requests(store)
+        reqs = reqs + reqs  # the repeated half: must hit the cache
+        os.makedirs(os.path.dirname(args.log) or ".", exist_ok=True)
+        with sock, open(args.log, "w", encoding="utf-8") as log:
+            fh = sock.makefile("rw", encoding="utf-8")
+            batch = [dict(r, id=i) for i, r in enumerate(reqs)]
+            fh.write(json.dumps(batch) + "\n")
+            fh.flush()
+            for _ in batch:
+                line = fh.readline()
+                log.write(line)
+                env = json.loads(line)
+                assert env["ok"] and env["status"] == 0, env
+
+            fh.write(json.dumps({"op": "stats", "id": "s"}) + "\n")
+            fh.flush()
+            stats_line = fh.readline()
+            log.write(stats_line)
+            stats = json.loads(stats_line)["result"]
+            assert stats["cache_hits"] > 0, f"no cache hits: {stats}"
+            assert stats["cache_hit_rate"] and stats["cache_hit_rate"] > 0
+
+            fh.write(json.dumps({"op": "shutdown", "id": "z"}) + "\n")
+            fh.flush()
+            log.write(fh.readline())
+
+        code = daemon.wait(timeout=30)
+        assert code == 0, f"daemon exited {code}"
+        print(
+            f"{store.get('program', args.store)}: {len(reqs)} queries, "
+            f"hit rate {stats['cache_hit_rate']}, clean shutdown"
+        )
+        return 0
+    finally:
+        if daemon.poll() is None:  # pragma: no cover - cleanup path
+            daemon.kill()
+            daemon.wait()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -284,6 +284,81 @@ class AnalysisResult:
                         return True
         return False
 
+    def targets_by_ptf(self, proc_name: str, var: str) -> list[tuple[PTF, set[LocationSet]]]:
+        """Per-PTF may-point-to targets of ``var`` — exactly the sets
+        :meth:`may_alias` compares (exit lookup ∪ initial entries), in the
+        PTF's own name space.  The query store persists these so alias
+        verdicts answered from disk agree with the live analysis."""
+        out: list[tuple[PTF, set[LocationSet]]] = []
+        for ptf in self.ptfs_of(proc_name):
+            targets = self._targets_in_ptf(ptf, var)
+            if targets:
+                out.append((ptf, targets))
+        return out
+
+    def queryable_vars(self, proc_name: str) -> list[str]:
+        """Names a demand query may ask about in ``proc_name``: its locals
+        (formals included) plus every program global."""
+        proc = self.program.procedures[proc_name]
+        return sorted(set(proc.locals) | set(self.program.globals))
+
+    # ------------------------------------------------------------------
+    # MOD/REF (derived from PTF side effects)
+    # ------------------------------------------------------------------
+
+    def mod_ref(self, proc_name: str) -> dict:
+        """Caller-visible MOD/REF sets of ``proc_name``, derived from its
+        PTFs.
+
+        *MOD* — locations the procedure (or anything it calls — callee
+        effects on caller-visible memory are already folded into the
+        caller's final points-to function) may write: the summary keys at
+        procedure exit, minus the procedure's own locals and return cell.
+
+        *REF* — input locations it may read: the initial points-to entry
+        sources (§3.2's lazily discovered input domain), minus the
+        procedure's own locals (reading a formal's own cell is reading the
+        argument *value*, not caller memory).
+
+        Returns ``{"mod": {name: {"kind", "locs"}}, "ref": {...}}`` keyed
+        by display name; ``kind`` is the memory-block kind (``global``,
+        ``xparam`` = memory reachable from the caller's arguments,
+        ``heap``, ``string``, ``proc``).
+        """
+        from ..memory.blocks import LocalBlock, ReturnBlock
+
+        def account(bucket: dict, loc: LocationSet) -> None:
+            base = loc.base
+            if isinstance(base, (LocalBlock, ReturnBlock)):
+                return
+            if isinstance(base, ExtendedParameter):
+                base = base.representative()
+                if base.global_block is not None:
+                    rec = bucket.setdefault(
+                        base.global_block.name, {"kind": "global", "locs": set()}
+                    )
+                    rec["locs"].add(str(loc))
+                    return
+            rec = bucket.setdefault(
+                self.display_name(base), {"kind": base.kind, "locs": set()}
+            )
+            rec["locs"].add(str(loc))
+
+        mod: dict[str, dict] = {}
+        ref: dict[str, dict] = {}
+        for ptf in self.ptfs_of(proc_name):
+            for loc in ptf.summary():
+                account(mod, normalize_loc(loc))
+            for raw in ptf.initial_entries:
+                account(ref, raw.normalized().source)
+        for bucket in (mod, ref):
+            for rec in bucket.values():
+                rec["locs"] = sorted(rec["locs"])
+        return {
+            "mod": {k: mod[k] for k in sorted(mod)},
+            "ref": {k: ref[k] for k in sorted(ref)},
+        }
+
     def _targets_in_ptf(self, ptf: PTF, var: str) -> set[LocationSet]:
         proc = ptf.proc
         loc = self._var_loc(proc, ptf, var)
@@ -375,6 +450,29 @@ class AnalysisResult:
                 callees = self._resolved_targets(proc_name, node)
                 graph[proc_name] |= callees
         return graph
+
+    def callsites(self) -> list[dict]:
+        """One record per static call site, with the analysis-resolved
+        targets — what ``modref(callsite)`` queries are answered from.
+
+        ``site`` is the call node's static site name (also the heap
+        naming context), ``coord`` its source position, ``callees`` the
+        resolved target set (function-pointer calls included).
+        """
+        out: list[dict] = []
+        for proc_name in sorted(self.program.procedures):
+            for node in self.program.procedures[proc_name].call_nodes():
+                out.append(
+                    {
+                        "proc": proc_name,
+                        "site": node.site,
+                        "coord": node.coord or "",
+                        "callees": sorted(
+                            self._resolved_targets(proc_name, node)
+                        ),
+                    }
+                )
+        return out
 
     def _resolved_targets(self, proc_name: str, node: CallNode) -> set[str]:
         out: set[str] = set()

@@ -12,6 +12,9 @@
     python -m repro parallelize prog.c
     python -m repro snapshot prog.c -o run.json      # canonical run snapshot
     python -m repro diff old.json new.json --fail-on precision-loss,perf:5%
+    python -m repro index prog.c -o prog.store.json  # analyze once...
+    python -m repro query prog.store.json "points-to p@main" "alias a b"
+    python -m repro serve prog.store.json --tcp 127.0.0.1:0   # ...ask many
 """
 
 from __future__ import annotations
@@ -19,7 +22,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional
 
 from .analysis.engine import AnalyzerOptions
 from .analysis.guards import GuardTripped
@@ -114,6 +118,27 @@ def _report_degradation(report) -> None:
         print(f"repro: {line}", file=sys.stderr)
 
 
+@contextmanager
+def _out_stream(dest: str) -> Iterator[IO[str]]:
+    """The one ``-``-means-stdout output convention, shared by every
+    JSON-emitting flag (``--stats-json``, ``--trace-json``,
+    ``--trace-jsonl``, ``explain --json``, ``query --json``): ``-``
+    yields ``sys.stdout`` (left open), anything else opens the file at
+    that path for writing."""
+    if dest == "-":
+        yield sys.stdout
+    else:
+        with open(dest, "w", encoding="utf-8") as fh:
+            yield fh
+
+
+def _write_text(dest: str, text: str) -> None:
+    """Write ``text`` (newline-terminated) to ``dest`` per
+    :func:`_out_stream`'s convention."""
+    with _out_stream(dest) as fh:
+        fh.write(text if text.endswith("\n") else text + "\n")
+
+
 def _emit_stats_json(args: argparse.Namespace, analyzer) -> None:
     """Write the metrics snapshot when ``--stats-json`` was given.
 
@@ -123,12 +148,7 @@ def _emit_stats_json(args: argparse.Namespace, analyzer) -> None:
     dest = getattr(args, "stats_json", None)
     if dest is None:
         return
-    payload = json.dumps(analyzer.stats_dict(), indent=2, sort_keys=True)
-    if dest == "-":
-        print(payload)
-    else:
-        with open(dest, "w", encoding="utf-8") as fh:
-            fh.write(payload + "\n")
+    _write_text(dest, json.dumps(analyzer.stats_dict(), indent=2, sort_keys=True))
 
 
 def _emit_trace_json(args: argparse.Namespace, analyzer) -> None:
@@ -140,16 +160,12 @@ def _emit_trace_json(args: argparse.Namespace, analyzer) -> None:
         return
     dest = getattr(args, "trace_json", None)
     if dest is not None:
-        if dest == "-":
-            tracer.write_chrome(sys.stdout)
-        else:
-            tracer.save_chrome(dest)
+        with _out_stream(dest) as fh:
+            tracer.write_chrome(fh)
     dest = getattr(args, "trace_jsonl", None)
     if dest is not None:
-        if dest == "-":
-            tracer.write_jsonl(sys.stdout)
-        else:
-            tracer.save_jsonl(dest)
+        with _out_stream(dest) as fh:
+            tracer.write_jsonl(fh)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -213,7 +229,10 @@ def cmd_explain(args: argparse.Namespace) -> int:
             {"query": query, "proc": proc, "var": var, "explanations": explanations}
         )
     if args.json:
-        print(json.dumps(payloads, indent=2, sort_keys=True))
+        _write_text(
+            getattr(args, "output", "-") or "-",
+            json.dumps(payloads, indent=2, sort_keys=True),
+        )
         _emit_trace_json(args, result.analyzer)
         return status
     prov = result.analyzer.provenance
@@ -440,6 +459,173 @@ def cmd_parallelize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_index(args: argparse.Namespace) -> int:
+    """Analyze sources and write the persistent query store
+    (``docs/QUERY.md``).  Repeated runs first check staleness by digest
+    (:mod:`repro.query.invalidate`) and skip the analysis entirely when
+    the store is still the solution of these sources."""
+    from .query import build_store, compute_stale, load_store, write_store
+
+    opts = _options_from(args)
+    program = load_project_files(
+        args.files, tolerant=not opts.strict, faults=opts.faults
+    )
+    if "main" not in program.procedures:
+        for fault in program.frontend_failures:
+            print(f"repro: frontend fault: {fault.render()}", file=sys.stderr)
+        print("error: no analyzable main procedure", file=sys.stderr)
+        return EXIT_ERROR
+    if not args.force and args.output != "-":
+        try:
+            old = load_store(args.output)
+        except (OSError, ValueError, json.JSONDecodeError):
+            old = None
+        if old is not None:
+            report = compute_stale(old, program)
+            for line in report.summary_lines():
+                print(f"repro: {line}", file=sys.stderr)
+            if report.up_to_date:
+                print(
+                    f"repro: store {args.output} is up to date; "
+                    "skipping re-analysis (--force to rebuild)",
+                    file=sys.stderr,
+                )
+                return EXIT_OK
+    result = run_analysis(program, opts)
+    store = build_store(
+        result, options=opts, program_name=args.name, sources=args.files
+    )
+    write_store(store, args.output)
+    if args.output != "-":
+        n = len(store["index"]["procedures"])
+        print(
+            f"repro: indexed {store['program']} "
+            f"({n} procedure(s)) -> {args.output}",
+            file=sys.stderr,
+        )
+    report = result.degradation
+    if not report.ok:
+        _report_degradation(report)
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def _render_query_answer(answer: dict) -> list[str]:
+    """Human-readable lines for one query answer (the --json form emits
+    the answer dicts verbatim instead)."""
+    op = answer["op"]
+    if op == "points_to":
+        head = (f"points-to {answer['var']}@{answer['proc']} -> "
+                f"{answer['targets'] or '(nothing)'}")
+        return [head, f"  explain: {answer['explain']}"]
+    if op == "alias":
+        lines = [f"alias {answer['a']} {answer['b']} @{answer['proc']} -> "
+                 f"{answer['verdict']}"]
+        if answer.get("witness"):
+            w = answer["witness"]
+            lines.append(f"  witness: both reach {w['block']} "
+                         f"(PTF#{w['ptf']}, a={w['a']}, b={w['b']})")
+        return lines
+    if op == "pointed_by":
+        pairs = ", ".join(f"{p}:{v}" for p, v in answer["pointers"])
+        return [f"pointed-by {answer['name']} -> {pairs or '(nobody)'}"]
+    if op == "modref":
+        where = answer["proc"]
+        if "line" in answer:
+            where += f":{answer['line']}"
+        lines = [f"modref {where}"
+                 + (" (pure)" if answer.get("pure") else "")]
+        for bucket in ("mod", "ref"):
+            names = ", ".join(sorted(answer[bucket])) or "(empty)"
+            lines.append(f"  {bucket}: {names}")
+        if answer.get("unresolved"):
+            lines.append("  unresolved: " + ", ".join(answer["unresolved"]))
+        return lines
+    if op == "reaches":
+        if answer["reachable"]:
+            return [f"reaches {answer['src']} -> {answer['dst']}: yes "
+                    f"({' -> '.join(answer['path'])})"]
+        return [f"reaches {answer['src']} -> {answer['dst']}: no"]
+    if op in ("callees", "callers"):
+        names = ", ".join(answer[op]) or "(none)"
+        return [f"{op} {answer['proc']}: {names}"]
+    if op == "stats":
+        return [
+            f"stats: {answer['queries']} queries, "
+            f"{answer['cache_hits']} hits / {answer['cache_misses']} misses "
+            f"(hit rate {answer['cache_hit_rate']}), "
+            f"{answer['cache_entries']} cached",
+        ]
+    return [json.dumps(answer, sort_keys=True)]
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Answer demand queries from a persisted store — no re-analysis."""
+    from .analysis.guards import AnalysisBudget
+    from .query import QueryEngine, QueryError, load_store, parse_query_spec
+
+    try:
+        store = load_store(args.store)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    engine = QueryEngine(store, cache_size=args.cache_size)
+    budget = None
+    if args.deadline is not None:
+        budget = AnalysisBudget(deadline_seconds=args.deadline)
+        budget.start()
+    answers = []
+    status = EXIT_OK
+    for spec in args.queries:
+        try:
+            request = parse_query_spec(spec)
+            answers.append(engine.query(request, budget=budget))
+        except QueryError as exc:
+            print(f"error: {spec!r}: {exc}", file=sys.stderr)
+            status = EXIT_ERROR
+        except GuardTripped as exc:
+            print(f"error: {spec!r}: {exc}", file=sys.stderr)
+            status = EXIT_ERROR
+    if args.json:
+        _write_text(args.output, json.dumps(answers, indent=2, sort_keys=True))
+    else:
+        with _out_stream(args.output) as fh:
+            for answer in answers:
+                for line in _render_query_answer(answer):
+                    fh.write(line + "\n")
+    if status == EXIT_OK and engine.degraded:
+        print(
+            "repro: store was built from a degraded (partial) run; "
+            "answers are conservative",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
+    return status
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve demand queries from a persisted store (JSON lines over
+    stdio, or TCP with --tcp HOST:PORT)."""
+    from .query import QueryEngine, load_store
+    from .query.server import QueryServer
+
+    try:
+        store = load_store(args.store)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    engine = QueryEngine(store, cache_size=args.cache_size)
+    server = QueryServer(engine, deadline_seconds=args.deadline)
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"error: --tcp takes HOST:PORT, got {args.tcp!r}",
+                  file=sys.stderr)
+            return EXIT_ERROR
+        return server.serve_tcp(host=host, port=int(port))
+    return server.serve_stdio()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -480,6 +666,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="maximum derivation-chain depth (default 8)")
     p.add_argument("--json", action="store_true",
                    help="emit the derivation chains as JSON")
+    p.add_argument("-o", "--output", default="-", metavar="PATH",
+                   help="destination for --json ('-' = stdout, the default)")
     p.add_argument("--trace-json", nargs="?", const="-", metavar="PATH",
                    help="also record and write the Chrome trace")
     p.add_argument("--trace-jsonl", metavar="PATH", help=argparse.SUPPRESS)
@@ -561,6 +749,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the classified drift report as JSON")
     p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser(
+        "index",
+        help="analyze C files once and write the persistent query store "
+             "(then ask with 'repro query' / 'repro serve')",
+    )
+    p.add_argument("files", nargs="+")
+    p.add_argument("-o", "--output", default="-", metavar="PATH",
+                   help="store destination ('-' = stdout, the default)")
+    p.add_argument("--name", metavar="NAME",
+                   help="program name recorded in the store")
+    p.add_argument("--force", action="store_true",
+                   help="rebuild even when the digest check says the "
+                        "store is still the solution of these sources")
+    _add_analysis_flags(p)
+    p.set_defaults(func=cmd_index)
+
+    p = sub.add_parser(
+        "query",
+        help="answer demand queries from a store, without re-analyzing",
+    )
+    p.add_argument("store", help="store path written by 'repro index'")
+    p.add_argument("queries", nargs="+", metavar="QUERY",
+                   help="e.g. 'points-to p@main', 'alias a b@f', "
+                        "'pointed-by x', 'modref f', 'modref f:12', "
+                        "'reaches main f', 'callees f', 'callers f', "
+                        "'stats'")
+    p.add_argument("--json", action="store_true",
+                   help="emit the answers as a JSON array")
+    p.add_argument("-o", "--output", default="-", metavar="PATH",
+                   help="answer destination ('-' = stdout, the default)")
+    p.add_argument("--deadline", type=float, metavar="SECONDS",
+                   help="wall-clock budget over the whole query batch")
+    p.add_argument("--cache-size", type=int, default=256, metavar="N",
+                   help="LRU query-cache capacity (default 256)")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived query daemon over a store (JSON lines on "
+             "stdio, or TCP with --tcp HOST:PORT)",
+    )
+    p.add_argument("store", help="store path written by 'repro index'")
+    p.add_argument("--tcp", metavar="HOST:PORT",
+                   help="listen on TCP instead of stdio (port 0 picks "
+                        "an ephemeral port, announced on stderr)")
+    p.add_argument("--deadline", type=float, metavar="SECONDS",
+                   help="per-request wall-clock budget")
+    p.add_argument("--cache-size", type=int, default=256, metavar="N",
+                   help="LRU query-cache capacity (default 256)")
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -53,9 +53,9 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Union
 
-__all__ = ["Metrics"]
+__all__ = ["Metrics", "safe_ratio"]
 
 #: counter attribute names, in reporting order
 COUNTERS = (
@@ -71,7 +71,32 @@ COUNTERS = (
     "guard_trips",
     "degraded_calls",
     "ptf_generalizations",
+    # -- query subsystem (repro.query; zero for plain analysis runs) ------
+    "queries",
+    "query_cache_hits",
+    "query_cache_misses",
 )
+
+
+def safe_ratio(
+    numerator: Union[int, float],
+    denominator: Union[int, float],
+    ndigits: int = 4,
+) -> Optional[float]:
+    """``numerator / denominator`` rounded, or ``None`` on a zero
+    denominator.
+
+    The single null-on-zero-denominator guard shared by every derived
+    ratio in the diagnostics stack (``Metrics.as_dict``'s
+    ``cache_hit_rate`` / ``dom_steps_per_lookup`` and the query engine's
+    ``query_cache_hit_rate``).  ``None`` — not ``0.0`` — because a run
+    that never probed a cache is not an all-miss run, and downstream
+    consumers (the snapshot differ, the bench trajectory) must not be
+    fed a fabricated number.
+    """
+    if not denominator:
+        return None
+    return round(numerator / denominator, ndigits)
 
 
 class Metrics:
@@ -191,6 +216,13 @@ class Metrics:
             return 0.0
         return self.cache_hits / probes
 
+    def query_cache_hit_rate(self) -> Optional[float]:
+        """Fraction of query-engine LRU probes that hit, or ``None`` when
+        no query ever probed the cache (plain analysis runs)."""
+        return safe_ratio(
+            self.query_cache_hits, self.query_cache_hits + self.query_cache_misses
+        )
+
     def counters(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in COUNTERS}
 
@@ -199,22 +231,18 @@ class Metrics:
 
         The derived ratios are emitted as ``null`` when their denominator
         is zero (an empty or fully degraded run performed no lookups /
-        never probed a cache): a ratio of ``0.0`` would be
-        indistinguishable from a real all-miss run, and downstream
-        consumers (the snapshot differ, the bench trajectory) must not be
-        fed a fabricated number.
+        never probed a cache); :func:`safe_ratio` is the one shared guard
+        — see its docstring for why ``null``, not ``0.0``.
         """
-        probes = self.cache_hits + self.cache_misses
-        hit_rate = round(self.cache_hit_rate(), 4) if probes else None
-        steps_per_lookup = (
-            round(self.dom_steps_per_lookup(), 4) if self.lookups else None
-        )
+        hit_rate = safe_ratio(self.cache_hits, self.cache_hits + self.cache_misses)
+        steps_per_lookup = safe_ratio(self.dom_walk_steps, self.lookups)
         return {
             "counters": self.counters(),
             "cache_hit_rate": hit_rate,
             "derived": {
                 "dom_steps_per_lookup": steps_per_lookup,
                 "cache_hit_rate": hit_rate,
+                "query_cache_hit_rate": self.query_cache_hit_rate(),
             },
             "timers": {
                 "phases": {k: round(v, 6) for k, v in sorted(self.phase_seconds.items())},

@@ -113,6 +113,13 @@ EVENT_VOCABULARY: dict[str, str] = {
     "degrade.frontend": "i a translation unit or single procedure was "
                         "dropped by the tolerant frontend; args: file, "
                         "proc, reason",
+    # -- query subsystem (repro.query; docs/QUERY.md) --------------------
+    "query.hit": "i a demand query was answered from the engine's LRU "
+                 "cache; args: op, key",
+    "query.miss": "i a demand query was computed against the store (and "
+                  "cached); args: op, key",
+    "query.deadline": "i a query's per-request deadline expired before "
+                      "an answer was produced; args: op, key",
 }
 
 

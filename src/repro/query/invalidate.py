@@ -1,0 +1,274 @@
+"""Staleness detection for the analysis store (``repro index``).
+
+The store (:mod:`repro.query.store`) answers demand queries against a
+*persisted* solution; this module answers the question every repeated
+``repro index`` run must ask first: **is the stored solution still the
+solution of these sources?** — and if not, *how little* of it must be
+recomputed.
+
+Two digest families cooperate:
+
+* **IR digests** (this module) — one SHA-256 per procedure over a
+  canonical rendering of its *lowered* flow graph (node kinds, canonical
+  assignment/call text, edge structure — no source coordinates, no
+  process-local uids), plus one digest over the global environment
+  (globals, static initializers, string literals, external calls).
+  These are cheap: re-parsing + re-lowering a unit costs milliseconds
+  where re-analysis costs seconds, so the staleness check never runs
+  the engine.
+* **Solution digests** (:mod:`repro.diagnostics.snapshot`) — per
+  procedure over the computed PTF payloads.  The store carries both;
+  the incrementality tests compare them to prove that procedures marked
+  *clean* by the IR digests really did keep their solution digests.
+
+Canonicalization rules (what makes the IR digest *stable*):
+
+* source **coordinates are excluded** — editing one procedure shifts the
+  line numbers of everything below it in the same file, and that must
+  not mark the rest of the unit stale;
+* string literals are rendered by their **text**, not their ``<strN>``
+  interning index (the index is a program-wide counter, so a new literal
+  in one unit would otherwise renumber every literal after it);
+* node identity is positional (the procedure's reverse-postorder
+  index), never the process-local ``uid``.
+
+Staleness propagation: a changed procedure invalidates its **transitive
+callers** (the call-graph *dependents*).  In Wilson & Lam's PTF scheme a
+caller's summary folds in its callees' side effects — so when a callee
+changes, every summary downstream of it on the call graph is suspect —
+while a *callee* of a changed procedure keeps its PTFs: they are keyed
+by input alias pattern, and at worst a re-analysis presents patterns
+that already match (§5.2 reuse).  A change to the global environment
+digest invalidates everything (initializers run in the root context).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..ir.program import Procedure, Program
+
+__all__ = [
+    "procedure_ir_digest",
+    "program_ir_digests",
+    "StaleReport",
+    "compute_stale",
+]
+
+_STR_TOKEN = re.compile(r"<(str\d+)>")
+
+
+def _canonical_text(text: str, program: "Program") -> str:
+    """Replace program-wide ``<strN>`` interning indices with the literal
+    text they stand for, so per-procedure digests do not depend on how
+    many literals *other* units interned first."""
+
+    def sub(match: "re.Match[str]") -> str:
+        block = program.string_blocks.get(match.group(1))
+        if block is None:  # pragma: no cover - defensive
+            return match.group(0)
+        return f"<lit:{block.text!r}>"
+
+    return _STR_TOKEN.sub(sub, text)
+
+
+def procedure_ir_digest(proc: "Procedure", program: "Program") -> str:
+    """SHA-256 over a canonical rendering of one lowered procedure.
+
+    Covers the formal list, the local name space, and every flow-graph
+    node (kind + canonical statement text + successor edges by RPO
+    position).  Excludes source coordinates and process-local uids —
+    see the module docstring for the rules and why.
+    """
+    nodes = list(proc.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    lines = [
+        f"proc {proc.name}",
+        "formals " + ",".join(f.name for f in proc.formals),
+        "locals " + ",".join(sorted(proc.locals)),
+        f"varargs {proc.is_varargs}",
+    ]
+    for i, node in enumerate(nodes):
+        text = _canonical_text(node.describe(), program)
+        succs = ",".join(str(index[s]) for s in node.succs if s in index)
+        lines.append(f"{i} {node.kind} {text} -> {succs}")
+    payload = "\n".join(lines).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def program_ir_digests(program: "Program") -> dict:
+    """Per-procedure IR digests plus the global-environment digest.
+
+    The ``globals`` digest covers global names/sizes, static initializers
+    (rendered canonically), string-literal texts and the set of external
+    calls — anything that feeds the root context and therefore every
+    procedure's analysis.
+    """
+    procedures = {
+        name: procedure_ir_digest(proc, program)
+        for name, proc in sorted(program.procedures.items())
+    }
+    env_lines = []
+    for name, sym in sorted(program.globals.items()):
+        env_lines.append(f"global {name} size={getattr(sym, 'size', None)}")
+    for init in program.global_inits:
+        env_lines.append(
+            "init "
+            + _canonical_text(f"{init.dst} = {init.src} ({init.size}B)", program)
+        )
+    for block in program.string_blocks.values():
+        env_lines.append(f"string {block.text!r}")
+    for name in sorted(program.external_calls):
+        env_lines.append(f"external {name}")
+    env_lines.sort()
+    globals_digest = hashlib.sha256(
+        "\n".join(env_lines).encode("utf-8")
+    ).hexdigest()
+    return {"procedures": procedures, "globals": globals_digest}
+
+
+# ---------------------------------------------------------------------------
+# stale-set computation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StaleReport:
+    """Which procedures of a store must be recomputed, and why.
+
+    ``stale`` is the minimal recomputation set: changed + added
+    procedures plus their transitive call-graph dependents (callers).
+    ``clean`` is its complement over the current program — the work a
+    repeated ``repro index`` run may skip.
+    """
+
+    #: procedures whose IR digest moved
+    changed: list[str] = field(default_factory=list)
+    #: procedures present now but absent from the store
+    added: list[str] = field(default_factory=list)
+    #: procedures in the store but gone from the sources
+    removed: list[str] = field(default_factory=list)
+    #: transitive callers of changed/added/removed procedures
+    dependents: list[str] = field(default_factory=list)
+    #: True when the global-environment digest moved (everything stale)
+    globals_changed: bool = False
+    #: the union: every procedure whose PTFs must be recomputed
+    stale: list[str] = field(default_factory=list)
+    #: current procedures whose stored solution remains valid
+    clean: list[str] = field(default_factory=list)
+
+    @property
+    def up_to_date(self) -> bool:
+        return not self.stale and not self.removed and not self.globals_changed
+
+    def as_dict(self) -> dict:
+        return {
+            "up_to_date": self.up_to_date,
+            "changed": self.changed,
+            "added": self.added,
+            "removed": self.removed,
+            "dependents": self.dependents,
+            "globals_changed": self.globals_changed,
+            "stale": self.stale,
+            "clean": self.clean,
+        }
+
+    def summary_lines(self) -> list[str]:
+        if self.up_to_date:
+            return ["store is up to date (all procedure digests match)"]
+        lines = []
+        if self.globals_changed:
+            lines.append("global environment changed: every procedure is stale")
+        if self.changed:
+            lines.append("changed   : " + ", ".join(self.changed))
+        if self.added:
+            lines.append("added     : " + ", ".join(self.added))
+        if self.removed:
+            lines.append("removed   : " + ", ".join(self.removed))
+        if self.dependents:
+            lines.append("dependents: " + ", ".join(self.dependents))
+        lines.append(
+            f"stale {len(self.stale)}/{len(self.stale) + len(self.clean)} "
+            "procedure(s); clean work will be skipped"
+        )
+        return lines
+
+
+def _transitive_callers(call_graph: dict, roots: set) -> set:
+    """Every procedure that can reach a root through call edges (the
+    dependents whose summaries embed a root's side effects)."""
+    callers_of: dict[str, set] = {}
+    for caller, callees in call_graph.items():
+        for callee in callees:
+            callers_of.setdefault(callee, set()).add(caller)
+    out: set = set()
+    work = list(roots)
+    while work:
+        name = work.pop()
+        for caller in callers_of.get(name, ()):
+            if caller not in out and caller not in roots:
+                out.add(caller)
+                work.append(caller)
+    return out
+
+
+def compute_stale(store: dict, program: "Program") -> StaleReport:
+    """Compare a store's recorded IR digests against a freshly lowered
+    ``program`` and report the minimal set of procedures whose PTFs must
+    be recomputed.
+
+    The comparison is pure digest work — the analysis engine never runs.
+    The store's *recorded* call graph drives dependent propagation (the
+    new program's call graph may differ for stale procedures, but every
+    edge that could transmit a stale summary into a clean procedure is,
+    by definition, an edge the old solution had).  Newly *added*
+    procedures seed dependents through the new program's static call
+    edges instead (the old graph cannot name them).
+    """
+    stored = store.get("ir", {})
+    stored_procs: dict = stored.get("procedures", {})
+    current = program_ir_digests(program)
+    cur_procs = current["procedures"]
+
+    report = StaleReport()
+    report.globals_changed = bool(
+        stored.get("globals") and stored["globals"] != current["globals"]
+    )
+    report.changed = sorted(
+        name
+        for name, digest in cur_procs.items()
+        if name in stored_procs and stored_procs[name] != digest
+    )
+    report.added = sorted(set(cur_procs) - set(stored_procs))
+    report.removed = sorted(set(stored_procs) - set(cur_procs))
+
+    if report.globals_changed:
+        report.stale = sorted(cur_procs)
+        report.clean = []
+        return report
+
+    roots = set(report.changed) | set(report.added) | set(report.removed)
+    call_graph = {
+        caller: set(callees)
+        for caller, callees in store.get("call_graph", {}).items()
+    }
+    # added procedures are reachable only through the *new* program's
+    # static call edges; fold those in so their callers invalidate
+    if report.added:
+        from ..analysis.guards import _direct_targets
+
+        for name, proc in program.procedures.items():
+            for node in proc.call_nodes():
+                for target in _direct_targets(node):
+                    if target in report.added:
+                        call_graph.setdefault(name, set()).add(target)
+    dependents = _transitive_callers(call_graph, roots)
+    report.dependents = sorted(dependents & set(cur_procs))
+    stale = (roots | dependents) & set(cur_procs)
+    report.stale = sorted(stale)
+    report.clean = sorted(set(cur_procs) - stale)
+    return report

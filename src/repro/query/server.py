@@ -1,0 +1,253 @@
+"""The long-lived query daemon behind ``repro serve``.
+
+One :class:`QueryServer` wraps one :class:`~repro.query.engine.QueryEngine`
+(one loaded store) and speaks **JSON lines**: each request is one JSON
+value on one line, each response is one JSON object on one line.  Two
+transports share the protocol:
+
+* **stdio** (:meth:`QueryServer.serve_stdio`) — the default; suited to
+  editor integrations and test harnesses that own the child process;
+* **TCP** (:meth:`QueryServer.serve_tcp`) — a threading server so many
+  clients share one engine (and therefore one LRU cache: a fact one
+  client warmed is a hit for every other).
+
+Protocol
+--------
+
+A request is either a single object or an **array of objects** (a
+batch — answered in order, one response line per request, so a client
+can pipeline without framing ambiguity)::
+
+    {"op": "points_to", "var": "p", "proc": "main", "id": 1}
+    [{"op": "alias", "a": "p", "b": "q"}, {"op": "stats"}]
+
+Every response is an **envelope** mirroring the CLI's 0/2/4 exit-code
+convention (:mod:`repro.cli`):
+
+* ``{"id", "ok": true,  "status": 0, "result": {...}}`` — answered;
+* ``{"id", "ok": true,  "status": 4, "result": {...}}`` — answered, but
+  the store was built from a *degraded* (partial) run, so the answer is
+  conservative (same meaning as exit 4);
+* ``{"id", "ok": false, "status": 2, "error": {"code", "message"}}`` —
+  the request failed; ``code`` is the stable
+  :class:`~repro.query.engine.QueryError` code (or ``deadline`` /
+  ``bad-json`` / ``internal``).
+
+Control operations (handled by the server, not the engine): ``ping``
+(liveness; echoes the program name), ``shutdown`` (graceful stop; the
+stdio loop returns, the TCP server unwinds and closes its socket so no
+orphan remains).
+
+Deadlines: construct the server with ``deadline_seconds`` and every
+request is answered under its own armed
+:class:`~repro.analysis.guards.AnalysisBudget` — the same guards
+machinery as the analysis engine; an expired budget maps to an error
+envelope with code ``deadline``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import sys
+import threading
+from typing import IO, Optional
+
+from ..analysis.guards import AnalysisBudget, GuardTripped
+from .engine import QueryEngine, QueryError
+
+__all__ = ["QueryServer"]
+
+#: control ops the server answers itself (everything else goes to the
+#: engine's OPS vocabulary)
+CONTROL_OPS = ("ping", "shutdown")
+
+
+class QueryServer:
+    """JSON-lines request/response loop around one query engine."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        deadline_seconds: Optional[float] = None,
+    ) -> None:
+        self.engine = engine
+        self.deadline_seconds = deadline_seconds
+        #: set once a ``shutdown`` request is handled; both transports
+        #: poll it to unwind cleanly
+        self.shutting_down = threading.Event()
+        #: requests handled (all envelopes, including errors)
+        self.requests_handled = 0
+        self._count_lock = threading.Lock()
+
+    # -- envelopes ---------------------------------------------------------
+
+    def _ok_status(self) -> int:
+        return 4 if self.engine.degraded else 0
+
+    def _envelope_ok(self, request_id, result: dict) -> dict:
+        return {
+            "id": request_id,
+            "ok": True,
+            "status": self._ok_status(),
+            "result": result,
+        }
+
+    @staticmethod
+    def _envelope_error(request_id, code: str, message: str) -> dict:
+        return {
+            "id": request_id,
+            "ok": False,
+            "status": 2,
+            "error": {"code": code, "message": message},
+        }
+
+    # -- request handling --------------------------------------------------
+
+    def _budget(self) -> Optional[AnalysisBudget]:
+        if self.deadline_seconds is None:
+            return None
+        budget = AnalysisBudget(deadline_seconds=self.deadline_seconds)
+        budget.start()
+        return budget
+
+    def handle_request(self, request) -> dict:
+        """Answer one request object with one envelope (never raises)."""
+        with self._count_lock:
+            self.requests_handled += 1
+        if not isinstance(request, dict):
+            return self._envelope_error(
+                None, "bad-request", "request must be a JSON object"
+            )
+        request_id = request.get("id")
+        op = request.get("op")
+        if op == "ping":
+            return self._envelope_ok(
+                request_id, {"op": "ping", "program": self.engine.program}
+            )
+        if op == "shutdown":
+            self.shutting_down.set()
+            return self._envelope_ok(request_id, {"op": "shutdown"})
+        try:
+            result = self.engine.query(request, budget=self._budget())
+        except QueryError as exc:
+            return self._envelope_error(request_id, exc.code, str(exc))
+        except GuardTripped as exc:
+            return self._envelope_error(request_id, exc.reason, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            return self._envelope_error(request_id, "internal", str(exc))
+        return self._envelope_ok(request_id, result)
+
+    def handle_line(self, line: str) -> list[str]:
+        """Answer one input line: one JSON request or a batch array.
+
+        Returns one serialized envelope per request (batch answers stay
+        in request order).  Malformed JSON yields a single ``bad-json``
+        error envelope.
+        """
+        text = line.strip()
+        if not text:
+            return []
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            return [
+                json.dumps(
+                    self._envelope_error(None, "bad-json", str(exc)),
+                    sort_keys=True,
+                )
+            ]
+        requests = payload if isinstance(payload, list) else [payload]
+        return [
+            json.dumps(self.handle_request(req), sort_keys=True)
+            for req in requests
+        ]
+
+    # -- stdio transport ---------------------------------------------------
+
+    def serve_stdio(
+        self, stdin: Optional[IO[str]] = None, stdout: Optional[IO[str]] = None
+    ) -> int:
+        """Serve JSON lines until EOF or a ``shutdown`` request.
+
+        Returns the exit status for the CLI: 0 on a clean stop (the
+        degraded state is carried per-envelope, not in the exit code —
+        a daemon that answered every request shut down cleanly).
+        """
+        stdin = stdin if stdin is not None else sys.stdin
+        stdout = stdout if stdout is not None else sys.stdout
+        for line in stdin:
+            for answer in self.handle_line(line):
+                stdout.write(answer + "\n")
+            stdout.flush()
+            if self.shutting_down.is_set():
+                break
+        return 0
+
+    # -- TCP transport -----------------------------------------------------
+
+    def serve_tcp(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ready_cb=None,
+        log=None,
+    ) -> int:
+        """Serve JSON lines over TCP until a ``shutdown`` request.
+
+        ``port=0`` binds an ephemeral port; the actual address is
+        announced via ``ready_cb((host, port))`` (tests) and one
+        ``repro: serving <program> on HOST:PORT`` line on ``log``
+        (defaults to stderr — the CLI contract scripts can wait for).
+        The server thread pool drains and the listening socket closes
+        before this returns, so a clean shutdown leaves no orphan
+        socket behind.
+        """
+        outer = self
+        log = log if log is not None else sys.stderr
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                while not outer.shutting_down.is_set():
+                    raw = self.rfile.readline()
+                    if not raw:
+                        break
+                    line = raw.decode("utf-8", errors="replace")
+                    for answer in outer.handle_line(line):
+                        self.wfile.write(answer.encode("utf-8") + b"\n")
+                    self.wfile.flush()
+                    if outer.shutting_down.is_set():
+                        # answered the shutdown envelope; stop the server
+                        # from a helper thread (shutdown() must not be
+                        # called from the handler thread it would join)
+                        threading.Thread(
+                            target=self.server.shutdown, daemon=True
+                        ).start()
+                        break
+
+        class Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        with Server((host, port), Handler) as server:
+            bound_host, bound_port = server.server_address[:2]
+            log.write(
+                f"repro: serving {self.engine.program} on "
+                f"{bound_host}:{bound_port}\n"
+            )
+            log.flush()
+            if ready_cb is not None:
+                ready_cb((bound_host, bound_port))
+            server.serve_forever(poll_interval=0.05)
+        return 0
+
+
+def _probe_tcp(host: str, port: int, timeout: float = 0.2) -> bool:
+    """Whether something is listening on ``host:port`` (used by the
+    daemon tests to assert no orphan socket survives a shutdown)."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout):
+            return True
+    except OSError:
+        return False

@@ -1,0 +1,281 @@
+"""The on-disk analysis store — analyze once, answer many queries.
+
+Every earlier layer of this repo answers questions about *one run in one
+process*: the engine computes, the snapshot pins down what it computed,
+and then the process exits and the next question re-runs the whole
+analysis from source.  The store is the persistence layer that breaks
+that cycle (``repro index`` writes it, ``repro query`` / ``repro
+serve`` read it): a single JSON document from which the demand engine
+(:mod:`repro.query.engine`) answers points-to, alias, MOD/REF,
+pointed-by and call-graph reachability queries **without re-running the
+analysis**.
+
+Document layout (format tag ``repro-store/1``)::
+
+    {
+      "format":   "repro-store/1",
+      "program":  name,
+      "created":  ISO-8601 UTC,
+      "sources":  [{"path": ..., "sha256": ...}, ...],
+      "options":  non-default AnalyzerOptions (unhashed, provenance),
+      "snapshot": the full canonical run snapshot (repro-snapshot/1 —
+                  byte-for-byte what ``repro snapshot`` would have
+                  written, digests included),
+      "ir":       per-procedure lowered-IR digests + the global
+                  environment digest (repro.query.invalidate),
+      "call_graph": caller -> sorted callees (the analysis-resolved one),
+      "index":    the merged per-procedure fact tables below
+    }
+
+The ``index`` is where the demand API's speed comes from — every fact a
+query needs, merged over all PTFs/contexts and pre-translated at build
+time so a query is a dict probe, not a PTF walk:
+
+* ``procedures[P].vars[V]`` — the caller-space points-to facts of
+  variable ``V`` at the exit of ``P`` (targets by display name + the
+  precise location sets), exactly
+  :meth:`~repro.analysis.results.AnalysisResult.points_to_names` /
+  ``points_to`` would answer live;
+* ``procedures[P].alias[V]`` — per-PTF target sets in the PTF's own
+  name space (``AnalysisResult.targets_by_ptf``), kept *per PTF* so the
+  stored alias verdict compares targets within one context exactly like
+  ``AnalysisResult.may_alias`` does (merging across PTFs would
+  manufacture spurious may-aliases);
+* ``procedures[P].modref`` — caller-visible MOD/REF location sets
+  derived from PTF side effects (``AnalysisResult.mod_ref``);
+* ``pointed_by[T]`` — the reverse points-to index: which ``(proc,
+  var)`` pairs may point at block ``T``;
+* ``callsites`` — per-call-site resolved targets, for
+  ``modref(callsite)``.
+
+Writes are atomic (``<path>.tmp`` + ``os.replace``, the
+:mod:`repro.bench.trajectory` discipline) so a crashed indexer never
+leaves a truncated store behind; readers validate the format tag.
+Consistency with the run it was built from is *provable*: the embedded
+snapshot diffs bit-identical against a fresh ``repro snapshot`` of the
+same sources (``repro diff`` reports ``bit-identical``), and the
+query/snapshot agreement property tests pin the index to the snapshot's
+merged facts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import IO, TYPE_CHECKING, Optional, Union
+
+from ..diagnostics.snapshot import build_snapshot
+from .invalidate import program_ir_digests
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.engine import AnalyzerOptions
+    from ..analysis.results import AnalysisResult
+
+__all__ = [
+    "STORE_FORMAT",
+    "build_store",
+    "write_store",
+    "load_store",
+    "source_records",
+]
+
+#: bumped whenever the index layout changes incompatibly; the engine
+#: refuses to query stores of a different format
+STORE_FORMAT = "repro-store/1"
+
+
+# ---------------------------------------------------------------------------
+# location serialization
+# ---------------------------------------------------------------------------
+
+
+def _loc_key(base) -> str:
+    """A stable identity key for a memory block across store/load.
+
+    Block identity inside one process is object identity (``is``); on
+    disk it becomes ``kind:qualified-name``.  Extended parameters are
+    additionally qualified by their owning procedure — their bare names
+    (``1_p``) are only unique within one PTF, and the per-PTF alias
+    tables carry the PTF uid alongside for exactly that reason.
+    """
+    from ..memory.blocks import ExtendedParameter
+
+    if isinstance(base, ExtendedParameter):
+        rep = base.representative()
+        if rep.global_block is not None:
+            return f"{rep.global_block.kind}:{rep.global_block.name}"
+        return f"xparam:{rep.proc_name}:{rep.name}"
+    return f"{base.kind}:{base.name}"
+
+
+def _loc_record(result: "AnalysisResult", loc) -> list:
+    """``[key, display, offset, stride]`` — what the engine needs for
+    rendering (display) and overlap arithmetic (offset/stride under the
+    key's block)."""
+    return [
+        _loc_key(loc.base),
+        result.display_name(loc.base),
+        loc.offset,
+        loc.stride,
+    ]
+
+
+# ---------------------------------------------------------------------------
+# index construction
+# ---------------------------------------------------------------------------
+
+
+def _var_table(result: "AnalysisResult", proc_name: str) -> dict:
+    """Caller-space points-to facts for every queryable variable of one
+    procedure (empty answers are omitted — the engine distinguishes
+    "no pointer values" from "unknown variable" via the program's name
+    tables, which travel in the snapshot's solution)."""
+    out: dict[str, dict] = {}
+    for var in result.queryable_vars(proc_name):
+        locs = result.points_to(proc_name, var)
+        if not locs:
+            continue
+        records = sorted(
+            (_loc_record(result, loc) for loc in locs), key=lambda r: (r[0], r[2], r[3])
+        )
+        out[var] = {
+            "targets": sorted({r[1] for r in records}),
+            "locs": records,
+        }
+    return out
+
+
+def _alias_table(result: "AnalysisResult", proc_name: str) -> dict:
+    """Per-PTF target sets in PTF name space, for alias verdicts."""
+    out: dict[str, list] = {}
+    for var in result.queryable_vars(proc_name):
+        rows = []
+        for ptf, targets in result.targets_by_ptf(proc_name, var):
+            rows.append(
+                {
+                    "ptf": ptf.uid,
+                    "locs": sorted(
+                        ([_loc_key(t.base), t.offset, t.stride] for t in targets),
+                        key=lambda r: (r[0], r[1], r[2]),
+                    ),
+                }
+            )
+        if rows:
+            out[var] = rows
+    return out
+
+
+def _build_index(result: "AnalysisResult") -> dict:
+    procedures: dict[str, dict] = {}
+    pointed_by: dict[str, set] = {}
+    for proc_name in sorted(result.program.procedures):
+        vars_ = _var_table(result, proc_name)
+        modref = result.mod_ref(proc_name)
+        procedures[proc_name] = {
+            # every name a query may legally ask about in this procedure
+            # (locals + globals); the engine uses this to distinguish
+            # "unknown variable" (an error) from "no pointer values"
+            # (an empty answer)
+            "queryable": result.queryable_vars(proc_name),
+            "vars": vars_,
+            "alias": _alias_table(result, proc_name),
+            "modref": modref,
+            # locally pure *including* callee effects: the summary keys
+            # already fold in everything callees did to caller-visible
+            # memory, so an empty MOD set is transitively meaningful
+            "pure": not modref["mod"],
+        }
+        for var, rec in vars_.items():
+            for name in rec["targets"]:
+                pointed_by.setdefault(name, set()).add((proc_name, var))
+    return {
+        "procedures": procedures,
+        "pointed_by": {
+            name: sorted(list(pair) for pair in pairs)
+            for name, pairs in sorted(pointed_by.items())
+        },
+        "callsites": result.callsites(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# store assembly + I/O
+# ---------------------------------------------------------------------------
+
+
+def source_records(paths: list) -> list:
+    """``[{"path", "sha256"}, ...]`` for the indexed source files —
+    recorded so query answers can carry ready-made ``repro explain``
+    invocations and so ``repro index`` can cheaply detect unchanged
+    inputs before even re-lowering."""
+    out = []
+    for path in paths:
+        with open(path, "rb") as fh:
+            digest = hashlib.sha256(fh.read()).hexdigest()
+        out.append({"path": str(path), "sha256": digest})
+    return out
+
+
+def build_store(
+    result: "AnalysisResult",
+    options: Optional["AnalyzerOptions"] = None,
+    program_name: Optional[str] = None,
+    sources: Optional[list] = None,
+) -> dict:
+    """Assemble the persistent store for a finished analysis.
+
+    ``sources`` is the list of indexed file paths (recorded with content
+    hashes); omit it for in-memory programs (tests).  The embedded
+    snapshot always includes the full canonical solution — the store is
+    the archival artifact, slimming it would break the agreement
+    property tests and ``repro diff`` provability.
+    """
+    snapshot = build_snapshot(
+        result, options=options, program_name=program_name, include_solution=True
+    )
+    return {
+        "format": STORE_FORMAT,
+        "program": snapshot["program"],
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "sources": source_records(list(sources)) if sources else [],
+        "options": snapshot["options"],
+        "snapshot": snapshot,
+        "ir": program_ir_digests(result.program),
+        "call_graph": snapshot["call_graph"],
+        "index": _build_index(result),
+    }
+
+
+def write_store(store: dict, path: Union[str, IO]) -> None:
+    """Serialize ``store`` to ``path`` atomically (``.tmp`` +
+    ``os.replace``); ``-`` or an open file object writes directly."""
+    payload = json.dumps(store, indent=2, sort_keys=True) + "\n"
+    if path == "-":
+        import sys
+
+        sys.stdout.write(payload)
+        return
+    if hasattr(path, "write"):
+        path.write(payload)
+        return
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(payload)
+    os.replace(tmp, path)
+
+
+def load_store(source: Union[str, IO]) -> dict:
+    """Read and validate a store from a path or open file object."""
+    if hasattr(source, "read"):
+        store = json.load(source)
+    else:
+        with open(source, "r", encoding="utf-8") as fh:
+            store = json.load(fh)
+    fmt = store.get("format")
+    if fmt != STORE_FORMAT:
+        raise ValueError(
+            f"unsupported store format {fmt!r} (expected {STORE_FORMAT!r})"
+        )
+    return store

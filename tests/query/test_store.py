@@ -1,0 +1,165 @@
+"""The persistent analysis store: build, serialize, reload, prove.
+
+The store's one correctness obligation is *fidelity*: everything the
+demand engine will answer from it must be exactly what the live
+:class:`~repro.analysis.results.AnalysisResult` would have answered.
+These tests pin that at the store layer (the engine layer has its own,
+and the hypothesis property test sweeps the full benchmark suite).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import AnalyzerOptions, analyze_source
+from repro.query import STORE_FORMAT, build_store, load_store, write_store
+from repro.query.store import _loc_key
+
+SOURCE = """
+int g;
+int *gp;
+void set(int **pp, int *v) { *pp = v; }
+int use(int *p) { return *p; }
+int main(void) {
+    int x;
+    int *p = &x;
+    set(&gp, &g);
+    return use(p);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def result():
+    return analyze_source(SOURCE, options=AnalyzerOptions())
+
+
+@pytest.fixture(scope="module")
+def store(result):
+    return build_store(result, program_name="unit")
+
+
+def test_store_document_shape(store):
+    assert store["format"] == STORE_FORMAT
+    assert store["program"] == "unit"
+    for key in ("snapshot", "ir", "call_graph", "index", "created"):
+        assert key in store
+    index = store["index"]
+    assert set(index) == {"procedures", "pointed_by", "callsites"}
+    assert set(index["procedures"]) == {"main", "set", "use"}
+
+
+def test_store_is_json_serializable(store):
+    # the whole document round-trips through JSON without custom encoders
+    again = json.loads(json.dumps(store))
+    assert again["index"] == store["index"]
+
+
+def test_vars_table_matches_live_points_to(store, result):
+    for proc, rec in store["index"]["procedures"].items():
+        for var, entry in rec["vars"].items():
+            live = sorted(result.points_to_names(proc, var))
+            assert entry["targets"] == live, (proc, var)
+
+
+def test_queryable_lists_locals_and_globals(store, result):
+    rec = store["index"]["procedures"]["main"]
+    assert "p" in rec["queryable"]
+    assert "g" in rec["queryable"]  # globals are queryable everywhere
+    assert rec["queryable"] == sorted(rec["queryable"])
+
+
+def test_alias_table_is_per_ptf(store):
+    """Alias rows carry the PTF uid — merging across PTFs would
+    manufacture spurious may-aliases, so the format must keep them
+    apart."""
+    for rec in store["index"]["procedures"].values():
+        for rows in rec["alias"].values():
+            for row in rows:
+                assert set(row) == {"ptf", "locs"}
+                assert isinstance(row["ptf"], int)
+
+
+def test_pointed_by_inverts_vars(store):
+    index = store["index"]
+    for proc, rec in index["procedures"].items():
+        for var, entry in rec["vars"].items():
+            for target in entry["targets"]:
+                assert [proc, var] in index["pointed_by"][target]
+    # and nothing extra: every reverse edge has a forward edge
+    for target, pairs in index["pointed_by"].items():
+        for proc, var in pairs:
+            assert target in index["procedures"][proc]["vars"][var]["targets"]
+
+
+def test_embedded_snapshot_is_bit_identical_to_fresh(store, result):
+    """The store's snapshot is the archival artifact: byte-for-byte what
+    ``repro snapshot`` would have written for the same run."""
+    from repro.diagnostics.snapshot import build_snapshot
+
+    fresh = build_snapshot(result, program_name="unit", include_solution=True)
+    embedded = dict(store["snapshot"])
+    # wall-clock/memory profiles are volatile by design; the hashed half
+    # must match exactly
+    embedded.pop("volatile", None)
+    fresh.pop("volatile", None)
+    assert embedded == fresh
+
+
+def test_write_is_atomic(tmp_path):
+    target = tmp_path / "x.store.json"
+    write_store({"format": STORE_FORMAT, "hello": 1}, str(target))
+    assert not os.path.exists(str(target) + ".tmp")
+    assert load_store(str(target))["hello"] == 1
+
+
+def test_write_to_stream(tmp_path, store):
+    import io
+
+    buf = io.StringIO()
+    write_store(store, buf)
+    again = json.loads(buf.getvalue())
+    assert again["format"] == STORE_FORMAT
+
+
+def test_load_rejects_wrong_format(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"format": "repro-store/999"}))
+    with pytest.raises(ValueError, match="unsupported store format"):
+        load_store(str(bad))
+
+
+def test_source_records_hash_content(tmp_path):
+    from repro.query import source_records
+
+    f = tmp_path / "a.c"
+    f.write_text("int main(void) { return 0; }\n")
+    [rec] = source_records([str(f)])
+    assert rec["path"] == str(f)
+    assert len(rec["sha256"]) == 64
+    f.write_text("int main(void) { return 1; }\n")
+    [rec2] = source_records([str(f)])
+    assert rec2["sha256"] != rec["sha256"]
+
+
+def test_loc_keys_collapse_to_caller_visible_identity(result):
+    """Two blocks share a key iff they display as the same caller-visible
+    memory — the on-disk replacement for object identity.  In particular
+    a global-backed extended parameter keys as its global (``2_g`` and
+    ``g`` are the same memory seen from two name spaces)."""
+    seen = {}
+    for proc in result.program.procedures:
+        for var in result.queryable_vars(proc):
+            for loc in result.points_to(proc, var):
+                key = _loc_key(loc.base)
+                display = result.display_name(loc.base)
+                if key in seen:
+                    assert seen[key] == display, key
+                else:
+                    seen[key] = display
+
+
+def test_pure_flag_tracks_empty_mod(store):
+    for name, rec in store["index"]["procedures"].items():
+        assert rec["pure"] == (not rec["modref"]["mod"]), name
