@@ -24,6 +24,7 @@ from .interproc import InterproceduralMixin
 from .intra import ProcEvaluator
 from .libc import LibcSummaries
 from .ptf import PTF, ParamMap
+from .recursion import ensure_recursion_limit
 
 __all__ = ["AnalyzerOptions", "Analyzer", "analyze"]
 
@@ -224,12 +225,11 @@ class Analyzer(InterproceduralMixin):
         self.budget.start()
         # the explicit call-depth guard must fire before CPython's own
         # recursion limit: each analysis call level costs a bounded number
-        # of interpreter frames, so raise the limit proportionally (and
-        # restore it afterwards)
-        old_limit = sys.getrecursionlimit()
-        needed_limit = 20 * self.budget.max_call_depth + 1000
-        if needed_limit > old_limit:
-            sys.setrecursionlimit(needed_limit)
+        # of interpreter frames, so raise the limit proportionally.  The
+        # limit is process-global — raise-only under a lock (never
+        # restored), or a finishing run would yank it down under a
+        # concurrent deep run (see analysis/recursion.py)
+        ensure_recursion_limit(20 * self.budget.max_call_depth + 1000)
         if tr is not None:
             tr.begin("analyze", "driver", program=self.program.name)
             for fault in self.degradation.frontend:
@@ -299,8 +299,6 @@ class Analyzer(InterproceduralMixin):
                 if tr is not None:
                     tr.end("summary", "phase")
         finally:
-            if needed_limit > old_limit:
-                sys.setrecursionlimit(old_limit)
             if tr is not None:
                 tr.end("analyze", "driver")
         self.elapsed_seconds = time.perf_counter() - start

@@ -1,0 +1,296 @@
+"""The parallel analysis driver (``repro analyze --jobs N``).
+
+The unit of parallel work is one *program*: each task parses, lowers and
+analyzes one translation-unit group in its own worker process and ships
+back a pickle-clean result bundle — the canonical snapshot (digest
+included), the Table-2 measurement columns, the degradation summary, and
+the program's SCC shard plan (:mod:`repro.analysis.scc`).  The parent
+merges bundles **in task order**, so the batch output and the recorded
+digests are deterministic regardless of which worker finishes first.
+
+Determinism argument (docs/PARALLEL.md):
+
+* every worker runs the *unchanged sequential algorithm* on a complete
+  program — no analysis state crosses process boundaries, so there is
+  nothing to race on;
+* the canonical snapshot digest is normalization-stable across processes
+  (name-space-normalized, everywhere-sorted, uid-free — the
+  :mod:`repro.diagnostics.snapshot` contract), so a worker's digest is
+  bit-identical to what a sequential in-process run of the same program
+  produces;
+* the merge is positional: results are yielded in submission order
+  (``imap``), never completion order.
+
+``jobs=1`` runs the same task list in-process with zero pool overhead —
+that is the sequential baseline the digest-equality acceptance test and
+the CI parallel job compare against.
+
+Why programs and not procedure shards?  The PTF scheme is *demand-driven
+top-down*: a callee's contexts (input alias patterns) are discovered
+while its callers are being evaluated, so a bottom-up worker cannot know
+which PTFs to build, and any context-free over-approximation would
+change the per-procedure PTF payload lists the digest hashes.  The shard
+plan each worker computes (SCC condensation, bottom-up waves) is the
+schedule a future context-free summary phase would execute; until then
+it is reported, not dispatched.  See docs/PARALLEL.md.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field, fields as _dataclass_fields
+from typing import Callable, Optional
+
+__all__ = [
+    "AnalysisTask",
+    "BatchResult",
+    "options_payload",
+    "run_batch",
+    "default_jobs",
+]
+
+
+def options_payload(options) -> dict:
+    """The pickle/JSON-clean scalar option fields that differ from the
+    defaults — the only part of :class:`AnalyzerOptions` that crosses the
+    process boundary (tracers, fault plans and other live objects stay in
+    the parent; workers run plain)."""
+    from .engine import AnalyzerOptions
+
+    if options is None:
+        return {}
+    defaults = AnalyzerOptions()
+    out = {}
+    for f in _dataclass_fields(AnalyzerOptions):
+        value = getattr(options, f.name)
+        if value == getattr(defaults, f.name):
+            continue
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            out[f.name] = value
+    return out
+
+
+@dataclass(frozen=True)
+class AnalysisTask:
+    """One program to analyze — fully described by picklable values.
+
+    Exactly one of ``files`` (paths re-read in the worker) or ``source``
+    (inline text, used by the bench harness and tests) is set.
+    """
+
+    name: str
+    files: tuple[str, ...] = ()
+    source: Optional[str] = None
+    filename: Optional[str] = None
+    #: scalar AnalyzerOptions overrides (see :func:`options_payload`)
+    options: dict = field(default_factory=dict)
+    #: also build the persistent query store (``repro index --jobs``)
+    build_store: bool = False
+
+
+def _load_task_program(task: AnalysisTask):
+    from ..frontend.parser import load_program, load_project_files
+
+    if task.source is not None:
+        return load_program(
+            task.source, task.filename or f"{task.name}.c", task.name
+        )
+    strict = bool(task.options.get("strict"))
+    return load_project_files(
+        list(task.files), name=task.name, tolerant=not strict
+    )
+
+
+def _worker_run(task: AnalysisTask) -> dict:
+    """Analyze one task start-to-finish; always returns a bundle dict.
+
+    Top-level (picklable under spawn); exceptions become ``error``
+    bundles so one broken program never takes the batch down — the
+    fault-isolation discipline of ``bench.harness``.
+    """
+    started = time.perf_counter()
+    out: dict = {"name": task.name, "pid": os.getpid()}
+    try:
+        from ..diagnostics.snapshot import build_snapshot
+        from ..analysis.results import run_analysis
+        from ..analysis.engine import AnalyzerOptions
+        from .scc import build_plan, static_call_graph
+
+        program = _load_task_program(task)
+        if "main" not in program.procedures:
+            faults = [f.render() for f in program.frontend_failures]
+            out["error"] = "no analyzable main procedure"
+            out["frontend_faults"] = faults
+            out["seconds"] = time.perf_counter() - started
+            return out
+        plan = build_plan(static_call_graph(program))
+        options = AnalyzerOptions(**task.options) if task.options else None
+        result = run_analysis(program, options)
+        snapshot = build_snapshot(
+            result, options=options, program_name=task.name,
+            include_solution=True,
+        )
+        stats = result.stats()
+        report = result.degradation
+        out.update(
+            {
+                "snapshot": snapshot,
+                "digest": snapshot["digest"]["program"],
+                "shard_plan": plan.stats(),
+                "lines": stats.source_lines,
+                "procedures": stats.procedures,
+                "analysis_seconds": stats.analysis_seconds,
+                "total_ptfs": stats.total_ptfs,
+                "avg_ptfs": stats.avg_ptfs,
+                "cache_hit_rate": result.analyzer.metrics.cache_hit_rate(),
+                "dom_walk_steps": result.analyzer.metrics.dom_walk_steps,
+                "degraded": len(report.records) + len(report.frontend),
+                "degradation": (
+                    {
+                        "quarantined": sorted(report.quarantined),
+                        "reasons": report.reasons(),
+                    }
+                    if (report.records or report.frontend)
+                    else None
+                ),
+                "degradation_lines": report.summary_lines()
+                if not report.ok
+                else [],
+                "partial": not report.ok,
+            }
+        )
+        if task.build_store:
+            from ..query.store import build_store
+
+            out["store"] = build_store(
+                result,
+                options=options,
+                program_name=task.name,
+                sources=list(task.files) or None,
+            )
+    except Exception as exc:  # noqa: BLE001 - fault isolation by design
+        out["error"] = f"{type(exc).__name__}: {exc}"
+    out["seconds"] = time.perf_counter() - started
+    return out
+
+
+@dataclass
+class BatchResult:
+    """Merged outcome of one parallel batch, in task order."""
+
+    results: list[dict]
+    jobs: int
+    workers: int
+    elapsed_seconds: float
+
+    @property
+    def errors(self) -> list[dict]:
+        return [r for r in self.results if r.get("error")]
+
+    @property
+    def partial(self) -> bool:
+        return any(r.get("partial") for r in self.results)
+
+    def stats(self) -> dict:
+        """The batch-level measurement record (metrics + trajectory)."""
+        good = [r for r in self.results if not r.get("error")]
+        worker_seconds = sum(r.get("seconds", 0.0) for r in self.results)
+        return {
+            "jobs": self.jobs,
+            "workers": self.workers,
+            "programs": len(self.results),
+            "errors": len(self.errors),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            # total in-worker wall time; elapsed/worker ratio is the
+            # realized parallel speedup the CI job asserts on
+            "worker_seconds": round(worker_seconds, 6),
+            "shards": sum(
+                r.get("shard_plan", {}).get("shards", 0) for r in good
+            ),
+            "recursive_shards": sum(
+                r.get("shard_plan", {}).get("recursive_shards", 0)
+                for r in good
+            ),
+        }
+
+
+def default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the loaded modules); fall back to
+    spawn where fork is unavailable."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+def run_batch(
+    tasks: list[AnalysisTask],
+    jobs: int = 1,
+    tracer=None,
+    progress: Optional[Callable[[dict], None]] = None,
+) -> BatchResult:
+    """Analyze ``tasks`` with up to ``jobs`` worker processes.
+
+    Results come back in task order (deterministic merge).  ``jobs=1``
+    runs everything in-process — the sequential baseline.  ``tracer``
+    (a :class:`~repro.diagnostics.trace.Tracer`) records the batch span
+    and one dispatch/done instant per task; ``progress`` is called with
+    each bundle as it is merged.
+    """
+    jobs = max(1, min(jobs, len(tasks))) if tasks else 1
+    start = time.perf_counter()
+    if tracer is not None:
+        tracer.begin("parallel", "driver", jobs=jobs, tasks=len(tasks))
+    results: list[dict] = []
+    try:
+        if jobs == 1:
+            for i, task in enumerate(tasks):
+                if tracer is not None:
+                    tracer.instant(
+                        "shard.dispatch", "driver", task=task.name, index=i
+                    )
+                bundle = _worker_run(task)
+                _note_done(tracer, progress, bundle, i)
+                results.append(bundle)
+        else:
+            ctx = _pool_context()
+            with ctx.Pool(processes=jobs) as pool:
+                if tracer is not None:
+                    for i, task in enumerate(tasks):
+                        tracer.instant(
+                            "shard.dispatch", "driver",
+                            task=task.name, index=i,
+                        )
+                for i, bundle in enumerate(pool.imap(_worker_run, tasks)):
+                    _note_done(tracer, progress, bundle, i)
+                    results.append(bundle)
+    finally:
+        if tracer is not None:
+            tracer.end("parallel", "driver", tasks=len(results))
+    return BatchResult(
+        results=results,
+        jobs=jobs,
+        workers=jobs,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def _note_done(tracer, progress, bundle: dict, index: int) -> None:
+    if tracer is not None:
+        tracer.instant(
+            "shard.done",
+            "driver",
+            task=bundle.get("name"),
+            index=index,
+            seconds=round(bundle.get("seconds", 0.0), 6),
+            error=bundle.get("error", ""),
+        )
+    if progress is not None:
+        progress(bundle)

@@ -1,0 +1,43 @@
+"""Process-wide recursion-limit policy: raise-only, lock-guarded.
+
+The engine's explicit call-depth guard (:class:`~repro.analysis.guards.
+AnalysisBudget`) must fire before CPython's own recursion limit, so every
+run raises the interpreter limit proportionally to its depth budget.  The
+limit is *process-global* state: the historical save/raise/``finally``
+-restore pattern races as soon as two analyses overlap (serve-daemon
+threads, the parallel driver's in-process ``--jobs 1`` path, test suites
+running analyzers concurrently) — the first finisher restores the *old*
+limit while the other run is still recursing above it, and the deep run
+dies with a spurious ``RecursionError``.
+
+The fix is a monotone policy: :func:`ensure_recursion_limit` only ever
+**raises** the limit, under a module-level lock, and nothing restores it.
+A high recursion limit is harmless on its own (the budget guard, not the
+interpreter, bounds actual analysis depth), whereas a limit yanked down
+mid-run is a correctness bug.  Concurrent callers serialize on the lock,
+and each observes a limit at least as high as it asked for, for the rest
+of its run.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+__all__ = ["ensure_recursion_limit"]
+
+_LOCK = threading.Lock()
+
+
+def ensure_recursion_limit(needed: int) -> int:
+    """Raise the interpreter recursion limit to at least ``needed``.
+
+    Never lowers it (monotone), so overlapping analyses cannot clobber
+    each other.  Returns the limit in effect after the call.
+    """
+    with _LOCK:
+        current = sys.getrecursionlimit()
+        if needed > current:
+            sys.setrecursionlimit(needed)
+            return needed
+        return current

@@ -86,14 +86,12 @@ def build_invocation_graph(
         finally:
             on_path.discard(proc)
 
-    import sys
+    from ..analysis.recursion import ensure_recursion_limit
 
-    old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(old_limit, 100_000))
-    try:
-        visit(root, 1)
-    finally:
-        sys.setrecursionlimit(old_limit)
+    # raise-only: restoring the old limit here would race a concurrent
+    # deep analysis in the same process (see analysis/recursion.py)
+    ensure_recursion_limit(100_000)
+    visit(root, 1)
     return graph
 
 

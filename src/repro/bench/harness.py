@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import subprocess
 import sys
 import time
@@ -192,12 +193,47 @@ def _options_payload(options: Optional[AnalyzerOptions]) -> dict:
     return out
 
 
+def _run_isolated(
+    cmd: list[str], timeout: float, env: dict
+) -> tuple[int, str, str]:
+    """Run ``cmd`` in its own session; on timeout kill the whole process
+    **group**.
+
+    ``subprocess.run(timeout=...)`` kills only the direct child — a
+    grandchild (anything the analysis ever spawns, or a future child
+    that forks workers of its own) keeps running after the harness has
+    already reported an ERROR row.  ``start_new_session=True`` makes the
+    child a process-group leader, so ``os.killpg`` on expiry reaps the
+    whole tree.  Raises :class:`subprocess.TimeoutExpired` like
+    ``subprocess.run`` would.
+    """
+    proc = subprocess.Popen(
+        cmd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        start_new_session=True,
+    )
+    try:
+        out, err = proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        try:
+            os.killpg(proc.pid, signal.SIGKILL)
+        except (OSError, AttributeError):  # pragma: no cover - group gone
+            proc.kill()
+        proc.communicate()
+        raise
+    return proc.returncode, out, err
+
+
 def _subprocess_row(
     prog: BenchmarkProgram,
     timeout: float,
     options: Optional[AnalyzerOptions],
 ) -> Table2Row:
-    """Run one benchmark in its own interpreter; kill it on timeout."""
+    """Run one benchmark in its own interpreter; kill it (and every
+    process it spawned) on timeout."""
     import repro
 
     payload = {"name": prog.name}
@@ -216,16 +252,14 @@ def _subprocess_row(
         json.dumps(payload),
     ]
     try:
-        proc = subprocess.run(
-            cmd, capture_output=True, text=True, timeout=timeout, env=env
-        )
+        returncode, stdout, stderr = _run_isolated(cmd, timeout, env)
     except subprocess.TimeoutExpired:
         return _error_row(prog, f"timeout after {timeout:g}s")
-    if proc.returncode != 0:
-        tail = (proc.stderr or "").strip().splitlines()
-        detail = tail[-1] if tail else f"exit status {proc.returncode}"
+    if returncode != 0:
+        tail = (stderr or "").strip().splitlines()
+        detail = tail[-1] if tail else f"exit status {returncode}"
         return _error_row(prog, detail)
-    data = json.loads(proc.stdout)
+    data = json.loads(stdout)
     return Table2Row(
         name=prog.name,
         lines=data["lines"],
@@ -240,16 +274,61 @@ def _subprocess_row(
     )
 
 
+def _parallel_rows(
+    progs: list[BenchmarkProgram],
+    options: Optional[AnalyzerOptions],
+    jobs: int,
+) -> list[Table2Row]:
+    """The whole batch through the parallel driver — one worker process
+    per benchmark program, rows merged back in suite order."""
+    from ..analysis.parallel import AnalysisTask, options_payload, run_batch
+
+    tasks = [
+        AnalysisTask(
+            name=prog.name,
+            source=load_source(prog.name),
+            filename=f"{prog.name}.c",
+            options=options_payload(options),
+        )
+        for prog in progs
+    ]
+    batch = run_batch(tasks, jobs=jobs)
+    rows = []
+    for prog, bundle in zip(progs, batch.results):
+        if bundle.get("error"):
+            rows.append(_error_row(prog, bundle["error"]))
+            continue
+        rows.append(
+            Table2Row(
+                name=prog.name,
+                lines=bundle["lines"],
+                procedures=bundle["procedures"],
+                seconds=bundle["analysis_seconds"],
+                avg_ptfs=bundle["avg_ptfs"],
+                paper=prog,
+                cache_hit_rate=bundle["cache_hit_rate"],
+                dom_walk_steps=bundle["dom_walk_steps"],
+                degraded=bundle.get("degraded", 0),
+                degradation=bundle.get("degradation"),
+            )
+        )
+    return rows
+
+
 def table2_rows(
     names: Optional[list[str]] = None,
     options: Optional[AnalyzerOptions] = None,
     fault_tolerant: bool = True,
     per_program_timeout: Optional[float] = None,
+    jobs: int = 1,
 ) -> list[Table2Row]:
+    progs = [p for p in PROGRAMS if names is None or p.name in names]
+    if jobs > 1:
+        # worker processes already give per-program fault isolation;
+        # per_program_timeout applies to the sequential paths only
+        return _parallel_rows(progs, options, jobs)
     rows = []
-    for prog in PROGRAMS:
-        if names is not None and prog.name not in names:
-            continue
+    for prog in progs:
         if per_program_timeout is not None:
             rows.append(_subprocess_row(prog, per_program_timeout, options))
             continue
@@ -400,7 +479,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--names", help="comma-separated subset of benchmarks")
     parser.add_argument("--per-program-timeout", type=float, metavar="SECONDS",
                         help="run each benchmark in its own subprocess, "
-                             "killed after SECONDS")
+                             "killed (whole process group) after SECONDS")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="analyze benchmarks in N worker processes "
+                             "(deterministic merge; 1 = sequential)")
     parser.add_argument("--json", action="store_true",
                         help="emit rows as JSON instead of the text table")
     parser.add_argument("--record", nargs="?", const="BENCH_table2.json",
@@ -422,7 +504,13 @@ def main(argv: Optional[list[str]] = None) -> int:
             tracemalloc.start()
         else:  # pragma: no cover - nested tracing
             tracemalloc.reset_peak()
-    rows = table2_rows(names=names, per_program_timeout=args.per_program_timeout)
+    batch_start = time.perf_counter()
+    rows = table2_rows(
+        names=names,
+        per_program_timeout=args.per_program_timeout,
+        jobs=args.jobs,
+    )
+    batch_seconds = time.perf_counter() - batch_start
     if args.record:
         peak_kb = tracemalloc.get_traced_memory()[1] / 1024.0
         if not already:
@@ -431,10 +519,18 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(json.dumps([r.as_dict() for r in rows], indent=2, sort_keys=True))
     else:
         print(table2_text(rows))
+        if args.jobs > 1:
+            print(f"(batch: {batch_seconds:.3f}s wall with --jobs {args.jobs})")
     if args.record:
         from .trajectory import record_trajectory
 
-        entry, drift = record_trajectory(rows, path=args.record, peak_kb=peak_kb)
+        entry, drift = record_trajectory(
+            rows,
+            path=args.record,
+            peak_kb=peak_kb,
+            jobs=args.jobs,
+            batch_seconds=batch_seconds,
+        )
         print(
             f"repro-bench: recorded entry rev={entry['revision']} "
             f"-> {args.record}",

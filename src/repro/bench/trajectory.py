@@ -15,13 +15,21 @@ File format (a JSON object, additive keys only)::
       "entries": [
         {"timestamp": "...", "revision": "abc1234", "rows": [...],
          "totals": {"seconds": ..., "avg_ptfs": ..., "dom_walk_steps": ...,
-                    "errors": 0, "degraded": 0, "peak_kb": ...}},
+                    "errors": 0, "degraded": 0, "peak_kb": ...,
+                    "jobs": 4}},
         ...
       ]
     }
 
-Writes are atomic (``<path>.tmp`` + ``os.replace``) so a crashed run
-never truncates the history; the ``.tmp`` spelling is gitignored.
+``totals.jobs`` records the worker-process count of the batch that
+produced the entry (absent for the classic sequential harness), so the
+trajectory can carry sequential and parallel runs side by side without
+their wall-clock columns reading as drift by accident.
+
+Writes are atomic (:func:`repro.ioutil.atomic_write_text`: unique
+``<path>.tmp.<pid>`` sibling + ``os.replace``), so a crashed run never
+truncates the history and two concurrent ``--record`` batches serialize
+to last-replace-wins instead of corrupting each other's temporary.
 
 Drift reporting is deliberately looser than the snapshot differ — the
 trajectory is a *trend* instrument, comparing totals and per-program
@@ -37,6 +45,7 @@ import subprocess
 import time
 from typing import Optional
 
+from ..ioutil import atomic_write_text
 from .harness import Table2Row
 
 __all__ = [
@@ -76,8 +85,14 @@ def build_entry(
     rows: list[Table2Row],
     peak_kb: Optional[float] = None,
     revision: Optional[str] = None,
+    jobs: Optional[int] = None,
+    batch_seconds: Optional[float] = None,
 ) -> dict:
-    """One trajectory entry for a finished Table 2 batch."""
+    """One trajectory entry for a finished Table 2 batch.
+
+    ``jobs``/``batch_seconds`` record the parallel harness's worker
+    count and whole-batch wall clock (``totals.seconds`` stays the sum
+    of in-worker analysis times, comparable across jobs values)."""
     good = [r for r in rows if not r.error]
     totals = {
         "seconds": round(sum(r.seconds for r in good), 6),
@@ -90,6 +105,10 @@ def build_entry(
     }
     if peak_kb is not None:
         totals["peak_kb"] = round(peak_kb, 1)
+    if jobs is not None:
+        totals["jobs"] = jobs
+    if batch_seconds is not None:
+        totals["batch_seconds"] = round(batch_seconds, 6)
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "revision": revision if revision is not None else _revision(),
@@ -183,23 +202,28 @@ def record_trajectory(
     path: str = TRAJECTORY_PATH,
     peak_kb: Optional[float] = None,
     revision: Optional[str] = None,
+    jobs: Optional[int] = None,
+    batch_seconds: Optional[float] = None,
 ) -> tuple[dict, list[str]]:
     """Append one entry for ``rows`` to the trajectory at ``path``.
 
     Returns ``(entry, drift_lines)`` where ``drift_lines`` compares the
     new entry against the previous last one (empty on the first run or
-    steady state).  The write is atomic: serialize to ``<path>.tmp``,
-    then ``os.replace``.
+    steady state).  The write is atomic with a per-process unique
+    temporary (:func:`repro.ioutil.atomic_write_text`).
     """
     trajectory = load_trajectory(path)
-    entry = build_entry(rows, peak_kb=peak_kb, revision=revision)
+    entry = build_entry(
+        rows,
+        peak_kb=peak_kb,
+        revision=revision,
+        jobs=jobs,
+        batch_seconds=batch_seconds,
+    )
     drift: list[str] = []
     if trajectory["entries"]:
         drift = compare_entries(trajectory["entries"][-1], entry)
     trajectory["entries"].append(entry)
-    tmp = path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(trajectory, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    os.replace(tmp, path)
+    payload = json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
+    atomic_write_text(path, payload)
     return entry, drift

@@ -12,7 +12,9 @@
     python -m repro parallelize prog.c
     python -m repro snapshot prog.c -o run.json      # canonical run snapshot
     python -m repro diff old.json new.json --fail-on precision-loss,perf:5%
+    python -m repro analyze --jobs 4 a.c b.c c.c --snapshot-dir snaps/
     python -m repro index prog.c -o prog.store.json  # analyze once...
+    python -m repro index --jobs 4 a.c b.c -o stores/  # one store per file
     python -m repro query prog.store.json "points-to p@main" "alias a b"
     python -m repro serve prog.store.json --tcp 127.0.0.1:0   # ...ask many
 """
@@ -155,7 +157,10 @@ def _emit_trace_json(args: argparse.Namespace, analyzer) -> None:
     """Write the collected trace when ``--trace-json``/``--trace-jsonl``
     was given.  Follows the ``--stats-json`` convention: ``-`` (or a bare
     flag) writes to stdout, anything else is a file path."""
-    tracer = analyzer.trace
+    _emit_trace(args, analyzer.trace)
+
+
+def _emit_trace(args: argparse.Namespace, tracer) -> None:
     if tracer is None:
         return
     dest = getattr(args, "trace_json", None)
@@ -168,7 +173,127 @@ def _emit_trace_json(args: argparse.Namespace, analyzer) -> None:
             tracer.write_jsonl(fh)
 
 
+def _batch_tasks(args: argparse.Namespace, opts, build_store: bool = False):
+    """One :class:`AnalysisTask` per FILE argument (``--jobs`` batch
+    semantics: every file is its own whole program).  Duplicate basename
+    stems are disambiguated positionally so per-program output files
+    never collide."""
+    import os
+
+    from .analysis.parallel import AnalysisTask, options_payload
+
+    payload = options_payload(opts)
+    seen: dict[str, int] = {}
+    tasks = []
+    for path in args.files:
+        stem = os.path.splitext(os.path.basename(path))[0]
+        n = seen.get(stem, 0)
+        seen[stem] = n + 1
+        name = stem if n == 0 else f"{stem}.{n}"
+        tasks.append(
+            AnalysisTask(
+                name=name,
+                files=(path,),
+                options=payload,
+                build_store=build_store,
+            )
+        )
+    return tasks
+
+
+def _batch_status(batch) -> int:
+    if batch.errors:
+        return EXIT_ERROR
+    if batch.partial:
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def _print_batch_summary(batch) -> None:
+    stats = batch.stats()
+    print(
+        f"batch: {stats['programs']} program(s), jobs {stats['jobs']}, "
+        f"{stats['elapsed_seconds']:.3f}s wall "
+        f"({stats['worker_seconds']:.3f}s in workers), "
+        f"{stats['shards']} shard(s), {stats['recursive_shards']} recursive"
+    )
+
+
+def _analyze_batch(args: argparse.Namespace) -> int:
+    """``repro analyze --jobs N``: every FILE is analyzed as its own
+    program, fanned out over N worker processes, results merged in
+    argument order (docs/PARALLEL.md)."""
+    import os
+
+    from .analysis.parallel import run_batch
+
+    opts = _options_from(args)
+    tasks = _batch_tasks(args, opts)
+    batch = run_batch(tasks, jobs=args.jobs, tracer=opts.trace)
+    for bundle in batch.results:
+        name = bundle["name"]
+        if bundle.get("error"):
+            print(f"{name:<12} ERROR: {bundle['error']}")
+            for fault in bundle.get("frontend_faults", []):
+                print(f"repro: {name}: frontend fault: {fault}",
+                      file=sys.stderr)
+            continue
+        plan = bundle["shard_plan"]
+        print(
+            f"{name:<12} digest {bundle['digest'][:16]}…  "
+            f"procs {bundle['procedures']:>3}  "
+            f"ptfs {bundle['total_ptfs']:>4}  "
+            f"{bundle['analysis_seconds'] * 1000:>8.1f} ms  "
+            f"shards {plan['shards']:>3} "
+            f"(waves {plan['critical_path']}, width {plan['width']}, "
+            f"recursive {plan['recursive_shards']})"
+        )
+        for line in bundle.get("degradation_lines", []):
+            print(f"repro: {name}: {line}", file=sys.stderr)
+    _print_batch_summary(batch)
+    if getattr(args, "snapshot_dir", None):
+        from .diagnostics.snapshot import write_snapshot
+
+        os.makedirs(args.snapshot_dir, exist_ok=True)
+        for bundle in batch.results:
+            if bundle.get("error"):
+                continue
+            dest = os.path.join(
+                args.snapshot_dir, f"{bundle['name']}.snapshot.json"
+            )
+            write_snapshot(bundle["snapshot"], dest)
+            print(
+                f"repro: snapshot {dest} digest {bundle['digest'][:16]}…",
+                file=sys.stderr,
+            )
+    dest = getattr(args, "stats_json", None)
+    if dest is not None:
+        per_program = {}
+        for bundle in batch.results:
+            per_program[bundle["name"]] = {
+                k: bundle[k]
+                for k in (
+                    "digest", "procedures", "total_ptfs", "avg_ptfs",
+                    "analysis_seconds", "seconds", "shard_plan", "error",
+                    "partial", "pid",
+                )
+                if k in bundle
+            }
+        _write_text(
+            dest,
+            json.dumps(
+                {"batch": batch.stats(), "programs": per_program},
+                indent=2,
+                sort_keys=True,
+            ),
+        )
+    _emit_trace(args, opts.trace)
+    return _batch_status(batch)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
+    if getattr(args, "jobs", None) is not None:
+        return _analyze_batch(args)
     opts = _options_from(args)
     program = load_project_files(
         args.files, tolerant=not opts.strict, faults=opts.faults
@@ -459,6 +584,41 @@ def cmd_parallelize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _index_batch(args: argparse.Namespace) -> int:
+    """``repro index --jobs N``: one store per FILE, built in worker
+    processes; ``-o`` names the output *directory*."""
+    import os
+
+    from .analysis.parallel import run_batch
+    from .query import write_store
+
+    if args.output == "-":
+        print("error: index --jobs requires -o DIR (a directory, "
+              "one store per input file)", file=sys.stderr)
+        return EXIT_ERROR
+    opts = _options_from(args)
+    tasks = _batch_tasks(args, opts, build_store=True)
+    batch = run_batch(tasks, jobs=args.jobs, tracer=opts.trace)
+    os.makedirs(args.output, exist_ok=True)
+    for bundle in batch.results:
+        name = bundle["name"]
+        if bundle.get("error"):
+            print(f"{name:<12} ERROR: {bundle['error']}")
+            continue
+        dest = os.path.join(args.output, f"{name}.store.json")
+        write_store(bundle["store"], dest)
+        n = len(bundle["store"]["index"]["procedures"])
+        print(
+            f"repro: indexed {name} ({n} procedure(s)) -> {dest}",
+            file=sys.stderr,
+        )
+        for line in bundle.get("degradation_lines", []):
+            print(f"repro: {name}: {line}", file=sys.stderr)
+    _print_batch_summary(batch)
+    _emit_trace(args, opts.trace)
+    return _batch_status(batch)
+
+
 def cmd_index(args: argparse.Namespace) -> int:
     """Analyze sources and write the persistent query store
     (``docs/QUERY.md``).  Repeated runs first check staleness by digest
@@ -466,6 +626,8 @@ def cmd_index(args: argparse.Namespace) -> int:
     the store is still the solution of these sources."""
     from .query import build_store, compute_stale, load_store, write_store
 
+    if getattr(args, "jobs", None) is not None:
+        return _index_batch(args)
     opts = _options_from(args)
     program = load_project_files(
         args.files, tolerant=not opts.strict, faults=opts.faults
@@ -636,6 +798,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="analyze C files, print stats")
     p.add_argument("files", nargs="+")
+    p.add_argument("--jobs", type=int, metavar="N",
+                   help="batch mode: analyze each FILE as its own program "
+                        "over N worker processes (1 = same batch "
+                        "sequentially; results and digests are "
+                        "bit-identical across N — see docs/PARALLEL.md)")
+    p.add_argument("--snapshot-dir", metavar="DIR",
+                   help="with --jobs: write each program's canonical "
+                        "snapshot to DIR/<name>.snapshot.json")
     p.add_argument("--points-to", action="append", metavar="[PROC:]VAR",
                    help="print the points-to set of a variable")
     p.add_argument("--stats-json", nargs="?", const="-", metavar="PATH",
@@ -763,6 +933,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--force", action="store_true",
                    help="rebuild even when the digest check says the "
                         "store is still the solution of these sources")
+    p.add_argument("--jobs", type=int, metavar="N",
+                   help="batch mode: index each FILE as its own program "
+                        "over N worker processes; -o names the output "
+                        "directory (always rebuilds)")
     _add_analysis_flags(p)
     p.set_defaults(func=cmd_index)
 

@@ -113,6 +113,15 @@ EVENT_VOCABULARY: dict[str, str] = {
     "degrade.frontend": "i a translation unit or single procedure was "
                         "dropped by the tolerant frontend; args: file, "
                         "proc, reason",
+    # -- parallel driver (repro.analysis.parallel; docs/PARALLEL.md) -----
+    "parallel": "B/E driver: one whole parallel batch "
+                "(repro analyze --jobs N); args: jobs, tasks; closing "
+                "args: tasks (merged)",
+    "shard.dispatch": "i a batch task was handed to the worker pool; "
+                      "args: task, index",
+    "shard.done": "i a batch task's result bundle was merged (task "
+                  "order, not completion order); args: task, index, "
+                  "seconds, error",
     # -- query subsystem (repro.query; docs/QUERY.md) --------------------
     "query.hit": "i a demand query was answered from the engine's LRU "
                  "cache; args: op, key",

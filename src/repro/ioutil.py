@@ -1,0 +1,51 @@
+"""Concurrency-safe file I/O shared by every layer that persists JSON.
+
+The repo's persistence points (``repro index`` stores, the benchmark
+trajectory, snapshot files) all follow the same discipline: serialize to
+a temporary sibling, then ``os.replace`` so readers never observe a
+truncated document.  The original spelling used a *fixed* ``<path>.tmp``
+sibling — two concurrent writers (two ``repro index`` runs against one
+store, two ``--record`` batches appending to one trajectory) would then
+write into the *same* temporary file and rename each other's half-written
+bytes into place.
+
+``atomic_write_text`` closes that race: the temporary name is unique per
+process (``<path>.tmp.<pid>``) and created with ``O_EXCL`` so even a pid
+collision (container pid reuse, a leftover file from a crash) fails loudly
+instead of silently interleaving two writers.  The final ``os.replace``
+is atomic on POSIX, so concurrent writers serialize to
+last-replace-wins — each outcome a complete, valid document.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+
+__all__ = ["atomic_write_text"]
+
+#: per-call disambiguator so concurrent *threads* of one process get
+#: distinct temporaries too (the pid alone separates processes)
+_seq = itertools.count()
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Atomically replace ``path`` with ``text`` (UTF-8).
+
+    Writes to a unique ``<path>.tmp.<pid>.<n>`` sibling opened with
+    ``O_EXCL`` (two writers can never share a temporary), then renames it
+    over ``path``.  On any failure the temporary is removed, never left
+    to shadow a later writer's ``O_EXCL`` create.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}.{next(_seq)}"
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -40,6 +40,20 @@ while a *callee* of a changed procedure keeps its PTFs: they are keyed
 by input alias pattern, and at worst a re-analysis presents patterns
 that already match (§5.2 reuse).  A change to the global environment
 digest invalidates everything (initializers run in the root context).
+
+One class of edit escapes the stored call graph entirely: **function-
+pointer retargeting**.  The stored graph is the *pre-edit* resolution —
+if an edit makes a changed (or added) procedure a new indirect-call
+target, the edge from the indirect call site to it exists only in the
+*post-edit* world, so pure stored-graph propagation under-invalidates
+and a query would keep answering with the old target.  The widening
+rule: whenever a changed/added procedure is address-taken (before *or*
+after the edit), or the address-taken set itself moved, every procedure
+containing an indirect call site goes stale too (any of them is
+compatible with the retargeted pointer as far as digests can tell), and
+their transitive callers with them.  Stores record ``address_taken`` /
+``indirect_callers`` next to the digests for this; older stores missing
+the record fall back to recomputing both sides from the new program.
 """
 
 from __future__ import annotations
@@ -266,9 +280,44 @@ def compute_stale(store: dict, program: "Program") -> StaleReport:
                 for target in _direct_targets(node):
                     if target in report.added:
                         call_graph.setdefault(name, set()).add(target)
-    dependents = _transitive_callers(call_graph, roots)
-    report.dependents = sorted(dependents & set(cur_procs))
+    widened = _fnptr_widening(stored, program, roots)
+    dependents = _transitive_callers(call_graph, roots | widened) | widened
+    report.dependents = sorted((dependents - roots) & set(cur_procs))
     stale = (roots | dependents) & set(cur_procs)
     report.stale = sorted(stale)
     report.clean = sorted(set(cur_procs) - stale)
     return report
+
+
+def _fnptr_widening(stored: dict, program: "Program", roots: set) -> set:
+    """Extra stale seeds covering function-pointer retargeting edits.
+
+    If any root procedure is address-taken — in the stored world or the
+    edited one — or the address-taken set itself moved, the stored call
+    graph cannot be trusted to name the indirect call edges into the
+    roots, so every procedure containing an indirect call site (old or
+    new) is widened into the stale set.  Stores predating the
+    ``address_taken`` record get the conservative recompute-both-sides
+    treatment.
+    """
+    if not roots:
+        return set()
+    from ..analysis.scc import address_taken_procs, indirect_call_procs
+
+    cur_taken = address_taken_procs(program)
+    cur_indirect = indirect_call_procs(program)
+    old_taken_rec = stored.get("address_taken")
+    old_indirect_rec = stored.get("indirect_callers")
+    old_taken = set(old_taken_rec) if old_taken_rec is not None else set()
+    old_indirect = set(old_indirect_rec) if old_indirect_rec is not None else set()
+    if old_taken_rec is None:
+        # legacy store without the record: the old address-taken set is
+        # unknowable, so any edit near indirect call sites must widen
+        trigger = bool(cur_indirect | old_indirect)
+    else:
+        trigger = bool(roots & (cur_taken | old_taken)) or (
+            set(old_taken_rec) != cur_taken
+        )
+    if not trigger:
+        return set()
+    return (cur_indirect | old_indirect) & set(program.procedures)

@@ -48,9 +48,12 @@ time so a query is a dict probe, not a PTF walk:
 * ``callsites`` — per-call-site resolved targets, for
   ``modref(callsite)``.
 
-Writes are atomic (``<path>.tmp`` + ``os.replace``, the
-:mod:`repro.bench.trajectory` discipline) so a crashed indexer never
-leaves a truncated store behind; readers validate the format tag.
+Writes are atomic (:func:`repro.ioutil.atomic_write_text`: a unique
+``<path>.tmp.<pid>`` sibling created with ``O_EXCL``, then
+``os.replace``) so a crashed indexer never leaves a truncated store
+behind and two concurrent indexers against the same path serialize to
+last-replace-wins instead of corrupting each other's temporary file;
+readers validate the format tag.
 Consistency with the run it was built from is *provable*: the embedded
 snapshot diffs bit-identical against a fresh ``repro snapshot`` of the
 same sources (``repro diff`` reports ``bit-identical``), and the
@@ -62,11 +65,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import time
 from typing import IO, TYPE_CHECKING, Optional, Union
 
 from ..diagnostics.snapshot import build_snapshot
+from ..ioutil import atomic_write_text
 from .invalidate import program_ir_digests
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -235,6 +238,15 @@ def build_store(
     snapshot = build_snapshot(
         result, options=options, program_name=program_name, include_solution=True
     )
+    from ..analysis.scc import address_taken_procs, indirect_call_procs
+
+    ir = program_ir_digests(result.program)
+    # recorded so staleness checks can widen across function-pointer
+    # retargeting edits: an edit that makes a changed procedure
+    # address-taken creates indirect call edges the *stored* call graph
+    # cannot know about (see query/invalidate.py)
+    ir["address_taken"] = sorted(address_taken_procs(result.program))
+    ir["indirect_callers"] = sorted(indirect_call_procs(result.program))
     return {
         "format": STORE_FORMAT,
         "program": snapshot["program"],
@@ -242,15 +254,15 @@ def build_store(
         "sources": source_records(list(sources)) if sources else [],
         "options": snapshot["options"],
         "snapshot": snapshot,
-        "ir": program_ir_digests(result.program),
+        "ir": ir,
         "call_graph": snapshot["call_graph"],
         "index": _build_index(result),
     }
 
 
 def write_store(store: dict, path: Union[str, IO]) -> None:
-    """Serialize ``store`` to ``path`` atomically (``.tmp`` +
-    ``os.replace``); ``-`` or an open file object writes directly."""
+    """Serialize ``store`` to ``path`` atomically (unique per-process
+    tmp + ``os.replace``); ``-`` or an open file object writes directly."""
     payload = json.dumps(store, indent=2, sort_keys=True) + "\n"
     if path == "-":
         import sys
@@ -260,10 +272,7 @@ def write_store(store: dict, path: Union[str, IO]) -> None:
     if hasattr(path, "write"):
         path.write(payload)
         return
-    tmp = f"{path}.tmp"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        fh.write(payload)
-    os.replace(tmp, path)
+    atomic_write_text(path, payload)
 
 
 def load_store(source: Union[str, IO]) -> dict:

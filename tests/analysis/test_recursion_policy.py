@@ -1,0 +1,98 @@
+"""The process-wide recursion-limit policy (ISSUE 6 satellite bugfix).
+
+The historical pattern — save the limit, raise it, restore it in
+``finally`` — is a race: the limit is process-global, so the first of
+two overlapping analyses to finish restores the *old* (low) limit while
+the other is still recursing above it, and the survivor dies with a
+spurious ``RecursionError``.  The fix is raise-only under a lock
+(:mod:`repro.analysis.recursion`); these tests pin both the policy unit
+behavior and the end-to-end concurrent-analyses regression.
+"""
+
+import sys
+import threading
+
+from repro import AnalyzerOptions, analyze_source
+from repro.analysis.recursion import ensure_recursion_limit
+
+
+def test_raises_when_needed():
+    before = sys.getrecursionlimit()
+    got = ensure_recursion_limit(before + 123)
+    assert got == before + 123
+    assert sys.getrecursionlimit() == before + 123
+
+
+def test_never_lowers():
+    before = sys.getrecursionlimit()
+    got = ensure_recursion_limit(before - 500)
+    assert got == before
+    assert sys.getrecursionlimit() == before
+
+
+def test_concurrent_raisers_converge_to_max():
+    base = sys.getrecursionlimit()
+    targets = [base + d for d in (10, 500, 250, 40)]
+    threads = [
+        threading.Thread(target=ensure_recursion_limit, args=(t,))
+        for t in targets
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sys.getrecursionlimit() == max(targets)
+
+
+def _deep_chain_source(depth: int) -> str:
+    """main -> f{depth-1} -> ... -> f0: analysis call depth ~= depth."""
+    parts = ["int g;", "void f0(int *p) { g = *p; }"]
+    for i in range(1, depth):
+        parts.append(f"void f{i}(int *p) {{ f{i - 1}(p); }}")
+    parts.append(
+        f"int main(void) {{ int x; f{depth - 1}(&x); return 0; }}"
+    )
+    return "\n".join(parts)
+
+
+def test_two_deep_analyses_concurrently():
+    """The ISSUE regression: two deep analyses overlapping in one
+    process.  Under the old save/restore pattern the first finisher
+    yanked the limit down beneath the second; with the monotone policy
+    both must complete without RecursionError."""
+    src = _deep_chain_source(150)
+    opts = AnalyzerOptions(max_call_depth=400)
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(2)
+
+    def work():
+        try:
+            barrier.wait(timeout=30)
+            result = analyze_source(src, options=opts)
+            assert result.stats().procedures == 151
+        except BaseException as exc:  # noqa: BLE001 - recorded for assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=work) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not errors, errors
+    # and the limit stayed at least as high as the deepest run needed
+    assert sys.getrecursionlimit() >= 20 * 400 + 1000
+
+
+def test_invocation_graph_uses_monotone_policy():
+    """baselines/invocation.py had the same save/restore pattern; after
+    building a graph the limit must not have been lowered."""
+    from repro.baselines.invocation import build_invocation_graph
+    from repro.frontend.parser import load_program
+
+    ensure_recursion_limit(50_000)
+    before = sys.getrecursionlimit()
+    program = load_program(
+        "void f(void) { } int main(void) { f(); return 0; }", "t.c", "t"
+    )
+    build_invocation_graph(program)
+    assert sys.getrecursionlimit() >= before

@@ -1,0 +1,113 @@
+"""Concurrency-safe atomic writes (ISSUE 6 satellite bugfix).
+
+The old fixed ``<path>.tmp`` sibling meant two concurrent writers shared
+one temporary and renamed each other's half-written bytes into place.
+The fix — unique per-process/per-call temporaries created with
+``O_EXCL`` — must guarantee that whatever interleaving happens, the
+destination only ever holds one writer's *complete* document.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro.ioutil import atomic_write_text
+
+
+def test_basic_write_and_replace(tmp_path):
+    dest = str(tmp_path / "out.json")
+    atomic_write_text(dest, "one\n")
+    atomic_write_text(dest, "two\n")
+    with open(dest) as fh:
+        assert fh.read() == "two\n"
+
+
+def test_no_temporaries_left_behind(tmp_path):
+    dest = str(tmp_path / "out.json")
+    atomic_write_text(dest, "payload\n")
+    assert os.listdir(tmp_path) == ["out.json"]
+
+
+def test_failure_cleans_up_temporary(tmp_path):
+    dest = str(tmp_path / "sub" / "out.json")  # parent dir missing
+    with pytest.raises(OSError):
+        atomic_write_text(dest, "payload\n")
+    assert not (tmp_path / "sub").exists()
+
+
+def test_foreign_tmp_file_is_not_clobbered(tmp_path):
+    """A leftover temporary from another writer (crash, pid reuse) must
+    never be silently overwritten or deleted: O_EXCL fails the open, and
+    the foreign file survives."""
+    dest = str(tmp_path / "out.json")
+    pid = os.getpid()
+    # occupy every candidate name this process could pick next
+    import repro.ioutil as ioutil
+
+    current = next(ioutil._seq)
+    foreign = f"{dest}.tmp.{pid}.{current + 1}"
+    with open(foreign, "w") as fh:
+        fh.write("foreign writer's bytes")
+    with pytest.raises(FileExistsError):
+        atomic_write_text(dest, "mine\n")
+    with open(foreign) as fh:
+        assert fh.read() == "foreign writer's bytes"
+
+
+def test_concurrent_threads_one_process(tmp_path):
+    """Threads share a pid; the per-call sequence number keeps their
+    temporaries distinct, so every write succeeds and the final content
+    is one complete payload."""
+    dest = str(tmp_path / "out.json")
+    errors = []
+
+    def write(i):
+        try:
+            for k in range(20):
+                atomic_write_text(dest, json.dumps({"writer": i, "k": k}))
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=write, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    with open(dest) as fh:
+        data = json.load(fh)  # complete, valid JSON
+    assert data["k"] == 19
+    leftovers = [n for n in os.listdir(tmp_path) if ".tmp." in n]
+    assert leftovers == []
+
+
+def _process_writer(dest, i):
+    payload = json.dumps({"writer": i, "blob": "x" * 4096})
+    for _ in range(25):
+        atomic_write_text(dest, payload)
+
+
+def test_concurrent_processes_last_replace_wins(tmp_path):
+    """The regression scenario from the ISSUE: concurrent ``repro
+    index``/``--record`` runs against one path.  With unique
+    temporaries, readers only ever observe one writer's complete
+    document."""
+    dest = str(tmp_path / "store.json")
+    ctx = multiprocessing.get_context("fork")
+    procs = [
+        ctx.Process(target=_process_writer, args=(dest, i)) for i in range(4)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    with open(dest) as fh:
+        data = json.load(fh)
+    assert data["writer"] in range(4)
+    assert len(data["blob"]) == 4096
+    leftovers = [n for n in os.listdir(tmp_path) if ".tmp." in n]
+    assert leftovers == []
