@@ -9,13 +9,21 @@ from .harness import (
     table3_rows,
     table3_text,
 )
+from .loadgen import DEFAULT_MIX, LoadReport, build_workload, parse_mix, run_loadtest
 from .programs import PROGRAMS, BenchmarkProgram, load_source, source_path
 from .trajectory import (
+    SERVE_TRAJECTORY_PATH,
     TRAJECTORY_PATH,
     build_entry,
+    build_serve_entry,
     compare_entries,
+    compare_serve_entries,
+    load_serve_trajectory,
     load_trajectory,
+    parse_serve_fail_on,
+    record_serve_trajectory,
     record_trajectory,
+    serve_gate,
 )
 
 __all__ = [
@@ -35,4 +43,16 @@ __all__ = [
     "compare_entries",
     "load_trajectory",
     "record_trajectory",
+    "SERVE_TRAJECTORY_PATH",
+    "build_serve_entry",
+    "compare_serve_entries",
+    "load_serve_trajectory",
+    "parse_serve_fail_on",
+    "record_serve_trajectory",
+    "serve_gate",
+    "DEFAULT_MIX",
+    "LoadReport",
+    "build_workload",
+    "parse_mix",
+    "run_loadtest",
 ]

@@ -49,16 +49,27 @@ from ..ioutil import atomic_write_text
 from .harness import Table2Row
 
 __all__ = [
+    "SERVE_TRAJECTORY_FORMAT",
+    "SERVE_TRAJECTORY_PATH",
     "TRAJECTORY_FORMAT",
     "TRAJECTORY_PATH",
     "build_entry",
+    "build_serve_entry",
     "compare_entries",
+    "compare_serve_entries",
+    "load_serve_trajectory",
     "load_trajectory",
+    "parse_serve_fail_on",
+    "record_serve_trajectory",
     "record_trajectory",
+    "serve_gate",
 ]
 
 TRAJECTORY_FORMAT = "repro-bench-trajectory/1"
 TRAJECTORY_PATH = "BENCH_table2.json"
+
+SERVE_TRAJECTORY_FORMAT = "repro-serve-trajectory/1"
+SERVE_TRAJECTORY_PATH = "BENCH_serve.json"
 
 #: suite-total drift below these floors is noise, never reported
 _SECONDS_FLOOR = 0.05
@@ -227,3 +238,200 @@ def record_trajectory(
     payload = json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
     atomic_write_text(path, payload)
     return entry, drift
+
+
+# -- serve trajectory (BENCH_serve.json; docs/OBSERVABILITY.md §5) --------
+#
+# The Table 2 trajectory trends the *analyzer*; the serve trajectory
+# trends the *daemon*: one entry per ``repro loadtest --record``, carrying
+# the load report (qps, latency quantiles, cache hit rate, op mix) plus
+# the run's shape (clients, requests).  Same discipline: append-only,
+# atomic writes, drift lines against the previous entry — and, new here,
+# an explicit CI gate (``--fail-on 'p99:100%,qps:30%'``) that turns a
+# latency or throughput regression into a nonzero exit instead of a line
+# someone has to notice.
+
+#: serve drift below these floors is noise, never reported
+_P99_FLOOR_MS = 0.5
+_QPS_FLOOR = 10.0
+
+
+def build_serve_entry(report: dict, revision: Optional[str] = None) -> dict:
+    """One serve-trajectory entry for a finished load-test report
+    (the ``LoadReport.as_dict()`` payload, recorded verbatim)."""
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "revision": revision if revision is not None else _revision(),
+        "report": report,
+    }
+
+
+def load_serve_trajectory(path: str = SERVE_TRAJECTORY_PATH) -> dict:
+    """Read the serve trajectory; absent/corrupt → fresh empty history
+    (same never-refuse-to-record contract as :func:`load_trajectory`)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return {"format": SERVE_TRAJECTORY_FORMAT, "entries": []}
+    if (
+        not isinstance(data, dict)
+        or data.get("format") != SERVE_TRAJECTORY_FORMAT
+        or not isinstance(data.get("entries"), list)
+    ):
+        return {"format": SERVE_TRAJECTORY_FORMAT, "entries": []}
+    return data
+
+
+def _comparable(prev: dict, cur: dict) -> bool:
+    """Entries with different run shapes (clients, per-run request count,
+    op mix) measure different workloads; their deltas are not drift."""
+    for key in ("clients", "requests"):
+        if prev.get(key) != cur.get(key):
+            return False
+    return prev.get("ops") == cur.get("ops")
+
+
+def compare_serve_entries(prev: dict, cur: dict) -> list[str]:
+    """Human-readable drift lines between two serve entries.
+
+    Covers throughput (qps), tail latency (p50/p99), cache behavior
+    (hit rate), and outcome class (new errors).  Entries whose run
+    shapes differ produce a single shape line instead of bogus deltas.
+    """
+    lines: list[str] = []
+    p, c = prev.get("report", {}), cur.get("report", {})
+    since = prev.get("revision", "?")
+    if not _comparable(p, c):
+        lines.append(
+            f"run shape changed since {since}: "
+            f"{p.get('clients')}x{p.get('requests')} -> "
+            f"{c.get('clients')}x{c.get('requests')} "
+            "(latency/qps deltas not comparable)"
+        )
+        return lines
+
+    p_qps, c_qps = p.get("qps"), c.get("qps")
+    if p_qps and c_qps is not None:
+        delta = c_qps - p_qps
+        if abs(delta) >= _QPS_FLOOR and abs(delta) / p_qps >= _RELATIVE_THRESHOLD:
+            verb = "up" if delta > 0 else "down"
+            lines.append(
+                f"throughput {verb}: {p_qps:.0f} -> {c_qps:.0f} qps "
+                f"({delta / p_qps:+.1%}) since {since}"
+            )
+
+    for label in ("p50_ms", "p99_ms"):
+        p_ms = (p.get("latency") or {}).get(label)
+        c_ms = (c.get("latency") or {}).get(label)
+        if p_ms and c_ms is not None:
+            delta = c_ms - p_ms
+            if abs(delta) >= _P99_FLOOR_MS and abs(delta) / p_ms >= _RELATIVE_THRESHOLD:
+                verb = "slower" if delta > 0 else "faster"
+                lines.append(
+                    f"{label[:-3]} {verb}: {p_ms:.2f}ms -> {c_ms:.2f}ms "
+                    f"({delta / p_ms:+.1%}) since {since}"
+                )
+
+    p_rate, c_rate = p.get("cache_hit_rate"), c.get("cache_hit_rate")
+    if p_rate is not None and c_rate is not None and abs(c_rate - p_rate) >= 0.05:
+        lines.append(f"cache hit rate: {p_rate} -> {c_rate}")
+
+    p_err, c_err = p.get("errors", 0), c.get("errors", 0)
+    if c_err and c_err != p_err:
+        lines.append(f"errors: {p_err} -> {c_err}")
+    return lines
+
+
+def parse_serve_fail_on(spec: Optional[str]) -> Optional[dict[str, float]]:
+    """Parse a ``--fail-on`` gate spec like ``p99:100%,qps:30%``.
+
+    ``p99:100%`` = fail when p99 latency worsens by more than 100%
+    relative to the previous comparable entry; ``qps:30%`` = fail when
+    throughput drops by more than 30%.  Returns ``None`` for ``None``.
+    """
+    if spec is None:
+        return None
+    gates: dict[str, float] = {}
+    for part in spec.split(","):
+        metric, _, pct = part.partition(":")
+        metric = metric.strip().lower()
+        if metric not in ("p99", "qps"):
+            raise ValueError(
+                f"unknown gate metric {metric!r} in {spec!r} (use p99, qps)"
+            )
+        pct = pct.strip().rstrip("%")
+        try:
+            value = float(pct)
+        except ValueError:
+            raise ValueError(f"bad gate threshold in {part!r}")
+        if value <= 0:
+            raise ValueError(f"gate threshold must be positive: {part!r}")
+        gates[metric] = value / 100.0
+    if not gates:
+        raise ValueError(f"empty gate spec: {spec!r}")
+    return gates
+
+
+def serve_gate(
+    prev: dict, cur: dict, fail_on: dict[str, float]
+) -> list[str]:
+    """Gate failures (empty = pass) for ``cur`` against ``prev``.
+
+    The gate only fires between comparable runs (same shape); a shape
+    change resets the baseline rather than failing spuriously.
+    """
+    failures: list[str] = []
+    p, c = prev.get("report", {}), cur.get("report", {})
+    if not _comparable(p, c):
+        return failures
+    p99_pct = fail_on.get("p99")
+    if p99_pct is not None:
+        p_ms = (p.get("latency") or {}).get("p99_ms")
+        c_ms = (c.get("latency") or {}).get("p99_ms")
+        if p_ms and c_ms is not None:
+            worsening = (c_ms - p_ms) / p_ms
+            if c_ms - p_ms >= _P99_FLOOR_MS and worsening > p99_pct:
+                failures.append(
+                    f"p99 latency regressed {worsening:+.1%} "
+                    f"({p_ms:.2f}ms -> {c_ms:.2f}ms), gate is {p99_pct:.0%}"
+                )
+    qps_pct = fail_on.get("qps")
+    if qps_pct is not None:
+        p_qps, c_qps = p.get("qps"), c.get("qps")
+        if p_qps and c_qps is not None:
+            drop = (p_qps - c_qps) / p_qps
+            if p_qps - c_qps >= _QPS_FLOOR and drop > qps_pct:
+                failures.append(
+                    f"throughput dropped {drop:.1%} "
+                    f"({p_qps:.0f} -> {c_qps:.0f} qps), gate is {qps_pct:.0%}"
+                )
+    return failures
+
+
+def record_serve_trajectory(
+    report: dict,
+    path: str = SERVE_TRAJECTORY_PATH,
+    fail_on: Optional[dict[str, float]] = None,
+    revision: Optional[str] = None,
+) -> tuple[dict, list[str], list[str]]:
+    """Append one serve entry for ``report`` to the trajectory at
+    ``path``; returns ``(entry, drift_lines, gate_failures)``.
+
+    The entry is recorded even when the gate fails — the history must
+    show the regression the gate caught.  Atomic write, same as the
+    Table 2 recorder.
+    """
+    trajectory = load_serve_trajectory(path)
+    entry = build_serve_entry(report, revision=revision)
+    drift: list[str] = []
+    failures: list[str] = []
+    if trajectory["entries"]:
+        prev = trajectory["entries"][-1]
+        drift = compare_serve_entries(prev, entry)
+        if fail_on:
+            failures = serve_gate(prev, entry, fail_on)
+    trajectory["entries"].append(entry)
+    payload = json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
+    atomic_write_text(path, payload)
+    return entry, drift, failures

@@ -17,6 +17,8 @@
     python -m repro index --jobs 4 a.c b.c -o stores/  # one store per file
     python -m repro query prog.store.json "points-to p@main" "alias a b"
     python -m repro serve prog.store.json --tcp 127.0.0.1:0   # ...ask many
+    python -m repro serve prog.store.json --access-log access.jsonl
+    python -m repro loadtest prog.store.json --clients 64 --record
 """
 
 from __future__ import annotations
@@ -24,14 +26,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from contextlib import contextmanager
-from typing import IO, Iterator, Optional
+from typing import Optional
 
 from .analysis.engine import AnalyzerOptions
 from .analysis.guards import GuardTripped
 from .analysis.results import run_analysis
 from .frontend.parser import ParseError, load_project_files
 from .frontend.typebuild import FrontendError
+from .ioutil import out_stream, write_text
 
 __all__ = ["main"]
 
@@ -120,25 +122,12 @@ def _report_degradation(report) -> None:
         print(f"repro: {line}", file=sys.stderr)
 
 
-@contextmanager
-def _out_stream(dest: str) -> Iterator[IO[str]]:
-    """The one ``-``-means-stdout output convention, shared by every
-    JSON-emitting flag (``--stats-json``, ``--trace-json``,
-    ``--trace-jsonl``, ``explain --json``, ``query --json``): ``-``
-    yields ``sys.stdout`` (left open), anything else opens the file at
-    that path for writing."""
-    if dest == "-":
-        yield sys.stdout
-    else:
-        with open(dest, "w", encoding="utf-8") as fh:
-            yield fh
-
-
-def _write_text(dest: str, text: str) -> None:
-    """Write ``text`` (newline-terminated) to ``dest`` per
-    :func:`_out_stream`'s convention."""
-    with _out_stream(dest) as fh:
-        fh.write(text if text.endswith("\n") else text + "\n")
+# the one '-'-means-stdout convention, shared by every JSON-emitting
+# flag (--stats-json, --trace-json[l], explain --json, query -o, serve
+# --access-log, loadtest -o); canonical home is repro.ioutil so non-CLI
+# layers (the serve daemon, the load generator) compose with it too
+_out_stream = out_stream
+_write_text = write_text
 
 
 def _emit_stats_json(args: argparse.Namespace, analyzer) -> None:
@@ -767,7 +756,11 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve demand queries from a persisted store (JSON lines over
-    stdio, or TCP with --tcp HOST:PORT)."""
+    stdio, or TCP with --tcp HOST:PORT), with per-request telemetry and
+    an optional structured access log (docs/OBSERVABILITY.md §5)."""
+    from contextlib import ExitStack
+
+    from .diagnostics.telemetry import TelemetryRegistry
     from .query import QueryEngine, load_store
     from .query.server import QueryServer
 
@@ -776,16 +769,131 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except (ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
-    engine = QueryEngine(store, cache_size=args.cache_size)
-    server = QueryServer(engine, deadline_seconds=args.deadline)
     if args.tcp:
         host, _, port = args.tcp.rpartition(":")
         if not host or not port.isdigit():
             print(f"error: --tcp takes HOST:PORT, got {args.tcp!r}",
                   file=sys.stderr)
             return EXIT_ERROR
-        return server.serve_tcp(host=host, port=int(port))
-    return server.serve_stdio()
+    engine = QueryEngine(store, cache_size=args.cache_size)
+    telemetry = None if args.no_telemetry else TelemetryRegistry()
+    with ExitStack() as stack:
+        access_log = None
+        if args.access_log is not None:
+            # same '-'-means-stdout writer as --stats-json/--trace-json
+            access_log = stack.enter_context(_out_stream(args.access_log))
+        server = QueryServer(
+            engine,
+            deadline_seconds=args.deadline,
+            telemetry=telemetry,
+            access_log=access_log,
+            slow_ms=args.slow_ms,
+        )
+        server.install_signal_handlers()
+        if args.tcp:
+            return server.serve_tcp(host=host, port=int(port))
+        return server.serve_stdio()
+
+
+def _render_loadtest_report(report: dict) -> list[str]:
+    lines = [
+        f"loadtest {report['program']}: {report['requests']} requests, "
+        f"{report['clients']} client(s), {report['errors']} error(s), "
+        f"{report['seconds']:.3f}s wall",
+        f"  throughput : {report['qps']:.1f} qps",
+        "  latency    : p50 {p50_ms} ms, p90 {p90_ms} ms, p95 {p95_ms} ms, "
+        "p99 {p99_ms} ms, max {max_ms} ms".format(**report["latency"]),
+    ]
+    hits, misses = report["cache_hits"], report["cache_misses"]
+    lines.append(
+        f"  cache      : {hits} hits / {misses} misses "
+        f"(hit rate {report['cache_hit_rate']})"
+    )
+    mix = ", ".join(f"{op}={n}" for op, n in sorted(report["ops"].items()))
+    lines.append(f"  op mix     : {mix}")
+    return lines
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Replay a mixed concurrent query workload against a store (or a
+    live daemon) and report/record throughput + latency quantiles."""
+    from .bench.loadgen import parse_mix, run_loadtest
+    from .bench.trajectory import (
+        parse_serve_fail_on,
+        record_serve_trajectory,
+    )
+
+    try:
+        fail_on = parse_serve_fail_on(args.fail_on)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        mix = parse_mix(args.mix)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    addr = None
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"error: --tcp takes HOST:PORT, got {args.tcp!r}",
+                  file=sys.stderr)
+            return EXIT_ERROR
+        addr = (host, int(port))
+    try:
+        report = run_loadtest(
+            args.store,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            mix=mix,
+            repeat_half=not args.no_repeat_half,
+            seed=args.seed,
+            deadline_seconds=args.deadline,
+            cache_size=args.cache_size,
+            addr=addr,
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    payload = report.as_dict()
+    if args.json:
+        _write_text(args.output,
+                    json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        with _out_stream(args.output) as fh:
+            for line in _render_loadtest_report(payload):
+                fh.write(line + "\n")
+    status = EXIT_OK
+    if args.max_p99_ms is not None:
+        p99 = payload["latency"]["p99_ms"]
+        if p99 is None or p99 > args.max_p99_ms:
+            print(
+                f"repro: loadtest gate failed: p99 {p99} ms exceeds "
+                f"--max-p99-ms {args.max_p99_ms}",
+                file=sys.stderr,
+            )
+            status = 1
+    if getattr(args, "record", None):
+        entry, drift, failures = record_serve_trajectory(
+            payload, path=args.record, fail_on=fail_on
+        )
+        print(
+            f"repro: recorded serve entry rev={entry['revision']} -> "
+            f"{args.record}",
+            file=sys.stderr,
+        )
+        for line in drift:
+            print(f"repro: drift: {line}", file=sys.stderr)
+        if failures:
+            for line in failures:
+                print(f"repro: serve gate failed: {line}", file=sys.stderr)
+            status = 1
+    elif fail_on is not None:
+        print("error: --fail-on requires --record (the gate compares "
+              "against the previous trajectory entry)", file=sys.stderr)
+        return EXIT_ERROR
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -973,7 +1081,61 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request wall-clock budget")
     p.add_argument("--cache-size", type=int, default=256, metavar="N",
                    help="LRU query-cache capacity (default 256)")
+    p.add_argument("--access-log", metavar="PATH",
+                   help="structured JSONL access log, one line per "
+                        "request ('-' = stdout, the shared convention)")
+    p.add_argument("--slow-ms", type=float, default=100.0, metavar="MS",
+                   help="slow-request threshold for the 'slow' counter "
+                        "and server.slow trace instant (default 100)")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="disable the per-request telemetry registry "
+                        "(answers are byte-identical either way)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="replay a concurrent mixed query workload against a store "
+             "and report qps + latency quantiles (p50/p90/p95/p99)",
+    )
+    p.add_argument("store", help="store path written by 'repro index'")
+    p.add_argument("--clients", type=int, default=8, metavar="N",
+                   help="concurrent TCP client threads (default 8)")
+    p.add_argument("--requests", type=int, default=50, metavar="N",
+                   help="requests per client (default 50)")
+    p.add_argument("--mix", metavar="SPEC",
+                   help="weighted op mix, e.g. "
+                        "'points_to=6,alias=3,modref=1' (default: the "
+                        "built-in serve-smoke mix)")
+    p.add_argument("--no-repeat-half", action="store_true",
+                   help="do not repeat each client's first half (the "
+                        "repeat models cache-hit realism)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload shuffle seed (default 0)")
+    p.add_argument("--deadline", type=float, metavar="SECONDS",
+                   help="per-request deadline armed in the daemon")
+    p.add_argument("--cache-size", type=int, default=256, metavar="N",
+                   help="daemon LRU capacity (default 256)")
+    p.add_argument("--tcp", metavar="HOST:PORT",
+                   help="target an already-running daemon instead of "
+                        "spawning an in-process one")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
+    p.add_argument("-o", "--output", default="-", metavar="PATH",
+                   help="report destination ('-' = stdout, the default)")
+    p.add_argument("--record", nargs="?", const="BENCH_serve.json",
+                   metavar="PATH",
+                   help="append this run to the serve trajectory file "
+                        "(default BENCH_serve.json) and report drift "
+                        "against the previous entry")
+    p.add_argument("--fail-on", metavar="SPEC",
+                   help="with --record: exit 1 on regression vs the "
+                        "previous entry, e.g. 'p99:100%%,qps:30%%' "
+                        "(p99 latency grew >100%% / throughput fell "
+                        ">30%%)")
+    p.add_argument("--max-p99-ms", type=float, metavar="MS",
+                   help="absolute gate: exit 1 when p99 latency exceeds "
+                        "MS milliseconds")
+    p.set_defaults(func=cmd_loadtest)
 
     return parser
 

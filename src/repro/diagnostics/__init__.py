@@ -15,6 +15,11 @@ Three cooperating layers, all pay-for-what-you-use:
   ("why does ``p`` point to ``x``?"), walked by the ``repro explain``
   CLI.  Also off by default.
 
+The *serving* path has its own layer, :class:`TelemetryRegistry`
+(:mod:`~repro.diagnostics.telemetry`): thread-safe counters, gauges and
+mergeable log-bucketed latency histograms for the ``repro serve`` daemon
+and the ``repro loadtest`` harness (``docs/OBSERVABILITY.md`` §5).
+
 Plus :class:`FaultPlan`, the deterministic seeded fault-injection hook
 that exercises the degradation ladder (``--inject-faults``; see
 ``docs/ROBUSTNESS.md``).
@@ -41,11 +46,16 @@ from .snapshot import (
     load_snapshot,
     write_snapshot,
 )
+from .telemetry import Counter, Gauge, LogHistogram, TelemetryRegistry
 from .trace import EVENT_VOCABULARY, Tracer
 
 __all__ = [
     "Metrics",
     "Tracer",
+    "Counter",
+    "Gauge",
+    "LogHistogram",
+    "TelemetryRegistry",
     "EVENT_VOCABULARY",
     "ProvenanceLog",
     "Derivation",

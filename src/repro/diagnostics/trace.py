@@ -129,6 +129,12 @@ EVENT_VOCABULARY: dict[str, str] = {
                   "cached); args: op, key",
     "query.deadline": "i a query's per-request deadline expired before "
                       "an answer was produced; args: op, key",
+    # -- serve daemon (repro.query.server; docs/OBSERVABILITY.md §5) -----
+    "server.request": "i the daemon finalized one request: envelope "
+                      "written, latency measured line-read to "
+                      "envelope-write; args: op, status, ms, rid",
+    "server.slow": "i a finalized request exceeded the slow-request "
+                   "threshold (QueryServer.slow_ms); args: op, ms, rid",
 }
 
 

@@ -21,8 +21,11 @@ from __future__ import annotations
 
 import itertools
 import os
+import sys
+from contextlib import contextmanager
+from typing import IO, Iterator
 
-__all__ = ["atomic_write_text"]
+__all__ = ["atomic_write_text", "out_stream", "write_text"]
 
 #: per-call disambiguator so concurrent *threads* of one process get
 #: distinct temporaries too (the pid alone separates processes)
@@ -49,3 +52,24 @@ def atomic_write_text(path: str, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+@contextmanager
+def out_stream(dest: str) -> Iterator[IO[str]]:
+    """The one ``-``-means-stdout output convention, shared by every
+    JSON-emitting destination flag (``--stats-json``, ``--trace-json``,
+    ``--trace-jsonl``, ``explain --json``, ``query -o``, ``serve
+    --access-log``, ``loadtest -o``): ``-`` yields ``sys.stdout`` (left
+    open), anything else opens the file at that path for writing."""
+    if dest == "-":
+        yield sys.stdout
+    else:
+        with open(dest, "w", encoding="utf-8") as fh:
+            yield fh
+
+
+def write_text(dest: str, text: str) -> None:
+    """Write ``text`` (newline-terminated) to ``dest`` per
+    :func:`out_stream`'s convention."""
+    with out_stream(dest) as fh:
+        fh.write(text if text.endswith("\n") else text + "\n")

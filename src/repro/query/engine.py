@@ -214,17 +214,21 @@ class QueryEngine:
             f"{k}={request[k]}" for k in sorted(request) if k != "id"
         )
 
-    def _cached(self, request: dict, compute) -> dict:
+    def _cached(self, request: dict, compute, info: Optional[dict] = None) -> dict:
         key = self._canonical_key(request)
         op = request.get("op", "?")
         hit = self._cache.get(key)
         if hit is not None:
             self._cache.move_to_end(key)
             self.metrics.query_cache_hits += 1
+            if info is not None:
+                info["cache"] = "hit"
             if self.trace is not None:
                 self.trace.instant("query.hit", "query", op=op, key=key)
             return hit
         self.metrics.query_cache_misses += 1
+        if info is not None:
+            info["cache"] = "miss"
         if self.trace is not None:
             self.trace.instant("query.miss", "query", op=op, key=key)
         answer = compute()
@@ -237,7 +241,10 @@ class QueryEngine:
     # -- dispatch ----------------------------------------------------------
 
     def query(
-        self, request: dict, budget: Optional[AnalysisBudget] = None
+        self,
+        request: dict,
+        budget: Optional[AnalysisBudget] = None,
+        info: Optional[dict] = None,
     ) -> dict:
         """Answer one request dict (see :data:`OPS`).
 
@@ -245,6 +252,12 @@ class QueryEngine:
         :class:`~repro.analysis.guards.GuardTripped` when ``budget``'s
         deadline expired.  Thread-safe; answers are shared cache entries
         and must be treated as immutable by callers.
+
+        ``info``, when given, is filled in-place with per-call facts the
+        answer itself must not carry (answers are shared cache entries,
+        byte-identical across calls): currently ``info["cache"]`` is set
+        to ``"hit"`` or ``"miss"`` for cacheable ops — the daemon's
+        access log and telemetry counters read it.
         """
         op = request.get("op")
         if op not in OPS:
@@ -259,7 +272,9 @@ class QueryEngine:
             self.metrics.queries += 1
             if op == "stats":  # never cached: reports the live counters
                 return self.stats()
-            return self._cached(request, lambda: self._compute(op, request))
+            return self._cached(
+                request, lambda: self._compute(op, request), info=info
+            )
 
     def _compute(self, op: str, request: dict) -> dict:
         if op == "points_to":

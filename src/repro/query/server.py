@@ -36,32 +36,108 @@ convention (:mod:`repro.cli`):
 Control operations (handled by the server, not the engine): ``ping``
 (liveness; echoes the program name), ``shutdown`` (graceful stop; the
 stdio loop returns, the TCP server unwinds and closes its socket so no
-orphan remains).
+orphan remains), ``stats`` (the engine's live counters plus the
+server-side telemetry snapshot — answered from the registry, never
+touching the LRU), and ``health`` (a cheap liveness/level probe:
+uptime, in-flight count, degraded flag).
 
 Deadlines: construct the server with ``deadline_seconds`` and every
 request is answered under its own armed
 :class:`~repro.analysis.guards.AnalysisBudget` — the same guards
 machinery as the analysis engine; an expired budget maps to an error
 envelope with code ``deadline``.
+
+Telemetry (``docs/OBSERVABILITY.md`` §5)
+----------------------------------------
+
+Pass a :class:`~repro.diagnostics.telemetry.TelemetryRegistry` and every
+request is measured **from line-read to envelope-write** on the
+monotonic clock: the transport stamps ``perf_counter_ns`` the moment a
+line arrives, writes and flushes the answer envelopes, and only then
+finalizes — so the recorded latency covers parse, compute, serialize
+*and* the write.  Requests in one batch line share the line's latency
+(the batch is one wire unit).  Per request the server maintains:
+
+* histograms ``latency`` and ``latency.<op>`` (log-bucketed, 1%
+  relative error, p50/p90/p99 in every snapshot);
+* counters ``requests`` / ``errors`` / ``deadlines`` / ``slow`` /
+  ``cache_hits`` / ``cache_misses`` (cache disposition comes from the
+  engine via :meth:`QueryEngine.query`'s ``info`` out-param — the
+  answer envelopes stay byte-identical to a telemetry-off server);
+* gauge ``in_flight`` (lines currently being answered);
+* a server-assigned monotone request id ``rid`` (distinct from the
+  client's ``id``, which the server echoes but never interprets).
+
+The structured **access log** (``--access-log``, ``-`` = stdout) gets
+one JSON line per request::
+
+    {"cache": "hit", "code": null, "id": 7, "ms": 0.41, "ok": true,
+     "op": "points_to", "peer": "127.0.0.1:52114", "rid": 12,
+     "status": 0, "t": 1754550000.123456}
+
+When a tracer is attached, each finalized request emits a
+``server.request`` instant (and ``server.slow`` above the slow-request
+threshold) under the vocabulary in :mod:`repro.diagnostics.trace`.
+
+Graceful shutdown: :meth:`QueryServer.install_signal_handlers` maps
+SIGTERM/SIGINT to the same path as the in-band ``shutdown`` op — stop
+accepting, drain in-flight lines, flush the access log, write a final
+telemetry snapshot to the announce stream, exit 0.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import signal
 import socket
 import socketserver
 import sys
 import threading
+import time
 from typing import IO, Optional
 
 from ..analysis.guards import AnalysisBudget, GuardTripped
+from ..diagnostics.telemetry import TelemetryRegistry
 from .engine import QueryEngine, QueryError
 
 __all__ = ["QueryServer"]
 
 #: control ops the server answers itself (everything else goes to the
-#: engine's OPS vocabulary)
-CONTROL_OPS = ("ping", "shutdown")
+#: engine's OPS vocabulary); ``stats`` and ``health`` answer from the
+#: live telemetry registry without touching the engine's LRU
+CONTROL_OPS = ("ping", "shutdown", "stats", "health")
+
+#: default slow-request threshold for the ``server.slow`` instant and
+#: the ``slow`` counter (milliseconds)
+DEFAULT_SLOW_MS = 100.0
+
+
+class _ShutdownSignal(Exception):
+    """Raised inside the stdio read loop by the signal handler so a
+    blocking ``readline`` unwinds into the graceful-shutdown path."""
+
+    def __init__(self, signame: str) -> None:
+        self.signame = signame
+        super().__init__(signame)
+
+
+class _Pending:
+    """One answered request awaiting finalization (envelope already
+    serialized; telemetry/access-log recorded after the write)."""
+
+    __slots__ = ("text", "rid", "request_id", "op", "ok", "status", "code",
+                 "cache")
+
+    def __init__(self, text, rid, request_id, op, ok, status, code, cache):
+        self.text = text
+        self.rid = rid
+        self.request_id = request_id
+        self.op = op
+        self.ok = ok
+        self.status = status
+        self.code = code
+        self.cache = cache
 
 
 class QueryServer:
@@ -71,15 +147,54 @@ class QueryServer:
         self,
         engine: QueryEngine,
         deadline_seconds: Optional[float] = None,
+        telemetry: Optional[TelemetryRegistry] = None,
+        access_log: Optional[IO[str]] = None,
+        tracer=None,
+        slow_ms: float = DEFAULT_SLOW_MS,
     ) -> None:
         self.engine = engine
         self.deadline_seconds = deadline_seconds
-        #: set once a ``shutdown`` request is handled; both transports
-        #: poll it to unwind cleanly
+        #: telemetry registry (None = telemetry off; answers are
+        #: byte-identical either way)
+        self.telemetry = telemetry
+        #: structured JSONL access log stream (None = no access log)
+        self.access_log = access_log
+        self.trace = tracer
+        self.slow_ms = slow_ms
+        #: set once a ``shutdown`` request (in-band or signal) is
+        #: handled; both transports poll it to unwind cleanly
         self.shutting_down = threading.Event()
         #: requests handled (all envelopes, including errors)
         self.requests_handled = 0
+        #: requests fully finalized (envelope written; the number the
+        #: ``stats``/``health`` admin ops report — exact even with
+        #: telemetry off)
+        self.requests_finalized = 0
         self._count_lock = threading.Lock()
+        self._access_lock = threading.Lock()
+        self._rid = itertools.count(1)
+        self._in_flight = 0
+        self._started_mono = time.perf_counter()
+        self._tcp_server: Optional[socketserver.ThreadingTCPServer] = None
+        self._transport: Optional[str] = None
+        self._signal_received: Optional[str] = None
+        # instrument handles are resolved once here, not per request —
+        # the registry lookup (a lock plus a dict probe per instrument)
+        # would otherwise dominate the finalize path's cost
+        if telemetry is not None:
+            self._tel_in_flight = telemetry.gauge("in_flight")
+            self._tel_requests = telemetry.counter("requests")
+            self._tel_errors = telemetry.counter("errors")
+            self._tel_deadlines = telemetry.counter("deadlines")
+            self._tel_cache_hits = telemetry.counter("cache_hits")
+            self._tel_cache_misses = telemetry.counter("cache_misses")
+            self._tel_slow = telemetry.counter("slow")
+            self._tel_latency = telemetry.histogram("latency")
+            #: op -> per-op latency histogram, grown on first sighting.
+            #: Benign data race: two threads may both resolve the same
+            #: op, but the registry hands back one shared instance, so
+            #: the assignments are identical.
+            self._tel_latency_by_op: dict = {}
 
     # -- envelopes ---------------------------------------------------------
 
@@ -103,6 +218,43 @@ class QueryServer:
             "error": {"code": code, "message": message},
         }
 
+    # -- admin results -----------------------------------------------------
+
+    def uptime_seconds(self) -> float:
+        return time.perf_counter() - self._started_mono
+
+    def _stats_result(self) -> dict:
+        """The ``stats`` admin op: the engine's live counters (read
+        directly — no LRU probe, no cache perturbation) plus the
+        server-side block and, when enabled, the full telemetry
+        snapshot."""
+        result = self.engine.stats()
+        result["server"] = {
+            "requests": self.requests_finalized,
+            "in_flight": self._in_flight,
+            "uptime_seconds": round(self.uptime_seconds(), 3),
+            "slow_ms": self.slow_ms,
+            "access_log": self.access_log is not None,
+            "telemetry": (
+                self.telemetry.as_dict() if self.telemetry is not None else None
+            ),
+        }
+        return result
+
+    def _health_result(self) -> dict:
+        """The ``health`` admin op: a cheap liveness/level probe —
+        counters and gauges only, nothing that touches the LRU or the
+        store index."""
+        return {
+            "op": "health",
+            "healthy": True,
+            "program": self.engine.program,
+            "degraded": self.engine.degraded,
+            "uptime_seconds": round(self.uptime_seconds(), 3),
+            "in_flight": self._in_flight,
+            "requests": self.requests_finalized,
+        }
+
     # -- request handling --------------------------------------------------
 
     def _budget(self) -> Optional[AnalysisBudget]:
@@ -112,8 +264,12 @@ class QueryServer:
         budget.start()
         return budget
 
-    def handle_request(self, request) -> dict:
-        """Answer one request object with one envelope (never raises)."""
+    def handle_request(self, request, info: Optional[dict] = None) -> dict:
+        """Answer one request object with one envelope (never raises).
+
+        ``info``, when given, receives per-call facts that must stay out
+        of the (cached, shared) answer — see :meth:`QueryEngine.query`.
+        """
         with self._count_lock:
             self.requests_handled += 1
         if not isinstance(request, dict):
@@ -127,10 +283,14 @@ class QueryServer:
                 request_id, {"op": "ping", "program": self.engine.program}
             )
         if op == "shutdown":
-            self.shutting_down.set()
+            self.request_shutdown()
             return self._envelope_ok(request_id, {"op": "shutdown"})
+        if op == "stats":
+            return self._envelope_ok(request_id, self._stats_result())
+        if op == "health":
+            return self._envelope_ok(request_id, self._health_result())
         try:
-            result = self.engine.query(request, budget=self._budget())
+            result = self.engine.query(request, budget=self._budget(), info=info)
         except QueryError as exc:
             return self._envelope_error(request_id, exc.code, str(exc))
         except GuardTripped as exc:
@@ -139,12 +299,31 @@ class QueryServer:
             return self._envelope_error(request_id, "internal", str(exc))
         return self._envelope_ok(request_id, result)
 
-    def handle_line(self, line: str) -> list[str]:
+    def _process_request(self, request) -> _Pending:
+        with self._count_lock:
+            rid = next(self._rid)
+        info: dict = {}
+        envelope = self.handle_request(request, info)
+        op = request.get("op") if isinstance(request, dict) else None
+        error = envelope.get("error") or {}
+        return _Pending(
+            text=json.dumps(envelope, sort_keys=True),
+            rid=rid,
+            request_id=envelope.get("id"),
+            op=op if isinstance(op, str) else "invalid",
+            ok=bool(envelope.get("ok")),
+            status=envelope.get("status"),
+            code=error.get("code"),
+            cache=info.get("cache"),
+        )
+
+    def _process_line(self, line: str) -> list[_Pending]:
         """Answer one input line: one JSON request or a batch array.
 
-        Returns one serialized envelope per request (batch answers stay
-        in request order).  Malformed JSON yields a single ``bad-json``
-        error envelope.
+        Returns one pending envelope per request (batch answers stay in
+        request order).  Malformed JSON yields a single ``bad-json``
+        error envelope.  Telemetry/access-log recording happens in
+        :meth:`_finalize`, *after* the transport wrote the envelopes.
         """
         text = line.strip()
         if not text:
@@ -152,24 +331,255 @@ class QueryServer:
         try:
             payload = json.loads(text)
         except ValueError as exc:
+            with self._count_lock:
+                rid = next(self._rid)
             return [
-                json.dumps(
-                    self._envelope_error(None, "bad-json", str(exc)),
-                    sort_keys=True,
+                _Pending(
+                    text=json.dumps(
+                        self._envelope_error(None, "bad-json", str(exc)),
+                        sort_keys=True,
+                    ),
+                    rid=rid,
+                    request_id=None,
+                    op="invalid",
+                    ok=False,
+                    status=2,
+                    code="bad-json",
+                    cache=None,
                 )
             ]
         requests = payload if isinstance(payload, list) else [payload]
-        return [
-            json.dumps(self.handle_request(req), sort_keys=True)
-            for req in requests
-        ]
+        return [self._process_request(req) for req in requests]
+
+    def handle_line(self, line: str) -> list[str]:
+        """Answer one input line, finalizing telemetry immediately.
+
+        The transports use the :meth:`_process_line` / :meth:`_finalize`
+        pair so the measured window closes after the envelope write;
+        this convenience keeps the one-call protocol surface for tests
+        and embedders (the window then covers parse + compute +
+        serialize only).
+        """
+        received_ns = time.perf_counter_ns()
+        self._note_begin()
+        pending: list[_Pending] = []
+        try:
+            pending = self._process_line(line)
+        finally:
+            self._finalize(pending, received_ns)
+        return [p.text for p in pending]
+
+    # -- telemetry / access log --------------------------------------------
+
+    def _note_begin(self) -> None:
+        with self._count_lock:
+            self._in_flight += 1
+        if self.telemetry is not None:
+            self._tel_in_flight.add(1)
+
+    def _finalize(
+        self,
+        pending: list[_Pending],
+        received_ns: int,
+        peer: Optional[str] = None,
+    ) -> None:
+        """Record each answered request after its envelope was written:
+        latency (line-read to envelope-write), counters, access-log
+        line, trace instants.  Always decrements the in-flight level
+        (paired with :meth:`_note_begin`).
+
+        This is the per-request hot path, so bookkeeping is batched per
+        *line*: one counter increment per condition class (not per
+        request), one bulk histogram record for the shared line latency,
+        and one buffered access-log write (flushed on shutdown, not per
+        record — a tail ``-f`` may lag, a crash loses at most a buffer).
+        """
+        elapsed_ms = (time.perf_counter_ns() - received_ns) / 1e6
+        telemetry = self.telemetry
+        tracer = self.trace
+        slow = elapsed_ms > self.slow_ms
+        if telemetry is not None and pending:
+            n = len(pending)
+            self._tel_requests.inc(n)
+            self._tel_latency.record_n(elapsed_ms, n)
+            by_op = self._tel_latency_by_op
+            errors = deadlines = hits = misses = 0
+            for p in pending:
+                hist = by_op.get(p.op)
+                if hist is None:
+                    hist = by_op[p.op] = telemetry.histogram(
+                        f"latency.{p.op}"
+                    )
+                hist.record(elapsed_ms)
+                if not p.ok:
+                    errors += 1
+                if p.code == "deadline":
+                    deadlines += 1
+                if p.cache == "hit":
+                    hits += 1
+                elif p.cache == "miss":
+                    misses += 1
+            if errors:
+                self._tel_errors.inc(errors)
+            if deadlines:
+                self._tel_deadlines.inc(deadlines)
+            if hits:
+                self._tel_cache_hits.inc(hits)
+            if misses:
+                self._tel_cache_misses.inc(misses)
+            if slow:
+                self._tel_slow.inc(n)
+        if telemetry is not None:
+            self._tel_in_flight.add(-1)
+        if tracer is not None:
+            ms = round(elapsed_ms, 3)
+            for p in pending:
+                tracer.instant(
+                    "server.request", "server",
+                    op=p.op, status=p.status, ms=ms, rid=p.rid,
+                )
+                if slow:
+                    tracer.instant(
+                        "server.slow", "server", op=p.op, ms=ms, rid=p.rid,
+                    )
+        if self.access_log is not None and pending:
+            now = round(time.time(), 6)
+            ms = round(elapsed_ms, 3)
+            peer_json = self._peer_json(peer)
+            if len(pending) == 1:
+                chunk = self._access_line(pending[0], now, ms, peer_json)
+            else:
+                chunk = "".join(
+                    self._access_line(p, now, ms, peer_json)
+                    for p in pending
+                )
+            with self._access_lock:
+                self.access_log.write(chunk)
+        with self._count_lock:
+            self._in_flight -= 1
+            self.requests_finalized += len(pending)
+
+    #: encoded-op memo for the access log (ops form a tiny vocabulary;
+    #: the fallback encodes adversarial op strings safely)
+    _op_json_cache: dict = {}
+
+    @classmethod
+    def _op_json(cls, op: str) -> str:
+        encoded = cls._op_json_cache.get(op)
+        if encoded is None:
+            encoded = cls._op_json_cache[op] = json.dumps(op)
+        return encoded
+
+    _peer_json_cache: dict = {}
+
+    @classmethod
+    def _peer_json(cls, peer: Optional[str]) -> str:
+        encoded = cls._peer_json_cache.get(peer)
+        if encoded is None:
+            if len(cls._peer_json_cache) > 4096:  # rotating client ports
+                cls._peer_json_cache.clear()
+            encoded = cls._peer_json_cache[peer] = json.dumps(peer)
+        return encoded
+
+    @classmethod
+    def _access_line(cls, p: _Pending, now: float, ms: float,
+                     peer_json: str) -> str:
+        """One JSONL access-log record, hand-assembled.
+
+        ``json.dumps`` over the whole record costs ~8x this; only the
+        caller-controlled strings (``id``, unseen ``op`` spellings) go
+        through the encoder for escaping — every other field is a
+        number, a bool, or an internal literal (status codes,
+        ``hit``/``miss``) that can never contain a quote."""
+        rid = p.request_id
+        if rid is None:
+            id_json = "null"
+        elif type(rid) is int:
+            id_json = str(rid)
+        else:
+            id_json = json.dumps(rid)
+        code_json = "null" if p.code is None else '"' + p.code + '"'
+        cache_json = "null" if p.cache is None else '"' + p.cache + '"'
+        return (
+            f'{{"t": {now}, "rid": {p.rid}, "id": {id_json}, '
+            f'"op": {cls._op_json(p.op)}, '
+            f'"ok": {"true" if p.ok else "false"}, "status": {p.status}, '
+            f'"code": {code_json}, "ms": {ms}, "cache": {cache_json}, '
+            f'"peer": {peer_json}}}\n'
+        )
+
+    # -- graceful shutdown -------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful stop: no new lines are answered after the
+        current ones, and a live TCP ``serve_forever`` loop is unwound
+        from a helper thread (``shutdown()`` must not be called from a
+        thread it would join — including the signal-handling main
+        thread, which is *inside* ``serve_forever``)."""
+        self.shutting_down.set()
+        srv = self._tcp_server
+        if srv is not None:
+            threading.Thread(target=srv.shutdown, daemon=True).start()
+
+    def install_signal_handlers(self) -> None:
+        """Map SIGTERM/SIGINT onto the graceful-shutdown path (the
+        daemon contract: stop accepting, drain in-flight lines, flush
+        the access log, emit a final telemetry snapshot, exit 0).
+
+        Only callable from the main thread (a Python restriction);
+        the CLI installs these, tests driving transports from worker
+        threads simply don't."""
+
+        def _handler(signum, frame):
+            signame = signal.Signals(signum).name
+            self._signal_received = signame
+            self.request_shutdown()
+            if self._transport == "stdio":
+                # unwind the blocking readline in the main thread
+                raise _ShutdownSignal(signame)
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, _handler)
+
+    def _drain(self, timeout: float = 5.0) -> bool:
+        """Wait for in-flight lines to finalize; True when fully
+        drained."""
+        deadline = time.perf_counter() + timeout
+        while time.perf_counter() < deadline:
+            with self._count_lock:
+                if self._in_flight == 0:
+                    return True
+            time.sleep(0.01)
+        with self._count_lock:
+            return self._in_flight == 0
+
+    def _shutdown_report(self, log: IO[str]) -> None:
+        """Flush the access log and write the final telemetry snapshot
+        (one grep-able ``repro:``-prefixed JSON line) to ``log``."""
+        if self.access_log is not None:
+            with self._access_lock:
+                self.access_log.flush()
+        via = self._signal_received or "request"
+        log.write(
+            f"repro: shutdown ({via}) after "
+            f"{self.requests_finalized} request(s), "
+            f"{self.uptime_seconds():.3f}s uptime\n"
+        )
+        if self.telemetry is not None:
+            snapshot = json.dumps(self.telemetry.as_dict(), sort_keys=True)
+            log.write(f"repro: telemetry {snapshot}\n")
+        log.flush()
 
     # -- stdio transport ---------------------------------------------------
 
     def serve_stdio(
-        self, stdin: Optional[IO[str]] = None, stdout: Optional[IO[str]] = None
+        self,
+        stdin: Optional[IO[str]] = None,
+        stdout: Optional[IO[str]] = None,
+        log: Optional[IO[str]] = None,
     ) -> int:
-        """Serve JSON lines until EOF or a ``shutdown`` request.
+        """Serve JSON lines until EOF, a ``shutdown`` request, or a
+        handled signal.
 
         Returns the exit status for the CLI: 0 on a clean stop (the
         degraded state is carried per-envelope, not in the exit code —
@@ -177,12 +587,26 @@ class QueryServer:
         """
         stdin = stdin if stdin is not None else sys.stdin
         stdout = stdout if stdout is not None else sys.stdout
-        for line in stdin:
-            for answer in self.handle_line(line):
-                stdout.write(answer + "\n")
-            stdout.flush()
-            if self.shutting_down.is_set():
-                break
+        log = log if log is not None else sys.stderr
+        self._transport = "stdio"
+        try:
+            for line in stdin:
+                received_ns = time.perf_counter_ns()
+                self._note_begin()
+                pending: list[_Pending] = []
+                try:
+                    pending = self._process_line(line)
+                    for p in pending:
+                        stdout.write(p.text + "\n")
+                    stdout.flush()
+                finally:
+                    self._finalize(pending, received_ns, peer="stdio")
+                if self.shutting_down.is_set():
+                    break
+        except _ShutdownSignal:
+            pass
+        if self.shutting_down.is_set() or self._signal_received:
+            self._shutdown_report(log)
         return 0
 
     # -- TCP transport -----------------------------------------------------
@@ -194,36 +618,43 @@ class QueryServer:
         ready_cb=None,
         log=None,
     ) -> int:
-        """Serve JSON lines over TCP until a ``shutdown`` request.
+        """Serve JSON lines over TCP until a ``shutdown`` request or a
+        handled signal.
 
         ``port=0`` binds an ephemeral port; the actual address is
         announced via ``ready_cb((host, port))`` (tests) and one
         ``repro: serving <program> on HOST:PORT`` line on ``log``
         (defaults to stderr — the CLI contract scripts can wait for).
-        The server thread pool drains and the listening socket closes
-        before this returns, so a clean shutdown leaves no orphan
-        socket behind.
+        On shutdown the listening socket stops accepting, in-flight
+        lines drain (bounded wait), the access log is flushed and the
+        final telemetry snapshot lands on ``log`` before this returns —
+        a clean shutdown leaves no orphan socket behind.
         """
         outer = self
         log = log if log is not None else sys.stderr
+        self._transport = "tcp"
 
         class Handler(socketserver.StreamRequestHandler):
             def handle(self) -> None:
+                peer = "%s:%s" % self.client_address[:2]
                 while not outer.shutting_down.is_set():
                     raw = self.rfile.readline()
                     if not raw:
                         break
+                    received_ns = time.perf_counter_ns()
                     line = raw.decode("utf-8", errors="replace")
-                    for answer in outer.handle_line(line):
-                        self.wfile.write(answer.encode("utf-8") + b"\n")
-                    self.wfile.flush()
+                    outer._note_begin()
+                    pending = []
+                    try:
+                        pending = outer._process_line(line)
+                        for p in pending:
+                            self.wfile.write(p.text.encode("utf-8") + b"\n")
+                        self.wfile.flush()
+                    finally:
+                        outer._finalize(pending, received_ns, peer=peer)
                     if outer.shutting_down.is_set():
-                        # answered the shutdown envelope; stop the server
-                        # from a helper thread (shutdown() must not be
-                        # called from the handler thread it would join)
-                        threading.Thread(
-                            target=self.server.shutdown, daemon=True
-                        ).start()
+                        # the shutdown envelope is already on the wire;
+                        # request_shutdown() has unwound serve_forever
                         break
 
         class Server(socketserver.ThreadingTCPServer):
@@ -231,15 +662,21 @@ class QueryServer:
             daemon_threads = True
 
         with Server((host, port), Handler) as server:
-            bound_host, bound_port = server.server_address[:2]
-            log.write(
-                f"repro: serving {self.engine.program} on "
-                f"{bound_host}:{bound_port}\n"
-            )
-            log.flush()
-            if ready_cb is not None:
-                ready_cb((bound_host, bound_port))
-            server.serve_forever(poll_interval=0.05)
+            self._tcp_server = server
+            try:
+                bound_host, bound_port = server.server_address[:2]
+                log.write(
+                    f"repro: serving {self.engine.program} on "
+                    f"{bound_host}:{bound_port}\n"
+                )
+                log.flush()
+                if ready_cb is not None:
+                    ready_cb((bound_host, bound_port))
+                server.serve_forever(poll_interval=0.05)
+            finally:
+                self._tcp_server = None
+            self._drain()
+            self._shutdown_report(log)
         return 0
 
 

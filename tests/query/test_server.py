@@ -281,3 +281,257 @@ def test_requests_handled_counter(store):
     # ping + 2 batched + garbage line is not counted as a request (it
     # never became one), so: 3
     assert server.requests_handled == 3
+
+
+# -- telemetry / access log / admin ops -------------------------------------
+
+
+def test_stats_op_carries_server_block_and_telemetry(store):
+    from repro.diagnostics.telemetry import TelemetryRegistry
+
+    server = make_server(store, telemetry=TelemetryRegistry())
+    lines = [json.dumps(dict(req, id=i)) for i, req in enumerate(REQUESTS)]
+    lines.append(json.dumps({"op": "stats", "id": "admin"}))
+    code, out = run_stdio(server, lines)
+    assert code == 0
+    stats = out[-1]["result"]
+    # engine keys the CI smoke client depends on survive untouched
+    assert stats["cache_misses"] >= 1 and "cache_hit_rate" in stats
+    block = stats["server"]
+    # every earlier request was finalized before stats was answered
+    assert block["requests"] == len(REQUESTS)
+    assert block["in_flight"] >= 1  # the stats line itself
+    assert block["uptime_seconds"] >= 0
+    assert block["access_log"] is False
+    telem = block["telemetry"]
+    assert telem["counters"]["requests"] == len(REQUESTS)
+    assert telem["histograms"]["latency"]["count"] == len(REQUESTS)
+    # the stats line itself is still in flight; every earlier line's
+    # gauge increment was paired with a decrement at finalize
+    assert telem["gauges"]["in_flight"] == 1
+    # after the whole batch drains the gauge returns to zero
+    assert server.telemetry.gauge("in_flight").value == 0
+
+
+def test_stats_counts_exactly_match_requests_sent(store):
+    """Satellite acceptance: after a concurrent run, the daemon's own
+    accounting — requests counter and histogram totals — exactly equals
+    the number of requests the clients sent (no lost or double-counted
+    finalizations)."""
+    from repro.diagnostics.telemetry import TelemetryRegistry
+
+    server = make_server(store, telemetry=TelemetryRegistry())
+    thread, addr = start_tcp(server)
+    clients = 6
+    failures = []
+
+    def client(seed):
+        try:
+            order = REQUESTS[seed:] + REQUESTS[:seed]
+            lines = [json.dumps(dict(r, id=f"{seed}-{i}"))
+                     for i, r in enumerate(order)]
+            for line in tcp_exchange(addr, lines):
+                assert json.loads(line)["ok"]
+        except Exception as exc:  # pragma: no cover - diagnostic
+            failures.append(exc)
+
+    pool = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join(30)
+    try:
+        assert not failures, failures[0]
+        sent = clients * len(REQUESTS)
+        with socket.create_connection(addr, timeout=10) as sock:
+            fh = sock.makefile("rw", encoding="utf-8")
+            fh.write(json.dumps({"op": "stats"}) + "\n")
+            fh.flush()
+            stats = json.loads(fh.readline())["result"]
+        assert stats["server"]["requests"] == sent
+        telem = stats["server"]["telemetry"]
+        assert telem["counters"]["requests"] == sent
+        assert telem["histograms"]["latency"]["count"] == sent
+        # per-op histograms partition the total exactly
+        per_op = sum(
+            snap["count"]
+            for name, snap in telem["histograms"].items()
+            if name.startswith("latency.")
+        )
+        assert per_op == sent
+        assert telem["counters"]["cache_hits"] + telem["counters"][
+            "cache_misses"
+        ] == sent
+    finally:
+        shutdown_tcp(addr)
+        thread.join(10)
+
+
+def test_health_op_answers_without_touching_cache(store):
+    from repro.diagnostics.telemetry import TelemetryRegistry
+
+    server = make_server(store, telemetry=TelemetryRegistry())
+    code, out = run_stdio(server, [json.dumps({"op": "health", "id": 1})])
+    assert code == 0
+    [env] = out
+    assert env["ok"]
+    result = env["result"]
+    assert result["healthy"] is True
+    assert result["program"] == "daemon"
+    assert result["degraded"] is False
+    assert result["in_flight"] >= 1
+    # health never probes the LRU
+    assert server.engine.query({"op": "stats"})["cache_hits"] == 0
+
+
+def test_telemetry_enabled_answers_byte_identical(store):
+    """Acceptance: telemetry + access log on never changes a single
+    answer byte (the info out-param keeps cached answers shared)."""
+    from repro.diagnostics.telemetry import TelemetryRegistry
+
+    lines = [json.dumps(dict(req, id=i)) for i, req in enumerate(REQUESTS)]
+    lines += lines  # repeats: the second half answers from the LRU
+
+    def run(server):
+        stdin = io.StringIO("\n".join(lines) + "\n")
+        stdout = io.StringIO()
+        assert server.serve_stdio(stdin, stdout) == 0
+        return stdout.getvalue()
+
+    plain = run(make_server(store))
+    instrumented = run(
+        make_server(
+            store, telemetry=TelemetryRegistry(), access_log=io.StringIO()
+        )
+    )
+    assert instrumented == plain
+
+
+def test_access_log_schema(store):
+    access = io.StringIO()
+    server = make_server(store, access_log=access)
+    run_stdio(server, [
+        json.dumps({"op": "points_to", "var": "p", "proc": "main", "id": 1}),
+        json.dumps({"op": "points_to", "var": "p", "proc": "main", "id": 2}),
+        json.dumps({"op": "points_to", "var": "zz", "proc": "main", "id": 3}),
+        "not json",
+        json.dumps([{"op": "ping", "id": "a"}, {"op": "modref",
+                                                "proc": "set", "id": "b"}]),
+    ])
+    records = [json.loads(l) for l in access.getvalue().splitlines()]
+    assert len(records) == 6  # 3 singles + bad line + 2 batched
+    for rec in records:
+        assert set(rec) == {
+            "t", "rid", "id", "op", "ok", "status", "code", "ms",
+            "cache", "peer",
+        }
+        assert rec["ms"] >= 0 and rec["peer"] == "stdio"
+    # rids are unique and increasing in finalization order
+    rids = [rec["rid"] for rec in records]
+    assert rids == sorted(rids) and len(set(rids)) == len(rids)
+    assert records[0]["op"] == "points_to" and records[0]["cache"] == "miss"
+    assert records[1]["cache"] == "hit"
+    assert records[2]["ok"] is False and records[2]["code"] == "unknown-var"
+    assert records[3]["op"] == "invalid" and records[3]["code"] == "bad-json"
+    # batched requests share their line's latency (one wire unit)
+    assert records[4]["ms"] == records[5]["ms"]
+
+
+def test_slow_counter_and_trace_instants(store):
+    from repro.diagnostics.telemetry import TelemetryRegistry
+    from repro.diagnostics.trace import EVENT_VOCABULARY, Tracer
+
+    tracer = Tracer()
+    server = make_server(
+        store, telemetry=TelemetryRegistry(), tracer=tracer, slow_ms=0.0
+    )
+    run_stdio(server, [
+        json.dumps({"op": "points_to", "var": "p", "proc": "main", "id": 1}),
+        json.dumps({"op": "ping", "id": 2}),
+    ])
+    snap = server.telemetry.as_dict()
+    # with a 0ms threshold every finalized request counts as slow
+    assert snap["counters"]["slow"] == 2
+    names = {e["name"] for e in tracer.events}
+    assert names == {"server.request", "server.slow"}
+    assert names <= set(EVENT_VOCABULARY)
+    requests = [e for e in tracer.events if e["name"] == "server.request"]
+    assert [e["args"]["op"] for e in requests] == ["points_to", "ping"]
+
+
+def test_deadline_counter(store):
+    from repro.diagnostics.telemetry import TelemetryRegistry
+
+    server = make_server(
+        store, telemetry=TelemetryRegistry(), deadline_seconds=-1.0
+    )
+    run_stdio(server, [json.dumps({"op": "callees", "proc": "main",
+                                   "id": 1})])
+    snap = server.telemetry.as_dict()
+    assert snap["counters"]["deadlines"] == 1
+    assert snap["counters"]["errors"] == 1
+
+
+def test_shutdown_report_written_on_request(store):
+    from repro.diagnostics.telemetry import TelemetryRegistry
+
+    access = io.StringIO()
+    server = make_server(store, telemetry=TelemetryRegistry(),
+                         access_log=access)
+    stdin = io.StringIO(json.dumps({"op": "ping", "id": 1}) + "\n"
+                        + json.dumps({"op": "shutdown", "id": 2}) + "\n")
+    stdout, log = io.StringIO(), io.StringIO()
+    assert server.serve_stdio(stdin, stdout, log=log) == 0
+    text = log.getvalue()
+    assert "repro: shutdown (request) after 2 request(s)" in text
+    telemetry_lines = [l for l in text.splitlines()
+                       if l.startswith("repro: telemetry ")]
+    assert len(telemetry_lines) == 1
+    snapshot = json.loads(telemetry_lines[0].split("repro: telemetry ", 1)[1])
+    assert snapshot["counters"]["requests"] == 2
+
+
+def test_sigterm_drains_and_exits_zero(store, tmp_path):
+    """Satellite acceptance: a SIGTERM'd ``repro serve --tcp`` daemon
+    stops accepting, flushes its access log, writes the final telemetry
+    snapshot to stderr, and exits 0."""
+    import os
+    import signal
+    import subprocess
+    import sys as _sys
+
+    store_path = tmp_path / "store.json"
+    store_path.write_text(json.dumps(store))
+    access_path = tmp_path / "access.jsonl"
+    proc = subprocess.Popen(
+        [_sys.executable, "-m", "repro.cli", "serve", str(store_path),
+         "--tcp", "127.0.0.1:0", "--access-log", str(access_path)],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=dict(os.environ, PYTHONPATH="src"),
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))),
+    )
+    try:
+        announce = proc.stderr.readline()
+        assert "repro: serving daemon on " in announce, announce
+        host, _, port = announce.strip().rpartition(" ")[2].rpartition(":")
+        addr = (host, int(port))
+        [answer] = tcp_exchange(
+            addr, [json.dumps({"op": "points_to", "var": "p",
+                               "proc": "main", "id": 1})]
+        )
+        assert json.loads(answer)["ok"]
+        proc.send_signal(signal.SIGTERM)
+        stderr = proc.stderr.read()
+        assert proc.wait(timeout=15) == 0
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
+            proc.wait()
+    assert "repro: shutdown (SIGTERM) after 1 request(s)" in stderr
+    assert "repro: telemetry " in stderr
+    records = [json.loads(l)
+               for l in access_path.read_text().splitlines()]
+    assert [r["op"] for r in records] == ["points_to"]
+    assert not _probe_tcp(*addr)
