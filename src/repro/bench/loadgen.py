@@ -28,6 +28,19 @@ Design points:
   background thread (clients still speak real TCP through the loopback
   stack) and shuts it down in-band afterwards; pass ``addr=`` to target
   an already-running daemon instead.
+* **Chaos mode** (``repro loadtest --chaos`` — docs/ROBUSTNESS.md §8).
+  Each client misbehaves deterministically
+  (``random.Random(f"chaos:{seed}:{i}")``): ~8% of its sends are
+  non-JSON garbage lines, ~8% are mid-request disconnects (send, close
+  without reading, reconnect).  Empty reads (the daemon's injected
+  ``disconnect`` fault) become ``server_drops`` + a reconnect instead of
+  a failure; ``overloaded`` envelopes are counted as ``sheds``, not
+  errors.  Every ``ok`` answer is verified against a fault-free baseline
+  (:func:`baseline_answers` — the union over one or more stores, so a
+  mid-run hot swap may answer old-or-new but never torn) and the report
+  carries the accounting block the chaos gate asserts on: **every
+  request the daemon finalized is an answer read, a deliberate client
+  disconnect, or a server drop**.
 
 The report feeds the append-only ``BENCH_serve.json`` trajectory
 (:func:`repro.bench.trajectory.record_serve_trajectory`), where p99/qps
@@ -50,11 +63,19 @@ from ..diagnostics.telemetry import LogHistogram
 __all__ = [
     "DEFAULT_MIX",
     "LoadReport",
+    "baseline_answers",
     "build_workload",
     "parse_mix",
     "run_clients",
     "run_loadtest",
 ]
+
+#: chaos-mode misbehavior rates (per request draw, per client)
+CHAOS_GARBAGE_RATE = 0.08
+CHAOS_DISCONNECT_RATE = 0.08
+
+#: how many answer-mismatch samples the chaos report keeps verbatim
+CHAOS_MISMATCH_SAMPLES = 5
 
 #: default weighted op mix (weights are relative draw frequencies); the
 #: shape mirrors what the §7 clients actually ask: mostly points-to and
@@ -160,6 +181,48 @@ def build_workload(
     return out
 
 
+def _request_key(req: dict) -> str:
+    """Canonical identity of a request minus the client ``id`` (two
+    clients asking the same question share one baseline entry)."""
+    return json.dumps(
+        {k: v for k, v in req.items() if k != "id"}, sort_keys=True
+    )
+
+
+def baseline_answers(
+    stores: list[dict], workloads: list[list[dict]]
+) -> dict[str, set]:
+    """Fault-free reference answers for every workload request.
+
+    Maps :func:`_request_key` to the *set* of acceptable serialized
+    results — one per store, so passing both the pre- and post-reload
+    stores encodes the hot-swap contract exactly: a non-shed answer must
+    match the old store or the new store, never a torn mix.  Requests a
+    store answers with an error contribute nothing (chaos clients only
+    verify ``ok`` envelopes).
+    """
+    from ..query.engine import QueryEngine, QueryError
+
+    expected: dict[str, set] = {}
+    for store in stores:
+        engine = QueryEngine(store, cache_size=0)
+        seen: set[str] = set()
+        for workload in workloads:
+            for req in workload:
+                key = _request_key(req)
+                if key in seen:
+                    continue
+                seen.add(key)
+                try:
+                    result = engine.query(dict(req))
+                except QueryError:
+                    continue
+                expected.setdefault(key, set()).add(
+                    json.dumps(result, sort_keys=True)
+                )
+    return expected
+
+
 class LoadReport:
     """Aggregated outcome of one load-test run."""
 
@@ -172,6 +235,7 @@ class LoadReport:
         seconds: float,
         ops: dict[str, int],
         stats: Optional[dict] = None,
+        chaos: Optional[dict] = None,
     ) -> None:
         self.program = program
         self.clients = clients
@@ -181,6 +245,8 @@ class LoadReport:
         self.ops = ops
         #: the daemon's final ``stats`` answer (cache hit rate source)
         self.stats = stats or {}
+        #: chaos-mode accounting block (None on ordinary runs)
+        self.chaos = chaos
 
     @property
     def requests(self) -> int:
@@ -211,7 +277,7 @@ class LoadReport:
         return int(self.stats.get("cache_misses") or 0)
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "program": self.program,
             "clients": self.clients,
             "requests": self.requests,
@@ -226,16 +292,34 @@ class LoadReport:
             ),
             "ops": dict(sorted(self.ops.items())),
         }
+        if self.chaos is not None:
+            out["chaos"] = self.chaos
+        return out
 
 
 class _ClientResult:
-    __slots__ = ("histogram", "errors", "ops", "failure")
+    __slots__ = ("histogram", "errors", "ops", "failure", "sheds", "garbage",
+                 "client_disconnects", "server_drops", "answers_read",
+                 "mismatches", "mismatch_samples")
 
     def __init__(self) -> None:
         self.histogram = LogHistogram()
         self.errors = 0
         self.ops: dict[str, int] = {}
         self.failure: Optional[BaseException] = None
+        #: chaos accounting (all zero on ordinary runs)
+        self.sheds = 0
+        self.garbage = 0
+        self.client_disconnects = 0
+        self.server_drops = 0
+        self.answers_read = 0
+        self.mismatches = 0
+        self.mismatch_samples: list[str] = []
+
+
+def _connect(addr: tuple[str, int], timeout: float):
+    sock = socket.create_connection(addr, timeout=timeout)
+    return sock, sock.makefile("rw", encoding="utf-8")
 
 
 def _run_client(
@@ -244,32 +328,115 @@ def _run_client(
     result: _ClientResult,
     start_barrier: threading.Barrier,
     timeout: float,
+    chaos_rng: Optional[random.Random] = None,
+    expected: Optional[dict] = None,
 ) -> None:
+    """One client thread's replay loop.
+
+    Ordinary mode treats an empty read as a failure (the daemon must
+    never drop a well-behaved client).  Chaos mode (``chaos_rng`` set)
+    misbehaves deterministically and keeps exact books instead: every
+    line the daemon read is accounted as an answer read, a deliberate
+    client disconnect, or a server drop — the invariant the chaos tests
+    assert against the daemon's ``requests`` counter.
+    """
+    sock = fh = None
     try:
-        with socket.create_connection(addr, timeout=timeout) as sock:
-            fh = sock.makefile("rw", encoding="utf-8")
-            start_barrier.wait(timeout=timeout)
-            for i, req in enumerate(workload):
-                payload = json.dumps(dict(req, id=i))
-                t0 = time.perf_counter_ns()
+        sock, fh = _connect(addr, timeout)
+        start_barrier.wait(timeout=timeout)
+        for i, req in enumerate(workload):
+            action = "normal"
+            if chaos_rng is not None:
+                draw = chaos_rng.random()
+                if draw < CHAOS_GARBAGE_RATE:
+                    action = "garbage"
+                elif draw < CHAOS_GARBAGE_RATE + CHAOS_DISCONNECT_RATE:
+                    action = "disconnect"
+            if action == "garbage":
+                # a non-JSON line; the daemon must answer one bad-json
+                # envelope (or drop us via its own injected fault)
+                result.garbage += 1
+                try:
+                    fh.write(f"@@chaos garbage {i}@@\n")
+                    fh.flush()
+                    line = fh.readline()
+                except OSError:
+                    line = ""
+                if not line:
+                    result.server_drops += 1
+                    sock.close()
+                    sock, fh = _connect(addr, timeout)
+                else:
+                    result.answers_read += 1
+                continue
+            if action == "disconnect":
+                # send a real request, then vanish without reading the
+                # answer; the daemon reads and finalizes the line (the
+                # data is ordered before our FIN), so this counts
+                # against its requests counter
+                try:
+                    fh.write(json.dumps(dict(req, id=i)) + "\n")
+                    fh.flush()
+                    result.client_disconnects += 1
+                except OSError:
+                    pass  # line never reached the daemon: no account
+                sock.close()
+                sock, fh = _connect(addr, timeout)
+                continue
+            payload = json.dumps(dict(req, id=i))
+            t0 = time.perf_counter_ns()
+            try:
                 fh.write(payload + "\n")
                 fh.flush()
                 line = fh.readline()
-                elapsed_ms = (time.perf_counter_ns() - t0) / 1e6
-                if not line:
+            except OSError:
+                if chaos_rng is None:
+                    raise
+                line = ""
+            elapsed_ms = (time.perf_counter_ns() - t0) / 1e6
+            if not line:
+                if chaos_rng is None:
                     raise OSError("daemon closed the connection mid-run")
-                envelope = json.loads(line)
-                result.histogram.record(elapsed_ms)
-                op = req["op"]
-                result.ops[op] = result.ops.get(op, 0) + 1
-                if not envelope.get("ok"):
-                    result.errors += 1
+                # the daemon's injected disconnect fault: the request
+                # was processed and finalized, the answer never written
+                result.server_drops += 1
+                sock.close()
+                sock, fh = _connect(addr, timeout)
+                continue
+            result.answers_read += 1
+            envelope = json.loads(line)
+            error = envelope.get("error") or {}
+            if error.get("code") == "overloaded":
+                # shed by overload protection: counted, never measured
+                # (a shed is not a latency sample or an engine error)
+                result.sheds += 1
+                continue
+            result.histogram.record(elapsed_ms)
+            op = req["op"]
+            result.ops[op] = result.ops.get(op, 0) + 1
+            if not envelope.get("ok"):
+                result.errors += 1
+            elif expected is not None:
+                allowed = expected.get(_request_key(req))
+                got = json.dumps(envelope.get("result"), sort_keys=True)
+                if allowed is not None and got not in allowed:
+                    result.mismatches += 1
+                    if len(result.mismatch_samples) < CHAOS_MISMATCH_SAMPLES:
+                        result.mismatch_samples.append(
+                            f"{_request_key(req)} -> {got[:200]}"
+                        )
     except BaseException as exc:  # surfaced by run_clients
         result.failure = exc
         try:
             start_barrier.abort()
         except Exception:
             pass
+    finally:
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
 
 def run_clients(
@@ -278,6 +445,8 @@ def run_clients(
     program: str = "<store>",
     timeout: float = 60.0,
     final_stats=None,
+    chaos_seed: Optional[int] = None,
+    expected: Optional[dict] = None,
 ) -> LoadReport:
     """Replay ``workloads`` (one list per client thread) against the
     daemon at ``addr``; returns the merged :class:`LoadReport`.
@@ -286,6 +455,11 @@ def run_clients(
     so the measured wall clock covers concurrent load, not connection
     staggering.  ``final_stats``, when given, is called after the run to
     fetch the daemon's ``stats`` answer (cache hit counters).
+
+    ``chaos_seed`` switches every client into chaos mode (each gets its
+    own deterministic ``random.Random(f"chaos:{seed}:{index}")``
+    misbehavior stream); ``expected`` (see :func:`baseline_answers`)
+    verifies each ``ok`` answer against the fault-free baseline.
     """
     results = [_ClientResult() for _ in workloads]
     barrier = threading.Barrier(len(workloads) + 1)
@@ -293,9 +467,16 @@ def run_clients(
         threading.Thread(
             target=_run_client,
             args=(addr, workload, result, barrier, timeout),
+            kwargs=dict(
+                chaos_rng=(
+                    random.Random(f"chaos:{chaos_seed}:{i}")
+                    if chaos_seed is not None else None
+                ),
+                expected=expected,
+            ),
             daemon=True,
         )
-        for workload, result in zip(workloads, results)
+        for i, (workload, result) in enumerate(zip(workloads, results))
     ]
     for t in threads:
         t.start()
@@ -313,6 +494,23 @@ def run_clients(
         for op, n in r.ops.items():
             ops[op] = ops.get(op, 0) + n
     stats = final_stats() if final_stats is not None else None
+    chaos = None
+    if chaos_seed is not None:
+        samples: list[str] = []
+        for r in results:
+            samples.extend(r.mismatch_samples)
+        chaos = {
+            "seed": chaos_seed,
+            "answers_read": sum(r.answers_read for r in results),
+            "sheds": sum(r.sheds for r in results),
+            "garbage": sum(r.garbage for r in results),
+            "client_disconnects": sum(
+                r.client_disconnects for r in results
+            ),
+            "server_drops": sum(r.server_drops for r in results),
+            "mismatches": sum(r.mismatches for r in results),
+            "mismatch_samples": samples[:CHAOS_MISMATCH_SAMPLES],
+        }
     return LoadReport(
         program=program,
         clients=len(workloads),
@@ -321,6 +519,7 @@ def run_clients(
         seconds=seconds,
         ops=ops,
         stats=stats,
+        chaos=chaos,
     )
 
 
@@ -343,6 +542,12 @@ def run_loadtest(
     cache_size: int = 256,
     addr: Optional[tuple[str, int]] = None,
     timeout: float = 60.0,
+    chaos: bool = False,
+    serve_faults=None,
+    rate_limit: Optional[float] = None,
+    burst: Optional[float] = None,
+    max_in_flight: Optional[int] = None,
+    expect_stores: Optional[list[str]] = None,
 ) -> LoadReport:
     """The full harness: load the store, build per-client workloads,
     serve (in-process TCP unless ``addr`` targets a live daemon), replay
@@ -353,6 +558,14 @@ def run_loadtest(
     marching in lockstep.  The in-process daemon runs with telemetry
     enabled — exactly the configuration the serve smoke measures — and
     is shut down in-band (the clean-shutdown path, no orphan socket).
+
+    Chaos mode: clients misbehave deterministically and every ``ok``
+    answer is verified against the fault-free baseline over the serving
+    store plus any ``expect_stores`` (pass the post-reload store there
+    when a hot swap happens mid-run).  ``serve_faults`` (a
+    :class:`~repro.diagnostics.faults.FaultPlan`), ``rate_limit`` /
+    ``burst`` / ``max_in_flight`` configure the in-process daemon
+    (ignored with ``addr`` — an external daemon owns its own config).
     """
     from ..query import QueryEngine, load_store
     from ..query.server import QueryServer
@@ -369,6 +582,13 @@ def run_loadtest(
         )
         for i in range(clients)
     ]
+    chaos_seed = seed if chaos else None
+    expected = None
+    if chaos:
+        baseline_stores = [store]
+        for extra in expect_stores or []:
+            baseline_stores.append(load_store(extra))
+        expected = baseline_answers(baseline_stores, workloads)
 
     if addr is not None:
         return run_clients(
@@ -379,6 +599,8 @@ def run_loadtest(
             final_stats=lambda: _query_once(
                 addr, {"op": "stats", "id": "loadgen"}, timeout
             ).get("result"),
+            chaos_seed=chaos_seed,
+            expected=expected,
         )
 
     from ..diagnostics.telemetry import TelemetryRegistry
@@ -388,6 +610,11 @@ def run_loadtest(
         engine,
         deadline_seconds=deadline_seconds,
         telemetry=TelemetryRegistry(),
+        store_path=store_path,
+        max_in_flight=max_in_flight,
+        rate_limit=rate_limit,
+        burst=burst,
+        faults=serve_faults,
     )
     bound: dict = {}
     ready = threading.Event()
@@ -415,6 +642,8 @@ def run_loadtest(
             final_stats=lambda: _query_once(
                 local, {"op": "stats", "id": "loadgen"}, timeout
             ).get("result"),
+            chaos_seed=chaos_seed,
+            expected=expected,
         )
     finally:
         try:

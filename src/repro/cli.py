@@ -717,8 +717,11 @@ def cmd_query(args: argparse.Namespace) -> int:
 
     try:
         store = load_store(args.store)
-    except (ValueError, json.JSONDecodeError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        # StoreError (unknown format, truncated JSON, integrity
+        # mismatch) lands here too — one repro: line, exit 2, never a
+        # traceback
+        print(f"repro: {exc}", file=sys.stderr)
         return EXIT_ERROR
     engine = QueryEngine(store, cache_size=args.cache_size)
     budget = None
@@ -766,14 +769,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         store = load_store(args.store)
-    except (ValueError, json.JSONDecodeError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        # a corrupted/truncated/unknown-format store must refuse to
+        # serve with one repro: line and exit 2, never a traceback
+        print(f"repro: {exc}", file=sys.stderr)
         return EXIT_ERROR
     if args.tcp:
         host, _, port = args.tcp.rpartition(":")
         if not host or not port.isdigit():
             print(f"error: --tcp takes HOST:PORT, got {args.tcp!r}",
                   file=sys.stderr)
+            return EXIT_ERROR
+    faults = None
+    if args.inject_serve_faults:
+        from .diagnostics.faults import FaultPlan
+
+        try:
+            faults = FaultPlan.from_spec(args.inject_serve_faults)
+        except ValueError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
             return EXIT_ERROR
     engine = QueryEngine(store, cache_size=args.cache_size)
     telemetry = None if args.no_telemetry else TelemetryRegistry()
@@ -788,8 +802,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             access_log=access_log,
             slow_ms=args.slow_ms,
+            store_path=args.store,
+            max_in_flight=args.max_in_flight,
+            rate_limit=args.rate_limit,
+            burst=args.burst,
+            idle_timeout=args.idle_timeout,
+            faults=faults,
         )
         server.install_signal_handlers()
+        if args.watch is not None:
+            try:
+                server.start_watch(args.watch, log=sys.stderr)
+            except ValueError as exc:
+                print(f"repro: {exc}", file=sys.stderr)
+                return EXIT_ERROR
         if args.tcp:
             return server.serve_tcp(host=host, port=int(port))
         return server.serve_stdio()
@@ -811,6 +837,17 @@ def _render_loadtest_report(report: dict) -> list[str]:
     )
     mix = ", ".join(f"{op}={n}" for op, n in sorted(report["ops"].items()))
     lines.append(f"  op mix     : {mix}")
+    chaos = report.get("chaos")
+    if chaos is not None:
+        lines.append(
+            f"  chaos      : {chaos['answers_read']} answers read, "
+            f"{chaos['sheds']} shed(s), {chaos['garbage']} garbage "
+            f"line(s), {chaos['client_disconnects']} client "
+            f"disconnect(s), {chaos['server_drops']} server drop(s), "
+            f"{chaos['mismatches']} mismatch(es)"
+        )
+        for sample in chaos.get("mismatch_samples", []):
+            lines.append(f"    mismatch : {sample}")
     return lines
 
 
@@ -841,6 +878,15 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return EXIT_ERROR
         addr = (host, int(port))
+    serve_faults = None
+    if args.serve_faults:
+        from .diagnostics.faults import FaultPlan
+
+        try:
+            serve_faults = FaultPlan.from_spec(args.serve_faults)
+        except ValueError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return EXIT_ERROR
     try:
         report = run_loadtest(
             args.store,
@@ -852,9 +898,15 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             deadline_seconds=args.deadline,
             cache_size=args.cache_size,
             addr=addr,
+            chaos=args.chaos,
+            serve_faults=serve_faults,
+            rate_limit=args.rate_limit,
+            burst=args.burst,
+            max_in_flight=args.max_in_flight,
+            expect_stores=args.expect_store,
         )
     except (OSError, ValueError, json.JSONDecodeError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        print(f"repro: {exc}", file=sys.stderr)
         return EXIT_ERROR
     payload = report.as_dict()
     if args.json:
@@ -865,6 +917,14 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             for line in _render_loadtest_report(payload):
                 fh.write(line + "\n")
     status = EXIT_OK
+    chaos_block = payload.get("chaos")
+    if chaos_block is not None and chaos_block["mismatches"]:
+        print(
+            f"repro: chaos gate failed: {chaos_block['mismatches']} "
+            "answer(s) did not match the fault-free baseline",
+            file=sys.stderr,
+        )
+        status = 1
     if args.max_p99_ms is not None:
         p99 = payload["latency"]["p99_ms"]
         if p99 is None or p99 > args.max_p99_ms:
@@ -1090,6 +1150,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-telemetry", action="store_true",
                    help="disable the per-request telemetry registry "
                         "(answers are byte-identical either way)")
+    p.add_argument("--max-in-flight", type=int, metavar="N",
+                   help="overload gate: shed request lines (stable "
+                        "'overloaded' error code + retry hint) when N "
+                        "lines are already in flight")
+    p.add_argument("--rate-limit", type=float, metavar="QPS",
+                   help="token-bucket rate limit in requests/second; "
+                        "excess requests are shed with the 'overloaded' "
+                        "code (control ops are always exempt)")
+    p.add_argument("--burst", type=float, metavar="N",
+                   help="token-bucket burst capacity (default: "
+                        "max(1, QPS))")
+    p.add_argument("--idle-timeout", type=float, default=300.0,
+                   metavar="SECONDS",
+                   help="per-connection read/idle timeout; a silent "
+                        "peer releases its handler thread (default "
+                        "300; <= 0 disables)")
+    p.add_argument("--watch", type=float, metavar="SECONDS",
+                   help="poll the store path and hot-swap it into the "
+                        "live daemon when it changes (the reload admin "
+                        "op, on a timer)")
+    p.add_argument("--inject-serve-faults", metavar="SPEC",
+                   help="deterministic serve-path fault injection for "
+                        "chaos testing, e.g. 'seed=3,slow=0.05,"
+                        "disconnect=0.02,corrupt_reload=1.0,slow_ms=10' "
+                        "(docs/ROBUSTNESS.md §8)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1135,6 +1220,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-p99-ms", type=float, metavar="MS",
                    help="absolute gate: exit 1 when p99 latency exceeds "
                         "MS milliseconds")
+    p.add_argument("--chaos", action="store_true",
+                   help="chaos mode: clients deterministically send "
+                        "garbage and disconnect mid-request, tolerate "
+                        "sheds/drops, and verify every ok answer "
+                        "against a fault-free baseline (exit 1 on any "
+                        "mismatch)")
+    p.add_argument("--serve-faults", metavar="SPEC",
+                   help="FaultPlan spec for the in-process daemon "
+                        "(same syntax as serve --inject-serve-faults; "
+                        "ignored with --tcp)")
+    p.add_argument("--rate-limit", type=float, metavar="QPS",
+                   help="rate-limit the in-process daemon (ignored "
+                        "with --tcp)")
+    p.add_argument("--burst", type=float, metavar="N",
+                   help="burst capacity for --rate-limit")
+    p.add_argument("--max-in-flight", type=int, metavar="N",
+                   help="in-flight admission gate for the in-process "
+                        "daemon (ignored with --tcp)")
+    p.add_argument("--expect-store", action="append", metavar="PATH",
+                   help="with --chaos: additional store(s) whose "
+                        "answers are also acceptable (pass the "
+                        "post-reload store when a hot swap happens "
+                        "mid-run); repeatable")
     p.set_defaults(func=cmd_loadtest)
 
     return parser

@@ -13,8 +13,20 @@ makes "something goes wrong" reproducible: a seeded plan injects
   so the ``max_passes`` valve trips (``site="nonconverge"``, keyed by
   procedure name),
 
-either at *named* sites (exact filenames / procedure names) or at a
-*rate* (each candidate site flips an independent, deterministic coin).
+and, for the serving layer (``repro serve`` — docs/ROBUSTNESS.md §8),
+
+* **slow handlers** — a request line is answered only after an injected
+  ``slow_ms`` stall (``site="slow"``, keyed by the request line text),
+* **mid-request disconnects** — the daemon reads a request line, then
+  drops the connection without writing the answer (``site="disconnect"``,
+  keyed by the line text),
+* **corrupt reloads** — a hot-swap target store pretends to fail its
+  integrity check, exercising the keep-serving-the-old-store fallback
+  (``site="corrupt_reload"``, keyed by ``path#attempt``),
+
+either at *named* sites (exact filenames / procedure names / line
+texts) or at a *rate* (each candidate site flips an independent,
+deterministic coin).
 
 Determinism contract: the verdict for a given ``(seed, site, name)``
 triple is a pure function — same plan, same program, same faults, on
@@ -22,12 +34,16 @@ every run and in any order of evaluation.  That is what makes the
 degradation tests assertable (``random.Random(f"{seed}:{site}:{name}")``
 per query; no shared stream, so query order cannot matter).
 
-``FaultPlan.from_spec`` parses the CLI's ``--inject-faults`` argument::
+``FaultPlan.from_spec`` parses the CLI's ``--inject-faults`` /
+``--inject-serve-faults`` argument::
 
     seed=7,parse=0.2,exhaust=qsort;lookup,nonconverge=0.05
+    seed=3,slow=0.05,disconnect=0.02,slow_ms=10
 
 Comma-separated ``key=value`` entries; values that parse as floats are
 rates in [0, 1], anything else is a ``;``-separated list of names.
+``slow_ms`` is not a site: it sets the injected stall duration for the
+``slow`` site (default 25 ms).
 """
 
 from __future__ import annotations
@@ -38,25 +54,38 @@ from dataclasses import dataclass, field
 __all__ = ["FaultPlan"]
 
 #: valid injection sites, also the spec keys accepting rates/names
-SITES = ("parse", "exhaust", "nonconverge")
+SITES = ("parse", "exhaust", "nonconverge", "slow", "disconnect",
+         "corrupt_reload")
+
+#: default injected stall for the ``slow`` serve site (milliseconds)
+DEFAULT_SLOW_FAULT_MS = 25.0
 
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """A deterministic, seeded plan of injected analysis faults."""
+    """A deterministic, seeded plan of injected analysis/serve faults."""
 
     seed: int = 0
     #: per-site probability that an *unnamed* candidate faults
     parse_rate: float = 0.0
     exhaust_rate: float = 0.0
     nonconverge_rate: float = 0.0
+    slow_rate: float = 0.0
+    disconnect_rate: float = 0.0
+    corrupt_reload_rate: float = 0.0
     #: exact names that always fault (filenames for parse, procedure
-    #: names otherwise)
+    #: names for the analysis sites, request-line texts for the serve
+    #: sites)
     parse_names: frozenset = field(default_factory=frozenset)
     exhaust_names: frozenset = field(default_factory=frozenset)
     nonconverge_names: frozenset = field(default_factory=frozenset)
+    slow_names: frozenset = field(default_factory=frozenset)
+    disconnect_names: frozenset = field(default_factory=frozenset)
+    corrupt_reload_names: frozenset = field(default_factory=frozenset)
+    #: injected stall for the ``slow`` site (milliseconds)
+    slow_ms: float = DEFAULT_SLOW_FAULT_MS
 
-    # -- the three injection hooks ----------------------------------------
+    # -- the analysis injection hooks --------------------------------------
 
     def fail_parse(self, filename: str) -> bool:
         """Should this translation unit pretend to be unparseable?"""
@@ -72,6 +101,27 @@ class FaultPlan:
             "nonconverge", proc, self.nonconverge_rate, self.nonconverge_names
         )
 
+    # -- the serve injection hooks -----------------------------------------
+
+    def slow_serve(self, name: str) -> bool:
+        """Should answering this request line stall for ``slow_ms``?"""
+        return self._hit("slow", name, self.slow_rate, self.slow_names)
+
+    def drop_connection(self, name: str) -> bool:
+        """Should the daemon drop the connection after reading this
+        request line, without writing the answer?"""
+        return self._hit(
+            "disconnect", name, self.disconnect_rate, self.disconnect_names
+        )
+
+    def corrupt_reload(self, name: str) -> bool:
+        """Should this hot-swap target (``path#attempt``) pretend to
+        fail its integrity check?"""
+        return self._hit(
+            "corrupt_reload", name, self.corrupt_reload_rate,
+            self.corrupt_reload_names,
+        )
+
     def _hit(self, site: str, name: str, rate: float, names: frozenset) -> bool:
         if name in names:
             return True
@@ -81,12 +131,23 @@ class FaultPlan:
         # pure function of the triple, independent of query order
         return random.Random(f"{self.seed}:{site}:{name}").random() < rate
 
+    @property
+    def serves_faults(self) -> bool:
+        """Whether any serve-path site is configured (the daemon skips
+        the per-line fault probes entirely otherwise)."""
+        return bool(
+            self.slow_rate or self.slow_names
+            or self.disconnect_rate or self.disconnect_names
+            or self.corrupt_reload_rate or self.corrupt_reload_names
+        )
+
     # -- CLI spec ----------------------------------------------------------
 
     @classmethod
     def from_spec(cls, spec: str) -> "FaultPlan":
         """Parse ``--inject-faults`` syntax (see module docstring)."""
         seed = 0
+        slow_ms = DEFAULT_SLOW_FAULT_MS
         rates = {site: 0.0 for site in SITES}
         names = {site: set() for site in SITES}
         for part in spec.split(","):
@@ -101,10 +162,15 @@ class FaultPlan:
             if key == "seed":
                 seed = int(value)
                 continue
+            if key == "slow_ms":
+                slow_ms = float(value)
+                if slow_ms < 0:
+                    raise ValueError(f"slow_ms={slow_ms} must be >= 0")
+                continue
             if key not in SITES:
                 raise ValueError(
                     f"unknown fault site {key!r} (expected one of "
-                    f"{', '.join(SITES)}, or seed)"
+                    f"{', '.join(SITES)}, seed, or slow_ms)"
                 )
             try:
                 rate = float(value)
@@ -114,25 +180,21 @@ class FaultPlan:
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"fault rate {key}={rate} outside [0, 1]")
             rates[key] = rate
-        return cls(
-            seed=seed,
-            parse_rate=rates["parse"],
-            exhaust_rate=rates["exhaust"],
-            nonconverge_rate=rates["nonconverge"],
-            parse_names=frozenset(names["parse"]),
-            exhaust_names=frozenset(names["exhaust"]),
-            nonconverge_names=frozenset(names["nonconverge"]),
+        kwargs = {f"{site}_rate": rates[site] for site in SITES}
+        kwargs.update(
+            {f"{site}_names": frozenset(names[site]) for site in SITES}
         )
+        return cls(seed=seed, slow_ms=slow_ms, **kwargs)
 
     def describe(self) -> str:
         parts = [f"seed={self.seed}"]
-        for site, rate, named in (
-            ("parse", self.parse_rate, self.parse_names),
-            ("exhaust", self.exhaust_rate, self.exhaust_names),
-            ("nonconverge", self.nonconverge_rate, self.nonconverge_names),
-        ):
+        for site in SITES:
+            rate = getattr(self, f"{site}_rate")
+            named = getattr(self, f"{site}_names")
             if rate:
                 parts.append(f"{site}={rate}")
             if named:
                 parts.append(f"{site}={';'.join(sorted(named))}")
+        if self.slow_ms != DEFAULT_SLOW_FAULT_MS:
+            parts.append(f"slow_ms={self.slow_ms}")
         return ",".join(parts)

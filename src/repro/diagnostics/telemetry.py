@@ -51,6 +51,7 @@ from __future__ import annotations
 import hashlib
 import math
 import threading
+import time
 from typing import Iterable, Optional
 
 from .metrics import safe_ratio
@@ -60,6 +61,7 @@ __all__ = [
     "Gauge",
     "LogHistogram",
     "TelemetryRegistry",
+    "TokenBucket",
     "DEFAULT_RELATIVE_ERROR",
 ]
 
@@ -110,6 +112,74 @@ class Gauge:
     @property
     def value(self) -> float:
         return self._value
+
+
+class TokenBucket:
+    """A thread-safe token-bucket rate limiter (the serve daemon's
+    overload-shedding primitive — docs/ROBUSTNESS.md §8).
+
+    ``rate`` tokens refill per second up to a ``burst`` ceiling
+    (default ``max(1, rate)``); :meth:`take` admits a request batch of
+    ``n`` tokens or refuses it without blocking, and
+    :meth:`retry_after_seconds` reports how long until ``n`` tokens
+    would be available — the daemon turns that into the
+    ``retry_after_ms`` hint on ``overloaded`` error envelopes.
+
+    The refill clock is injectable (default ``time.monotonic``) so the
+    admission decisions are exactly reproducible under a fake clock in
+    tests; under the real clock the *decision rule* is still
+    deterministic — admit iff the bucket holds ``n`` tokens — which is
+    what "deterministic load shedding" means here: no randomness, no
+    dependence on thread arrival order beyond the serialized takes.
+    """
+
+    __slots__ = ("rate", "burst", "_clock", "_tokens", "_stamp", "_lock")
+
+    def __init__(self, rate: float, burst: Optional[float] = None,
+                 clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError(f"token bucket rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst <= 0:
+            raise ValueError(
+                f"token bucket burst must be positive, got {self.burst}"
+            )
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        if now > self._stamp:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+        self._stamp = now
+
+    def take(self, n: float = 1.0) -> bool:
+        """Admit ``n`` tokens' worth of work, or refuse (never blocks)."""
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    def retry_after_seconds(self, n: float = 1.0) -> float:
+        """Seconds until ``n`` tokens would be available (0 if already)."""
+        with self._lock:
+            self._refill_locked()
+            deficit = n - self._tokens
+            return 0.0 if deficit <= 0 else deficit / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """The current (refilled) token level."""
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
 
 
 class LogHistogram:

@@ -135,6 +135,16 @@ EVENT_VOCABULARY: dict[str, str] = {
                       "envelope-write; args: op, status, ms, rid",
     "server.slow": "i a finalized request exceeded the slow-request "
                    "threshold (QueryServer.slow_ms); args: op, ms, rid",
+    "server.shed": "i a request was shed by overload protection with "
+                   "the stable `overloaded` error code; args: reason "
+                   "(rate | in_flight), rid",
+    "server.reload": "i a hot store swap attempt resolved (ok=True: new "
+                     "generation promoted; ok=False: target rejected, "
+                     "old store keeps serving); args: ok, generation, "
+                     "stale, carried",
+    "server.idle_timeout": "i an accepted connection sat idle past the "
+                           "read timeout and released its handler "
+                           "thread; args: peer",
 }
 
 

@@ -21,29 +21,39 @@ from .engine import OPS, QueryEngine, QueryError, parse_query_spec
 from .invalidate import (
     StaleReport,
     compute_stale,
+    compute_stale_between_stores,
     procedure_ir_digest,
     program_ir_digests,
 )
 from .store import (
     STORE_FORMAT,
+    StoreError,
     build_store,
     load_store,
+    seal_store,
     source_records,
+    store_integrity_digest,
+    verify_store_integrity,
     write_store,
 )
 
 __all__ = [
     "STORE_FORMAT",
+    "StoreError",
     "build_store",
     "write_store",
     "load_store",
+    "seal_store",
     "source_records",
+    "store_integrity_digest",
+    "verify_store_integrity",
     "QueryEngine",
     "QueryError",
     "parse_query_spec",
     "OPS",
     "StaleReport",
     "compute_stale",
+    "compute_stale_between_stores",
     "program_ir_digests",
     "procedure_ir_digest",
 ]

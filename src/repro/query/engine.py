@@ -171,6 +171,11 @@ class QueryEngine:
         self.trace = tracer
         self.cache_size = max(0, cache_size)
         self._cache: OrderedDict[str, dict] = OrderedDict()
+        #: key -> frozenset of procedures the cached answer depends on,
+        #: or None for answers with program-wide structure dependencies
+        #: (call graph, reverse index); drives the hot-swap carryover
+        #: (:meth:`adopt_cache`)
+        self._cache_deps: dict = {}
         self._lock = threading.Lock()
         self._index = store["index"]
         self._procs: dict = self._index["procedures"]
@@ -234,9 +239,82 @@ class QueryEngine:
         answer = compute()
         if self.cache_size:
             self._cache[key] = answer
+            self._cache_deps[key] = self._answer_deps(request, answer)
             while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+                evicted, _ = self._cache.popitem(last=False)
+                self._cache_deps.pop(evicted, None)
         return answer
+
+    @staticmethod
+    def _answer_deps(request: dict, answer: dict):
+        """The procedures a cached answer's bytes depend on, or None
+        when the dependency is program-wide structure (the call graph
+        for ``reaches``/``callees``/``callers``, the reverse index for
+        ``pointed_by``) — those entries survive a hot swap only when
+        the stores are digest-identical everywhere."""
+        op = request.get("op")
+        if op in ("points_to", "alias"):
+            return frozenset((request.get("proc", "main"),))
+        if op == "modref":
+            if request.get("line") is None:
+                return frozenset((request.get("proc", ""),))
+            # a call-site answer folds in its resolved callees' sets;
+            # unresolved callees count too (they may appear in the new
+            # store as *added* procedures, which must invalidate)
+            deps = {request.get("proc", "")}
+            deps.update(answer.get("callees", ()))
+            deps.update(answer.get("unresolved", ()))
+            return frozenset(deps)
+        return None
+
+    def adopt_cache(self, old: "QueryEngine", report) -> tuple[int, int]:
+        """Carry over the still-valid slice of another engine's LRU.
+
+        ``report`` is the :class:`~repro.query.invalidate.StaleReport`
+        between ``old.store`` and this engine's store.  An entry
+        carries iff every procedure it depends on is *clean* (its IR
+        digest, and therefore its indexed facts, did not move) — so a
+        carried answer, while rendered from the old store, states facts
+        the new store proves identical.  Structure-dependent entries
+        (deps ``None``) carry only when the stores are fully
+        digest-identical; a source-path change or a globals-digest move
+        drops everything (answers embed ``repro explain`` command lines
+        built from the source list).
+
+        Returns ``(carried, dropped)``.  Thread-safe against concurrent
+        queries on both engines.
+        """
+        with old._lock:
+            items = list(old._cache.items())
+            deps_map = dict(old._cache_deps)
+        if not items:
+            return (0, 0)
+        if self.cache_size == 0:
+            return (0, len(items))
+        stale = set(report.stale) | set(report.removed)
+        old_sources = [r.get("path") for r in old.store.get("sources", [])]
+        new_sources = [r.get("path") for r in self.store.get("sources", [])]
+        comparable = old_sources == new_sources and not report.globals_changed
+        carried = dropped = 0
+        with self._lock:
+            for key, answer in items:
+                deps = deps_map.get(key)
+                if not comparable:
+                    ok = False
+                elif deps is None:
+                    ok = report.up_to_date
+                else:
+                    ok = not (deps & stale)
+                if ok:
+                    self._cache[key] = answer
+                    self._cache_deps[key] = deps
+                    carried += 1
+                else:
+                    dropped += 1
+            while len(self._cache) > self.cache_size:
+                evicted, _ = self._cache.popitem(last=False)
+                self._cache_deps.pop(evicted, None)
+        return (carried, dropped)
 
     # -- dispatch ----------------------------------------------------------
 

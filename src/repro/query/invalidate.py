@@ -71,6 +71,7 @@ __all__ = [
     "program_ir_digests",
     "StaleReport",
     "compute_stale",
+    "compute_stale_between_stores",
 ]
 
 _STR_TOKEN = re.compile(r"<(str\d+)>")
@@ -286,6 +287,81 @@ def compute_stale(store: dict, program: "Program") -> StaleReport:
     stale = (roots | dependents) & set(cur_procs)
     report.stale = sorted(stale)
     report.clean = sorted(set(cur_procs) - stale)
+    return report
+
+
+def compute_stale_between_stores(old_store: dict, new_store: dict) -> StaleReport:
+    """Which procedures moved between two *store documents*.
+
+    The hot-swap path of the serve daemon (``reload`` admin op) uses
+    this to invalidate only the stale slice of the query LRU: both
+    stores already carry their IR digests, call graphs and the
+    ``address_taken`` / ``indirect_callers`` records, so the comparison
+    needs no program lowering at all — pure recorded-digest work, safe
+    to run under live traffic.
+
+    The same propagation rules as :func:`compute_stale` apply, driven
+    from the records: dependents travel over the *union* of the two
+    call graphs (an edge present in either world can transmit a stale
+    summary), and function-pointer widening fires from the recorded
+    address-taken sets.  A missing globals digest on either side is
+    treated as changed (conservative: cannot prove it didn't move).
+    """
+    old_ir = old_store.get("ir") or {}
+    new_ir = new_store.get("ir") or {}
+    old_procs: dict = old_ir.get("procedures") or {}
+    new_procs: dict = new_ir.get("procedures") or {}
+
+    report = StaleReport()
+    old_globals = old_ir.get("globals")
+    new_globals = new_ir.get("globals")
+    report.globals_changed = (
+        old_globals is None or new_globals is None or old_globals != new_globals
+    )
+    report.changed = sorted(
+        name
+        for name, digest in new_procs.items()
+        if name in old_procs and old_procs[name] != digest
+    )
+    report.added = sorted(set(new_procs) - set(old_procs))
+    report.removed = sorted(set(old_procs) - set(new_procs))
+
+    if report.globals_changed:
+        report.stale = sorted(new_procs)
+        report.clean = []
+        return report
+
+    roots = set(report.changed) | set(report.added) | set(report.removed)
+    call_graph: dict = {}
+    for store in (old_store, new_store):
+        for caller, callees in (store.get("call_graph") or {}).items():
+            call_graph.setdefault(caller, set()).update(callees)
+
+    widened: set = set()
+    if roots:
+        old_taken_rec = old_ir.get("address_taken")
+        new_taken_rec = new_ir.get("address_taken")
+        old_taken = set(old_taken_rec or ())
+        new_taken = set(new_taken_rec or ())
+        indirect = set(old_ir.get("indirect_callers") or ()) | set(
+            new_ir.get("indirect_callers") or ()
+        )
+        if old_taken_rec is None or new_taken_rec is None:
+            # legacy store without the record: any edit near indirect
+            # call sites must widen (the taken set is unknowable)
+            trigger = bool(indirect)
+        else:
+            trigger = bool(roots & (old_taken | new_taken)) or (
+                old_taken != new_taken
+            )
+        if trigger:
+            widened = indirect & set(new_procs)
+
+    dependents = _transitive_callers(call_graph, roots | widened) | widened
+    report.dependents = sorted((dependents - roots) & set(new_procs))
+    stale = (roots | dependents) & set(new_procs)
+    report.stale = sorted(stale)
+    report.clean = sorted(set(new_procs) - stale)
     return report
 
 

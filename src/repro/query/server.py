@@ -38,8 +38,45 @@ Control operations (handled by the server, not the engine): ``ping``
 stdio loop returns, the TCP server unwinds and closes its socket so no
 orphan remains), ``stats`` (the engine's live counters plus the
 server-side telemetry snapshot — answered from the registry, never
-touching the LRU), and ``health`` (a cheap liveness/level probe:
-uptime, in-flight count, degraded flag).
+touching the LRU), ``health`` (a cheap liveness/level probe: uptime,
+in-flight count, degraded flag), and ``reload`` (hot store swap, below).
+
+Fault tolerance (``docs/ROBUSTNESS.md`` §8)
+-------------------------------------------
+
+**Hot store swap.**  The ``reload`` admin op (or the optional
+``--watch`` mtime poller, :meth:`QueryServer.start_watch`) re-reads the
+store path, verifies its integrity digest, and atomically promotes a
+fresh :class:`QueryEngine` under live traffic.  Every request line pins
+the engine reference once when processing begins, so an in-flight
+request is answered **entirely from the old or entirely from the new
+store — never a torn mix**.  The LRU survives selectively: the stale
+slice (procedures whose IR digests moved, plus dependents — computed by
+:func:`~repro.query.invalidate.compute_stale_between_stores` from the
+recorded digests, no re-lowering) is dropped, the clean slice carries
+over.  A reload target that fails to load or fails its integrity check
+is refused with a ``reload-failed`` error envelope while the old store
+keeps serving.
+
+**Overload protection.**  An optional max in-flight admission gate and
+a token-bucket rate limiter (:class:`~repro.diagnostics.telemetry.TokenBucket`)
+shed request lines *before* the engine is consulted: every request on a
+shed line gets an error envelope with the stable code ``overloaded``
+and a ``retry_after_ms`` hint.  Control-only lines (ping / health /
+stats / shutdown / reload) are exempt — an overloaded daemon must stay
+probeable and stoppable.  Accepted TCP connections carry a read/idle
+socket timeout (default 300 s) so a stalled peer releases its handler
+thread; releases are counted as ``idle_timeouts``.  Because shedding
+happens before the engine, every *non*-shed answer stays byte-identical
+to an unlimited server's.
+
+**Serve-path chaos.**  Pass a :class:`~repro.diagnostics.faults.FaultPlan`
+with serve sites and the daemon deterministically injects slow handlers
+(``slow``), mid-request disconnects (``disconnect`` — the line is read
+and processed but the answer is never written), and corrupt reload
+targets (``corrupt_reload``) — the substrate of the chaos gate
+(``repro loadtest --chaos``), which proves zero crashes and
+byte-identical non-shed answers under sustained injected failure.
 
 Deadlines: construct the server with ``deadline_seconds`` and every
 request is answered under its own armed
@@ -89,6 +126,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import signal
 import socket
 import socketserver
@@ -98,19 +136,30 @@ import time
 from typing import IO, Optional
 
 from ..analysis.guards import AnalysisBudget, GuardTripped
-from ..diagnostics.telemetry import TelemetryRegistry
+from ..diagnostics.telemetry import TelemetryRegistry, TokenBucket
 from .engine import QueryEngine, QueryError
+from .invalidate import compute_stale_between_stores
+from .store import StoreError, load_store
 
 __all__ = ["QueryServer"]
 
 #: control ops the server answers itself (everything else goes to the
 #: engine's OPS vocabulary); ``stats`` and ``health`` answer from the
-#: live telemetry registry without touching the engine's LRU
-CONTROL_OPS = ("ping", "shutdown", "stats", "health")
+#: live telemetry registry without touching the LRU; control-only lines
+#: are exempt from overload shedding
+CONTROL_OPS = ("ping", "shutdown", "stats", "health", "reload")
 
 #: default slow-request threshold for the ``server.slow`` instant and
 #: the ``slow`` counter (milliseconds)
 DEFAULT_SLOW_MS = 100.0
+
+#: default per-connection read/idle socket timeout (seconds); a peer
+#: that sends nothing for this long releases its handler thread
+DEFAULT_IDLE_TIMEOUT = 300.0
+
+#: retry-after hint on in-flight-gate sheds (the level drains in
+#: request time, not bucket-refill time, so a fixed small hint fits)
+DEFAULT_RETRY_AFTER_MS = 50.0
 
 
 class _ShutdownSignal(Exception):
@@ -151,6 +200,12 @@ class QueryServer:
         access_log: Optional[IO[str]] = None,
         tracer=None,
         slow_ms: float = DEFAULT_SLOW_MS,
+        store_path: Optional[str] = None,
+        max_in_flight: Optional[int] = None,
+        rate_limit: Optional[float] = None,
+        burst: Optional[float] = None,
+        idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+        faults=None,
     ) -> None:
         self.engine = engine
         self.deadline_seconds = deadline_seconds
@@ -161,6 +216,29 @@ class QueryServer:
         self.access_log = access_log
         self.trace = tracer
         self.slow_ms = slow_ms
+        #: the path the store was loaded from — the ``reload`` admin op
+        #: and the ``--watch`` poller re-read it; None = in-memory
+        #: store, reload refused
+        self.store_path = store_path
+        #: admission gate: shed a request line when this many lines are
+        #: already in flight (None = no gate)
+        self.max_in_flight = max_in_flight
+        #: token-bucket rate limiter (None = unlimited); one token per
+        #: request, so a batch line of N requests costs N tokens
+        self.rate_limit = rate_limit
+        self._bucket: Optional[TokenBucket] = (
+            TokenBucket(rate_limit, burst) if rate_limit else None
+        )
+        #: per-connection read/idle socket timeout in seconds
+        #: (None or <= 0 disables — a stalled peer then pins its thread)
+        self.idle_timeout = (
+            idle_timeout if idle_timeout and idle_timeout > 0 else None
+        )
+        #: deterministic serve-fault plan (FaultPlan with serve sites),
+        #: None = no injection
+        self.faults = faults if faults is not None and getattr(
+            faults, "serves_faults", False
+        ) else None
         #: set once a ``shutdown`` request (in-band or signal) is
         #: handled; both transports poll it to unwind cleanly
         self.shutting_down = threading.Event()
@@ -170,8 +248,23 @@ class QueryServer:
         #: ``stats``/``health`` admin ops report — exact even with
         #: telemetry off)
         self.requests_finalized = 0
+        #: store generation: 1 for the store served at startup, +1 per
+        #: successful hot swap
+        self.generation = 1
+        #: fault-tolerance counters (exact even with telemetry off;
+        #: mirrored into the registry when telemetry is on)
+        self.sheds = 0
+        self.idle_timeouts = 0
+        self.reloads = 0
+        self.reload_failures = 0
+        self.fault_slow = 0
+        self.fault_disconnects = 0
+        self.client_disconnects = 0
         self._count_lock = threading.Lock()
         self._access_lock = threading.Lock()
+        self._reload_lock = threading.Lock()
+        self._reload_attempts = 0
+        self._watch_thread: Optional[threading.Thread] = None
         self._rid = itertools.count(1)
         self._in_flight = 0
         self._started_mono = time.perf_counter()
@@ -190,6 +283,19 @@ class QueryServer:
             self._tel_cache_misses = telemetry.counter("cache_misses")
             self._tel_slow = telemetry.counter("slow")
             self._tel_latency = telemetry.histogram("latency")
+            self._tel_sheds = telemetry.counter("sheds")
+            self._tel_sheds_rate = telemetry.counter("sheds.rate")
+            self._tel_sheds_in_flight = telemetry.counter("sheds.in_flight")
+            self._tel_idle_timeouts = telemetry.counter("idle_timeouts")
+            self._tel_reloads = telemetry.counter("reloads")
+            self._tel_reload_failures = telemetry.counter("reload_failures")
+            self._tel_fault_slow = telemetry.counter("fault_slow")
+            self._tel_fault_disconnects = telemetry.counter(
+                "fault_disconnects"
+            )
+            self._tel_client_disconnects = telemetry.counter(
+                "client_disconnects"
+            )
             #: op -> per-op latency histogram, grown on first sighting.
             #: Benign data race: two threads may both resolve the same
             #: op, but the registry hands back one shared instance, so
@@ -198,14 +304,18 @@ class QueryServer:
 
     # -- envelopes ---------------------------------------------------------
 
-    def _ok_status(self) -> int:
-        return 4 if self.engine.degraded else 0
+    def _ok_status(self, engine: Optional[QueryEngine] = None) -> int:
+        engine = engine if engine is not None else self.engine
+        return 4 if engine.degraded else 0
 
-    def _envelope_ok(self, request_id, result: dict) -> dict:
+    def _envelope_ok(
+        self, request_id, result: dict,
+        engine: Optional[QueryEngine] = None,
+    ) -> dict:
         return {
             "id": request_id,
             "ok": True,
-            "status": self._ok_status(),
+            "status": self._ok_status(engine),
             "result": result,
         }
 
@@ -223,36 +333,44 @@ class QueryServer:
     def uptime_seconds(self) -> float:
         return time.perf_counter() - self._started_mono
 
-    def _stats_result(self) -> dict:
+    def _stats_result(self, engine: Optional[QueryEngine] = None) -> dict:
         """The ``stats`` admin op: the engine's live counters (read
         directly — no LRU probe, no cache perturbation) plus the
         server-side block and, when enabled, the full telemetry
         snapshot."""
-        result = self.engine.stats()
+        engine = engine if engine is not None else self.engine
+        result = engine.stats()
         result["server"] = {
             "requests": self.requests_finalized,
             "in_flight": self._in_flight,
             "uptime_seconds": round(self.uptime_seconds(), 3),
             "slow_ms": self.slow_ms,
             "access_log": self.access_log is not None,
+            "generation": self.generation,
+            "reloads": self.reloads,
+            "reload_failures": self.reload_failures,
+            "sheds": self.sheds,
+            "idle_timeouts": self.idle_timeouts,
             "telemetry": (
                 self.telemetry.as_dict() if self.telemetry is not None else None
             ),
         }
         return result
 
-    def _health_result(self) -> dict:
+    def _health_result(self, engine: Optional[QueryEngine] = None) -> dict:
         """The ``health`` admin op: a cheap liveness/level probe —
         counters and gauges only, nothing that touches the LRU or the
         store index."""
+        engine = engine if engine is not None else self.engine
         return {
             "op": "health",
             "healthy": True,
-            "program": self.engine.program,
-            "degraded": self.engine.degraded,
+            "program": engine.program,
+            "degraded": engine.degraded,
             "uptime_seconds": round(self.uptime_seconds(), 3),
             "in_flight": self._in_flight,
             "requests": self.requests_finalized,
+            "generation": self.generation,
         }
 
     # -- request handling --------------------------------------------------
@@ -264,12 +382,20 @@ class QueryServer:
         budget.start()
         return budget
 
-    def handle_request(self, request, info: Optional[dict] = None) -> dict:
+    def handle_request(
+        self, request, info: Optional[dict] = None,
+        engine: Optional[QueryEngine] = None,
+    ) -> dict:
         """Answer one request object with one envelope (never raises).
 
         ``info``, when given, receives per-call facts that must stay out
         of the (cached, shared) answer — see :meth:`QueryEngine.query`.
+        ``engine`` is the engine pinned when this request's line arrived
+        (the never-torn hot-swap guarantee: every request in a line is
+        answered entirely from one store, even if a ``reload`` promotes
+        a new one mid-flight).
         """
+        engine = engine if engine is not None else self.engine
         with self._count_lock:
             self.requests_handled += 1
         if not isinstance(request, dict):
@@ -280,30 +406,185 @@ class QueryServer:
         op = request.get("op")
         if op == "ping":
             return self._envelope_ok(
-                request_id, {"op": "ping", "program": self.engine.program}
+                request_id, {"op": "ping", "program": engine.program}, engine
             )
         if op == "shutdown":
             self.request_shutdown()
-            return self._envelope_ok(request_id, {"op": "shutdown"})
+            return self._envelope_ok(request_id, {"op": "shutdown"}, engine)
         if op == "stats":
-            return self._envelope_ok(request_id, self._stats_result())
+            return self._envelope_ok(
+                request_id, self._stats_result(engine), engine
+            )
         if op == "health":
-            return self._envelope_ok(request_id, self._health_result())
+            return self._envelope_ok(
+                request_id, self._health_result(engine), engine
+            )
+        if op == "reload":
+            try:
+                result = self._reload(request.get("path"))
+            except QueryError as exc:
+                return self._envelope_error(request_id, exc.code, str(exc))
+            # answer from the *new* engine: the swap already happened,
+            # and the reload result should carry its degraded status
+            return self._envelope_ok(request_id, result, self.engine)
         try:
-            result = self.engine.query(request, budget=self._budget(), info=info)
+            result = engine.query(request, budget=self._budget(), info=info)
         except QueryError as exc:
             return self._envelope_error(request_id, exc.code, str(exc))
         except GuardTripped as exc:
             return self._envelope_error(request_id, exc.reason, str(exc))
         except Exception as exc:  # pragma: no cover - defensive
             return self._envelope_error(request_id, "internal", str(exc))
-        return self._envelope_ok(request_id, result)
+        return self._envelope_ok(request_id, result, engine)
 
-    def _process_request(self, request) -> _Pending:
+    # -- hot store swap ----------------------------------------------------
+
+    def _reload(self, path: Optional[str] = None) -> dict:
+        """Load a (new) store and atomically promote it under traffic.
+
+        The swap is a single attribute rebind: request lines already in
+        flight keep the engine they pinned (old store), lines read after
+        the rebind see the new one — no request is ever answered from a
+        torn mix.  The new engine shares the old engine's metrics (the
+        cumulative counters survive the swap) and adopts the clean slice
+        of its LRU: entries whose dependent procedures all have
+        unchanged IR digests (per
+        :func:`~repro.query.invalidate.compute_stale_between_stores`).
+
+        Any load failure — unreadable file, invalid JSON, unknown
+        format, integrity mismatch, injected ``corrupt_reload`` fault —
+        raises :class:`QueryError` with code ``reload-failed`` and
+        leaves the old engine serving.
+        """
+        target = path or self.store_path
+        if target is None:
+            raise QueryError(
+                "reload-failed",
+                "daemon was started from an in-memory store; pass "
+                '{"op": "reload", "path": ...} or restart with a store path',
+            )
+        with self._reload_lock:
+            self._reload_attempts += 1
+            attempt = self._reload_attempts
+            old = self.engine
+            try:
+                new_store = load_store(target)
+                if self.faults is not None and self.faults.corrupt_reload(
+                    f"{target}#{attempt}"
+                ):
+                    raise StoreError(
+                        f"store {target}: integrity check failed "
+                        "(injected corrupt_reload fault)"
+                    )
+            except (OSError, ValueError) as exc:
+                with self._count_lock:
+                    self.reload_failures += 1
+                if self.telemetry is not None:
+                    self._tel_reload_failures.inc()
+                if self.trace is not None:
+                    self.trace.instant(
+                        "server.reload", "server",
+                        ok=False, generation=self.generation,
+                    )
+                raise QueryError(
+                    "reload-failed",
+                    f"store {target} rejected; still serving generation "
+                    f"{self.generation}: {exc}",
+                )
+            report = compute_stale_between_stores(old.store, new_store)
+            new_engine = QueryEngine(
+                new_store,
+                metrics=old.metrics,
+                tracer=old.trace,
+                cache_size=old.cache_size,
+            )
+            carried, dropped = new_engine.adopt_cache(old, report)
+            self.engine = new_engine
+            with self._count_lock:
+                self.generation += 1
+                self.reloads += 1
+                generation = self.generation
+            if self.telemetry is not None:
+                self._tel_reloads.inc()
+            if self.trace is not None:
+                self.trace.instant(
+                    "server.reload", "server",
+                    ok=True, generation=generation,
+                    stale=len(report.stale), carried=carried,
+                )
+            return {
+                "op": "reload",
+                "store": target,
+                "program": new_engine.program,
+                "generation": generation,
+                "stale": {
+                    "up_to_date": report.up_to_date,
+                    "changed": len(report.changed),
+                    "added": len(report.added),
+                    "removed": len(report.removed),
+                    "globals_changed": report.globals_changed,
+                    "stale": len(report.stale),
+                    "clean": len(report.clean),
+                },
+                "cache": {"carried": carried, "dropped": dropped},
+            }
+
+    def start_watch(self, interval: float, log: Optional[IO[str]] = None
+                    ) -> None:
+        """Poll the store path every ``interval`` seconds and hot-swap
+        when its ``(mtime_ns, size)`` signature changes (``--watch``).
+
+        A failed reload (still-being-written file, integrity mismatch)
+        is logged and retried on the next change — the old store keeps
+        serving throughout.  The poller is a daemon thread; it dies with
+        the process and stops at shutdown.
+        """
+        if self.store_path is None:
+            raise ValueError("--watch needs a store path to poll")
+        if interval <= 0:
+            raise ValueError(f"watch interval {interval} must be > 0")
+
+        def _signature():
+            try:
+                st = os.stat(self.store_path)
+            except OSError:
+                return None
+            return (st.st_mtime_ns, st.st_size)
+
+        def _poll():
+            last = _signature()
+            while not self.shutting_down.wait(interval):
+                sig = _signature()
+                if sig is None or sig == last:
+                    continue
+                last = sig
+                try:
+                    result = self._reload()
+                except QueryError as exc:
+                    if log is not None:
+                        log.write(f"repro: reload failed: {exc}\n")
+                        log.flush()
+                    continue
+                if log is not None:
+                    log.write(
+                        f"repro: reload: generation "
+                        f"{result['generation']}, "
+                        f"{result['stale']['stale']} stale proc(s), "
+                        f"{result['cache']['carried']} cache entr(ies) "
+                        f"carried\n"
+                    )
+                    log.flush()
+
+        self._watch_thread = threading.Thread(
+            target=_poll, name="repro-store-watch", daemon=True
+        )
+        self._watch_thread.start()
+
+    def _process_request(self, request, engine: QueryEngine) -> _Pending:
         with self._count_lock:
             rid = next(self._rid)
         info: dict = {}
-        envelope = self.handle_request(request, info)
+        envelope = self.handle_request(request, info, engine)
         op = request.get("op") if isinstance(request, dict) else None
         error = envelope.get("error") or {}
         return _Pending(
@@ -349,7 +630,108 @@ class QueryServer:
                 )
             ]
         requests = payload if isinstance(payload, list) else [payload]
-        return [self._process_request(req) for req in requests]
+        # pin the engine once per line: every request in this line is
+        # answered from the same store, even across a concurrent reload
+        engine = self.engine
+        shed_reason = self._admission(requests)
+        if shed_reason is not None:
+            pending = [self._shed_request(req, shed_reason)
+                       for req in requests]
+        else:
+            pending = [self._process_request(req, engine)
+                       for req in requests]
+        if (
+            self.faults is not None
+            and pending
+            and self.faults.slow_serve(text)
+        ):
+            with self._count_lock:
+                self.fault_slow += 1
+            if self.telemetry is not None:
+                self._tel_fault_slow.inc()
+            time.sleep(self.faults.slow_ms / 1000.0)
+        return pending
+
+    # -- overload protection -----------------------------------------------
+
+    @staticmethod
+    def _control_only(requests: list) -> bool:
+        """Whether every request on the line is a control op (exempt
+        from shedding: an overloaded daemon must stay probeable,
+        reloadable and stoppable)."""
+        return all(
+            isinstance(req, dict) and req.get("op") in CONTROL_OPS
+            for req in requests
+        )
+
+    def _admission(self, requests: list) -> Optional[tuple[str, float]]:
+        """Decide whether to shed this line; returns ``(reason,
+        retry_after_ms)`` to shed, None to admit.
+
+        The in-flight gate is checked first and consumes no tokens (a
+        shed caused by concurrency should not also starve the bucket);
+        the token bucket then pays one token per request, so batches
+        cost their true weight.
+        """
+        if self.max_in_flight is None and self._bucket is None:
+            return None
+        if not requests or self._control_only(requests):
+            return None
+        if self.max_in_flight is not None:
+            with self._count_lock:
+                level = self._in_flight  # includes this line
+            if level > self.max_in_flight:
+                return ("in_flight", DEFAULT_RETRY_AFTER_MS)
+        if self._bucket is not None and not self._bucket.take(len(requests)):
+            retry_s = self._bucket.retry_after_seconds(len(requests))
+            return ("rate", max(1.0, round(retry_s * 1000.0, 3)))
+        return None
+
+    def _shed_request(self, request, reason: tuple[str, float]) -> _Pending:
+        """One ``overloaded`` error envelope for a shed request.  The
+        engine is never consulted, so every *non*-shed answer stays
+        byte-identical to an unlimited server's."""
+        why, retry_after_ms = reason
+        with self._count_lock:
+            rid = next(self._rid)
+            self.requests_handled += 1
+            self.sheds += 1
+        if self.telemetry is not None:
+            self._tel_sheds.inc()
+            if why == "rate":
+                self._tel_sheds_rate.inc()
+            else:
+                self._tel_sheds_in_flight.inc()
+        request_id = request.get("id") if isinstance(request, dict) else None
+        op = request.get("op") if isinstance(request, dict) else None
+        envelope = {
+            "id": request_id,
+            "ok": False,
+            "status": 2,
+            "error": {
+                "code": "overloaded",
+                "message": (
+                    "server is shedding load "
+                    f"({'rate limit' if why == 'rate' else 'in-flight limit'}"
+                    " exceeded); retry after the hint"
+                ),
+                "retry_after_ms": retry_after_ms,
+            },
+        }
+        if self.trace is not None:
+            self.trace.instant(
+                "server.shed", "server", reason=why, rid=rid,
+            )
+        return _Pending(
+            text=json.dumps(envelope, sort_keys=True),
+            rid=rid,
+            request_id=request_id,
+            op=op if isinstance(op, str) else "invalid",
+            ok=False,
+            status=2,
+            code="overloaded",
+            cache=None,
+        )
 
     def handle_line(self, line: str) -> list[str]:
         """Answer one input line, finalizing telemetry immediately.
@@ -635,31 +1017,102 @@ class QueryServer:
         self._transport = "tcp"
 
         class Handler(socketserver.StreamRequestHandler):
+            # per-connection read/idle timeout (StreamRequestHandler
+            # applies it in setup()): a stalled peer releases its
+            # handler thread instead of pinning it
+            timeout = outer.idle_timeout
+
             def handle(self) -> None:
                 peer = "%s:%s" % self.client_address[:2]
                 while not outer.shutting_down.is_set():
-                    raw = self.rfile.readline()
+                    try:
+                        raw = self.rfile.readline()
+                    except socket.timeout:
+                        with outer._count_lock:
+                            outer.idle_timeouts += 1
+                        if outer.telemetry is not None:
+                            outer._tel_idle_timeouts.inc()
+                        if outer.trace is not None:
+                            outer.trace.instant(
+                                "server.idle_timeout", "server", peer=peer,
+                            )
+                        break
+                    except OSError:
+                        break  # peer reset mid-read
                     if not raw:
                         break
                     received_ns = time.perf_counter_ns()
                     line = raw.decode("utf-8", errors="replace")
                     outer._note_begin()
                     pending = []
+                    dropped = False
                     try:
                         pending = outer._process_line(line)
-                        for p in pending:
-                            self.wfile.write(p.text.encode("utf-8") + b"\n")
-                        self.wfile.flush()
+                        if (
+                            outer.faults is not None
+                            and pending
+                            and outer.faults.drop_connection(line.strip())
+                        ):
+                            # injected mid-request disconnect: the line
+                            # was fully processed (and is finalized
+                            # below — the accounting invariant holds),
+                            # but the answer never reaches the peer
+                            with outer._count_lock:
+                                outer.fault_disconnects += 1
+                            if outer.telemetry is not None:
+                                outer._tel_fault_disconnects.inc()
+                            dropped = True
+                        else:
+                            try:
+                                for p in pending:
+                                    self.wfile.write(
+                                        p.text.encode("utf-8") + b"\n"
+                                    )
+                                self.wfile.flush()
+                            except OSError:
+                                # peer went away mid-write; the full
+                                # pending list still finalizes so the
+                                # counters account for every read line
+                                with outer._count_lock:
+                                    outer.client_disconnects += 1
+                                if outer.telemetry is not None:
+                                    outer._tel_client_disconnects.inc()
+                                dropped = True
                     finally:
                         outer._finalize(pending, received_ns, peer=peer)
+                    if dropped:
+                        break
                     if outer.shutting_down.is_set():
                         # the shutdown envelope is already on the wire;
                         # request_shutdown() has unwound serve_forever
                         break
 
+            def finish(self) -> None:
+                # BufferedWriter.close() re-raises BrokenPipeError when
+                # the peer vanished with bytes still buffered; a chaos
+                # client must never surface a traceback
+                try:
+                    super().finish()
+                except OSError:
+                    pass
+
         class Server(socketserver.ThreadingTCPServer):
             allow_reuse_address = True
             daemon_threads = True
+
+            def handle_error(self, request, client_address) -> None:
+                # never print a traceback for a misbehaving client —
+                # one grep-able line instead (the chaos gate greps
+                # stderr for "Traceback")
+                exc = sys.exc_info()[1]
+                try:
+                    log.write(
+                        f"repro: connection error from "
+                        f"{client_address}: {exc!r}\n"
+                    )
+                    log.flush()
+                except OSError:  # pragma: no cover - log stream gone
+                    pass
 
         with Server((host, port), Handler) as server:
             self._tcp_server = server

@@ -52,8 +52,20 @@ Writes are atomic (:func:`repro.ioutil.atomic_write_text`: a unique
 ``<path>.tmp.<pid>`` sibling created with ``O_EXCL``, then
 ``os.replace``) so a crashed indexer never leaves a truncated store
 behind and two concurrent indexers against the same path serialize to
-last-replace-wins instead of corrupting each other's temporary file;
-readers validate the format tag.
+last-replace-wins instead of corrupting each other's temporary file.
+
+Readers are defensive (:func:`load_store`): the format tag, the
+document shape, and — since the ``integrity`` record was added — a
+whole-store SHA-256 are all validated before a single query is
+answered.  The digest is computed at build time over the canonical
+compact serialization of every section *except* ``integrity`` itself
+(:func:`store_integrity_digest`), so any post-write corruption — a
+truncated replace, a flipped byte, a hand edit — turns into a
+:class:`StoreError` with a stable ``repro:``-friendly message instead
+of a wrong answer or a traceback deep inside the engine.  Stores
+written before the record existed load without the check (there is
+nothing to verify); ``verify=False`` skips it explicitly (the serve
+daemon never does).
 Consistency with the run it was built from is *provable*: the embedded
 snapshot diffs bit-identical against a fresh ``repro snapshot`` of the
 same sources (``repro diff`` reports ``bit-identical``), and the
@@ -78,15 +90,35 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "STORE_FORMAT",
+    "StoreError",
     "build_store",
     "write_store",
     "load_store",
+    "seal_store",
     "source_records",
+    "store_integrity_digest",
+    "verify_store_integrity",
 ]
 
 #: bumped whenever the index layout changes incompatibly; the engine
 #: refuses to query stores of a different format
 STORE_FORMAT = "repro-store/1"
+
+#: top-level sections a loadable store must carry as JSON objects (the
+#: engine indexes into all of them unconditionally)
+_REQUIRED_SECTIONS = ("snapshot", "ir", "call_graph", "index")
+
+
+class StoreError(ValueError):
+    """A store document that cannot be loaded or trusted.
+
+    Raised for unknown format tags, truncated/invalid JSON, missing
+    sections, and integrity-digest mismatches.  A ``ValueError``
+    subclass so existing ``except ValueError`` call sites keep working;
+    the CLI maps it to a ``repro:``-prefixed stderr line and exit 2,
+    the daemon's ``reload`` op to a ``reload-failed`` error envelope
+    (while the old store keeps serving).
+    """
 
 
 # ---------------------------------------------------------------------------
@@ -247,7 +279,7 @@ def build_store(
     # cannot know about (see query/invalidate.py)
     ir["address_taken"] = sorted(address_taken_procs(result.program))
     ir["indirect_callers"] = sorted(indirect_call_procs(result.program))
-    return {
+    return seal_store({
         "format": STORE_FORMAT,
         "program": snapshot["program"],
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -257,7 +289,53 @@ def build_store(
         "ir": ir,
         "call_graph": snapshot["call_graph"],
         "index": _build_index(result),
+    })
+
+
+def store_integrity_digest(store: dict) -> str:
+    """The whole-store SHA-256: over the canonical compact JSON of every
+    section except ``integrity`` itself (a document cannot contain its
+    own hash).  Key order is canonical (``sort_keys``) so the digest is
+    independent of dict construction order."""
+    body = {k: v for k, v in store.items() if k != "integrity"}
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def seal_store(store: dict) -> dict:
+    """Stamp (or refresh) the ``integrity`` record in place and return
+    the store.  ``build_store`` seals every store it assembles; callers
+    that mutate a store document afterwards must re-seal before writing
+    or readers will refuse it as corrupted — which is the point."""
+    store["integrity"] = {
+        "algorithm": "sha256",
+        "digest": store_integrity_digest(store),
     }
+    return store
+
+
+def verify_store_integrity(store: dict, label: str = "store") -> bool:
+    """Recompute and check the whole-store digest.
+
+    Returns True when the record was present and matched, False for
+    pre-integrity stores (nothing to verify); raises :class:`StoreError`
+    on a malformed record or a mismatch.
+    """
+    record = store.get("integrity")
+    if record is None:
+        return False
+    if not isinstance(record, dict) or record.get("algorithm") != "sha256" \
+            or not record.get("digest"):
+        raise StoreError(f"{label}: malformed integrity record {record!r}")
+    recorded = record["digest"]
+    actual = store_integrity_digest(store)
+    if actual != recorded:
+        raise StoreError(
+            f"{label}: integrity check failed — recorded sha256 "
+            f"{recorded[:12]}... does not match the document "
+            f"({actual[:12]}...); refusing to serve a corrupted store"
+        )
+    return True
 
 
 def write_store(store: dict, path: Union[str, IO]) -> None:
@@ -275,16 +353,51 @@ def write_store(store: dict, path: Union[str, IO]) -> None:
     atomic_write_text(path, payload)
 
 
-def load_store(source: Union[str, IO]) -> dict:
-    """Read and validate a store from a path or open file object."""
+def load_store(source: Union[str, IO], verify: bool = True) -> dict:
+    """Read and validate a store from a path or open file object.
+
+    Every failure mode — truncated or non-JSON bytes, a non-object
+    document, an unknown format tag, missing sections, an integrity
+    mismatch — raises :class:`StoreError` with a message naming the
+    store, never a raw decoder traceback.  ``verify=False`` skips only
+    the whole-store digest check (the shape checks always run).
+    """
     if hasattr(source, "read"):
-        store = json.load(source)
+        label = f"store {getattr(source, 'name', '<stream>')}"
+        try:
+            store = json.load(source)
+        except ValueError as exc:
+            raise StoreError(
+                f"{label} is not valid JSON (truncated or corrupted): {exc}"
+            ) from exc
     else:
-        with open(source, "r", encoding="utf-8") as fh:
-            store = json.load(fh)
+        label = f"store {source}"
+        try:
+            with open(source, "r", encoding="utf-8") as fh:
+                store = json.load(fh)
+        except ValueError as exc:
+            # UnicodeDecodeError lands here too (it is a ValueError)
+            raise StoreError(
+                f"{label} is not valid JSON (truncated or corrupted): {exc}"
+            ) from exc
+    if not isinstance(store, dict):
+        raise StoreError(
+            f"{label} is not a JSON object "
+            f"(got {type(store).__name__})"
+        )
     fmt = store.get("format")
     if fmt != STORE_FORMAT:
-        raise ValueError(
-            f"unsupported store format {fmt!r} (expected {STORE_FORMAT!r})"
+        raise StoreError(
+            f"{label}: unsupported store format {fmt!r} "
+            f"(expected {STORE_FORMAT!r})"
         )
+    for section in _REQUIRED_SECTIONS:
+        if not isinstance(store.get(section), dict):
+            raise StoreError(
+                f"{label}: missing or malformed {section!r} section"
+            )
+    if not isinstance(store["index"].get("procedures"), dict):
+        raise StoreError(f"{label}: index carries no procedure tables")
+    if verify:
+        verify_store_integrity(store, label=label)
     return store

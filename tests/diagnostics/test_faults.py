@@ -92,4 +92,5 @@ class TestSpec:
         for site in SITES:
             assert hasattr(plan, f"{site}_rate")
             assert hasattr(plan, f"{site}_names")
-        assert SITES == ("parse", "exhaust", "nonconverge")
+        assert SITES == ("parse", "exhaust", "nonconverge", "slow",
+                         "disconnect", "corrupt_reload")

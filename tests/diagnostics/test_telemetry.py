@@ -23,6 +23,7 @@ from repro.diagnostics.telemetry import (
     Gauge,
     LogHistogram,
     TelemetryRegistry,
+    TokenBucket,
 )
 
 # positive samples spanning ~12 orders of magnitude (microseconds to
@@ -237,3 +238,85 @@ def test_registry_merge():
     snap = a.as_dict()
     assert snap["counters"] == {"errors": 1, "requests": 5}
     assert snap["histograms"]["latency"]["count"] == 2
+
+
+# -- the token bucket (overload shedding, docs/ROBUSTNESS.md §8) ------------
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTokenBucket:
+    def test_starts_full_at_burst(self):
+        bucket = TokenBucket(10.0, burst=3.0, clock=_FakeClock())
+        assert bucket.tokens == 3.0
+
+    def test_burst_defaults_to_rate_floor_one(self):
+        assert TokenBucket(5.0, clock=_FakeClock()).burst == 5.0
+        assert TokenBucket(0.25, clock=_FakeClock()).burst == 1.0
+
+    def test_rejects_nonpositive_rate_and_burst(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(-1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, burst=0.0)
+
+    def test_take_drains_then_refuses_without_blocking(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(1.0, burst=2.0, clock=clock)
+        assert bucket.take() and bucket.take()
+        assert not bucket.take()  # returned immediately, no sleep
+        assert bucket.tokens == 0.0
+
+    def test_refill_is_rate_times_elapsed_capped_at_burst(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(2.0, burst=4.0, clock=clock)
+        assert bucket.take(4.0)
+        clock.now = 1.5
+        assert bucket.tokens == pytest.approx(3.0)  # 1.5 s * 2/s
+        clock.now = 100.0
+        assert bucket.tokens == 4.0  # never exceeds burst
+
+    def test_batch_take_is_all_or_nothing(self):
+        bucket = TokenBucket(1.0, burst=3.0, clock=_FakeClock())
+        assert not bucket.take(4.0)
+        # the refused batch consumed nothing
+        assert bucket.tokens == 3.0
+        assert bucket.take(3.0)
+
+    def test_retry_after_is_deficit_over_rate(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(2.0, burst=2.0, clock=clock)
+        assert bucket.retry_after_seconds() == 0.0
+        assert bucket.take(2.0)
+        assert bucket.retry_after_seconds(1.0) == pytest.approx(0.5)
+        assert bucket.retry_after_seconds(2.0) == pytest.approx(1.0)
+        clock.now = 0.5  # one token refilled
+        assert bucket.retry_after_seconds(1.0) == 0.0
+
+    def test_admission_sequence_is_deterministic(self):
+        def run():
+            clock = _FakeClock()
+            bucket = TokenBucket(1.0, burst=2.0, clock=clock)
+            verdicts = []
+            for step in range(10):
+                clock.now = step * 0.4
+                verdicts.append(bucket.take())
+            return verdicts
+
+        assert run() == run()
+
+    def test_clock_going_backwards_does_not_mint_tokens(self):
+        clock = _FakeClock()
+        clock.now = 10.0
+        bucket = TokenBucket(1.0, burst=1.0, clock=clock)
+        assert bucket.take()
+        clock.now = 5.0  # a (hypothetically) misbehaving clock
+        assert bucket.tokens == 0.0

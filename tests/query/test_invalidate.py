@@ -14,6 +14,7 @@ from repro.memory.pointsto import reset_interning
 from repro.query import (
     build_store,
     compute_stale,
+    compute_stale_between_stores,
     procedure_ir_digest,
     program_ir_digests,
 )
@@ -228,3 +229,69 @@ def test_report_dict_round_trip(tmp_path):
     assert d["changed"] == ["leaf"]
     assert set(d) == {"up_to_date", "changed", "added", "removed",
                       "dependents", "globals_changed", "stale", "clean"}
+
+
+# -- store-to-store staleness (the hot-swap cache carryover) -----------------
+
+
+def _store_for(tmp_path, unit_a: str, unit_b: str = UNIT_B):
+    result = _analyze(_program(tmp_path, unit_a, unit_b))
+    return build_store(result, program_name="two-unit")
+
+
+def test_identical_stores_are_up_to_date(tmp_path):
+    old = _store_for(tmp_path / "r1", UNIT_A)
+    new = _store_for(tmp_path / "r2", UNIT_A)
+    report = compute_stale_between_stores(old, new)
+    assert report.up_to_date
+    assert report.clean == sorted(new["ir"]["procedures"])
+
+
+def test_between_stores_matches_compute_stale(tmp_path):
+    """The recorded-digest comparison agrees with the live one: editing
+    ``leaf`` marks it and its transitive callers stale, nothing else."""
+    unit_b = UNIT_B + "\nint lonely(int *q) { return *q; }\n"
+    old = _store_for(tmp_path / "orig", UNIT_A, unit_b)
+    new = _store_for(tmp_path / "edit", UNIT_A_EDITED, unit_b)
+    report = compute_stale_between_stores(old, new)
+    assert report.changed == ["leaf"]
+    assert report.stale == ["leaf", "main", "mid", "top"]
+    assert report.clean == ["lonely"]
+    assert not report.globals_changed
+
+
+def test_between_stores_globals_change_dirties_everything(tmp_path):
+    old = _store_for(tmp_path / "orig", UNIT_A)
+    new = _store_for(
+        tmp_path / "edit", UNIT_A.replace("int g;", "int g, h;")
+    )
+    report = compute_stale_between_stores(old, new)
+    assert report.globals_changed
+    assert report.stale == sorted(new["ir"]["procedures"])
+    assert report.clean == []
+
+
+def test_between_stores_missing_globals_digest_is_conservative(tmp_path):
+    """A store from before the globals digest was recorded cannot prove
+    anything clean — everything goes stale rather than risking a wrong
+    cache carryover."""
+    old = _store_for(tmp_path / "r1", UNIT_A)
+    new = _store_for(tmp_path / "r2", UNIT_A)
+    old["ir"].pop("globals", None)
+    report = compute_stale_between_stores(old, new)
+    assert report.globals_changed
+    assert report.clean == []
+
+
+def test_between_stores_added_and_removed(tmp_path):
+    grown = UNIT_A.replace(
+        "void mid(int *p) { leaf(p); }",
+        "void extra(int *p) { *p = 1; }\n"
+        "void mid(int *p) { leaf(p); extra(p); }",
+    )
+    old = _store_for(tmp_path / "orig", UNIT_A)
+    new = _store_for(tmp_path / "edit", grown)
+    forward = compute_stale_between_stores(old, new)
+    assert forward.added == ["extra"]
+    backward = compute_stale_between_stores(new, old)
+    assert backward.removed == ["extra"]

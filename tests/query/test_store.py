@@ -13,7 +13,15 @@ import os
 import pytest
 
 from repro import AnalyzerOptions, analyze_source
-from repro.query import STORE_FORMAT, build_store, load_store, write_store
+from repro.query import (
+    STORE_FORMAT,
+    StoreError,
+    build_store,
+    load_store,
+    seal_store,
+    verify_store_integrity,
+    write_store,
+)
 from repro.query.store import _loc_key
 
 SOURCE = """
@@ -107,11 +115,13 @@ def test_embedded_snapshot_is_bit_identical_to_fresh(store, result):
     assert embedded == fresh
 
 
-def test_write_is_atomic(tmp_path):
+def test_write_is_atomic(tmp_path, store):
     target = tmp_path / "x.store.json"
-    write_store({"format": STORE_FORMAT, "hello": 1}, str(target))
+    write_store(dict(store, hello=1), str(target))
     assert not os.path.exists(str(target) + ".tmp")
-    assert load_store(str(target))["hello"] == 1
+    # the extra key fails the whole-store digest (the sealed doc didn't
+    # carry it) but not the shape checks: verify=False loads it
+    assert load_store(str(target), verify=False)["hello"] == 1
 
 
 def test_write_to_stream(tmp_path, store):
@@ -163,3 +173,115 @@ def test_loc_keys_collapse_to_caller_visible_identity(result):
 def test_pure_flag_tracks_empty_mod(store):
     for name, rec in store["index"]["procedures"].items():
         assert rec["pure"] == (not rec["modref"]["mod"]), name
+
+
+# -- integrity + defensive loading (docs/ROBUSTNESS.md §8) -------------------
+
+
+class TestIntegrity:
+    def test_build_store_seals(self, store):
+        record = store["integrity"]
+        assert record["algorithm"] == "sha256"
+        assert len(record["digest"]) == 64
+
+    def test_sealed_store_round_trips(self, tmp_path, store):
+        path = tmp_path / "x.store.json"
+        write_store(store, str(path))
+        again = load_store(str(path))  # verify=True is the default
+        assert again["integrity"] == store["integrity"]
+
+    def test_tampered_store_is_refused(self, tmp_path, store):
+        doc = json.loads(json.dumps(store))
+        # flip one indexed fact without resealing: a bit-rotted or
+        # hand-edited store must not be served
+        doc["index"]["procedures"]["main"]["pure"] = True
+        path = tmp_path / "x.store.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(StoreError, match="integrity check failed"):
+            load_store(str(path))
+
+    def test_verify_false_loads_tampered(self, tmp_path, store):
+        doc = json.loads(json.dumps(store))
+        doc["program"] = "renamed"
+        path = tmp_path / "x.store.json"
+        path.write_text(json.dumps(doc))
+        assert load_store(str(path), verify=False)["program"] == "renamed"
+
+    def test_reseal_restores_trust(self, store):
+        doc = json.loads(json.dumps(store))
+        doc["program"] = "renamed"
+        seal_store(doc)
+        assert verify_store_integrity(doc) is True
+
+    def test_legacy_store_without_record_is_accepted(self, tmp_path, store):
+        doc = json.loads(json.dumps(store))
+        doc.pop("integrity")
+        path = tmp_path / "x.store.json"
+        path.write_text(json.dumps(doc))
+        again = load_store(str(path))  # nothing to verify, shape is fine
+        assert "integrity" not in again
+
+    def test_malformed_integrity_record_is_refused(self, tmp_path, store):
+        doc = json.loads(json.dumps(store))
+        doc["integrity"] = {"algorithm": "md5", "digest": "short"}
+        path = tmp_path / "x.store.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(StoreError, match="malformed integrity record"):
+            load_store(str(path))
+
+    def test_digest_ignores_key_order(self, store):
+        from repro.query import store_integrity_digest
+
+        reordered = dict(reversed(list(store.items())))
+        assert store_integrity_digest(reordered) == store_integrity_digest(
+            store
+        )
+
+
+class TestDefensiveLoading:
+    """Every bad-input failure is a :class:`StoreError` naming the
+    store — the CLI renders it as one ``repro:`` line with exit 2,
+    never a raw decoder traceback."""
+
+    def test_truncated_json_is_a_store_error(self, tmp_path, store):
+        path = tmp_path / "x.store.json"
+        payload = json.dumps(store)
+        path.write_text(payload[: len(payload) // 2])
+        with pytest.raises(StoreError, match="not valid JSON"):
+            load_store(str(path))
+
+    def test_empty_file_is_a_store_error(self, tmp_path):
+        path = tmp_path / "x.store.json"
+        path.write_text("")
+        with pytest.raises(StoreError, match="not valid JSON"):
+            load_store(str(path))
+
+    def test_non_object_document_is_a_store_error(self, tmp_path):
+        path = tmp_path / "x.store.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(StoreError, match="not a JSON object"):
+            load_store(str(path))
+
+    def test_unknown_format_is_a_store_error(self, tmp_path):
+        path = tmp_path / "x.store.json"
+        path.write_text(json.dumps({"format": "repro-store/999"}))
+        with pytest.raises(StoreError, match="unsupported store format"):
+            load_store(str(path))
+
+    def test_missing_section_is_a_store_error(self, tmp_path, store):
+        doc = json.loads(json.dumps(store))
+        doc.pop("call_graph")
+        path = tmp_path / "x.store.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(StoreError, match="call_graph"):
+            load_store(str(path))
+
+    def test_store_error_is_a_value_error(self):
+        # existing `except ValueError` call sites keep catching it
+        assert issubclass(StoreError, ValueError)
+
+    def test_stream_loading_names_the_stream(self, tmp_path):
+        import io
+
+        with pytest.raises(StoreError, match="<stream>"):
+            load_store(io.StringIO("{truncated"))
