@@ -166,6 +166,31 @@ class ShardPlan:
             "width": self.width,
         }
 
+    def to_payload(self) -> dict:
+        """The full plan as plain picklable/JSON data — what a profiled
+        worker ships back so the parent-side critical-path profiler
+        (:mod:`repro.diagnostics.parprof`) can join measured
+        per-procedure self-times onto the wave DAG."""
+        return {
+            "shards": [list(s.procs) for s in self.shards],
+            "recursive": [s.recursive for s in self.shards],
+            "deps": {str(i): list(d) for i, d in self.deps.items()},
+            "waves": [list(w) for w in self.waves],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardPlan":
+        """Rebuild a plan from :meth:`to_payload` output."""
+        shards = [
+            Shard(procs=tuple(procs), recursive=bool(rec))
+            for procs, rec in zip(payload["shards"], payload["recursive"])
+        ]
+        deps = {
+            int(i): tuple(d) for i, d in payload["deps"].items()
+        }
+        waves = [tuple(w) for w in payload["waves"]]
+        return cls(shards=shards, deps=deps, waves=waves)
+
 
 def build_plan(graph: Mapping[str, Iterable[str]]) -> ShardPlan:
     """SCC-condense ``graph`` into the deterministic bottom-up schedule."""

@@ -278,9 +278,20 @@ def _parallel_rows(
     progs: list[BenchmarkProgram],
     options: Optional[AnalyzerOptions],
     jobs: int,
+    profile: bool = False,
+    tracer=None,
+    batch_info: Optional[dict] = None,
 ) -> list[Table2Row]:
     """The whole batch through the parallel driver — one worker process
-    per benchmark program, rows merged back in suite order."""
+    per benchmark program, rows merged back in suite order.
+
+    ``profile=True`` runs the batch under the parallel observatory
+    (worker traces merged into ``tracer``, telemetry folded into the
+    batch stats).  ``batch_info``, when given, receives the batch stats
+    and — with profiling — the full ``repro-parprof/1`` document under
+    ``"parallel_profile"`` (the trajectory's utilization /
+    critical-path columns and the CI artifact both come from it).
+    """
     from ..analysis.parallel import AnalysisTask, options_payload, run_batch
 
     tasks = [
@@ -292,7 +303,15 @@ def _parallel_rows(
         )
         for prog in progs
     ]
-    batch = run_batch(tasks, jobs=jobs)
+    batch = run_batch(tasks, jobs=jobs, tracer=tracer, profile=profile)
+    if batch_info is not None:
+        batch_info.update(batch.stats())
+        if profile:
+            from ..diagnostics.parprof import build_parallel_profile
+
+            batch_info["parallel_profile"] = build_parallel_profile(batch)
+            if batch.telemetry is not None:
+                batch_info["telemetry"] = batch.telemetry.as_dict()
     rows = []
     for prog, bundle in zip(progs, batch.results):
         if bundle.get("error"):
@@ -321,12 +340,18 @@ def table2_rows(
     fault_tolerant: bool = True,
     per_program_timeout: Optional[float] = None,
     jobs: int = 1,
+    profile: bool = False,
+    tracer=None,
+    batch_info: Optional[dict] = None,
 ) -> list[Table2Row]:
     progs = [p for p in PROGRAMS if names is None or p.name in names]
-    if jobs > 1:
+    if jobs > 1 or profile:
         # worker processes already give per-program fault isolation;
         # per_program_timeout applies to the sequential paths only
-        return _parallel_rows(progs, options, jobs)
+        return _parallel_rows(
+            progs, options, jobs, profile=profile, tracer=tracer,
+            batch_info=batch_info,
+        )
     rows = []
     for prog in progs:
         if per_program_timeout is not None:
@@ -490,6 +515,18 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="append this run to the benchmark trajectory "
                              "file (default BENCH_table2.json) and report "
                              "drift against the previous entry")
+    parser.add_argument("--profile-parallel", nargs="?",
+                        const="parallel-profile.json", metavar="PATH",
+                        help="run the batch under the parallel observatory "
+                             "and write the critical-path profile to PATH "
+                             "(default parallel-profile.json; render with "
+                             "'repro parallel-report'); with --record, the "
+                             "utilization and critical_path_seconds columns "
+                             "land in the trajectory totals")
+    parser.add_argument("--trace-json", metavar="PATH",
+                        help="with --profile-parallel: write the merged "
+                             "Chrome trace (one lane per worker, "
+                             "Perfetto-loadable) to PATH")
     args = parser.parse_args(argv)
     if args.row is not None:
         return _child_row(args.row)
@@ -504,13 +541,38 @@ def main(argv: Optional[list[str]] = None) -> int:
             tracemalloc.start()
         else:  # pragma: no cover - nested tracing
             tracemalloc.reset_peak()
+    profiling = args.profile_parallel is not None
+    tracer = None
+    if profiling and args.trace_json:
+        from ..diagnostics.trace import Tracer
+
+        tracer = Tracer()
+    batch_info: dict = {}
     batch_start = time.perf_counter()
     rows = table2_rows(
         names=names,
         per_program_timeout=args.per_program_timeout,
         jobs=args.jobs,
+        profile=profiling,
+        tracer=tracer,
+        batch_info=batch_info,
     )
     batch_seconds = time.perf_counter() - batch_start
+    profile_doc = batch_info.get("parallel_profile")
+    if profile_doc is not None:
+        from ..diagnostics.parprof import write_profile
+
+        write_profile(profile_doc, args.profile_parallel)
+        print(
+            f"repro-bench: parallel profile -> {args.profile_parallel} "
+            f"(measured {profile_doc['measured_speedup']}x, theoretical "
+            f"{profile_doc['theoretical_speedup']}x)",
+            file=sys.stderr,
+        )
+    if tracer is not None:
+        tracer.save_chrome(args.trace_json)
+        print(f"repro-bench: merged trace -> {args.trace_json}",
+              file=sys.stderr)
     if args.record:
         peak_kb = tracemalloc.get_traced_memory()[1] / 1024.0
         if not already:
@@ -530,6 +592,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             peak_kb=peak_kb,
             jobs=args.jobs,
             batch_seconds=batch_seconds,
+            utilization=batch_info.get("utilization"),
+            critical_path_seconds=batch_info.get("critical_path_seconds"),
         )
         print(
             f"repro-bench: recorded entry rev={entry['revision']} "

@@ -98,12 +98,18 @@ def build_entry(
     revision: Optional[str] = None,
     jobs: Optional[int] = None,
     batch_seconds: Optional[float] = None,
+    utilization: Optional[float] = None,
+    critical_path_seconds: Optional[float] = None,
 ) -> dict:
     """One trajectory entry for a finished Table 2 batch.
 
     ``jobs``/``batch_seconds`` record the parallel harness's worker
     count and whole-batch wall clock (``totals.seconds`` stays the sum
-    of in-worker analysis times, comparable across jobs values)."""
+    of in-worker analysis times, comparable across jobs values);
+    ``utilization``/``critical_path_seconds`` are the parallel
+    observatory's batch columns (``--profile-parallel``): the fraction
+    of pool capacity spent inside workers, and the slowest task — the
+    wall-clock floor no worker count compresses below."""
     good = [r for r in rows if not r.error]
     totals = {
         "seconds": round(sum(r.seconds for r in good), 6),
@@ -120,6 +126,10 @@ def build_entry(
         totals["jobs"] = jobs
     if batch_seconds is not None:
         totals["batch_seconds"] = round(batch_seconds, 6)
+    if utilization is not None:
+        totals["utilization"] = round(utilization, 4)
+    if critical_path_seconds is not None:
+        totals["critical_path_seconds"] = round(critical_path_seconds, 6)
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "revision": revision if revision is not None else _revision(),
@@ -215,6 +225,8 @@ def record_trajectory(
     revision: Optional[str] = None,
     jobs: Optional[int] = None,
     batch_seconds: Optional[float] = None,
+    utilization: Optional[float] = None,
+    critical_path_seconds: Optional[float] = None,
 ) -> tuple[dict, list[str]]:
     """Append one entry for ``rows`` to the trajectory at ``path``.
 
@@ -230,6 +242,8 @@ def record_trajectory(
         revision=revision,
         jobs=jobs,
         batch_seconds=batch_seconds,
+        utilization=utilization,
+        critical_path_seconds=critical_path_seconds,
     )
     drift: list[str] = []
     if trajectory["entries"]:

@@ -218,7 +218,20 @@ def _analyze_batch(args: argparse.Namespace) -> int:
 
     opts = _options_from(args)
     tasks = _batch_tasks(args, opts)
-    batch = run_batch(tasks, jobs=args.jobs, tracer=opts.trace)
+    profile_dest = getattr(args, "profile_parallel", None)
+    if profile_dest is not None and opts.trace is None:
+        # the observatory always merges worker lanes; --trace-json[l]
+        # decides whether the merged trace is also written out
+        from .diagnostics.trace import Tracer
+
+        opts.trace = Tracer()
+    batch = run_batch(
+        tasks,
+        jobs=args.jobs,
+        tracer=opts.trace,
+        profile=profile_dest is not None,
+        worker_trace_dir=getattr(args, "worker_trace_dir", None),
+    )
     for bundle in batch.results:
         name = bundle["name"]
         if bundle.get("error"):
@@ -255,6 +268,18 @@ def _analyze_batch(args: argparse.Namespace) -> int:
                 f"repro: snapshot {dest} digest {bundle['digest'][:16]}…",
                 file=sys.stderr,
             )
+    if profile_dest is not None:
+        from .diagnostics.parprof import build_parallel_profile, write_profile
+
+        doc = build_parallel_profile(batch)
+        write_profile(doc, profile_dest)
+        print(
+            f"repro: parallel profile {profile_dest} "
+            f"(measured {doc['measured_speedup']}x, theoretical "
+            f"{doc['theoretical_speedup']}x, {len(batch.lanes)} worker "
+            f"lane(s)); render with: repro parallel-report {profile_dest}",
+            file=sys.stderr,
+        )
     dest = getattr(args, "stats_json", None)
     if dest is not None:
         per_program = {}
@@ -268,13 +293,12 @@ def _analyze_batch(args: argparse.Namespace) -> int:
                 )
                 if k in bundle
             }
+        payload = {"batch": batch.stats(), "programs": per_program}
+        if batch.telemetry is not None:
+            payload["telemetry"] = batch.telemetry.as_dict()
         _write_text(
             dest,
-            json.dumps(
-                {"batch": batch.stats(), "programs": per_program},
-                indent=2,
-                sort_keys=True,
-            ),
+            json.dumps(payload, indent=2, sort_keys=True),
         )
     _emit_trace(args, opts.trace)
     return _batch_status(batch)
@@ -794,8 +818,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
     with ExitStack() as stack:
         access_log = None
         if args.access_log is not None:
-            # same '-'-means-stdout writer as --stats-json/--trace-json
-            access_log = stack.enter_context(_out_stream(args.access_log))
+            max_bytes = getattr(args, "access_log_max_bytes", None)
+            if max_bytes is not None and args.access_log != "-":
+                from .ioutil import RotatingLineWriter
+
+                try:
+                    access_log = stack.enter_context(
+                        RotatingLineWriter(args.access_log, max_bytes)
+                    )
+                except (OSError, ValueError) as exc:
+                    print(f"repro: {exc}", file=sys.stderr)
+                    return EXIT_ERROR
+            else:
+                # same '-'-means-stdout writer as --stats-json/--trace-json
+                access_log = stack.enter_context(
+                    _out_stream(args.access_log)
+                )
         server = QueryServer(
             engine,
             deadline_seconds=args.deadline,
@@ -956,6 +994,27 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_parallel_report(args: argparse.Namespace) -> int:
+    """``repro parallel-report``: render a ``--profile-parallel``
+    document (critical path, Brent bound, wave utilization, ranked
+    pre-summarization candidates)."""
+    from .diagnostics.parprof import load_profile, render_report
+
+    try:
+        profile = load_profile(args.profile)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.json:
+        _write_text(
+            args.output, json.dumps(profile, indent=2, sort_keys=True)
+        )
+    else:
+        with _out_stream(args.output) as fh:
+            fh.write(render_report(profile))
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -988,6 +1047,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-jsonl", metavar="PATH",
                    help="also/instead write the trace as one JSON event per "
                         "line ('-' for stdout)")
+    p.add_argument("--profile-parallel", nargs="?",
+                   const="parallel-profile.json", metavar="PATH",
+                   help="with --jobs: run the parallel observatory — "
+                        "per-worker traces merged onto one timeline (one "
+                        "lane per worker; write it with --trace-json), "
+                        "worker telemetry folded into the batch stats, and "
+                        "the shard-plan critical-path profile written to "
+                        "PATH (default parallel-profile.json; render with "
+                        "'repro parallel-report')")
+    p.add_argument("--worker-trace-dir", metavar="DIR",
+                   help="with --profile-parallel: each worker also writes "
+                        "its own JSONL trace to DIR/<name>.worker.jsonl")
     _add_analysis_flags(p)
     p.set_defaults(func=cmd_analyze)
 
@@ -1044,6 +1115,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("files", nargs="+")
     _add_analysis_flags(p)
     p.set_defaults(func=cmd_parallelize)
+
+    p = sub.add_parser(
+        "parallel-report",
+        help="render a parallel profile (analyze --profile-parallel): "
+             "critical path, Brent speedup bound, wave utilization, and "
+             "the ranked pre-summarization candidates",
+    )
+    p.add_argument("profile", metavar="PROFILE",
+                   help="path to a parallel-profile.json document")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw profile document instead of text")
+    p.add_argument("-o", "--output", default="-", metavar="PATH",
+                   help="destination ('-' = stdout, the default)")
+    p.set_defaults(func=cmd_parallel_report)
 
     p = sub.add_parser(
         "snapshot",
@@ -1144,6 +1229,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--access-log", metavar="PATH",
                    help="structured JSONL access log, one line per "
                         "request ('-' = stdout, the shared convention)")
+    p.add_argument("--access-log-max-bytes", type=int, metavar="BYTES",
+                   help="rotate the access log when it would exceed BYTES: "
+                        "atomic rename to PATH.1 (previous backup replaced), "
+                        "fresh PATH opened in place — long-running daemons "
+                        "stop growing the log unboundedly (ignored for '-')")
     p.add_argument("--slow-ms", type=float, default=100.0, metavar="MS",
                    help="slow-request threshold for the 'slow' counter "
                         "and server.slow trace instant (default 100)")

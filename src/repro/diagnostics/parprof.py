@@ -1,0 +1,304 @@
+"""The shard-plan critical-path profiler (``--profile-parallel``).
+
+Joins *measured* per-procedure self-times (``Metrics.proc_self_seconds``,
+the exclusive times the engine already collects) onto the SCC wave DAG
+(:class:`repro.analysis.scc.ShardPlan`) that each profiled worker ships
+back in its bundle.  The join answers the question ROADMAP item 1 needs
+data for: if the bottom-up shard schedule *were* dispatched in parallel,
+where would the time go?
+
+Per program the profiler computes:
+
+* ``total_seconds`` (T1) — the work: the sum of shard costs, where a
+  shard's cost is the sum of its members' measured self-times;
+* ``critical_path_seconds`` (T∞) — the span: the longest cost-weighted
+  dependency chain through the shard DAG, computed bottom-up over the
+  reverse-topological shard order (``finish[i] = cost[i] +
+  max(finish[dep])``).  No worker count compresses the schedule below
+  this;
+* ``parallelism`` — T1/T∞, the speedup ceiling of the shard schedule;
+* ``brent_bound`` — Brent's lemma: ``p`` workers under any greedy
+  schedule finish within ``T1/p + T∞``, so a speedup of at least
+  ``T1 / (T1/p + T∞)`` is *achievable*;
+* per-wave utilization — each wave runs its shards concurrently and
+  lasts as long as its most expensive shard, so the wave's useful
+  fraction is ``sum(costs) / (len(wave) * max(cost))``;
+* the ranked pre-summarization candidate list — the procedures on the
+  critical path, most expensive self-time first.  These are the
+  procedures a unification-tier summary pre-pass should target first:
+  shortening them shortens the span itself, not just the work.
+
+Batch-level, the theoretical speedup bound is ``min(jobs, T1/T∞)`` with
+T1 the total in-worker seconds and T∞ the slowest task — Brent's lower
+bound on any ``jobs``-worker makespan (``max(T1/jobs, T∞)``), so the
+bound is mathematically ≥ the measured speedup (the CI gate).
+
+The profile document is plain JSON, format ``repro-parprof/1``; the
+``repro parallel-report`` subcommand renders it (text or ``--json``).
+See docs/OBSERVABILITY.md §6.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..ioutil import atomic_write_text
+
+__all__ = [
+    "PARPROF_FORMAT",
+    "build_parallel_profile",
+    "profile_program",
+    "render_report",
+    "load_profile",
+    "write_profile",
+]
+
+PARPROF_FORMAT = "repro-parprof/1"
+
+#: ranked candidate list length (per program and batch-wide)
+TOP_CANDIDATES = 10
+
+
+def profile_program(
+    name: str,
+    plan_payload: dict,
+    proc_self_seconds: dict,
+    jobs: int,
+    seconds: Optional[float] = None,
+) -> dict:
+    """Join one program's measured self-times onto its shard plan."""
+    shards: list[list[str]] = [list(s) for s in plan_payload["shards"]]
+    deps = {int(i): tuple(d) for i, d in plan_payload["deps"].items()}
+    waves = [tuple(w) for w in plan_payload["waves"]]
+    recursive = list(plan_payload.get("recursive", [False] * len(shards)))
+
+    costs = [
+        sum(float(proc_self_seconds.get(p, 0.0)) for p in shard)
+        for shard in shards
+    ]
+    total = sum(costs)
+
+    # longest cost-weighted chain; shards arrive reverse-topological
+    # (callees first), so every dep index is already finished
+    finish = [0.0] * len(shards)
+    for i in range(len(shards)):
+        finish[i] = costs[i] + max(
+            (finish[d] for d in deps.get(i, ())), default=0.0
+        )
+    span = max(finish, default=0.0)
+
+    # reconstruct one critical path (tie-break: lowest shard index, which
+    # is deterministic because the plan itself is)
+    path: list[int] = []
+    if shards:
+        cur = min(
+            range(len(shards)), key=lambda i: (-finish[i], i)
+        )
+        while True:
+            path.append(cur)
+            dep_list = deps.get(cur, ())
+            if not dep_list:
+                break
+            cur = min(dep_list, key=lambda d: (-finish[d], d))
+        path.reverse()  # callees first — execution order
+    on_path = set(path)
+
+    wave_rows = []
+    for w, members in enumerate(waves):
+        wave_costs = [costs[i] for i in members]
+        peak = max(wave_costs, default=0.0)
+        used = sum(wave_costs)
+        wave_rows.append(
+            {
+                "wave": w,
+                "shards": len(members),
+                "cost_seconds": round(used, 6),
+                "peak_seconds": round(peak, 6),
+                "utilization": (
+                    round(used / (len(members) * peak), 4)
+                    if peak > 0 and members
+                    else None
+                ),
+            }
+        )
+
+    def shard_name(i: int) -> str:
+        procs = shards[i]
+        if len(procs) == 1:
+            return procs[0]
+        return f"{procs[0]}(+{len(procs) - 1})"
+
+    candidates = sorted(
+        (
+            {
+                "procedure": proc,
+                "self_seconds": round(
+                    float(proc_self_seconds.get(proc, 0.0)), 6
+                ),
+                "shard": shard_name(i),
+                "recursive": bool(recursive[i]),
+            }
+            for i in path
+            for proc in shards[i]
+        ),
+        key=lambda c: (-c["self_seconds"], c["procedure"]),
+    )[:TOP_CANDIDATES]
+
+    parallelism = (total / span) if span > 0 else None
+    brent = (
+        total / (total / jobs + span) if span > 0 and jobs > 0 else None
+    )
+    return {
+        "name": name,
+        "seconds": round(seconds, 6) if seconds is not None else None,
+        "shards": len(shards),
+        "waves": len(waves),
+        "total_seconds": round(total, 6),
+        "critical_path_seconds": round(span, 6),
+        "parallelism": round(parallelism, 4) if parallelism else None,
+        "brent_bound": round(brent, 4) if brent else None,
+        "critical_path": [shard_name(i) for i in path],
+        "wave_utilization": wave_rows,
+        "candidates": candidates,
+    }
+
+
+def build_parallel_profile(batch) -> dict:
+    """The full ``repro-parprof/1`` document for one profiled batch.
+
+    ``batch`` is a :class:`~repro.analysis.parallel.BatchResult` whose
+    tasks ran with ``profile=True`` (bundles carry ``profile`` blocks
+    with the shard-plan payload and the measured self-times).
+    """
+    stats = batch.stats()
+    jobs = stats["jobs"]
+    elapsed = stats["elapsed_seconds"]
+    worker_seconds = stats["worker_seconds"]
+    span = stats["critical_path_seconds"]
+    measured = (worker_seconds / elapsed) if elapsed > 0 else None
+    # Brent's lower bound on the makespan of any jobs-worker schedule is
+    # max(T1/jobs, T∞), so no schedule beats min(jobs, T1/T∞) — and the
+    # measured speedup can never exceed it (elapsed >= every task)
+    theoretical = (
+        min(float(jobs), worker_seconds / span) if span > 0 else None
+    )
+    programs = []
+    for r in batch.results:
+        prof = r.get("profile")
+        if not prof or "plan" not in prof:
+            continue
+        programs.append(
+            profile_program(
+                r["name"],
+                prof["plan"],
+                prof.get("proc_self_seconds", {}),
+                jobs,
+                seconds=r.get("seconds"),
+            )
+        )
+    merged: dict[str, dict] = {}
+    for prog in programs:
+        for c in prog["candidates"]:
+            key = f"{prog['name']}:{c['procedure']}"
+            merged[key] = dict(c, program=prog["name"])
+    top = sorted(
+        merged.values(),
+        key=lambda c: (-c["self_seconds"], c["program"], c["procedure"]),
+    )[:TOP_CANDIDATES]
+    return {
+        "format": PARPROF_FORMAT,
+        "jobs": jobs,
+        "programs_analyzed": stats["programs"],
+        "errors": stats["errors"],
+        "elapsed_seconds": elapsed,
+        "worker_seconds": worker_seconds,
+        "critical_path_seconds": span,
+        "utilization": stats["utilization"],
+        "measured_speedup": round(measured, 4) if measured else None,
+        "theoretical_speedup": (
+            round(theoretical, 4) if theoretical else None
+        ),
+        "programs": programs,
+        "candidates": top,
+    }
+
+
+def write_profile(profile: dict, path: str) -> None:
+    atomic_write_text(
+        path, json.dumps(profile, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_profile(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        profile = json.load(fh)
+    fmt = profile.get("format")
+    if fmt != PARPROF_FORMAT:
+        raise ValueError(
+            f"{path}: not a parallel profile (format={fmt!r}, "
+            f"expected {PARPROF_FORMAT!r})"
+        )
+    return profile
+
+
+def _fmt(value, suffix: str = "") -> str:
+    if value is None:
+        return "-"
+    return f"{value:g}{suffix}"
+
+
+def render_report(profile: dict) -> str:
+    """The human-readable ``repro parallel-report`` text."""
+    lines = [
+        "parallel profile "
+        f"(jobs={profile['jobs']}, programs={profile['programs_analyzed']}, "
+        f"errors={profile['errors']})",
+        f"  elapsed               {profile['elapsed_seconds']:.3f}s",
+        f"  worker seconds        {profile['worker_seconds']:.3f}s",
+        "  critical path         "
+        f"{profile['critical_path_seconds']:.3f}s (slowest task)",
+        f"  pool utilization      {_fmt(profile['utilization'])}",
+        f"  measured speedup      {_fmt(profile['measured_speedup'])}x",
+        f"  theoretical speedup   {_fmt(profile['theoretical_speedup'])}x",
+        "",
+    ]
+    for prog in profile["programs"]:
+        lines.append(
+            f"program {prog['name']}  "
+            f"(shards={prog['shards']}, waves={prog['waves']})"
+        )
+        lines.append(
+            f"  work T1={prog['total_seconds']:.4f}s  "
+            f"span T∞={prog['critical_path_seconds']:.4f}s  "
+            f"parallelism={_fmt(prog['parallelism'])}  "
+            f"brent(p={profile['jobs']})={_fmt(prog['brent_bound'])}x"
+        )
+        path = prog["critical_path"]
+        if path:
+            shown = " -> ".join(path[:6])
+            if len(path) > 6:
+                shown += f" -> ... ({len(path)} shards)"
+            lines.append(f"  critical path: {shown}")
+        busiest = [
+            w for w in prog["wave_utilization"] if w["utilization"] is not None
+        ]
+        busiest.sort(key=lambda w: (w["utilization"], w["wave"]))
+        for w in busiest[:3]:
+            lines.append(
+                f"  wave {w['wave']}: {w['shards']} shards, "
+                f"cost {w['cost_seconds']:.4f}s, peak "
+                f"{w['peak_seconds']:.4f}s, "
+                f"utilization {_fmt(w['utilization'])}"
+            )
+        lines.append("")
+    if profile["candidates"]:
+        lines.append("summarize these procedures first (critical path, "
+                     "by measured self-time):")
+        for rank, c in enumerate(profile["candidates"], 1):
+            tag = " [recursive]" if c.get("recursive") else ""
+            lines.append(
+                f"  {rank:2}. {c['program']}:{c['procedure']}  "
+                f"{c['self_seconds']:.6f}s  (shard {c['shard']}){tag}"
+            )
+    return "\n".join(lines).rstrip() + "\n"

@@ -63,6 +63,7 @@ __all__ = [
     "TelemetryRegistry",
     "TokenBucket",
     "DEFAULT_RELATIVE_ERROR",
+    "prometheus_text",
 ]
 
 #: default bounded relative error of histogram quantiles (1%)
@@ -400,6 +401,39 @@ class LogHistogram:
             )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
+    # -- cross-process transport -------------------------------------------
+
+    def to_payload(self) -> dict:
+        """The exact mergeable state as plain picklable/JSON data.
+
+        Histograms carry a :class:`threading.Lock` and deliberately do
+        not pickle; this is the transport form a worker process ships to
+        the parent (``repro analyze --jobs N --profile-parallel``).
+        ``from_payload(h.to_payload())`` reproduces ``h`` bucket-exactly
+        (equal :meth:`digest`)."""
+        with self._lock:
+            return {
+                "relative_error": self.relative_error,
+                "buckets": sorted(self._buckets.items()),
+                "zero_count": self._zero_count,
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+            }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LogHistogram":
+        """Rebuild a histogram from :meth:`to_payload` output."""
+        out = cls(relative_error=payload["relative_error"])
+        out._buckets = {int(i): int(n) for i, n in payload["buckets"]}
+        out._zero_count = int(payload["zero_count"])
+        out._count = int(payload["count"])
+        out._sum = float(payload["sum"])
+        out._min = payload["min"]
+        out._max = payload["max"]
+        return out
+
 
 class TelemetryRegistry:
     """Thread-safe namespace of counters, gauges, and histograms.
@@ -475,3 +509,111 @@ class TelemetryRegistry:
         for name, h in histograms.items():
             self.histogram(name).merge(h)
         return self
+
+    # -- cross-process transport -------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Plain picklable/JSON transport form of the whole registry —
+        what a profiled worker process ships back so the parent can fold
+        its instruments in with the exact bucket merge."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "relative_error": self.relative_error,
+            "counters": {k: c.value for k, c in counters.items()},
+            "gauges": {k: g.value for k, g in gauges.items()},
+            "histograms": {
+                k: h.to_payload() for k, h in histograms.items()
+            },
+        }
+
+    def merge_payload(self, payload: dict) -> "TelemetryRegistry":
+        """Fold a :meth:`to_payload` transport block in: counters and
+        gauges add, histograms merge bucket-exactly (the associative/
+        commutative :meth:`LogHistogram.merge`)."""
+        for name, value in payload.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name).add(value)
+        for name, hist in payload.get("histograms", {}).items():
+            self.histogram(name).merge(LogHistogram.from_payload(hist))
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (docs/OBSERVABILITY.md §5)
+# ---------------------------------------------------------------------------
+
+#: characters legal in a Prometheus metric name after the first
+_PROM_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _prom_name(*parts: str) -> str:
+    """A legal Prometheus metric name from dotted instrument names:
+    ``latency.points_to`` -> ``repro_latency_points_to``."""
+    flat = "_".join(p.replace(".", "_") for p in parts if p)
+    flat = "".join(c if c in _PROM_OK else "_" for c in flat)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(
+    registry: Optional["TelemetryRegistry"],
+    prefix: str = "repro",
+    extra_gauges: Optional[dict] = None,
+) -> str:
+    """Render a registry in the Prometheus text exposition format
+    (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, counters suffixed
+    ``_total``, gauges plain, histograms as summaries (``{quantile=…}``
+    series plus ``_sum`` / ``_count``).
+
+    ``extra_gauges`` lets a caller fold in scalar levels that live
+    outside the registry (the daemon's uptime, generation, in-flight
+    count) so one scrape answers everything.  Deterministic: metrics are
+    emitted in sorted-name order.  ``registry`` may be ``None``
+    (telemetry disabled) — the extra gauges still render.
+    """
+    lines: list[str] = []
+    snap = registry.as_dict() if registry is not None else {
+        "counters": {}, "gauges": {}, "histograms": {},
+    }
+    for name in sorted(snap["counters"]):
+        metric = _prom_name(prefix, name) + "_total"
+        lines.append(f"# HELP {metric} Monotone event counter {name!r}.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(snap['counters'][name])}")
+    gauges = dict(snap["gauges"])
+    for key, value in (extra_gauges or {}).items():
+        gauges[key] = value
+    for name in sorted(gauges):
+        metric = _prom_name(prefix, name)
+        lines.append(f"# HELP {metric} Current level {name!r}.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(gauges[name])}")
+    for name in sorted(snap["histograms"]):
+        hist = snap["histograms"][name]
+        metric = _prom_name(prefix, name)
+        lines.append(
+            f"# HELP {metric} Log-bucketed histogram {name!r} "
+            f"(relative error {hist['relative_error']})."
+        )
+        lines.append(f"# TYPE {metric} summary")
+        for q in SNAPSHOT_QUANTILES:
+            value = hist.get(f"p{int(q * 100)}")
+            lines.append(
+                f'{metric}{{quantile="{q}"}} {_prom_value(value)}'
+            )
+        lines.append(f"{metric}_sum {_prom_value(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + "\n"

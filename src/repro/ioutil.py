@@ -25,7 +25,12 @@ import sys
 from contextlib import contextmanager
 from typing import IO, Iterator
 
-__all__ = ["atomic_write_text", "out_stream", "write_text"]
+__all__ = [
+    "RotatingLineWriter",
+    "atomic_write_text",
+    "out_stream",
+    "write_text",
+]
 
 #: per-call disambiguator so concurrent *threads* of one process get
 #: distinct temporaries too (the pid alone separates processes)
@@ -73,3 +78,62 @@ def write_text(dest: str, text: str) -> None:
     :func:`out_stream`'s convention."""
     with out_stream(dest) as fh:
         fh.write(text if text.endswith("\n") else text + "\n")
+
+
+class RotatingLineWriter:
+    """A file-like line writer with size-based rotation (``repro serve
+    --access-log-max-bytes``).
+
+    Presents the ``write``/``flush``/``close`` surface the query
+    server's buffered access-log path expects, so rotation is invisible
+    to the writer: when appending ``chunk`` would push the current file
+    past ``max_bytes`` (and the file is non-empty — a single oversized
+    record still lands somewhere), the file is flushed, closed, and
+    atomically renamed to ``<path>.1`` (``os.replace``, clobbering the
+    previous backup), and a fresh ``<path>`` is opened.  A chunk is
+    never split across the rotation boundary, so both files always hold
+    whole JSONL records.
+
+    Opens in append mode — restarting a daemon against an existing log
+    continues (and correctly sizes) it rather than truncating history.
+    The caller serializes ``write`` calls (the server already holds its
+    access-log lock); rotation happens inside the same call, so no
+    extra locking is needed here.
+    """
+
+    def __init__(self, path: str, max_bytes: int) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.rotations = 0
+        self._fh = open(path, "a", encoding="utf-8")
+        self._size = self._fh.tell()
+
+    def write(self, chunk: str) -> int:
+        n = len(chunk.encode("utf-8"))
+        if self._size > 0 and self._size + n > self.max_bytes:
+            self._rotate()
+        self._fh.write(chunk)
+        self._size += n
+        return len(chunk)
+
+    def _rotate(self) -> None:
+        self._fh.flush()
+        self._fh.close()
+        os.replace(self.path, f"{self.path}.1")
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        self.rotations += 1
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "RotatingLineWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -147,7 +147,7 @@ __all__ = ["QueryServer"]
 #: engine's OPS vocabulary); ``stats`` and ``health`` answer from the
 #: live telemetry registry without touching the LRU; control-only lines
 #: are exempt from overload shedding
-CONTROL_OPS = ("ping", "shutdown", "stats", "health", "reload")
+CONTROL_OPS = ("ping", "shutdown", "stats", "health", "reload", "metrics")
 
 #: default slow-request threshold for the ``server.slow`` instant and
 #: the ``slow`` counter (milliseconds)
@@ -357,6 +357,32 @@ class QueryServer:
         }
         return result
 
+    def _metrics_result(self, engine: Optional[QueryEngine] = None) -> dict:
+        """The ``metrics`` admin op (also ``stats`` with ``format:
+        "prometheus"``): the live registry rendered in the Prometheus
+        text exposition format, server-side levels folded in as extra
+        gauges — scrapeable with no JSON glue.  Works with telemetry
+        off (the server gauges still render)."""
+        from ..diagnostics.telemetry import prometheus_text
+
+        engine = engine if engine is not None else self.engine
+        extra = {
+            "server.requests": self.requests_finalized,
+            "server.in_flight": self._in_flight,
+            "server.uptime_seconds": round(self.uptime_seconds(), 3),
+            "server.generation": self.generation,
+            "server.reloads": self.reloads,
+            "server.reload_failures": self.reload_failures,
+            "server.sheds": self.sheds,
+            "server.idle_timeouts": self.idle_timeouts,
+            "server.degraded": engine.degraded,
+        }
+        return {
+            "op": "metrics",
+            "content_type": "text/plain; version=0.0.4",
+            "text": prometheus_text(self.telemetry, extra_gauges=extra),
+        }
+
     def _health_result(self, engine: Optional[QueryEngine] = None) -> dict:
         """The ``health`` admin op: a cheap liveness/level probe —
         counters and gauges only, nothing that touches the LRU or the
@@ -412,8 +438,16 @@ class QueryServer:
             self.request_shutdown()
             return self._envelope_ok(request_id, {"op": "shutdown"}, engine)
         if op == "stats":
+            if request.get("format") == "prometheus":
+                return self._envelope_ok(
+                    request_id, self._metrics_result(engine), engine
+                )
             return self._envelope_ok(
                 request_id, self._stats_result(engine), engine
+            )
+        if op == "metrics":
+            return self._envelope_ok(
+                request_id, self._metrics_result(engine), engine
             )
         if op == "health":
             return self._envelope_ok(

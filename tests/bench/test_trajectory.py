@@ -46,6 +46,16 @@ class TestBuildEntry:
         json.dumps(entry)  # must be serializable
         assert entry["rows"][0]["status"] == "ok"
 
+    def test_observatory_columns_are_optional(self):
+        rows = [fake_row()]
+        plain = build_entry(rows, revision="a")
+        assert "utilization" not in plain["totals"]
+        assert "critical_path_seconds" not in plain["totals"]
+        profiled = build_entry(rows, revision="a", utilization=0.88971,
+                               critical_path_seconds=1.2345678)
+        assert profiled["totals"]["utilization"] == 0.8897
+        assert profiled["totals"]["critical_path_seconds"] == 1.234568
+
 
 class TestCompare:
     def test_steady_state_is_empty(self):

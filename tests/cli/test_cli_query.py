@@ -149,6 +149,43 @@ def test_serve_bad_tcp_spec_is_exit_2(store_file, capsys):
     assert main(["serve", store_file, "--tcp", "nonsense"]) == 2
 
 
+def test_serve_metrics_op_over_stdio(store_file, capsys, monkeypatch):
+    import io
+
+    lines = [
+        json.dumps({"op": "ping", "id": 1}),
+        json.dumps({"op": "metrics", "id": 2}),
+        json.dumps({"op": "shutdown", "id": 3}),
+    ]
+    monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+    assert main(["serve", store_file]) == 0
+    out = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+    result = out[1]["result"]
+    assert result["content_type"] == "text/plain; version=0.0.4"
+    assert "# TYPE repro_requests_total counter" in result["text"]
+
+
+def test_serve_access_log_rotation(store_file, tmp_path, capsys, monkeypatch):
+    """--access-log-max-bytes: the daemon's buffered access log rotates
+    by size (atomic rename to .1) without dropping or tearing records."""
+    import io
+
+    log = tmp_path / "access.log"
+    reqs = [json.dumps({"op": "ping", "id": i}) for i in range(120)]
+    monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(reqs) + "\n"))
+    assert main(
+        ["serve", store_file, "--access-log", str(log),
+         "--access-log-max-bytes", "2048"]
+    ) == 0
+    capsys.readouterr()
+    rotated = tmp_path / "access.log.1"
+    assert log.exists() and rotated.exists()
+    for path in (log, rotated):
+        for line in path.read_text().splitlines():
+            record = json.loads(line)  # whole records on both sides
+            assert record["op"] == "ping"
+
+
 # -- the shared '-'-means-stdout convention (satellite) ---------------------
 
 

@@ -1,0 +1,197 @@
+"""The critical-path profiler on synthetic shard DAGs with hand-checked
+answers, plus the document round-trip and the report renderer.
+
+The DAG payloads mirror ``ShardPlan.to_payload`` (shards reverse-
+topological, ``deps`` indexing earlier shards), so every expectation
+here is computable by hand: T1 is the cost sum, T∞ the longest
+cost-weighted chain, Brent's bound ``T1/(T1/p + T∞)``.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.scc import build_plan
+from repro.diagnostics.parprof import (
+    PARPROF_FORMAT,
+    build_parallel_profile,
+    load_profile,
+    profile_program,
+    render_report,
+    write_profile,
+)
+
+
+def _chain_payload():
+    """a -> b -> c (c calls b calls a): one chain, zero parallelism."""
+    return {
+        "shards": [["a"], ["b"], ["c"]],
+        "recursive": [False, False, False],
+        "deps": {"0": [], "1": [0], "2": [1]},
+        "waves": [[0], [1], [2]],
+    }
+
+
+def _diamond_payload():
+    """d calls b and c, both call a — the classic span/work split."""
+    return {
+        "shards": [["a"], ["b"], ["c"], ["d"]],
+        "recursive": [False, False, False, False],
+        "deps": {"0": [], "1": [0], "2": [0], "3": [1, 2]},
+        "waves": [[0], [1, 2], [3]],
+    }
+
+
+class TestProfileProgram:
+    def test_chain_has_no_parallelism(self):
+        times = {"a": 1.0, "b": 2.0, "c": 3.0}
+        prog = profile_program("chain", _chain_payload(), times, jobs=4)
+        assert prog["total_seconds"] == 6.0
+        assert prog["critical_path_seconds"] == 6.0
+        assert prog["parallelism"] == 1.0
+        assert prog["critical_path"] == ["a", "b", "c"]
+        # Brent with T1 == T∞: 6 / (6/4 + 6)
+        assert math.isclose(prog["brent_bound"], 6 / (6 / 4 + 6),
+                            rel_tol=1e-4)
+
+    def test_diamond_span_takes_the_expensive_branch(self):
+        times = {"a": 1.0, "b": 5.0, "c": 2.0, "d": 1.0}
+        prog = profile_program("dia", _diamond_payload(), times, jobs=2)
+        assert prog["total_seconds"] == 9.0
+        # a -> b -> d = 1 + 5 + 1
+        assert prog["critical_path_seconds"] == 7.0
+        assert prog["critical_path"] == ["a", "b", "d"]
+        assert math.isclose(prog["parallelism"], 9 / 7, rel_tol=1e-4)
+        assert math.isclose(prog["brent_bound"], 9 / (9 / 2 + 7),
+                            rel_tol=1e-4)
+        # middle wave: b and c run together, c idles while b finishes
+        mid = prog["wave_utilization"][1]
+        assert mid["shards"] == 2
+        assert mid["peak_seconds"] == 5.0
+        assert math.isclose(mid["utilization"], 7 / 10, rel_tol=1e-4)
+
+    def test_candidates_are_critical_path_ranked_by_self_time(self):
+        times = {"a": 1.0, "b": 5.0, "c": 2.0, "d": 1.5}
+        prog = profile_program("dia", _diamond_payload(), times, jobs=2)
+        names = [c["procedure"] for c in prog["candidates"]]
+        # c is off the critical path: never a candidate
+        assert names == ["b", "d", "a"]
+        assert all(not c["recursive"] for c in prog["candidates"])
+
+    def test_multi_member_shard_cost_and_name(self):
+        payload = {
+            "shards": [["f", "g"], ["main"]],
+            "recursive": [True, False],
+            "deps": {"0": [], "1": [0]},
+            "waves": [[0], [1]],
+        }
+        times = {"f": 1.0, "g": 2.0, "main": 0.5}
+        prog = profile_program("rec", payload, times, jobs=2)
+        assert prog["total_seconds"] == 3.5
+        assert prog["critical_path_seconds"] == 3.5
+        assert prog["critical_path"] == ["f(+1)", "main"]
+        assert prog["candidates"][0] == {
+            "procedure": "g", "self_seconds": 2.0,
+            "shard": "f(+1)", "recursive": True,
+        }
+
+    def test_unmeasured_procedures_cost_zero(self):
+        prog = profile_program("chain", _chain_payload(), {}, jobs=2)
+        assert prog["total_seconds"] == 0.0
+        assert prog["critical_path_seconds"] == 0.0
+        assert prog["parallelism"] is None
+        assert prog["brent_bound"] is None
+
+    def test_real_shard_plan_payload_round_trips(self):
+        plan = build_plan({
+            "main": {"f", "g"}, "f": {"h"}, "g": {"h"}, "h": set(),
+        })
+        times = {"main": 0.1, "f": 0.2, "g": 0.3, "h": 0.4}
+        prog = profile_program("p", plan.to_payload(), times, jobs=2)
+        assert math.isclose(prog["total_seconds"], 1.0, rel_tol=1e-6)
+        # h -> g -> main is the expensive chain
+        assert prog["critical_path"] == ["h", "g", "main"]
+        assert math.isclose(prog["critical_path_seconds"], 0.8,
+                            rel_tol=1e-6)
+
+
+class _FakeBatch:
+    """Just enough of BatchResult for build_parallel_profile."""
+
+    def __init__(self, results, jobs, elapsed):
+        self.results = results
+        self._jobs = jobs
+        self._elapsed = elapsed
+
+    def stats(self):
+        worker = sum(r["seconds"] for r in self.results)
+        return {
+            "jobs": self._jobs,
+            "programs": len(self.results),
+            "errors": sum(1 for r in self.results if r.get("error")),
+            "elapsed_seconds": self._elapsed,
+            "worker_seconds": round(worker, 6),
+            "utilization": round(worker / (self._jobs * self._elapsed), 4),
+            "critical_path_seconds": round(
+                max(r["seconds"] for r in self.results), 6
+            ),
+        }
+
+
+def _fake_batch():
+    results = [
+        {
+            "name": "p1", "seconds": 3.0,
+            "profile": {
+                "plan": _chain_payload(),
+                "proc_self_seconds": {"a": 1.0, "b": 1.0, "c": 1.0},
+            },
+        },
+        {
+            "name": "p2", "seconds": 2.0,
+            "profile": {
+                "plan": _diamond_payload(),
+                "proc_self_seconds": {
+                    "a": 0.5, "b": 1.0, "c": 0.2, "d": 0.3,
+                },
+            },
+        },
+    ]
+    return _FakeBatch(results, jobs=2, elapsed=3.2)
+
+
+class TestBuildAndRender:
+    def test_theoretical_bound_dominates_measured(self):
+        doc = build_parallel_profile(_fake_batch())
+        assert doc["format"] == PARPROF_FORMAT
+        assert doc["measured_speedup"] == round(5.0 / 3.2, 4)
+        # min(jobs, T1/T∞) = min(2, 5/3)
+        assert doc["theoretical_speedup"] == round(5.0 / 3.0, 4)
+        assert doc["theoretical_speedup"] >= doc["measured_speedup"]
+
+    def test_candidates_merge_across_programs(self):
+        doc = build_parallel_profile(_fake_batch())
+        top = doc["candidates"][0]
+        assert (top["program"], top["procedure"]) in {
+            ("p1", "a"), ("p1", "b"), ("p1", "c"), ("p2", "b"),
+        }
+        assert top["self_seconds"] == 1.0
+
+    def test_report_text_names_the_headline_numbers(self):
+        doc = build_parallel_profile(_fake_batch())
+        text = render_report(doc)
+        assert "critical path" in text
+        assert "theoretical speedup" in text
+        assert "measured speedup" in text
+        assert "summarize these procedures first" in text
+        assert "p1:" in text or "p2:" in text
+
+    def test_document_round_trip_and_format_check(self, tmp_path):
+        doc = build_parallel_profile(_fake_batch())
+        path = tmp_path / "pp.json"
+        write_profile(doc, str(path))
+        assert load_profile(str(path)) == doc
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "something-else/9"}')
+        with pytest.raises(ValueError, match="not a parallel profile"):
+            load_profile(str(bad))

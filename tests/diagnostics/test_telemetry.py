@@ -10,6 +10,7 @@ merging is associative and commutative, so per-thread histograms fold
 to the same distribution in any order.
 """
 
+import json
 import math
 import threading
 
@@ -320,3 +321,103 @@ class TestTokenBucket:
         assert bucket.take()
         clock.now = 5.0  # a (hypothetically) misbehaving clock
         assert bucket.tokens == 0.0
+
+
+# -- cross-process transport (the parallel observatory, ISSUE 9) ------------
+
+
+@given(positive_samples)
+@settings(max_examples=50, deadline=None)
+def test_histogram_payload_round_trip_is_exact(values):
+    """to_payload/from_payload must transport the *exact* mergeable
+    state — a rebuilt histogram answers every quantile identically."""
+    h = LogHistogram()
+    h.record_many(values)
+    rebuilt = LogHistogram.from_payload(h.to_payload())
+    assert rebuilt.snapshot() == h.snapshot()
+    assert rebuilt.digest() == h.digest()
+
+
+def test_registry_payload_round_trip_and_merge():
+    worker = TelemetryRegistry()
+    worker.counter("parallel.tasks").inc(3)
+    worker.gauge("parallel.jobs").set(2)
+    worker.histogram("parallel.run_ms").record_many([1.0, 10.0, 100.0])
+    payload = worker.to_payload()
+    # payload is plain data: JSON round-trips it unchanged
+    payload = json.loads(json.dumps(payload))
+
+    parent = TelemetryRegistry()
+    parent.counter("parallel.tasks").inc(1)
+    parent.histogram("parallel.run_ms").record(5.0)
+    parent.merge_payload(payload)
+    snap = parent.as_dict()
+    assert snap["counters"]["parallel.tasks"] == 4
+    assert snap["gauges"]["parallel.jobs"] == 2
+    assert snap["histograms"]["parallel.run_ms"]["count"] == 4
+
+    # bucket-exact: payload merge == direct merge of the live registries
+    direct = TelemetryRegistry()
+    direct.counter("parallel.tasks").inc(1)
+    direct.histogram("parallel.run_ms").record(5.0)
+    direct.merge(worker)
+    assert (
+        direct.histogram("parallel.run_ms").digest()
+        == parent.histogram("parallel.run_ms").digest()
+    )
+
+
+# -- Prometheus text exposition (the `metrics` admin op) --------------------
+
+
+def test_prometheus_text_shape():
+    from repro.diagnostics.telemetry import prometheus_text
+
+    reg = TelemetryRegistry()
+    reg.counter("requests").inc(7)
+    reg.gauge("in_flight").set(2)
+    reg.histogram("latency.points_to").record_many([1.0, 2.0, 3.0])
+    text = prometheus_text(reg, extra_gauges={"server.uptime_seconds": 1.5})
+    lines = text.splitlines()
+    assert "# TYPE repro_requests_total counter" in lines
+    assert "repro_requests_total 7" in lines
+    assert "# TYPE repro_in_flight gauge" in lines
+    assert "repro_in_flight 2" in lines
+    assert "# TYPE repro_server_uptime_seconds gauge" in lines
+    assert "repro_server_uptime_seconds 1.5" in lines
+    assert "# TYPE repro_latency_points_to summary" in lines
+    assert "repro_latency_points_to_count 3" in lines
+    assert any(
+        l.startswith('repro_latency_points_to{quantile="0.5"}')
+        for l in lines
+    )
+    # every HELP has a TYPE, every metric name is legal
+    import re
+
+    metric = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*")
+    for line in lines:
+        if not line.startswith("#"):
+            assert metric.match(line), line
+
+
+def test_prometheus_text_without_registry():
+    """Telemetry off: the extra server gauges still render (scraping a
+    --no-telemetry daemon yields levels, not an error)."""
+    from repro.diagnostics.telemetry import prometheus_text
+
+    text = prometheus_text(None, extra_gauges={"server.requests": 4})
+    assert "repro_server_requests 4" in text.splitlines()
+
+
+def test_prometheus_text_is_deterministic():
+    from repro.diagnostics.telemetry import prometheus_text
+
+    def build():
+        reg = TelemetryRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        reg.gauge("z").set(1)
+        reg.histogram("h").record(1.0)
+        return prometheus_text(reg)
+
+    assert build() == build()

@@ -152,6 +152,50 @@ class TestChromeSchema:
                 name = "eval"
             assert name in EVENT_VOCABULARY, f"undocumented event {name!r}"
 
+    def test_every_emission_site_in_the_tree_is_registered(self):
+        """Vocabulary closure over the whole source tree, not just the
+        sequential path a traced run happens to exercise: every literal
+        event name passed to ``.instant/.begin/.end/.complete/.span``
+        anywhere under ``src/repro`` must be in ``EVENT_VOCABULARY`` —
+        a new emission site (a parallel worker, a future daemon) cannot
+        ship an undocumented event."""
+        import os
+        import re
+
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        # the literal dot keeps attribute calls only (never `append(`);
+        # f-string names truncate at `{` — "eval {proc}" -> "eval"
+        call = re.compile(
+            r"\.(?:instant|begin|end|complete|span)\(\s*f?[\"']"
+            r"([^\"'{]*)"
+        )
+        sites: dict[str, list[str]] = {}
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for fn in sorted(filenames):
+                if not fn.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fn)
+                with open(path, "r", encoding="utf-8") as fh:
+                    text = fh.read()
+                for m in call.finditer(text):
+                    name = m.group(1).strip()
+                    if not name:
+                        continue
+                    rel = os.path.relpath(path, root)
+                    sites.setdefault(name, []).append(rel)
+        assert sites, "no emission sites found — regex rotted?"
+        unregistered = {
+            name: files
+            for name, files in sites.items()
+            if name not in EVENT_VOCABULARY
+        }
+        assert not unregistered, (
+            f"events emitted but missing from EVENT_VOCABULARY: "
+            f"{unregistered}"
+        )
+
 
 class TestZeroCostWhenDisabled:
     def _run(self, **opt_kwargs):

@@ -313,6 +313,70 @@ def test_stats_op_carries_server_block_and_telemetry(store):
     assert server.telemetry.gauge("in_flight").value == 0
 
 
+def test_metrics_op_emits_prometheus_text(store):
+    """The `metrics` admin op: Prometheus text exposition straight from
+    the live registry, server levels folded in as gauges."""
+    from repro.diagnostics.telemetry import TelemetryRegistry
+
+    server = make_server(store, telemetry=TelemetryRegistry())
+    lines = [json.dumps(dict(req, id=i)) for i, req in enumerate(REQUESTS)]
+    lines.append(json.dumps({"op": "metrics", "id": "scrape"}))
+    code, out = run_stdio(server, lines)
+    assert code == 0
+    env = out[-1]
+    assert env["ok"] and env["id"] == "scrape"
+    result = env["result"]
+    assert result["op"] == "metrics"
+    assert result["content_type"] == "text/plain; version=0.0.4"
+    text_lines = result["text"].splitlines()
+    assert "# TYPE repro_requests_total counter" in text_lines
+    assert f"repro_requests_total {len(REQUESTS)}" in text_lines
+    assert "# TYPE repro_server_requests gauge" in text_lines
+    assert f"repro_server_requests {len(REQUESTS)}" in text_lines
+    assert "# TYPE repro_latency summary" in text_lines
+    assert f"repro_latency_count {len(REQUESTS)}" in text_lines
+
+
+def test_stats_prometheus_format_matches_metrics_op(store):
+    from repro.diagnostics.telemetry import TelemetryRegistry
+
+    server = make_server(store, telemetry=TelemetryRegistry())
+    code, out = run_stdio(
+        server,
+        [json.dumps({"op": "stats", "format": "prometheus", "id": 1})],
+    )
+    assert code == 0
+    [env] = out
+    assert env["ok"]
+    assert env["result"]["op"] == "metrics"
+    assert "# TYPE" in env["result"]["text"]
+    # plain stats is unchanged by the new format branch
+    code, out = run_stdio(
+        make_server(store), [json.dumps({"op": "stats", "id": 2})]
+    )
+    assert "server" in out[0]["result"]
+
+
+def test_metrics_op_works_with_telemetry_off(store):
+    """--no-telemetry daemons still answer scrapes with the server-level
+    gauges (and nothing else)."""
+    code, out = run_stdio(
+        make_server(store), [json.dumps({"op": "metrics", "id": 1})]
+    )
+    assert code == 0
+    [env] = out
+    assert env["ok"]
+    text = env["result"]["text"]
+    assert "repro_server_uptime_seconds" in text
+    assert "_total" not in text  # no registry, no counters
+
+
+def test_metrics_is_a_control_op():
+    from repro.query.server import CONTROL_OPS
+
+    assert "metrics" in CONTROL_OPS
+
+
 def test_stats_counts_exactly_match_requests_sent(store):
     """Satellite acceptance: after a concurrent run, the daemon's own
     accounting — requests counter and histogram totals — exactly equals
