@@ -34,9 +34,22 @@ from ..memory.blocks import ExtendedParameter
 from ..memory.locset import LocationSet
 from ..memory.pointsto import DenseState, PointsToState, SparseState, normalize_loc
 
-__all__ = ["PTF", "ParamMap", "InitialEntry"]
+__all__ = ["PTF", "ParamMap", "InitialEntry", "reset_ptf_counter"]
 
 _ptf_counter = itertools.count()
+
+
+def reset_ptf_counter() -> None:
+    """Restart PTF uid numbering from zero.
+
+    Stored alias tables and witnesses embed PTF uids, so two analyses of
+    the same program produce byte-identical stores only when both start
+    from a fresh counter.  Never call this between analyses that share
+    PTF objects: uid collisions across a reset are only safe because
+    nothing compares PTFs from different generations.
+    """
+    global _ptf_counter
+    _ptf_counter = itertools.count()
 
 
 @dataclass

@@ -49,17 +49,23 @@ from ..ioutil import atomic_write_text
 from .harness import Table2Row
 
 __all__ = [
+    "DEMAND_TRAJECTORY_FORMAT",
+    "DEMAND_TRAJECTORY_PATH",
     "SERVE_TRAJECTORY_FORMAT",
     "SERVE_TRAJECTORY_PATH",
     "TRAJECTORY_FORMAT",
     "TRAJECTORY_PATH",
+    "build_demand_entry",
     "build_entry",
     "build_serve_entry",
+    "compare_demand_entries",
     "compare_entries",
     "compare_serve_entries",
+    "load_demand_trajectory",
     "load_serve_trajectory",
     "load_trajectory",
     "parse_serve_fail_on",
+    "record_demand_trajectory",
     "record_serve_trajectory",
     "record_trajectory",
     "serve_gate",
@@ -70,6 +76,9 @@ TRAJECTORY_PATH = "BENCH_table2.json"
 
 SERVE_TRAJECTORY_FORMAT = "repro-serve-trajectory/1"
 SERVE_TRAJECTORY_PATH = "BENCH_serve.json"
+
+DEMAND_TRAJECTORY_FORMAT = "repro-demand-trajectory/1"
+DEMAND_TRAJECTORY_PATH = "BENCH_demand.json"
 
 #: suite-total drift below these floors is noise, never reported
 _SECONDS_FLOOR = 0.05
@@ -449,3 +458,122 @@ def record_serve_trajectory(
     payload = json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
     atomic_write_text(path, payload)
     return entry, drift, failures
+
+
+# -- demand trajectory (BENCH_demand.json; docs/QUERY.md §6) --------------
+#
+# The serve trajectory trends the daemon; the demand trajectory trends the
+# *demand tier*: one entry per ``benchmarks/bench_demand.py --record`` run,
+# carrying per-benchmark rows (slice size, demand analysis seconds, warm
+# query latency, speedup vs a full re-index) so a regression in the slice
+# construction or the memoized PTF path shows up as a drift line the run
+# it lands.  Same discipline as the other two sections: append-only
+# history, atomic writes, never refuse to record.
+
+#: demand drift below these floors is noise, never reported
+_DEMAND_SECONDS_FLOOR = 0.02
+
+
+def build_demand_entry(rows: list[dict], revision: Optional[str] = None) -> dict:
+    """One demand-trajectory entry for a finished bench_demand sweep.
+
+    ``rows`` are the per-benchmark dicts the harness produced (name,
+    procedures, slice_procs, demand_seconds, warm_query_ms, speedup,
+    equal, error) — recorded verbatim, with suite totals alongside."""
+    good = [r for r in rows if not r.get("error")]
+    totals = {
+        "demand_seconds": round(
+            sum(r.get("demand_seconds") or 0.0 for r in good), 6
+        ),
+        "slice_procs": sum(r.get("slice_procs") or 0 for r in good),
+        "errors": len(rows) - len(good),
+        "mismatches": sum(1 for r in good if r.get("equal") is False),
+    }
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "revision": revision if revision is not None else _revision(),
+        "rows": rows,
+        "totals": totals,
+    }
+
+
+def load_demand_trajectory(path: str = DEMAND_TRAJECTORY_PATH) -> dict:
+    """Read the demand trajectory; absent/corrupt → fresh empty history
+    (same never-refuse-to-record contract as :func:`load_trajectory`)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return {"format": DEMAND_TRAJECTORY_FORMAT, "entries": []}
+    if (
+        not isinstance(data, dict)
+        or data.get("format") != DEMAND_TRAJECTORY_FORMAT
+        or not isinstance(data.get("entries"), list)
+    ):
+        return {"format": DEMAND_TRAJECTORY_FORMAT, "entries": []}
+    return data
+
+
+def compare_demand_entries(prev: dict, cur: dict) -> list[str]:
+    """Human-readable drift lines between two demand entries.
+
+    Covers total demand analysis time, total slice size (a slice that
+    grows means the demand tier is analyzing more than it used to for
+    the same queries), new errors, and new equality mismatches."""
+    lines: list[str] = []
+    p, c = prev.get("totals", {}), cur.get("totals", {})
+    since = prev.get("revision", "?")
+
+    p_sec, c_sec = p.get("demand_seconds"), c.get("demand_seconds")
+    if p_sec and c_sec is not None:
+        delta = c_sec - p_sec
+        if (
+            abs(delta) >= _DEMAND_SECONDS_FLOOR
+            and abs(delta) / p_sec >= _RELATIVE_THRESHOLD
+        ):
+            verb = "slower" if delta > 0 else "faster"
+            lines.append(
+                f"demand analysis {verb}: {p_sec:.3f}s -> {c_sec:.3f}s "
+                f"({delta / p_sec:+.1%}) since {since}"
+            )
+
+    p_procs, c_procs = p.get("slice_procs"), c.get("slice_procs")
+    if p_procs and c_procs is not None and c_procs != p_procs:
+        delta = c_procs - p_procs
+        if abs(delta) / p_procs >= _RELATIVE_THRESHOLD:
+            verb = "grew" if delta > 0 else "shrank"
+            lines.append(
+                f"demand slices {verb}: {p_procs} -> {c_procs} procs "
+                f"({delta / p_procs:+.1%}) since {since}"
+            )
+
+    p_err, c_err = p.get("errors", 0), c.get("errors", 0)
+    if c_err and c_err != p_err:
+        lines.append(f"errors: {p_err} -> {c_err}")
+
+    c_mis = c.get("mismatches", 0)
+    if c_mis:
+        lines.append(
+            f"EQUALITY MISMATCHES: {c_mis} benchmark(s) where demand "
+            "answers diverged from the exhaustive store"
+        )
+    return lines
+
+
+def record_demand_trajectory(
+    rows: list[dict],
+    path: str = DEMAND_TRAJECTORY_PATH,
+    revision: Optional[str] = None,
+) -> tuple[dict, list[str]]:
+    """Append one demand entry for ``rows`` to the trajectory at
+    ``path``; returns ``(entry, drift_lines)``.  Atomic write, same as
+    the Table 2 recorder."""
+    trajectory = load_demand_trajectory(path)
+    entry = build_demand_entry(rows, revision=revision)
+    drift: list[str] = []
+    if trajectory["entries"]:
+        drift = compare_demand_entries(trajectory["entries"][-1], entry)
+    trajectory["entries"].append(entry)
+    payload = json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
+    atomic_write_text(path, payload)
+    return entry, drift

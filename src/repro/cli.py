@@ -304,9 +304,61 @@ def _analyze_batch(args: argparse.Namespace) -> int:
     return _batch_status(batch)
 
 
+def _analyze_demand(args: argparse.Namespace) -> int:
+    """``repro analyze --demand-root VAR@PROC``: print the demand slice
+    for each root and answer its points-to query from a query-rooted
+    analysis (the unreachable fast path never runs the fixpoint)."""
+    from .analysis.demand import (
+        DemandAnalysis,
+        DemandEngine,
+        fresh_analysis_state,
+    )
+    from .query import QueryError
+
+    opts = _options_from(args)
+    fresh_analysis_state()
+    program = load_project_files(
+        args.files, tolerant=not opts.strict, faults=opts.faults
+    )
+    analysis = DemandAnalysis(program, options=opts, tracer=opts.trace)
+    engine = DemandEngine(analysis, sources=args.files)
+    status = EXIT_OK
+    for spec in args.demand_root:
+        var, _, proc = spec.partition("@")
+        proc = proc or "main"
+        sl = analysis.slice_for(proc)
+        if sl.reachable:
+            print(
+                f"demand slice {var}@{proc}: {len(sl.procs)}/"
+                f"{len(program.procedures)} procedure(s), "
+                f"{sl.shards} shard(s), "
+                f"{len(sl.context_procs)} context proc(s)"
+            )
+        else:
+            print(
+                f"demand slice {var}@{proc}: unreachable from main — "
+                "empty facts, no analysis"
+            )
+        try:
+            answer = engine.query({"op": "points_to", "var": var, "proc": proc})
+        except QueryError as exc:
+            print(f"error: {spec!r}: {exc}", file=sys.stderr)
+            status = EXIT_ERROR
+            continue
+        for line in _render_query_answer(answer):
+            print(line)
+    _emit_trace(args, opts.trace)
+    if status == EXIT_OK and analysis.degraded():
+        _report_degradation(analysis.run_result().degradation)
+        return EXIT_PARTIAL
+    return status
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     if getattr(args, "jobs", None) is not None:
         return _analyze_batch(args)
+    if getattr(args, "demand_root", None):
+        return _analyze_demand(args)
     opts = _options_from(args)
     program = load_project_files(
         args.files, tolerant=not opts.strict, faults=opts.faults
@@ -734,20 +786,19 @@ def _render_query_answer(answer: dict) -> list[str]:
     return [json.dumps(answer, sort_keys=True)]
 
 
-def cmd_query(args: argparse.Namespace) -> int:
-    """Answer demand queries from a persisted store — no re-analysis."""
+def _answer_query_specs(
+    args: argparse.Namespace, engine, forced_mode: Optional[str] = None
+) -> int:
+    """Run the query specs against ``engine`` and render the answers —
+    the shared tail of ``repro query``'s store-backed and
+    ``--analyze-on-miss`` paths.  Per-answer ``mode``/``stale``
+    annotations come from the engine's ``info`` dict (the answers
+    themselves are shared cache entries and stay byte-identical);
+    ``forced_mode`` marks every answer when the engine *is* a demand
+    engine (no store to be stale against)."""
     from .analysis.guards import AnalysisBudget
-    from .query import QueryEngine, QueryError, load_store, parse_query_spec
+    from .query import QueryError, parse_query_spec
 
-    try:
-        store = load_store(args.store)
-    except (OSError, ValueError, json.JSONDecodeError) as exc:
-        # StoreError (unknown format, truncated JSON, integrity
-        # mismatch) lands here too — one repro: line, exit 2, never a
-        # traceback
-        print(f"repro: {exc}", file=sys.stderr)
-        return EXIT_ERROR
-    engine = QueryEngine(store, cache_size=args.cache_size)
     budget = None
     if args.deadline is not None:
         budget = AnalysisBudget(deadline_seconds=args.deadline)
@@ -755,30 +806,129 @@ def cmd_query(args: argparse.Namespace) -> int:
     answers = []
     status = EXIT_OK
     for spec in args.queries:
+        info: dict = {}
         try:
             request = parse_query_spec(spec)
-            answers.append(engine.query(request, budget=budget))
+            answer = engine.query(request, budget=budget, info=info)
         except QueryError as exc:
             print(f"error: {spec!r}: {exc}", file=sys.stderr)
             status = EXIT_ERROR
+            continue
         except GuardTripped as exc:
             print(f"error: {spec!r}: {exc}", file=sys.stderr)
             status = EXIT_ERROR
+            continue
+        if forced_mode and "mode" not in info:
+            info["mode"] = forced_mode
+        answers.append((answer, info))
+    demand_used = any(i.get("mode") == "demand" for _, i in answers)
+    stale_seen = any(i.get("stale") for _, i in answers)
     if args.json:
-        _write_text(args.output, json.dumps(answers, indent=2, sort_keys=True))
+        payload = []
+        for answer, info in answers:
+            if info.get("mode") == "demand" or info.get("stale"):
+                # annotate a copy: cached answers are shared and must
+                # stay byte-identical across calls and modes
+                annotated = dict(answer)
+                if info.get("mode") == "demand":
+                    annotated["mode"] = "demand"
+                if info.get("stale"):
+                    annotated["stale"] = True
+                payload.append(annotated)
+            else:
+                payload.append(answer)
+        _write_text(args.output, json.dumps(payload, indent=2, sort_keys=True))
     else:
         with _out_stream(args.output) as fh:
-            for answer in answers:
+            for answer, info in answers:
                 for line in _render_query_answer(answer):
                     fh.write(line + "\n")
-    if status == EXIT_OK and engine.degraded:
+                if info.get("mode") == "demand" and forced_mode is None:
+                    fh.write("  mode: demand (recomputed from the "
+                             "edited sources)\n")
+                elif info.get("stale"):
+                    fh.write("  stale: answer predates the source "
+                             "edits (--demand recomputes)\n")
+    if demand_used and forced_mode is None:
         print(
-            "repro: store was built from a degraded (partial) run; "
-            "answers are conservative",
+            "repro: sources changed since 'repro index'; stale answers "
+            "were recomputed on their demand slices (mode: demand)",
+            file=sys.stderr,
+        )
+    elif stale_seen:
+        print(
+            "repro: warning: the store is stale for some queried facts "
+            "and demand mode is off; those answers may be outdated "
+            "(re-run 'repro index', or drop --no-demand)",
+            file=sys.stderr,
+        )
+    degraded = engine.degraded or any(
+        i.get("demand_degraded") for _, i in answers
+    )
+    if status == EXIT_OK and degraded:
+        print(
+            "repro: answers come from a degraded (partial) analysis; "
+            "they are conservative",
             file=sys.stderr,
         )
         return EXIT_PARTIAL
     return status
+
+
+def _query_without_store(args: argparse.Namespace) -> int:
+    """The ``--analyze-on-miss`` path: no store — lower the given
+    sources and answer straight from a one-shot demand analysis."""
+    from .analysis.demand import (
+        DemandAnalysis,
+        DemandEngine,
+        fresh_analysis_state,
+    )
+
+    fresh_analysis_state()
+    program = load_project_files(args.analyze_on_miss)
+    engine = DemandEngine(
+        DemandAnalysis(program),
+        sources=args.analyze_on_miss,
+        cache_size=args.cache_size,
+    )
+    return _answer_query_specs(args, engine, forced_mode="demand")
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Answer demand queries from a persisted store; when the indexed
+    sources have been edited since, stale answers are recomputed on
+    their demand slices instead of silently served (docs/QUERY.md §6)."""
+    from .query import QueryEngine, load_store
+
+    try:
+        store = load_store(args.store)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        # StoreError (unknown format, truncated JSON, integrity
+        # mismatch) lands here too — one repro: line, never a traceback
+        if args.analyze_on_miss:
+            print(
+                f"repro: {exc}; answering from a one-shot demand "
+                f"analysis of {len(args.analyze_on_miss)} file(s)",
+                file=sys.stderr,
+            )
+            return _query_without_store(args)
+        print(f"repro: {exc}", file=sys.stderr)
+        print(
+            "repro: hint: build the store first with 'repro index "
+            f"FILES -o {args.store}', or pass --analyze-on-miss FILES "
+            "to answer from a one-shot demand analysis",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    demand = None
+    if store.get("sources"):
+        from .analysis.demand import DemandTier
+
+        demand = DemandTier(
+            store, enabled=args.demand, cache_size=args.cache_size
+        )
+    engine = QueryEngine(store, cache_size=args.cache_size, demand=demand)
+    return _answer_query_specs(args, engine)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -813,7 +963,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"repro: {exc}", file=sys.stderr)
             return EXIT_ERROR
-    engine = QueryEngine(store, cache_size=args.cache_size)
+    demand = None
+    if store.get("sources"):
+        from .analysis.demand import DemandTier
+
+        # the tier is attached even under --no-demand: a disabled tier
+        # still probes the sources, which is what powers the honest
+        # `stale: true` envelope annotation
+        demand = DemandTier(
+            store, enabled=not args.no_demand, cache_size=args.cache_size
+        )
+    engine = QueryEngine(store, cache_size=args.cache_size, demand=demand)
     telemetry = None if args.no_telemetry else TelemetryRegistry()
     with ExitStack() as stack:
         access_log = None
@@ -1035,6 +1195,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "snapshot to DIR/<name>.snapshot.json")
     p.add_argument("--points-to", action="append", metavar="[PROC:]VAR",
                    help="print the points-to set of a variable")
+    p.add_argument("--demand-root", action="append", metavar="VAR[@PROC]",
+                   help="demand mode: print the query's demand slice "
+                        "over the static call graph and answer its "
+                        "points-to query from a query-rooted analysis "
+                        "(an unreachable PROC answers empty with no "
+                        "analysis at all); repeatable — the slice "
+                        "analysis runs once and is shared")
     p.add_argument("--stats-json", nargs="?", const="-", metavar="PATH",
                    help="dump analysis metrics as JSON (to PATH, or stdout "
                         "when no PATH is given)")
@@ -1211,6 +1378,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wall-clock budget over the whole query batch")
     p.add_argument("--cache-size", type=int, default=256, metavar="N",
                    help="LRU query-cache capacity (default 256)")
+    p.add_argument("--demand", dest="demand", action="store_true",
+                   default=True,
+                   help="when the indexed sources changed on disk, "
+                        "recompute stale answers on their demand slices "
+                        "instead of serving outdated facts (the "
+                        "default)")
+    p.add_argument("--no-demand", dest="demand", action="store_false",
+                   help="never re-analyze: stale answers are served "
+                        "from the store, annotated stale (JSON: "
+                        "\"stale\": true)")
+    p.add_argument("--analyze-on-miss", nargs="+", metavar="FILE",
+                   help="when the store is missing or unloadable, "
+                        "answer from a one-shot demand analysis of "
+                        "these source files instead of exiting 2")
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(
@@ -1265,6 +1446,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "chaos testing, e.g. 'seed=3,slow=0.05,"
                         "disconnect=0.02,corrupt_reload=1.0,slow_ms=10' "
                         "(docs/ROBUSTNESS.md §8)")
+    p.add_argument("--no-demand", action="store_true",
+                   help="disable the demand fallback: queries touching "
+                        "procedures whose sources changed since 'repro "
+                        "index' are answered from the (stale) store "
+                        "with an explicit \"stale\": true envelope "
+                        "field instead of being recomputed on their "
+                        "demand slice")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

@@ -160,6 +160,7 @@ class QueryEngine:
         metrics: Optional[Metrics] = None,
         tracer=None,
         cache_size: int = 256,
+        demand=None,
     ) -> None:
         if store.get("format") != STORE_FORMAT:
             raise ValueError(
@@ -169,6 +170,10 @@ class QueryEngine:
         self.store = store
         self.metrics = metrics if metrics is not None else Metrics()
         self.trace = tracer
+        #: optional :class:`repro.analysis.demand.DemandTier` — probed on
+        #: every query; stale facts are either recomputed on a demand
+        #: slice (tier enabled) or annotated ``info["stale"]`` (disabled)
+        self.demand = demand
         self.cache_size = max(0, cache_size)
         self._cache: OrderedDict[str, dict] = OrderedDict()
         #: key -> frozenset of procedures the cached answer depends on,
@@ -196,10 +201,29 @@ class QueryEngine:
         return not self.store["snapshot"]["degradation"]["ok"]
 
     def _proc(self, name: str) -> dict:
-        rec = self._procs.get(name)
+        rec = self._proc_record_or_none(name)
         if rec is None:
             raise QueryError("unknown-proc", f"no procedure named {name!r}")
         return rec
+
+    # accessor seams overridden by the demand engine
+    # (:class:`repro.analysis.demand.DemandEngine` materializes these
+    # lazily from a live analysis instead of a stored index)
+
+    def _proc_record_or_none(self, name: str) -> Optional[dict]:
+        return self._procs.get(name)
+
+    def _has_proc(self, name: str) -> bool:
+        return name in self._procs
+
+    def _pointed_by_table(self) -> dict:
+        return self.store["index"]["pointed_by"]
+
+    def _callsite_table(self) -> list:
+        return self.store["index"]["callsites"]
+
+    def _graph(self) -> dict:
+        return self._call_graph
 
     def _check_var(self, proc_rec: dict, proc: str, var: str) -> None:
         known = proc_rec.get("queryable", ())
@@ -333,9 +357,12 @@ class QueryEngine:
 
         ``info``, when given, is filled in-place with per-call facts the
         answer itself must not carry (answers are shared cache entries,
-        byte-identical across calls): currently ``info["cache"]`` is set
-        to ``"hit"`` or ``"miss"`` for cacheable ops — the daemon's
-        access log and telemetry counters read it.
+        byte-identical across calls): ``info["cache"]`` is set to
+        ``"hit"`` or ``"miss"`` for cacheable ops; when a demand tier is
+        attached, ``info["mode"] = "demand"`` marks answers recomputed
+        on a demand slice and ``info["stale"] = True`` marks answers
+        served from a store known-stale for the facts they state — the
+        daemon lifts both into the response envelope.
         """
         op = request.get("op")
         if op not in OPS:
@@ -350,6 +377,16 @@ class QueryEngine:
             self.metrics.queries += 1
             if op == "stats":  # never cached: reports the live counters
                 return self.stats()
+            if self.demand is not None:
+                route = self.demand.route(request, self)
+                if route == "demand":
+                    # bypass this engine's LRU entirely: the demand
+                    # engine answers (and caches) from its own fresh
+                    # analysis, so a later reload's adopt_cache never
+                    # sees a demand answer under a store-keyed entry
+                    return self.demand.answer(request, budget=budget, info=info)
+                if route == "stale" and info is not None:
+                    info["stale"] = True
             return self._cached(
                 request, lambda: self._compute(op, request), info=info
             )
@@ -430,7 +467,7 @@ class QueryEngine:
         }
 
     def pointed_by(self, name: str) -> dict:
-        pairs = self.store["index"]["pointed_by"].get(name, [])
+        pairs = self._pointed_by_table().get(name, [])
         return {
             "op": "pointed_by",
             "name": name,
@@ -457,11 +494,11 @@ class QueryEngine:
         procedure-level sets.  Callees outside the store (externals,
         libc) are listed as ``unresolved``: their effects are whatever
         the analysis's external policy assumed."""
-        if proc not in self._procs:
+        if not self._has_proc(proc):
             raise QueryError("unknown-proc", f"no procedure named {proc!r}")
         sites = [
             site
-            for site in self.store["index"]["callsites"]
+            for site in self._callsite_table()
             if site["proc"] == proc and _coord_line(site["coord"]) == line
         ]
         if not sites:
@@ -475,7 +512,7 @@ class QueryEngine:
         for site in sites:
             for callee in site["callees"]:
                 callees.add(callee)
-                target = self._procs.get(callee)
+                target = self._proc_record_or_none(callee)
                 if target is None:
                     unresolved.add(callee)
                     continue
@@ -502,7 +539,7 @@ class QueryEngine:
         }
 
     def reaches(self, src: str, dst: str) -> dict:
-        if src not in self._call_graph:
+        if src not in self._graph():
             raise QueryError("unknown-proc", f"no procedure named {src!r}")
         path = self._shortest_path(src, dst)
         return {
@@ -514,17 +551,19 @@ class QueryEngine:
         }
 
     def callees(self, proc: str) -> dict:
-        if proc not in self._call_graph:
+        graph = self._graph()
+        if proc not in graph:
             raise QueryError("unknown-proc", f"no procedure named {proc!r}")
         return {
             "op": "callees",
             "proc": proc,
-            "callees": sorted(self._call_graph.get(proc, ())),
+            "callees": sorted(graph.get(proc, ())),
         }
 
     def callers(self, proc: str) -> dict:
-        known = set(self._call_graph) | {
-            c for callees in self._call_graph.values() for c in callees
+        graph = self._graph()
+        known = set(graph) | {
+            c for callees in graph.values() for c in callees
         }
         if proc not in known:
             raise QueryError("unknown-proc", f"no procedure named {proc!r}")
@@ -533,7 +572,7 @@ class QueryEngine:
             "proc": proc,
             "callers": sorted(
                 caller
-                for caller, callees in self._call_graph.items()
+                for caller, callees in graph.items()
                 if proc in callees
             ),
         }
@@ -541,7 +580,7 @@ class QueryEngine:
     def stats(self) -> dict:
         """Live engine counters; never cached."""
         m = self.metrics
-        return {
+        out = {
             "op": "stats",
             "program": self.program,
             "queries": m.queries,
@@ -551,10 +590,14 @@ class QueryEngine:
             "cache_entries": len(self._cache),
             "degraded": self.degraded,
         }
+        if self.demand is not None:
+            out["demand"] = self.demand.stats()
+        return out
 
     # -- helpers -----------------------------------------------------------
 
     def _shortest_path(self, src: str, dst: str) -> Optional[list]:
+        graph = self._graph()
         if src == dst:
             return [src]
         prev: dict = {src: None}
@@ -562,7 +605,7 @@ class QueryEngine:
         while frontier:
             nxt = []
             for name in frontier:
-                for callee in sorted(self._call_graph.get(name, ())):
+                for callee in sorted(graph.get(name, ())):
                     if callee in prev:
                         continue
                     prev[callee] = name

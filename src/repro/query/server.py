@@ -176,9 +176,10 @@ class _Pending:
     serialized; telemetry/access-log recorded after the write)."""
 
     __slots__ = ("text", "rid", "request_id", "op", "ok", "status", "code",
-                 "cache")
+                 "cache", "mode")
 
-    def __init__(self, text, rid, request_id, op, ok, status, code, cache):
+    def __init__(self, text, rid, request_id, op, ok, status, code, cache,
+                 mode=None):
         self.text = text
         self.rid = rid
         self.request_id = request_id
@@ -187,6 +188,7 @@ class _Pending:
         self.status = status
         self.code = code
         self.cache = cache
+        self.mode = mode
 
 
 class QueryServer:
@@ -260,6 +262,9 @@ class QueryServer:
         self.fault_slow = 0
         self.fault_disconnects = 0
         self.client_disconnects = 0
+        #: answers recomputed by the demand tier because the store was
+        #: stale for the queried fact (exact even with telemetry off)
+        self.demand_fallbacks = 0
         self._count_lock = threading.Lock()
         self._access_lock = threading.Lock()
         self._reload_lock = threading.Lock()
@@ -295,6 +300,9 @@ class QueryServer:
             )
             self._tel_client_disconnects = telemetry.counter(
                 "client_disconnects"
+            )
+            self._tel_demand_fallbacks = telemetry.counter(
+                "demand_fallbacks"
             )
             #: op -> per-op latency histogram, grown on first sighting.
             #: Benign data race: two threads may both resolve the same
@@ -351,6 +359,7 @@ class QueryServer:
             "reload_failures": self.reload_failures,
             "sheds": self.sheds,
             "idle_timeouts": self.idle_timeouts,
+            "demand_fallbacks": self.demand_fallbacks,
             "telemetry": (
                 self.telemetry.as_dict() if self.telemetry is not None else None
             ),
@@ -375,6 +384,7 @@ class QueryServer:
             "server.reload_failures": self.reload_failures,
             "server.sheds": self.sheds,
             "server.idle_timeouts": self.idle_timeouts,
+            "server.demand_fallbacks": self.demand_fallbacks,
             "server.degraded": engine.degraded,
         }
         return {
@@ -461,6 +471,11 @@ class QueryServer:
             # answer from the *new* engine: the swap already happened,
             # and the reload result should carry its degraded status
             return self._envelope_ok(request_id, result, self.engine)
+        if info is None:
+            # direct handle_request callers still get mode/stale
+            # annotations; _process_request passes its own dict so the
+            # access log can record the same facts
+            info = {}
         try:
             result = engine.query(request, budget=self._budget(), info=info)
         except QueryError as exc:
@@ -469,7 +484,22 @@ class QueryServer:
             return self._envelope_error(request_id, exc.reason, str(exc))
         except Exception as exc:  # pragma: no cover - defensive
             return self._envelope_error(request_id, "internal", str(exc))
-        return self._envelope_ok(request_id, result, engine)
+        envelope = self._envelope_ok(request_id, result, engine)
+        if info:
+            # per-call annotations live in the envelope, never in the
+            # result: results are shared cache entries whose bytes must
+            # match across modes (the demand ≡ exhaustive contract)
+            if info.get("mode") == "demand":
+                envelope["mode"] = "demand"
+                if info.get("demand_degraded") and envelope["status"] == 0:
+                    envelope["status"] = 4
+                with self._count_lock:
+                    self.demand_fallbacks += 1
+                if self.telemetry is not None:
+                    self._tel_demand_fallbacks.inc()
+            if info.get("stale"):
+                envelope["stale"] = True
+        return envelope
 
     # -- hot store swap ----------------------------------------------------
 
@@ -531,6 +561,13 @@ class QueryServer:
                 metrics=old.metrics,
                 tracer=old.trace,
                 cache_size=old.cache_size,
+                # a fresh tier over the new store (fresh probe state —
+                # the old tier's verdict described the old sources),
+                # carrying the cumulative fallback counters
+                demand=(
+                    old.demand.for_store(new_store)
+                    if old.demand is not None else None
+                ),
             )
             carried, dropped = new_engine.adopt_cache(old, report)
             self.engine = new_engine
@@ -630,6 +667,7 @@ class QueryServer:
             status=envelope.get("status"),
             code=error.get("code"),
             cache=info.get("cache"),
+            mode=info.get("mode"),
         )
 
     def _process_line(self, line: str) -> list[_Pending]:
@@ -916,12 +954,15 @@ class QueryServer:
             id_json = json.dumps(rid)
         code_json = "null" if p.code is None else '"' + p.code + '"'
         cache_json = "null" if p.cache is None else '"' + p.cache + '"'
+        # demand-fallback answers carry a "mode" field; store answers
+        # keep the historical record shape
+        mode_json = "" if p.mode is None else f'"mode": "{p.mode}", '
         return (
             f'{{"t": {now}, "rid": {p.rid}, "id": {id_json}, '
             f'"op": {cls._op_json(p.op)}, '
             f'"ok": {"true" if p.ok else "false"}, "status": {p.status}, '
             f'"code": {code_json}, "ms": {ms}, "cache": {cache_json}, '
-            f'"peer": {peer_json}}}\n'
+            f'{mode_json}"peer": {peer_json}}}\n'
         )
 
     # -- graceful shutdown -------------------------------------------------

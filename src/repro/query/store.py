@@ -94,6 +94,8 @@ __all__ = [
     "build_store",
     "write_store",
     "load_store",
+    "pointed_by_index",
+    "procedure_record",
     "seal_store",
     "source_records",
     "store_integrity_digest",
@@ -202,35 +204,53 @@ def _alias_table(result: "AnalysisResult", proc_name: str) -> dict:
     return out
 
 
-def _build_index(result: "AnalysisResult") -> dict:
-    procedures: dict[str, dict] = {}
+def procedure_record(result: "AnalysisResult", proc_name: str) -> dict:
+    """The full per-procedure index record for one procedure.
+
+    Shared between exhaustive indexing (:func:`build_store`) and the
+    demand engine (:mod:`repro.analysis.demand`), which materializes
+    records lazily from its own analysis — using the same builder is
+    what makes demand answers byte-identical to stored ones.
+    """
+    vars_ = _var_table(result, proc_name)
+    modref = result.mod_ref(proc_name)
+    return {
+        # every name a query may legally ask about in this procedure
+        # (locals + globals); the engine uses this to distinguish
+        # "unknown variable" (an error) from "no pointer values"
+        # (an empty answer)
+        "queryable": result.queryable_vars(proc_name),
+        "vars": vars_,
+        "alias": _alias_table(result, proc_name),
+        "modref": modref,
+        # locally pure *including* callee effects: the summary keys
+        # already fold in everything callees did to caller-visible
+        # memory, so an empty MOD set is transitively meaningful
+        "pure": not modref["mod"],
+    }
+
+
+def pointed_by_index(procedures: dict) -> dict:
+    """Invert per-procedure var tables into ``target -> [[proc, var]]``."""
     pointed_by: dict[str, set] = {}
-    for proc_name in sorted(result.program.procedures):
-        vars_ = _var_table(result, proc_name)
-        modref = result.mod_ref(proc_name)
-        procedures[proc_name] = {
-            # every name a query may legally ask about in this procedure
-            # (locals + globals); the engine uses this to distinguish
-            # "unknown variable" (an error) from "no pointer values"
-            # (an empty answer)
-            "queryable": result.queryable_vars(proc_name),
-            "vars": vars_,
-            "alias": _alias_table(result, proc_name),
-            "modref": modref,
-            # locally pure *including* callee effects: the summary keys
-            # already fold in everything callees did to caller-visible
-            # memory, so an empty MOD set is transitively meaningful
-            "pure": not modref["mod"],
-        }
-        for var, rec in vars_.items():
+    for proc_name, record in procedures.items():
+        for var, rec in record["vars"].items():
             for name in rec["targets"]:
                 pointed_by.setdefault(name, set()).add((proc_name, var))
     return {
+        name: sorted(list(pair) for pair in pairs)
+        for name, pairs in sorted(pointed_by.items())
+    }
+
+
+def _build_index(result: "AnalysisResult") -> dict:
+    procedures = {
+        proc_name: procedure_record(result, proc_name)
+        for proc_name in sorted(result.program.procedures)
+    }
+    return {
         "procedures": procedures,
-        "pointed_by": {
-            name: sorted(list(pair) for pair in pairs)
-            for name, pairs in sorted(pointed_by.items())
-        },
+        "pointed_by": pointed_by_index(procedures),
         "callsites": result.callsites(),
     }
 

@@ -1,0 +1,287 @@
+"""The demand fallback tier end to end: engine routing, server
+envelopes, hot-reload counter carry-over, and the CLI surface
+(``--demand``/``--no-demand``/``--analyze-on-miss``/``--demand-root``).
+
+Every store here records its sources (path + sha256), because that is
+what the tier probes; the scenarios then edit those sources on disk and
+check who answers — the store (fresh), the demand engine
+(``mode: demand``), or the store annotated (``stale: true``).
+"""
+
+import json
+
+import pytest
+
+from repro import AnalyzerOptions
+from repro.analysis.demand import DemandTier, fresh_analysis_state
+from repro.analysis.results import run_analysis
+from repro.cli import main
+from repro.frontend.parser import load_project_files
+from repro.query.engine import QueryEngine
+from repro.query.server import QueryServer
+from repro.query.store import build_store, load_store, write_store
+
+SOURCE = """
+int g, h;
+int *pick(int *p) { return p; }
+int main(void) {
+    int *a = pick(&g);
+    return 0;
+}
+"""
+
+#: same program, one edit inside ``main``: a now points at h
+EDITED = SOURCE.replace("pick(&g)", "pick(&h)")
+
+#: touches only the leaf, leaving main stale via the dependents set
+LEAF_EDIT = SOURCE.replace(
+    "int *pick(int *p) { return p; }",
+    "int *pick(int *p) { int unused = 0; (void)unused; return p; }",
+)
+
+
+def index_sources(tmp_path, text=SOURCE):
+    """Write ``text``, index it the way ``repro index`` does, and load
+    the sealed store back — digests, sources and all."""
+    src = tmp_path / "prog.c"
+    src.write_text(text)
+    fresh_analysis_state()
+    program = load_project_files([str(src)], name="prog")
+    result = run_analysis(program, AnalyzerOptions())
+    store = build_store(result, program_name="prog", sources=[str(src)])
+    store_path = tmp_path / "prog.store.json"
+    write_store(store, str(store_path))
+    return src, store_path, load_store(str(store_path))
+
+
+def demand_engine_for(store):
+    return QueryEngine(store, demand=DemandTier(store, enabled=True))
+
+
+POINTS_TO_A = {"op": "points_to", "var": "a", "proc": "main"}
+
+
+# -- engine routing ---------------------------------------------------------
+
+
+class TestRouting:
+    def test_fresh_store_gets_no_annotations(self, tmp_path):
+        _, _, store = index_sources(tmp_path)
+        engine = demand_engine_for(store)
+        info = {}
+        ans = engine.query(dict(POINTS_TO_A), info=info)
+        assert ans["targets"] == ["g"]
+        assert "mode" not in info and "stale" not in info
+
+    def test_edit_routes_to_demand_with_fresh_facts(self, tmp_path):
+        src, _, store = index_sources(tmp_path)
+        engine = demand_engine_for(store)
+        engine.query(dict(POINTS_TO_A))  # warm the store path first
+        src.write_text(EDITED)
+        info = {}
+        ans = engine.query(dict(POINTS_TO_A), info=info)
+        assert info.get("mode") == "demand"
+        assert ans["targets"] == ["h"]
+
+    def test_demand_answer_matches_reindexed_store(self, tmp_path):
+        src, _, store = index_sources(tmp_path)
+        engine = demand_engine_for(store)
+        src.write_text(EDITED)
+        demand_answer = engine.query(dict(POINTS_TO_A), info={})
+        # now rebuild the store from the edited sources and compare bytes
+        _, _, fresh_store = index_sources(tmp_path, EDITED)
+        fresh_answer = QueryEngine(fresh_store).query(dict(POINTS_TO_A))
+        assert json.dumps(demand_answer, sort_keys=True) == json.dumps(
+            fresh_answer, sort_keys=True
+        )
+
+    def test_leaf_edit_marks_caller_stale_too(self, tmp_path):
+        src, _, store = index_sources(tmp_path)
+        engine = demand_engine_for(store)
+        src.write_text(LEAF_EDIT)
+        info = {}
+        engine.query(dict(POINTS_TO_A), info=info)
+        assert info.get("mode") == "demand"  # main is a dependent of pick
+
+    def test_disabled_tier_serves_store_annotated_stale(self, tmp_path):
+        src, _, store = index_sources(tmp_path)
+        engine = QueryEngine(store, demand=DemandTier(store, enabled=False))
+        src.write_text(EDITED)
+        info = {}
+        ans = engine.query(dict(POINTS_TO_A), info=info)
+        assert info.get("stale") is True
+        assert "mode" not in info
+        assert ans["targets"] == ["g"]  # the outdated stored fact
+
+    def test_revert_returns_to_fresh(self, tmp_path):
+        src, _, store = index_sources(tmp_path)
+        engine = demand_engine_for(store)
+        src.write_text(EDITED)
+        engine.query(dict(POINTS_TO_A), info={})
+        src.write_text(SOURCE)  # byte-identical to the indexed content
+        info = {}
+        ans = engine.query(dict(POINTS_TO_A), info=info)
+        assert "mode" not in info and "stale" not in info
+        assert ans["targets"] == ["g"]
+
+    def test_parse_error_degrades_to_stale_serving(self, tmp_path):
+        src, _, store = index_sources(tmp_path)
+        engine = demand_engine_for(store)
+        src.write_text("int main(void) { this does not parse")
+        info = {}
+        ans = engine.query(dict(POINTS_TO_A), info=info)
+        assert info.get("stale") is True  # no engine, but serving survives
+        assert ans["targets"] == ["g"]
+        tier = engine.demand
+        assert "error" in tier.stats()
+
+    def test_stats_expose_tier_block(self, tmp_path):
+        src, _, store = index_sources(tmp_path)
+        engine = demand_engine_for(store)
+        src.write_text(EDITED)
+        engine.query(dict(POINTS_TO_A), info={})
+        stats = engine.query({"op": "stats"})
+        demand = stats["demand"]
+        assert demand["verdict"] == "stale"
+        assert demand["fallbacks"] == 1
+        assert demand["analyses"] == 1
+
+
+# -- the daemon -------------------------------------------------------------
+
+
+class TestServer:
+    def build(self, tmp_path, enabled=True):
+        src, store_path, store = index_sources(tmp_path)
+        tier = DemandTier(store, enabled=enabled)
+        engine = QueryEngine(store, demand=tier)
+        server = QueryServer(engine, store_path=str(store_path))
+        return src, store_path, server
+
+    def test_envelope_carries_demand_mode(self, tmp_path):
+        src, _, server = self.build(tmp_path)
+        fresh = server.handle_request(dict(POINTS_TO_A))
+        assert fresh["ok"] and "mode" not in fresh and "stale" not in fresh
+        src.write_text(EDITED)
+        envelope = server.handle_request(dict(POINTS_TO_A))
+        assert envelope["ok"] and envelope["status"] == 0
+        assert envelope["mode"] == "demand"
+        assert envelope["result"]["targets"] == ["h"]
+
+    def test_envelope_carries_stale_when_disabled(self, tmp_path):
+        src, _, server = self.build(tmp_path, enabled=False)
+        src.write_text(EDITED)
+        envelope = server.handle_request(dict(POINTS_TO_A))
+        assert envelope["stale"] is True
+        assert envelope["result"]["targets"] == ["g"]
+
+    def test_fallback_counter_in_stats_and_metrics(self, tmp_path):
+        src, _, server = self.build(tmp_path)
+        src.write_text(EDITED)
+        server.handle_request(dict(POINTS_TO_A))
+        server.handle_request(dict(POINTS_TO_A))
+        stats = server.handle_request({"op": "stats"})["result"]
+        assert stats["server"]["demand_fallbacks"] == 2
+        assert stats["demand"]["fallbacks"] == 2
+        metrics = server.handle_request(
+            {"op": "stats", "format": "prometheus"}
+        )["result"]["text"]
+        assert "repro_server_demand_fallbacks 2" in metrics
+
+    def test_reload_rebinds_tier_and_keeps_counters(self, tmp_path):
+        src, store_path, server = self.build(tmp_path)
+        src.write_text(EDITED)
+        demand_envelope = server.handle_request(dict(POINTS_TO_A))
+        assert demand_envelope["mode"] == "demand"
+        old_tier = server.engine.demand
+        # full re-index of the edited sources, then hot swap
+        _, _, fresh_store = index_sources(tmp_path, EDITED)
+        write_store(fresh_store, str(store_path))
+        reload_env = server.handle_request({"op": "reload"})
+        assert reload_env["ok"]
+        new_tier = server.engine.demand
+        assert new_tier is not old_tier
+        assert new_tier.fallbacks == 1  # carried across the swap
+        after = server.handle_request(dict(POINTS_TO_A))
+        assert "mode" not in after  # new store is fresh for the new bytes
+        assert json.dumps(after["result"], sort_keys=True) == json.dumps(
+            demand_envelope["result"], sort_keys=True
+        )
+
+
+# -- the CLI ----------------------------------------------------------------
+
+
+class TestCLI:
+    def prog(self, tmp_path, text=SOURCE):
+        src = tmp_path / "prog.c"
+        src.write_text(text)
+        store = tmp_path / "prog.store.json"
+        assert main(["index", str(src), "-o", str(store)]) == 0
+        return src, store
+
+    def test_missing_store_prints_hint(self, tmp_path, capsys):
+        rc = main(
+            ["query", str(tmp_path / "absent.json"), "points-to a@main"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "repro: hint:" in err
+        assert "--analyze-on-miss" in err
+
+    def test_analyze_on_miss_answers_without_store(self, tmp_path, capsys):
+        src = tmp_path / "prog.c"
+        src.write_text(SOURCE)
+        rc = main(
+            [
+                "query", str(tmp_path / "absent.json"), "points-to a@main",
+                "--analyze-on-miss", str(src), "--json",
+            ]
+        )
+        assert rc == 0
+        answers = json.loads(capsys.readouterr().out)
+        assert answers[0]["targets"] == ["g"]
+        assert answers[0]["mode"] == "demand"
+
+    def test_stale_query_recomputed_by_default(self, tmp_path, capsys):
+        src, store = self.prog(tmp_path)
+        capsys.readouterr()
+        src.write_text(EDITED)
+        rc = main(["query", str(store), "points-to a@main", "--json"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        answers = json.loads(captured.out)
+        assert answers[0]["targets"] == ["h"]
+        assert answers[0]["mode"] == "demand"
+        assert "recomputed" in captured.err
+
+    def test_no_demand_marks_stale_json(self, tmp_path, capsys):
+        src, store = self.prog(tmp_path)
+        capsys.readouterr()
+        src.write_text(EDITED)
+        rc = main(
+            ["query", str(store), "points-to a@main", "--json", "--no-demand"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        answers = json.loads(captured.out)
+        assert answers[0]["targets"] == ["g"]
+        assert answers[0]["stale"] is True
+        assert "--no-demand" in captured.err  # the warning names the way out
+
+    def test_demand_root_prints_slice(self, tmp_path, capsys):
+        src = tmp_path / "prog.c"
+        src.write_text(SOURCE)
+        rc = main(["analyze", str(src), "--demand-root", "a@main"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "demand slice a@main:" in out
+        assert "-> ['g']" in out
+
+    def test_demand_root_unreachable_is_empty(self, tmp_path, capsys):
+        src = tmp_path / "prog.c"
+        src.write_text(SOURCE + "\nint *stray(int *s) { return s; }\n")
+        rc = main(["analyze", str(src), "--demand-root", "s@stray"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "unreachable" in out

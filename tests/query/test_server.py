@@ -407,6 +407,19 @@ def test_stats_counts_exactly_match_requests_sent(store):
     try:
         assert not failures, failures[0]
         sent = clients * len(REQUESTS)
+
+        # a handler finalizes its counters *after* flushing the envelope
+        # to the peer, so a client can see its last answer a beat before
+        # the daemon's own accounting catches up; convergence (not the
+        # instant of the last flush) is the invariant — wait for the
+        # in-process finalize count (telemetry records before it), then
+        # assert exactness over the wire
+        deadline = time.monotonic() + 5.0
+        while (
+            server.requests_finalized < sent
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
         with socket.create_connection(addr, timeout=10) as sock:
             fh = sock.makefile("rw", encoding="utf-8")
             fh.write(json.dumps({"op": "stats"}) + "\n")
